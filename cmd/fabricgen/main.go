@@ -1,0 +1,51 @@
+// Command fabricgen generates and renders ion-trap circuit fabrics
+// in the Fig. 4 cell format (J junction, C channel, T trap, . empty).
+//
+// Usage:
+//
+//	fabricgen                      # the paper's 45x85 fabric
+//	fabricgen -rows 9 -cols 9      # a small fabric
+//	fabricgen -stats               # counts only, no grid
+//	fabricgen -check fab.txt       # parse and validate a fabric file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fabric"
+)
+
+func main() {
+	var (
+		rows  = flag.Int("rows", 45, "grid rows")
+		cols  = flag.Int("cols", 85, "grid columns")
+		pitch = flag.Int("pitch", 4, "junction pitch")
+		stats = flag.Bool("stats", false, "print statistics only")
+		check = flag.String("check", "", "parse and validate a fabric file instead of generating")
+	)
+	flag.Parse()
+	var (
+		f   *fabric.Fabric
+		err error
+	)
+	if *check != "" {
+		var file *os.File
+		file, err = os.Open(*check)
+		if err == nil {
+			defer file.Close()
+			f, err = fabric.ParseText(file)
+		}
+	} else {
+		f, err = fabric.Generate(fabric.GenSpec{Rows: *rows, Cols: *cols, Pitch: *pitch})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fabricgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, f.Stats())
+	if !*stats {
+		fmt.Print(fabric.Render(f))
+	}
+}

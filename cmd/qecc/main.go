@@ -1,0 +1,66 @@
+// Command qecc emits the QECC encoder benchmark circuits as QASM and
+// inspects their stabilizer codes.
+//
+// Usage:
+//
+//	qecc -list                       # available codes
+//	qecc -code '[[7,1,3]]'           # print the encoder QASM
+//	qecc -code '[[23,1,7]]' -gens    # print the stabilizer generators
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/circuits"
+	"repro/internal/qidg"
+	"repro/internal/stabilizer"
+
+	"repro/internal/gates"
+)
+
+func main() {
+	var (
+		code = flag.String("code", "", "code name, e.g. '[[9,1,3]]'")
+		list = flag.Bool("list", false, "list available codes")
+		gens = flag.Bool("gens", false, "print stabilizer generators instead of the circuit")
+	)
+	flag.Parse()
+	if *list {
+		for _, b := range circuits.All() {
+			g, err := qidg.Build(b.Program)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-12s %2d qubits, %3d gates, ideal latency %v (%s)\n",
+				b.Name, b.Program.NumQubits(), len(b.Program.Gates()),
+				g.CriticalPathLatency(gates.Default()), b.Source)
+		}
+		return
+	}
+	if *code == "" {
+		fatal(fmt.Errorf("-code or -list required"))
+	}
+	if *gens {
+		for _, c := range stabilizer.KnownCodes() {
+			if c.Name == *code {
+				for i := 0; i < c.N-c.K; i++ {
+					fmt.Println(c.GeneratorString(i))
+				}
+				return
+			}
+		}
+		fatal(fmt.Errorf("unknown code %q", *code))
+	}
+	b, err := circuits.ByName(*code)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(b.Program.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qecc:", err)
+	os.Exit(1)
+}

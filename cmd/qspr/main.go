@@ -1,0 +1,166 @@
+// Command qspr maps a QASM program onto an ion-trap circuit fabric
+// and reports the execution latency, reproducing the QSPR tool of
+// Dousti & Pedram (DATE 2012).
+//
+// Usage:
+//
+//	qspr -circuit '[[5,1,3]]'                 # built-in benchmark
+//	qspr -qasm prog.qasm -heuristic quale     # map a file with QUALE
+//	qspr -qasm prog.qasm -fabric fab.txt -m 100 -trace
+//
+// Without -fabric the 45×85 fabric of Fig. 4 is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/gates"
+	"repro/internal/qasm"
+	"repro/internal/routegraph"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		qasmPath  = flag.String("qasm", "", "QASM program file to map")
+		circuitN  = flag.String("circuit", "", "built-in benchmark name, e.g. '[[5,1,3]]' (see -list)")
+		list      = flag.Bool("list", false, "list built-in benchmark circuits and exit")
+		fabPath   = flag.String("fabric", "", "fabric description file (default: the 45x85 Fig. 4 fabric)")
+		heuristic = flag.String("heuristic", "qspr", "mapping heuristic: qspr, qspr-center, mc, quale, qpos, qpos-delay")
+		m         = flag.Int("m", 25, "random seeds for the MVFB placer / runs for the MC placer")
+		seed      = flag.Int64("seed", 1, "random seed")
+		showTrace = flag.Bool("trace", false, "print the micro-command trace")
+		showStats = flag.Bool("stats", true, "print mapping statistics")
+		gantt     = flag.Bool("gantt", false, "print a per-qubit timeline of the trace")
+		heatmap   = flag.Bool("heatmap", false, "print a channel-utilization heatmap of the fabric")
+		jsonOut   = flag.String("json", "", "write the micro-command trace as JSON to this file ('-' = stdout)")
+	)
+	flag.Parse()
+	if *list {
+		for _, b := range circuits.All() {
+			fmt.Printf("%-12s %2d qubits, %3d gates (%s)\n",
+				b.Name, b.Program.NumQubits(), len(b.Program.Gates()), b.Source)
+		}
+		return
+	}
+	prog, err := loadProgram(*qasmPath, *circuitN)
+	if err != nil {
+		fatal(err)
+	}
+	fab, err := loadFabric(*fabPath)
+	if err != nil {
+		fatal(err)
+	}
+	h, err := parseHeuristic(*heuristic)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.Map(prog, fab, core.Options{Heuristic: h, Seeds: *m, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("heuristic:        %s\n", res.Heuristic)
+	fmt.Printf("fabric:           %s\n", fab.Stats())
+	fmt.Printf("circuit:          %d qubits, %d gates\n", prog.NumQubits(), len(prog.Gates()))
+	fmt.Printf("ideal baseline:   %v\n", res.Ideal)
+	fmt.Printf("execution latency:%v\n", res.Latency)
+	fmt.Printf("overhead:         %v (T_routing + T_congestion)\n", res.Overhead())
+	fmt.Printf("placement runs:   %d\n", res.Runs)
+	fmt.Printf("cpu runtime:      %v\n", res.Runtime)
+	if *showStats {
+		s := res.Mapping.Stats
+		fmt.Printf("moves/turns:      %d / %d\n", s.Moves, s.Turns)
+		fmt.Printf("qubit trips:      %d (blocked issues: %d)\n", s.RoutedQubitTrips, s.Blocked)
+		fmt.Printf("delay split:      gate %v, routing %v, congestion-wait %v\n",
+			s.GateDelay, s.RoutingDelay, s.CongestionDelay)
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Print(viz.Gantt(res.Mapping.Trace, prog.NumQubits(), 100))
+	}
+	if *heatmap {
+		rg := routegraph.New(fab, gates.Default(), routegraph.Options{TurnAware: true})
+		fmt.Println()
+		fmt.Print(viz.Heatmap(res.Mapping.Trace, rg))
+		fmt.Println("busiest channels:")
+		for _, tc := range viz.TopChannels(res.Mapping.Trace, rg, 5) {
+			ch := fab.Channels[tc.Channel]
+			fmt.Printf("  channel %d (%s at %v): %v\n", tc.Channel, ch.Orientation, ch.Cells[0], tc.Time)
+		}
+	}
+	if *showTrace {
+		fmt.Print(res.Mapping.Trace.String())
+	}
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := res.Mapping.Trace.WriteJSON(w); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadProgram(path, name string) (*qasm.Program, error) {
+	switch {
+	case path != "" && name != "":
+		return nil, fmt.Errorf("use either -qasm or -circuit, not both")
+	case path != "":
+		return qasm.ParseFile(path)
+	case name != "":
+		b, err := circuits.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return b.Program, nil
+	default:
+		return nil, fmt.Errorf("one of -qasm or -circuit is required (try -list)")
+	}
+}
+
+func loadFabric(path string) (*fabric.Fabric, error) {
+	if path == "" {
+		return fabric.Quale4585(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return fabric.ParseText(f)
+}
+
+func parseHeuristic(s string) (core.Heuristic, error) {
+	switch strings.ToLower(s) {
+	case "qspr":
+		return core.QSPR, nil
+	case "qspr-center", "center":
+		return core.QSPRCenter, nil
+	case "mc", "montecarlo", "monte-carlo":
+		return core.MonteCarlo, nil
+	case "quale":
+		return core.QUALE, nil
+	case "qpos":
+		return core.QPOS, nil
+	case "qpos-delay", "qposdelay":
+		return core.QPOSDelay, nil
+	}
+	return 0, fmt.Errorf("unknown heuristic %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qspr:", err)
+	os.Exit(1)
+}

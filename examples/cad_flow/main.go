@@ -1,0 +1,86 @@
+// CAD flow demo (Fig. 1 of the paper): synthesis → mapping → error
+// analysis, iterated.
+//
+// The synthesizer cannot know the circuit error before mapping
+// because mapping determines the latency; so the flow maps the
+// encoder for a candidate QECC, analyzes the error of the mapped
+// result, and — if the failure estimate violates the target
+// threshold — goes back and re-synthesizes with a different code.
+// It also shows how the mapper's latency reduction translates
+// directly into error reduction: the same circuit mapped with QUALE
+// fails the same threshold QSPR meets.
+//
+//	go run ./examples/cad_flow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/noise"
+)
+
+func main() {
+	fab := fabric.Quale4585()
+	params := noise.DefaultParams()
+	threshold := 0.0145
+
+	fmt.Printf("target failure threshold: %.4f\n\n", threshold)
+	fmt.Println("iterating the Fig. 1 flow over candidate codes:")
+
+	chosen := ""
+	for _, name := range []string{"[[5,1,3]]", "[[7,1,3]]", "[[9,1,3]]", "[[23,1,7]]"} {
+		b, err := circuits.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Mapper stage (QSPR).
+		res, err := core.Map(b.Program, fab, core.Options{Heuristic: core.QSPR, Seeds: 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Error-analysis stage.
+		rep, err := noise.Analyze(res.Mapping.Trace, b.Program.NumQubits(), params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "REJECT (re-synthesize)"
+		if rep.MeetsThreshold(threshold) {
+			verdict = "ACCEPT"
+		}
+		fmt.Printf("  %-12s latency %6v  error %.5f  -> %s\n", name, res.Latency, rep.Total, verdict)
+		if rep.MeetsThreshold(threshold) && chosen == "" {
+			chosen = name
+		}
+	}
+	if chosen == "" {
+		fmt.Println("\nno candidate code meets the threshold; a better fabric or mapper is needed")
+		return
+	}
+	fmt.Printf("\nselected code: %s\n\n", chosen)
+
+	// Latency reduction is error reduction: compare mappers on the
+	// selected code.
+	b, err := circuits.ByName(chosen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range []core.Heuristic{core.QSPR, core.QUALE} {
+		res, err := core.Map(b.Program, fab, core.Options{Heuristic: h, Seeds: 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := noise.Analyze(res.Mapping.Trace, b.Program.NumQubits(), params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meets := "meets threshold"
+		if !rep.MeetsThreshold(threshold) {
+			meets = "VIOLATES threshold"
+		}
+		fmt.Printf("  %-6s latency %6v  error %.5f  (%s)\n", h, res.Latency, rep.Total, meets)
+	}
+}

@@ -1,0 +1,60 @@
+// Fabric tour: build ion-trap fabrics, render the Fig. 4 cell grid,
+// and inspect the derived routing topology.
+//
+//	go run ./examples/fabric_tour
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fabric"
+	"repro/internal/gates"
+	"repro/internal/routegraph"
+)
+
+func main() {
+	// A small fabric, rendered fully (same legend as Fig. 4:
+	// J junction, C channel, T trap, . empty).
+	small := fabric.Small()
+	fmt.Println("9x9 fabric:")
+	fmt.Print(fabric.Render(small))
+	fmt.Println(small.Stats())
+	fmt.Println()
+
+	// The paper's 45x85 fabric.
+	big := fabric.Quale4585()
+	fmt.Println(big.Stats())
+
+	// The fabric parses back from its rendering (the fabricgen tool
+	// round-trips through this format).
+	back, err := fabric.ParseTextString(fabric.Render(big))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("render/parse round trip: %v\n\n", back.Stats() == big.Stats())
+
+	// The routing graph the mapper runs Dijkstra over: each junction
+	// splits into two plane vertices joined by a turn edge (Fig. 5c).
+	g := routegraph.New(big, gates.Default(), routegraph.Options{TurnAware: true})
+	turns, chans, traps := 0, 0, 0
+	for _, e := range g.Edges {
+		switch {
+		case e.Turns == 1 && e.Moves == 0:
+			turns++
+		case g.Nodes[e.A].Kind != routegraph.TrapNode && g.Nodes[e.B].Kind != routegraph.TrapNode:
+			chans++
+		default:
+			traps++
+		}
+	}
+	fmt.Printf("routing graph: %d vertices, %d edges (%d turn, %d channel, %d trap access)\n",
+		len(g.Nodes), len(g.Edges), turns, chans, traps)
+
+	// Custom fabrics come from the same generator.
+	wide, err := fabric.Generate(fabric.GenSpec{Rows: 13, Cols: 29, Pitch: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom 13x29:  %v\n", wide.Stats())
+}

@@ -1,0 +1,69 @@
+// Quickstart: map the paper's Fig. 3 circuit (the [[5,1,3]] encoder)
+// onto the 45×85 ion-trap fabric with QSPR and print the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/qasm"
+)
+
+// The QASM text of Fig. 3 of the paper. Any program in this dialect
+// can be mapped the same way (see internal/qasm for the grammar).
+const program = `
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+`
+
+func main() {
+	prog, err := qasm.ParseString(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fab := fabric.Quale4585() // the Fig. 4 fabric
+
+	res, err := core.Map(prog, fab, core.Options{
+		Heuristic: core.QSPR,
+		Seeds:     25, // m random starts for the MVFB placer
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("circuit:           [[5,1,3]] encoder, %d qubits, %d gates\n",
+		prog.NumQubits(), len(prog.Gates()))
+	fmt.Printf("ideal baseline:    %v (gate-delay critical path)\n", res.Ideal)
+	fmt.Printf("mapped latency:    %v after %d placement runs\n", res.Latency, res.Runs)
+	fmt.Printf("routing overhead:  %v (T_routing + T_congestion)\n", res.Overhead())
+	fmt.Printf("micro-commands:    %d ops, %d moves / %d turns\n",
+		len(res.Mapping.Trace.Ops), res.Mapping.Stats.Moves, res.Mapping.Stats.Turns)
+
+	// The same call with Heuristic: core.QUALE reproduces the
+	// baseline tool; Table 2 of the paper is exactly this comparison.
+	quale, err := core.Map(prog, fab, core.Options{Heuristic: core.QUALE})
+	if err != nil {
+		log.Fatal(err)
+	}
+	imp := 100 * float64(quale.Latency-res.Latency) / float64(quale.Latency)
+	fmt.Printf("QUALE latency:     %v  (QSPR improves %.1f%%)\n", quale.Latency, imp)
+}

@@ -1,0 +1,59 @@
+// Turn-aware routing demo (Fig. 5 of the paper).
+//
+// A turn on the ion-trap fabric takes 10x as long as a move, but the
+// plain routing graph (vertices = junctions, edges = channels) cannot
+// see turns: all monotone staircase paths between two corners have
+// equal weight. The enhanced graph splits every junction into a
+// horizontal-plane and a vertical-plane vertex joined by a turn edge,
+// making Dijkstra turn-aware.
+//
+//	go run ./examples/turnaware
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/gates"
+	"repro/internal/routegraph"
+)
+
+func main() {
+	fab := fabric.Quale4585()
+	tech := gates.Default()
+	aware := routegraph.New(fab, tech, routegraph.Options{TurnAware: true})
+	blind := routegraph.New(fab, tech, routegraph.Options{TurnAware: false})
+
+	// Route between a far trap pair, like Fig. 5's corner-to-corner
+	// example.
+	a := fab.TrapsByDistance(fabric.Pos{Row: 0, Col: 0})[0]
+	b := fab.TrapsByDistance(fabric.Pos{Row: 44, Col: 84})[0]
+	fmt.Printf("routing trap %d %v -> trap %d %v\n",
+		a, fab.Traps[a].Pos, b, fab.Traps[b].Pos)
+
+	ra, _ := aware.FindRoute(a, b)
+	rb, _ := blind.FindRoute(a, b)
+	fmt.Printf("turn-aware : %3d moves, %2d turns, travel time %v\n", ra.Moves, ra.Turns, ra.Delay)
+	fmt.Printf("turn-blind : %3d moves, %2d turns, travel time %v\n", rb.Moves, rb.Turns, rb.Delay)
+
+	// Aggregate over many pairs: the blind router wastes time in
+	// turns it cannot see.
+	var awareTotal, blindTotal gates.Time
+	pairs := 0
+	for i := 0; i < len(fab.Traps); i += 13 {
+		for j := 5; j < len(fab.Traps); j += 29 {
+			if i == j {
+				continue
+			}
+			x, _ := aware.FindRoute(i, j)
+			y, _ := blind.FindRoute(i, j)
+			awareTotal += x.Delay
+			blindTotal += y.Delay
+			pairs++
+		}
+	}
+	fmt.Printf("\nover %d random trap pairs:\n", pairs)
+	fmt.Printf("  total turn-aware travel: %v\n", awareTotal)
+	fmt.Printf("  total turn-blind travel: %v (+%.1f%%)\n", blindTotal,
+		100*float64(blindTotal-awareTotal)/float64(awareTotal))
+}

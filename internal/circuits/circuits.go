@@ -1,0 +1,113 @@
+// Package circuits provides the six QECC encoder benchmark circuits
+// of the QSPR paper (§V.A): encoding circuits for the [[5,1,3]],
+// [[7,1,3]], [[9,1,3]], [[14,8,3]], [[19,1,7]] and [[23,1,7]] codes.
+//
+// The [[5,1,3]] circuit is transcribed verbatim from Fig. 3 of the
+// paper; the others are synthesized from their stabilizer groups by
+// package stabilizer (the paper's source, Grassl's cyclic-code
+// encoder pages, is offline — see DESIGN.md).
+package circuits
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/qasm"
+	"repro/internal/stabilizer"
+)
+
+// Fig3QASM is the exact QASM text of Fig. 3 of the paper: the
+// [[5,1,3]] encoding circuit for cyclic quantum error correction
+// (Fig. 2). Instruction #16 is absent in the paper's own numbering.
+const Fig3QASM = `QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+`
+
+// Benchmark is one named benchmark circuit.
+type Benchmark struct {
+	// Name is the code label used in the paper's tables.
+	Name string
+	// Program is the encoder circuit.
+	Program *qasm.Program
+	// Source records provenance: "paper-fig3" or "synthesized".
+	Source string
+}
+
+// Fig3 returns the verbatim Fig. 3 program.
+func Fig3() *qasm.Program {
+	p, err := qasm.ParseString(Fig3QASM)
+	if err != nil {
+		panic("circuits: Fig3 does not parse: " + err.Error())
+	}
+	return p
+}
+
+var (
+	once sync.Once
+	all  []Benchmark
+)
+
+// All returns the six benchmarks in Table 1/2 order. The circuits
+// are synthesized once and cached; returned programs are cloned so
+// callers may mutate them.
+func All() []Benchmark {
+	once.Do(build)
+	out := make([]Benchmark, len(all))
+	for i, b := range all {
+		out[i] = Benchmark{Name: b.Name, Program: b.Program.Clone(), Source: b.Source}
+	}
+	return out
+}
+
+func build() {
+	all = append(all, Benchmark{Name: "[[5,1,3]]", Program: Fig3(), Source: "paper-fig3"})
+	for _, c := range stabilizer.KnownCodes()[1:] {
+		prog, err := c.Encoder()
+		if err != nil {
+			panic(fmt.Sprintf("circuits: encoder for %s: %v", c.Name, err))
+		}
+		all = append(all, Benchmark{Name: c.Name, Program: prog, Source: "synthesized"})
+	}
+}
+
+// ByName returns the benchmark with the given table label.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("circuits: unknown benchmark %q", name)
+}
+
+// Names lists the benchmark labels in table order.
+func Names() []string {
+	bs := All()
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// Synthesized513 returns the synthesized (not Fig. 3) [[5,1,3]]
+// encoder, useful for cross-checking the synthesis pipeline against
+// the paper's hand-drawn circuit.
+func Synthesized513() (*qasm.Program, error) {
+	return stabilizer.Cyclic513().Encoder()
+}

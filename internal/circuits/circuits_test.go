@@ -1,0 +1,117 @@
+package circuits
+
+import (
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/qasm"
+	"repro/internal/qidg"
+)
+
+func TestFig3Exact(t *testing.T) {
+	p := Fig3()
+	if p.NumQubits() != 5 {
+		t.Fatalf("qubits = %d", p.NumQubits())
+	}
+	g := p.Gates()
+	if len(g) != 12 {
+		t.Fatalf("gates = %d, want 12", len(g))
+	}
+	// Spot-check instruction 10 of the paper: C-X q3,q2.
+	cx := g[4]
+	if cx.Kind != gates.CX || p.Names[cx.Qubits[0]] != "q3" || p.Names[cx.Qubits[1]] != "q2" {
+		t.Errorf("instruction 10 = %v %v", cx.Kind, cx.Qubits)
+	}
+	// Round trip is stable.
+	q, err := qasm.ParseString(p.String())
+	if err != nil || q.String() != p.String() {
+		t.Error("Fig3 round trip unstable")
+	}
+}
+
+func TestAllBenchmarks(t *testing.T) {
+	bs := All()
+	if len(bs) != 6 {
+		t.Fatalf("got %d benchmarks", len(bs))
+	}
+	wantQubits := []int{5, 7, 9, 14, 19, 23}
+	for i, b := range bs {
+		if b.Program.NumQubits() != wantQubits[i] {
+			t.Errorf("%s: %d qubits, want %d", b.Name, b.Program.NumQubits(), wantQubits[i])
+		}
+		if err := b.Program.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		g, err := qidg.Build(b.Program)
+		if err != nil {
+			t.Errorf("%s: qidg: %v", b.Name, err)
+			continue
+		}
+		if g.CriticalPathLatency(gates.Default()) == 0 {
+			t.Errorf("%s: zero-latency circuit", b.Name)
+		}
+	}
+	if bs[0].Source != "paper-fig3" {
+		t.Error("[[5,1,3]] should be the Fig. 3 transcription")
+	}
+	for _, b := range bs[1:] {
+		if b.Source != "synthesized" {
+			t.Errorf("%s source = %s", b.Name, b.Source)
+		}
+	}
+}
+
+func TestAllReturnsClones(t *testing.T) {
+	a := All()
+	a[0].Program.Instrs[5].Qubits[0] = 3
+	b := All()
+	if b[0].Program.Instrs[5].Qubits[0] == 3 {
+		t.Error("All returns shared programs")
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("[[9,1,3]]")
+	if err != nil || b.Program.NumQubits() != 9 {
+		t.Errorf("ByName: %v", err)
+	}
+	if _, err := ByName("[[3,1,1]]"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	n := Names()
+	if len(n) != 6 || n[0] != "[[5,1,3]]" || n[5] != "[[23,1,7]]" {
+		t.Errorf("Names = %v", n)
+	}
+}
+
+func TestSynthesized513ComparableToFig3(t *testing.T) {
+	synth, err := Synthesized513()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if synth.NumQubits() != 5 {
+		t.Fatalf("synthesized qubits = %d", synth.NumQubits())
+	}
+	// Same flavor as Fig. 3: a handful of H gates plus controlled
+	// Paulis, within 2x of the hand circuit's size.
+	fig3Gates := len(Fig3().Gates())
+	synthGates := len(synth.Gates())
+	if synthGates > 2*fig3Gates+4 {
+		t.Errorf("synthesized [[5,1,3]] has %d gates vs Fig. 3's %d", synthGates, fig3Gates)
+	}
+}
+
+func TestBenchmarkGrowthMatchesTableOrdering(t *testing.T) {
+	// Two-qubit gate counts should grow with code size overall;
+	// Table 2's latencies grow similarly (except [[23,1,7]] which
+	// the paper also lists below [[19,1,7]]).
+	bs := All()
+	small := bs[0].Program.TwoQubitGateCount()
+	large := bs[5].Program.TwoQubitGateCount()
+	if large <= small {
+		t.Errorf("[[23,1,7]] (%d 2q gates) not larger than [[5,1,3]] (%d)", large, small)
+	}
+}

@@ -1,0 +1,260 @@
+// Package core is the public facade of the QSPR reproduction: one
+// call maps a QASM program onto an ion-trap fabric with a chosen
+// heuristic and returns the execution latency, the micro-command
+// trace and the mapping statistics.
+//
+// The heuristics correspond to the rows of the paper's Table 2 (the
+// ideal Baseline, QUALE and QSPR) plus the Monte-Carlo placer of
+// Table 1 and the QPOS baselines surveyed in §I.
+//
+//	prog, _ := qasm.ParseFile("bench.qasm")
+//	fab := fabric.Quale4585()
+//	res, _ := core.Map(prog, fab, core.Options{Heuristic: core.QSPR, Seeds: 100})
+//	fmt.Println(res.Latency, res.Ideal, res.Runtime)
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fabric"
+	"repro/internal/gates"
+	"repro/internal/place"
+	"repro/internal/qasm"
+	"repro/internal/qidg"
+	"repro/internal/qpos"
+	"repro/internal/quale"
+	"repro/internal/sched"
+)
+
+// Heuristic selects a mapping flow.
+type Heuristic uint8
+
+// Available mapping heuristics.
+const (
+	// QSPR is the paper's tool: priority scheduling, MVFB placement,
+	// turn-aware simultaneous two-operand routing, channel capacity 2.
+	QSPR Heuristic = iota
+	// QSPRCenter is QSPR with a single deterministic center
+	// placement instead of the MVFB search (isolates the placer).
+	QSPRCenter
+	// MonteCarlo is QSPR's engine under the Table 1 MC placer:
+	// random center permutations, best of Seeds runs.
+	MonteCarlo
+	// QUALE is the prior-art baseline of Table 2.
+	QUALE
+	// QPOS is the Metodi et al. baseline (ref [4]).
+	QPOS
+	// QPOSDelay is the Whitney et al. tweak of QPOS (ref [5]).
+	QPOSDelay
+)
+
+// String names the heuristic as used in the paper's tables.
+func (h Heuristic) String() string {
+	switch h {
+	case QSPR:
+		return "QSPR"
+	case QSPRCenter:
+		return "QSPR-center"
+	case MonteCarlo:
+		return "MC"
+	case QUALE:
+		return "QUALE"
+	case QPOS:
+		return "QPOS"
+	case QPOSDelay:
+		return "QPOS-delay"
+	}
+	return "?"
+}
+
+// Options configures Map.
+type Options struct {
+	// Heuristic selects the mapping flow; default QSPR.
+	Heuristic Heuristic
+	// Tech overrides the technology parameters (nil = paper §V.A).
+	Tech *gates.Tech
+	// Seeds is m, the number of random starts for QSPR's MVFB placer
+	// or the number of runs for the MonteCarlo placer. Default 25.
+	Seeds int
+	// Seed feeds the random permutations (default 1).
+	Seed int64
+	// Patience is MVFB's non-improving-run stop count (default 3).
+	Patience int
+	// Workers runs MVFB seed searches concurrently (default 1).
+	// Parallel search uses per-seed stopping (place.ScopeSeed), so
+	// results differ slightly from the sequential paper protocol but
+	// are identical for any worker count > 1.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seeds == 0 {
+		o.Seeds = 25
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Patience == 0 {
+		o.Patience = 3
+	}
+	return o
+}
+
+// Result is the outcome of one mapping.
+type Result struct {
+	// Heuristic that produced the mapping.
+	Heuristic Heuristic
+	// Latency is the execution latency of the mapped circuit.
+	Latency gates.Time
+	// Ideal is the paper's baseline lower bound: the gate-delay
+	// critical path with T_routing = T_congestion = 0.
+	Ideal gates.Time
+	// Mapping is the winning engine run (trace, placements, stats).
+	Mapping *engine.Result
+	// Runs is the number of placement runs performed.
+	Runs int
+	// BackwardWinner records whether MVFB's best run was an
+	// uncompute (backward) computation.
+	BackwardWinner bool
+	// Runtime is the wall-clock CPU time of the mapping (the paper's
+	// Table 1 "CPU Runtime" column).
+	Runtime time.Duration
+}
+
+// Overhead returns Latency - Ideal, the realized routing+congestion
+// cost (the "Difference wrt Baseline" column of Table 2).
+func (r *Result) Overhead() gates.Time { return r.Latency - r.Ideal }
+
+// Map schedules, places and routes prog onto fab.
+func Map(prog *qasm.Program, fab *fabric.Fabric, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	g, err := qidg.Build(prog)
+	if err != nil {
+		return nil, err
+	}
+	tech := gates.Default()
+	if opts.Tech != nil {
+		tech = *opts.Tech
+	}
+	start := time.Now()
+	res := &Result{
+		Heuristic: opts.Heuristic,
+		Ideal:     g.CriticalPathLatency(tech),
+	}
+	switch opts.Heuristic {
+	case QSPR:
+		cfg := qsprConfig(fab, tech)
+		mvfbOpts := place.MVFBOptions{
+			Seeds: opts.Seeds, Patience: opts.Patience,
+			MaxRunsPerSeed: 50, Seed: opts.Seed, Workers: opts.Workers,
+		}
+		if opts.Workers > 1 {
+			mvfbOpts.PatienceScope = place.ScopeSeed
+		}
+		sol, err := place.MVFB(g, cfg, mvfbOpts)
+		if err != nil {
+			return nil, err
+		}
+		res.Mapping = sol.Result
+		res.Runs = sol.Runs
+		res.BackwardWinner = sol.Backward
+	case QSPRCenter:
+		cfg := qsprConfig(fab, tech)
+		p, err := place.Center(fab, g.NumQubits)
+		if err != nil {
+			return nil, err
+		}
+		r, err := engine.Run(g, cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		res.Mapping = r
+		res.Runs = 1
+	case MonteCarlo:
+		cfg := qsprConfig(fab, tech)
+		sol, err := place.MonteCarlo(g, cfg, opts.Seeds, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Mapping = sol.Result
+		res.Runs = sol.Runs
+	case QUALE:
+		r, err := quale.Map(g, fab)
+		if err != nil {
+			return nil, err
+		}
+		res.Mapping = r
+		res.Runs = 1
+	case QPOS:
+		r, err := qpos.Map(g, fab, qpos.VariantDependents)
+		if err != nil {
+			return nil, err
+		}
+		res.Mapping = r
+		res.Runs = 1
+	case QPOSDelay:
+		r, err := qpos.Map(g, fab, qpos.VariantDelay)
+		if err != nil {
+			return nil, err
+		}
+		res.Mapping = r
+		res.Runs = 1
+	default:
+		return nil, fmt.Errorf("core: unknown heuristic %v", opts.Heuristic)
+	}
+	res.Latency = res.Mapping.Latency
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// MonteCarloRuns maps with the MC placer using an explicit run count
+// (the Table 1 protocol sets it to twice MVFB's realized runs).
+func MonteCarloRuns(prog *qasm.Program, fab *fabric.Fabric, runs int, seed int64, tech *gates.Tech) (*Result, error) {
+	g, err := qidg.Build(prog)
+	if err != nil {
+		return nil, err
+	}
+	tc := gates.Default()
+	if tech != nil {
+		tc = *tech
+	}
+	start := time.Now()
+	sol, err := place.MonteCarlo(g, qsprConfig(fab, tc), runs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Heuristic: MonteCarlo,
+		Latency:   sol.Result.Latency,
+		Ideal:     g.CriticalPathLatency(tc),
+		Mapping:   sol.Result,
+		Runs:      sol.Runs,
+		Runtime:   time.Since(start),
+	}, nil
+}
+
+// IdealLatency returns the baseline lower bound of Table 2: the
+// circuit's gate-delay critical path, with routing and congestion
+// delays set to zero.
+func IdealLatency(prog *qasm.Program, tech gates.Tech) (gates.Time, error) {
+	g, err := qidg.Build(prog)
+	if err != nil {
+		return 0, err
+	}
+	return g.CriticalPathLatency(tech), nil
+}
+
+// qsprConfig is the engine configuration of the QSPR tool proper.
+func qsprConfig(fab *fabric.Fabric, tech gates.Tech) engine.Config {
+	return engine.Config{
+		Fabric:       fab,
+		Tech:         tech,
+		Policy:       sched.QSPR,
+		Weights:      sched.DefaultWeights(),
+		TurnAware:    true,
+		BothMove:     true,
+		MedianTarget: true,
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/fabric"
+	"repro/internal/gates"
+)
+
+func TestIdealLatencyFig3(t *testing.T) {
+	got, err := IdealLatency(circuits.Fig3(), gates.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 610 {
+		t.Errorf("ideal latency = %v, want 610", got)
+	}
+}
+
+func TestMapAllHeuristicsOnFig3(t *testing.T) {
+	fab := fabric.Quale4585()
+	prog := circuits.Fig3()
+	for _, h := range []Heuristic{QSPR, QSPRCenter, MonteCarlo, QUALE, QPOS, QPOSDelay} {
+		h := h
+		t.Run(h.String(), func(t *testing.T) {
+			res, err := Map(prog, fab, Options{Heuristic: h, Seeds: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Latency < res.Ideal {
+				t.Errorf("latency %v below ideal %v", res.Latency, res.Ideal)
+			}
+			if res.Overhead() != res.Latency-res.Ideal {
+				t.Error("Overhead inconsistent")
+			}
+			if err := res.Mapping.Trace.Validate(); err != nil {
+				t.Errorf("trace: %v", err)
+			}
+			if res.Runtime <= 0 {
+				t.Error("runtime not measured")
+			}
+			if res.Heuristic != h {
+				t.Error("heuristic not recorded")
+			}
+		})
+	}
+}
+
+func TestQSPRBeatsQUALEOnAllBenchmarks(t *testing.T) {
+	// The Table 2 headline: QSPR's latency is below QUALE's on every
+	// benchmark circuit.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	fab := fabric.Quale4585()
+	for _, b := range circuits.All() {
+		quale, err := Map(b.Program, fab, Options{Heuristic: QUALE})
+		if err != nil {
+			t.Fatalf("%s QUALE: %v", b.Name, err)
+		}
+		qspr, err := Map(b.Program, fab, Options{Heuristic: QSPR, Seeds: 5})
+		if err != nil {
+			t.Fatalf("%s QSPR: %v", b.Name, err)
+		}
+		if qspr.Latency >= quale.Latency {
+			t.Errorf("%s: QSPR %v not better than QUALE %v", b.Name, qspr.Latency, quale.Latency)
+		}
+		if quale.Latency <= quale.Ideal || qspr.Latency <= qspr.Ideal {
+			t.Errorf("%s: latencies at or below the ideal bound look wrong", b.Name)
+		}
+	}
+}
+
+func TestMonteCarloRunsProtocol(t *testing.T) {
+	fab := fabric.Quale4585()
+	prog := circuits.Fig3()
+	res, err := MonteCarloRuns(prog, fab, 7, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 7 {
+		t.Errorf("runs = %d, want 7", res.Runs)
+	}
+	if res.Heuristic != MonteCarlo {
+		t.Error("heuristic mislabeled")
+	}
+}
+
+func TestHeuristicStrings(t *testing.T) {
+	want := map[Heuristic]string{
+		QSPR: "QSPR", QSPRCenter: "QSPR-center", MonteCarlo: "MC",
+		QUALE: "QUALE", QPOS: "QPOS", QPOSDelay: "QPOS-delay",
+		Heuristic(99): "?",
+	}
+	for h, s := range want {
+		if h.String() != s {
+			t.Errorf("%d.String() = %q, want %q", h, h.String(), s)
+		}
+	}
+}
+
+func TestCustomTech(t *testing.T) {
+	fab := fabric.Quale4585()
+	prog := circuits.Fig3()
+	tech := gates.Default()
+	tech.TwoQubitGate = 200
+	res, err := Map(prog, fab, Options{Heuristic: QSPRCenter, Tech: &tech})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ideal doubles in its two-qubit component: 6*200 + 10 = 1210.
+	if res.Ideal != 1210 {
+		t.Errorf("ideal with slow 2q gates = %v, want 1210", res.Ideal)
+	}
+}
+
+func TestUnknownHeuristic(t *testing.T) {
+	if _, err := Map(circuits.Fig3(), fabric.Quale4585(), Options{Heuristic: Heuristic(42)}); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Seeds != 25 || o.Seed != 1 || o.Patience != 3 {
+		t.Errorf("defaults = %+v", o)
+	}
+}

@@ -1,0 +1,107 @@
+// Package events provides the deterministic discrete-event engine the
+// QSPR mapper runs on. The paper (§IV.B) keeps "an event driven
+// simulator continuously in operation, keeping track of routing
+// resources, delays of gate level operations, moves and bends"; the
+// two event classes are instruction completion and a qubit exiting a
+// channel. This package supplies the time-ordered queue those events
+// live in.
+package events
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/gates"
+)
+
+// Handler is invoked when its event fires; now is the event time.
+type Handler func(now gates.Time)
+
+type event struct {
+	at  gates.Time
+	seq uint64
+	fn  Handler
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Queue is a deterministic discrete-event queue. Events at equal
+// timestamps fire in scheduling order (FIFO), which keeps simulation
+// runs reproducible.
+type Queue struct {
+	h   eventHeap
+	now gates.Time
+	seq uint64
+}
+
+// New returns an empty queue at time zero.
+func New() *Queue { return &Queue{} }
+
+// Now returns the current simulation time.
+func (q *Queue) Now() gates.Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: it would silently reorder causality.
+func (q *Queue) At(at gates.Time, fn Handler) {
+	if at < q.now {
+		panic(fmt.Sprintf("events: scheduling at %v before now %v", at, q.now))
+	}
+	heap.Push(&q.h, event{at: at, seq: q.seq, fn: fn})
+	q.seq++
+}
+
+// After schedules fn to run delay time units from now.
+func (q *Queue) After(delay gates.Time, fn Handler) {
+	if delay < 0 {
+		panic(fmt.Sprintf("events: negative delay %v", delay))
+	}
+	q.At(q.now+delay, fn)
+}
+
+// Step fires the earliest pending event. It reports false when the
+// queue is empty.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	ev := heap.Pop(&q.h).(event)
+	q.now = ev.at
+	ev.fn(q.now)
+	return true
+}
+
+// Run fires events until the queue drains and returns the final time.
+// maxEvents guards against runaway simulations (0 means no limit); if
+// the limit is hit an error is returned with the queue state intact.
+func (q *Queue) Run(maxEvents int) (gates.Time, error) {
+	fired := 0
+	for q.Step() {
+		fired++
+		if maxEvents > 0 && fired >= maxEvents {
+			if len(q.h) > 0 {
+				return q.now, fmt.Errorf("events: exceeded %d events with %d still pending", maxEvents, len(q.h))
+			}
+		}
+	}
+	return q.now, nil
+}

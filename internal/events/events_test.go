@@ -1,0 +1,115 @@
+package events
+
+import (
+	"testing"
+
+	"repro/internal/gates"
+)
+
+func TestFiresInTimeOrder(t *testing.T) {
+	q := New()
+	var got []int
+	q.At(30, func(gates.Time) { got = append(got, 3) })
+	q.At(10, func(gates.Time) { got = append(got, 1) })
+	q.At(20, func(gates.Time) { got = append(got, 2) })
+	if _, err := q.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if q.Now() != 30 {
+		t.Errorf("final time = %v", q.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	q := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(5, func(gates.Time) { got = append(got, i) })
+	}
+	if _, err := q.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	q := New()
+	var fired []gates.Time
+	q.At(10, func(now gates.Time) {
+		fired = append(fired, now)
+		q.After(5, func(now gates.Time) {
+			fired = append(fired, now)
+		})
+	})
+	end, err := q.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 15 || len(fired) != 2 || fired[1] != 15 {
+		t.Errorf("end=%v fired=%v", end, fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	q := New()
+	q.At(10, func(gates.Time) {})
+	q.Step()
+	defer func() {
+		if recover() == nil {
+			t.Error("past scheduling did not panic")
+		}
+	}()
+	q.At(5, func(gates.Time) {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	q := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	q.After(-1, func(gates.Time) {})
+}
+
+func TestRunLimit(t *testing.T) {
+	q := New()
+	var boom func(now gates.Time)
+	boom = func(now gates.Time) { q.After(1, boom) }
+	q.At(0, boom)
+	if _, err := q.Run(100); err == nil {
+		t.Error("runaway simulation not caught")
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	q := New()
+	if q.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	if q.Len() != 0 {
+		t.Error("Len on empty queue")
+	}
+}
+
+func TestZeroDelayFiresAtNow(t *testing.T) {
+	q := New()
+	q.At(7, func(now gates.Time) {
+		q.After(0, func(now gates.Time) {
+			if now != 7 {
+				t.Errorf("zero-delay event at %v", now)
+			}
+		})
+	})
+	if _, err := q.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package fabric
+
+import "fmt"
+
+// FromCells derives the full fabric topology (junctions, channels,
+// traps and their attachments) from a raw cell grid. The grid must
+// satisfy the structural rules of §II.B:
+//
+//   - every maximal straight run of channel cells ends in a junction
+//     on both sides;
+//   - every channel cell belongs to exactly one such run;
+//   - every trap is side-adjacent to exactly one channel cell.
+//
+// Violations are reported as errors naming the offending cell.
+func FromCells(rows, cols int, cells []CellKind) (*Fabric, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("fabric: non-positive dimensions %dx%d", rows, cols)
+	}
+	if len(cells) != rows*cols {
+		return nil, fmt.Errorf("fabric: cell slice has %d entries, want %d", len(cells), rows*cols)
+	}
+	f := &Fabric{
+		Rows: rows, Cols: cols,
+		cells:      append([]CellKind(nil), cells...),
+		junctionAt: map[Pos]int{},
+		trapAt:     map[Pos]int{},
+		channelAt:  map[Pos]int{},
+	}
+	// Junctions first: channels reference them.
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			p := Pos{r, c}
+			if f.At(p) == Junction {
+				f.junctionAt[p] = len(f.Junctions)
+				f.Junctions = append(f.Junctions, JunctionInfo{ID: len(f.Junctions), Pos: p})
+			}
+		}
+	}
+	if err := f.deriveChannels(); err != nil {
+		return nil, err
+	}
+	if err := f.deriveTraps(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *Fabric) deriveChannels() error {
+	claimed := map[Pos]bool{}
+	// Horizontal runs.
+	for r := 0; r < f.Rows; r++ {
+		c := 0
+		for c < f.Cols {
+			p := Pos{r, c}
+			if f.At(p) != Channel || claimed[p] {
+				c++
+				continue
+			}
+			// Horizontal run requires a junction to the left of the
+			// run start; otherwise this cell belongs to a vertical
+			// run (handled below).
+			start := c
+			end := c
+			for end+1 < f.Cols && f.At(Pos{r, end + 1}) == Channel {
+				end++
+			}
+			left := f.JunctionAt(Pos{r, start - 1})
+			right := f.JunctionAt(Pos{r, end + 1})
+			if left >= 0 && right >= 0 {
+				cellsRun := make([]Pos, 0, end-start+1)
+				for cc := start; cc <= end; cc++ {
+					cellsRun = append(cellsRun, Pos{r, cc})
+					claimed[Pos{r, cc}] = true
+				}
+				f.addChannel(Horizontal, left, right, cellsRun)
+			}
+			c = end + 1
+		}
+	}
+	// Vertical runs.
+	for c := 0; c < f.Cols; c++ {
+		r := 0
+		for r < f.Rows {
+			p := Pos{r, c}
+			if f.At(p) != Channel || claimed[p] {
+				r++
+				continue
+			}
+			start := r
+			end := r
+			for end+1 < f.Rows && f.At(Pos{end + 1, c}) == Channel && !claimed[Pos{end + 1, c}] {
+				end++
+			}
+			top := f.JunctionAt(Pos{start - 1, c})
+			bottom := f.JunctionAt(Pos{end + 1, c})
+			if top < 0 || bottom < 0 {
+				return fmt.Errorf("fabric: channel run at row %d..%d col %d lacks junction endpoints", start, end, c)
+			}
+			cellsRun := make([]Pos, 0, end-start+1)
+			for rr := start; rr <= end; rr++ {
+				cellsRun = append(cellsRun, Pos{rr, c})
+				claimed[Pos{rr, c}] = true
+			}
+			f.addChannel(Vertical, top, bottom, cellsRun)
+			r = end + 1
+		}
+	}
+	// Every channel cell must now be claimed.
+	for r := 0; r < f.Rows; r++ {
+		for c := 0; c < f.Cols; c++ {
+			p := Pos{r, c}
+			if f.At(p) == Channel && !claimed[p] {
+				return fmt.Errorf("fabric: channel cell (%d,%d) not attached to junctions on both ends", r, c)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *Fabric) addChannel(o Orientation, j1, j2 int, cells []Pos) {
+	id := len(f.Channels)
+	f.Channels = append(f.Channels, ChannelInfo{
+		ID: id, Orientation: o, J1: j1, J2: j2,
+		Length: len(cells), Cells: cells,
+	})
+	for _, p := range cells {
+		f.channelAt[p] = id
+	}
+}
+
+func (f *Fabric) deriveTraps() error {
+	for r := 0; r < f.Rows; r++ {
+		for c := 0; c < f.Cols; c++ {
+			p := Pos{r, c}
+			if f.At(p) != Trap {
+				continue
+			}
+			var attach []Pos
+			for _, n := range [4]Pos{{r - 1, c}, {r + 1, c}, {r, c - 1}, {r, c + 1}} {
+				if f.At(n) == Channel {
+					attach = append(attach, n)
+				}
+			}
+			if len(attach) != 1 {
+				return fmt.Errorf("fabric: trap (%d,%d) adjacent to %d channel cells, want exactly 1", r, c, len(attach))
+			}
+			chID := f.channelAt[attach[0]]
+			ch := &f.Channels[chID]
+			offset := -1
+			for i, cc := range ch.Cells {
+				if cc == attach[0] {
+					offset = i
+					break
+				}
+			}
+			if offset < 0 {
+				return fmt.Errorf("fabric: internal error: attachment cell of trap (%d,%d) not in channel %d", r, c, chID)
+			}
+			id := len(f.Traps)
+			f.Traps = append(f.Traps, TrapInfo{ID: id, Pos: p, Channel: chID, Offset: offset})
+			f.trapAt[p] = id
+			ch.Traps = append(ch.Traps, id)
+		}
+	}
+	if len(f.Traps) == 0 {
+		return fmt.Errorf("fabric: no traps")
+	}
+	return nil
+}
+
+// Validate re-checks structural invariants of an already-built fabric.
+func (f *Fabric) Validate() error {
+	if len(f.cells) != f.Rows*f.Cols {
+		return fmt.Errorf("fabric: cell storage size mismatch")
+	}
+	for i, j := range f.Junctions {
+		if j.ID != i || f.At(j.Pos) != Junction {
+			return fmt.Errorf("fabric: junction %d inconsistent", i)
+		}
+	}
+	for i, ch := range f.Channels {
+		if ch.ID != i {
+			return fmt.Errorf("fabric: channel %d has ID %d", i, ch.ID)
+		}
+		if ch.Length != len(ch.Cells) || ch.Length == 0 {
+			return fmt.Errorf("fabric: channel %d length mismatch", i)
+		}
+		if ch.J1 < 0 || ch.J1 >= len(f.Junctions) || ch.J2 < 0 || ch.J2 >= len(f.Junctions) {
+			return fmt.Errorf("fabric: channel %d junction IDs out of range", i)
+		}
+		for _, p := range ch.Cells {
+			if f.At(p) != Channel {
+				return fmt.Errorf("fabric: channel %d covers non-channel cell (%d,%d)", i, p.Row, p.Col)
+			}
+			if f.channelAt[p] != i {
+				return fmt.Errorf("fabric: cell (%d,%d) claims channel %d, expected %d", p.Row, p.Col, f.channelAt[p], i)
+			}
+		}
+		// Endpoint adjacency.
+		if ManhattanDist(f.Junctions[ch.J1].Pos, ch.Cells[0]) != 1 ||
+			ManhattanDist(f.Junctions[ch.J2].Pos, ch.Cells[len(ch.Cells)-1]) != 1 {
+			return fmt.Errorf("fabric: channel %d endpoints not adjacent to its junctions", i)
+		}
+	}
+	for i, tr := range f.Traps {
+		if tr.ID != i || f.At(tr.Pos) != Trap {
+			return fmt.Errorf("fabric: trap %d inconsistent", i)
+		}
+		if tr.Channel < 0 || tr.Channel >= len(f.Channels) {
+			return fmt.Errorf("fabric: trap %d channel out of range", i)
+		}
+		ch := f.Channels[tr.Channel]
+		if tr.Offset < 0 || tr.Offset >= ch.Length {
+			return fmt.Errorf("fabric: trap %d offset %d out of channel range", i, tr.Offset)
+		}
+		if ManhattanDist(tr.Pos, ch.Cells[tr.Offset]) != 1 {
+			return fmt.Errorf("fabric: trap %d not adjacent to its attachment cell", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package fabric
+
+import "fmt"
+
+// GenSpec parameterizes the fabric generator.
+type GenSpec struct {
+	// Rows, Cols are the grid dimensions in cells.
+	Rows, Cols int
+	// Pitch is the junction spacing: junctions sit at rows and
+	// columns that are multiples of Pitch. The channels between two
+	// adjacent junctions are Pitch-1 cells long. Must be >= 2.
+	Pitch int
+	// TrapCols selects which columns (mod Pitch) inside a tile carry
+	// traps; traps are placed one cell above and one cell below each
+	// horizontal channel at those columns. If empty, {Pitch / 2}.
+	TrapCols []int
+}
+
+// Generate builds a fabric following the regular tile pattern of the
+// QUALE 45×85 fabric (Fig. 4): a lattice of junctions joined by
+// horizontal and vertical channels, with traps hanging off the
+// horizontal channels.
+//
+// Layout for Pitch=4 (one tile, J=junction, C=channel, T=trap,
+// .=empty):
+//
+//	J C C C J
+//	C . T . C
+//	C . . . C
+//	C . T . C
+//	J C C C J
+//
+// The trap at tile row 1 attaches to the channel above it; the trap
+// at tile row Pitch-1 attaches to the channel below it.
+func Generate(spec GenSpec) (*Fabric, error) {
+	if spec.Pitch < 2 {
+		return nil, fmt.Errorf("fabric: pitch %d < 2", spec.Pitch)
+	}
+	if spec.Rows < spec.Pitch+1 || spec.Cols < spec.Pitch+1 {
+		return nil, fmt.Errorf("fabric: %dx%d too small for pitch %d", spec.Rows, spec.Cols, spec.Pitch)
+	}
+	trapCols := spec.TrapCols
+	if len(trapCols) == 0 {
+		trapCols = []int{spec.Pitch / 2}
+	}
+	for _, tc := range trapCols {
+		if tc <= 0 || tc >= spec.Pitch {
+			return nil, fmt.Errorf("fabric: trap column %d outside tile (1..%d)", tc, spec.Pitch-1)
+		}
+	}
+	// The junction lattice spans rows 0..lastJR and cols 0..lastJC.
+	lastJR := ((spec.Rows - 1) / spec.Pitch) * spec.Pitch
+	lastJC := ((spec.Cols - 1) / spec.Pitch) * spec.Pitch
+	cells := make([]CellKind, spec.Rows*spec.Cols)
+	at := func(r, c int) *CellKind { return &cells[r*spec.Cols+c] }
+	for r := 0; r <= lastJR; r++ {
+		for c := 0; c <= lastJC; c++ {
+			jr := r%spec.Pitch == 0
+			jc := c%spec.Pitch == 0
+			switch {
+			case jr && jc:
+				*at(r, c) = Junction
+			case jr || jc:
+				*at(r, c) = Channel
+			}
+		}
+	}
+	isTrapCol := map[int]bool{}
+	for _, tc := range trapCols {
+		isTrapCol[tc%spec.Pitch] = true
+	}
+	for r := 0; r <= lastJR; r++ {
+		m := r % spec.Pitch
+		if m != 1 && m != spec.Pitch-1 {
+			continue
+		}
+		// Row adjacent to a horizontal channel row (above for m==1,
+		// below for m==Pitch-1). Skip if that makes it also adjacent
+		// to the lattice edge incorrectly.
+		for c := 1; c < lastJC; c++ {
+			if !isTrapCol[c%spec.Pitch] {
+				continue
+			}
+			// The attachment cell must be a channel (not a junction).
+			var attach Pos
+			if m == 1 {
+				attach = Pos{r - 1, c}
+			} else {
+				attach = Pos{r + 1, c}
+			}
+			if attach.Row < 0 || attach.Row > lastJR {
+				continue
+			}
+			if cells[attach.Row*spec.Cols+attach.Col] != Channel {
+				continue
+			}
+			// A trap must touch exactly one channel cell; with small
+			// pitches a candidate cell can border several channels,
+			// in which case no trap is placed there.
+			adj := 0
+			for _, n := range [4]Pos{{r - 1, c}, {r + 1, c}, {r, c - 1}, {r, c + 1}} {
+				if n.Row >= 0 && n.Row < spec.Rows && n.Col >= 0 && n.Col < spec.Cols &&
+					cells[n.Row*spec.Cols+n.Col] == Channel {
+					adj++
+				}
+			}
+			if adj != 1 {
+				continue
+			}
+			*at(r, c) = Trap
+		}
+	}
+	f, err := FromCells(spec.Rows, spec.Cols, cells)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Quale4585 builds the 45×85 fabric used for all experiments in the
+// paper (Fig. 4). The QUALE release file is not available offline, so
+// this is a structurally equivalent regeneration: same dimensions,
+// same cell vocabulary, junction pitch 4, two traps per interior
+// horizontal channel (462 traps total).
+func Quale4585() *Fabric {
+	f, err := Generate(GenSpec{Rows: 45, Cols: 85, Pitch: 4})
+	if err != nil {
+		panic("fabric: Quale4585 generation failed: " + err.Error())
+	}
+	return f
+}
+
+// Small returns a compact fabric convenient for unit tests: a 9×9
+// grid with pitch 4 (9 junctions, 12 channels, 8 traps).
+func Small() *Fabric {
+	f, err := Generate(GenSpec{Rows: 9, Cols: 9, Pitch: 4})
+	if err != nil {
+		panic("fabric: Small generation failed: " + err.Error())
+	}
+	return f
+}

@@ -1,0 +1,91 @@
+package fabric
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render produces the ASCII picture of the fabric in the legend of
+// Fig. 4: 'J' junction, 'C' channel, 'T' trap, '.' empty, one row of
+// cells per line.
+func Render(f *Fabric) string {
+	var b strings.Builder
+	b.Grow((f.Cols + 1) * f.Rows)
+	for r := 0; r < f.Rows; r++ {
+		for c := 0; c < f.Cols; c++ {
+			b.WriteString(f.At(Pos{r, c}).String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseText parses the Render format back into a fabric. Spaces and
+// '.' both denote empty cells; lines may have trailing whitespace and
+// ragged lengths (short lines are padded with empty cells). Lines
+// beginning with '#' are comments.
+func ParseText(r io.Reader) (*Fabric, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var rows [][]CellKind
+	cols := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t\r")
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		if line == "" && len(rows) == 0 {
+			continue // leading blank lines
+		}
+		row := make([]CellKind, 0, len(line))
+		for i := 0; i < len(line); i++ {
+			switch line[i] {
+			case 'J', 'j':
+				row = append(row, Junction)
+			case 'C', 'c':
+				row = append(row, Channel)
+			case 'T', 't':
+				row = append(row, Trap)
+			case '.', ' ':
+				row = append(row, Empty)
+			default:
+				return nil, fmt.Errorf("fabric: line %d: unknown cell %q", lineNo, line[i])
+			}
+		}
+		rows = append(rows, row)
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fabric: read: %w", err)
+	}
+	// Trim trailing blank rows.
+	for len(rows) > 0 && len(rows[len(rows)-1]) == 0 {
+		rows = rows[:len(rows)-1]
+	}
+	if len(rows) == 0 || cols == 0 {
+		return nil, fmt.Errorf("fabric: empty description")
+	}
+	cells := make([]CellKind, len(rows)*cols)
+	for r, row := range rows {
+		copy(cells[r*cols:], row)
+	}
+	f, err := FromCells(len(rows), cols, cells)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ParseTextString is ParseText over a string.
+func ParseTextString(s string) (*Fabric, error) {
+	return ParseText(strings.NewReader(s))
+}

@@ -1,0 +1,149 @@
+// Package gates defines the quantum gate set understood by the QSPR
+// tool chain together with the ion-trap technology timing model.
+//
+// The gate vocabulary matches the QASM dialect used by the QUALE tool
+// suite and by the DATE 2012 QSPR paper (Fig. 3): one-qubit Clifford
+// gates written as plain mnemonics (H, X, ...) and two-qubit controlled
+// Paulis written with a "C-" prefix (C-X, C-Y, C-Z).
+package gates
+
+import "fmt"
+
+// Kind identifies a gate type.
+type Kind uint8
+
+// The supported gate kinds.
+const (
+	// Qubit is the QUBIT pseudo-instruction: it declares a qubit and
+	// optionally initializes it to |0> or |1>. It occupies no trap time
+	// in the delay model (the paper's Fig. 3 lists QUBIT lines as
+	// instructions 1-5 but the critical path starts at the first gate).
+	Qubit   Kind = iota
+	I            // identity
+	H            // Hadamard
+	X            // Pauli X
+	Y            // Pauli Y
+	Z            // Pauli Z
+	S            // phase gate sqrt(Z)
+	Sdg          // inverse phase gate
+	T            // pi/8 gate
+	Tdg          // inverse pi/8 gate
+	CX           // controlled-X (C-X a,b: a is control, b is target)
+	CY           // controlled-Y
+	CZ           // controlled-Z
+	Swap         // SWAP of two qubits
+	Measure      // measurement in the computational basis
+	numKinds
+)
+
+// NumKinds reports how many distinct gate kinds exist. It is exported
+// for table-driven tests.
+const NumKinds = int(numKinds)
+
+var mnemonics = [numKinds]string{
+	Qubit:   "QUBIT",
+	I:       "I",
+	H:       "H",
+	X:       "X",
+	Y:       "Y",
+	Z:       "Z",
+	S:       "S",
+	Sdg:     "Sdag",
+	T:       "T",
+	Tdg:     "Tdag",
+	CX:      "C-X",
+	CY:      "C-Y",
+	CZ:      "C-Z",
+	Swap:    "SWAP",
+	Measure: "MEASURE",
+}
+
+// String returns the canonical QASM mnemonic of the gate kind.
+func (k Kind) String() string {
+	if int(k) < len(mnemonics) {
+		return mnemonics[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Valid reports whether k is one of the defined gate kinds.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// Arity returns the number of qubit operands the gate takes.
+func (k Kind) Arity() int {
+	switch k {
+	case CX, CY, CZ, Swap:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// TwoQubit reports whether the gate operates on two qubits.
+func (k Kind) TwoQubit() bool { return k.Arity() == 2 }
+
+// Inverse returns the gate kind whose unitary is the inverse of k.
+// Quantum computation is reversible, so every gate has an inverse; the
+// uncompute graph (UIDG) of the paper replaces each node with its
+// inverse gate. Measure has no unitary inverse; by convention its
+// inverse is itself (the UIDG of a circuit containing measurements is
+// only used for latency estimation, where the distinction is
+// immaterial because delays depend on arity alone).
+func (k Kind) Inverse() Kind {
+	switch k {
+	case S:
+		return Sdg
+	case Sdg:
+		return S
+	case T:
+		return Tdg
+	case Tdg:
+		return T
+	default:
+		// H, Paulis, controlled Paulis and SWAP are self-inverse.
+		return k
+	}
+}
+
+// ParseKind maps a QASM mnemonic to a gate kind. Mnemonics are matched
+// case-insensitively for letters but the canonical forms are those of
+// Fig. 3 of the paper. ok is false for unknown mnemonics.
+func ParseKind(s string) (k Kind, ok bool) {
+	if v, hit := kindByName[normalize(s)]; hit {
+		return v, true
+	}
+	return 0, false
+}
+
+var kindByName = map[string]Kind{}
+
+func init() {
+	for k := Kind(0); k < numKinds; k++ {
+		kindByName[normalize(k.String())] = k
+	}
+	// Aliases seen in the wild for the same dialect family.
+	kindByName[normalize("CNOT")] = CX
+	kindByName[normalize("CX")] = CX
+	kindByName[normalize("CY")] = CY
+	kindByName[normalize("CZ")] = CZ
+	kindByName[normalize("SDAG")] = Sdg
+	kindByName[normalize("TDAG")] = Tdg
+	kindByName[normalize("S†")] = Sdg
+	kindByName[normalize("T†")] = Tdg
+	kindByName[normalize("MEAS")] = Measure
+}
+
+func normalize(s string) string {
+	b := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c == '-' || c == '_' {
+			continue
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}

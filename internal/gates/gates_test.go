@@ -1,0 +1,193 @@
+package gates
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Qubit: "QUBIT", H: "H", X: "X", Y: "Y", Z: "Z",
+		S: "S", Sdg: "Sdag", T: "T", Tdg: "Tdag",
+		CX: "C-X", CY: "C-Y", CZ: "C-Z", Swap: "SWAP", Measure: "MEASURE",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindStringUnknown(t *testing.T) {
+	if got := Kind(200).String(); got != "Kind(200)" {
+		t.Errorf("unknown kind string = %q", got)
+	}
+	if Kind(200).Valid() {
+		t.Error("Kind(200) reported valid")
+	}
+}
+
+func TestArity(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		want := 1
+		switch k {
+		case CX, CY, CZ, Swap:
+			want = 2
+		}
+		if got := k.Arity(); got != want {
+			t.Errorf("%v.Arity() = %d, want %d", k, got, want)
+		}
+		if k.TwoQubit() != (want == 2) {
+			t.Errorf("%v.TwoQubit() inconsistent with arity", k)
+		}
+	}
+}
+
+func TestInverseIsInvolution(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if inv2 := k.Inverse().Inverse(); inv2 != k {
+			t.Errorf("%v.Inverse().Inverse() = %v, want %v", k, inv2, k)
+		}
+		if k.Inverse().Arity() != k.Arity() {
+			t.Errorf("%v inverse changes arity", k)
+		}
+	}
+}
+
+func TestInversePairs(t *testing.T) {
+	if S.Inverse() != Sdg || Sdg.Inverse() != S {
+		t.Error("S/Sdag are not mutual inverses")
+	}
+	if T.Inverse() != Tdg || Tdg.Inverse() != T {
+		t.Error("T/Tdag are not mutual inverses")
+	}
+	for _, k := range []Kind{H, X, Y, Z, CX, CY, CZ, Swap, I} {
+		if k.Inverse() != k {
+			t.Errorf("%v should be self-inverse", k)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]Kind{
+		"H": H, "h": H, "C-X": CX, "c-x": CX, "CNOT": CX, "cx": CX,
+		"C-Y": CY, "C-Z": CZ, "Sdag": Sdg, "SDAG": Sdg, "tdag": Tdg,
+		"QUBIT": Qubit, "measure": Measure, "MEAS": Measure, "swap": Swap,
+		"c_z": CZ,
+	}
+	for in, want := range cases {
+		got, ok := ParseKind(in)
+		if !ok || got != want {
+			t.Errorf("ParseKind(%q) = %v,%v; want %v,true", in, got, ok, want)
+		}
+	}
+	for _, bad := range []string{"", "FOO", "C-", "HH", "QQ"} {
+		if _, ok := ParseKind(bad); ok {
+			t.Errorf("ParseKind(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Errorf("ParseKind(%v.String()) = %v,%v", k, got, ok)
+		}
+	}
+}
+
+func TestTechDefault(t *testing.T) {
+	tech := Default()
+	if err := tech.Validate(); err != nil {
+		t.Fatalf("default tech invalid: %v", err)
+	}
+	if tech.MoveDelay != 1 || tech.TurnDelay != 10 ||
+		tech.OneQubitGate != 10 || tech.TwoQubitGate != 100 ||
+		tech.ChannelCapacity != 2 {
+		t.Errorf("default tech does not match paper §V.A: %+v", tech)
+	}
+}
+
+func TestGateDelay(t *testing.T) {
+	tech := Default()
+	if d := tech.GateDelay(Qubit); d != 0 {
+		t.Errorf("QUBIT delay = %v, want 0", d)
+	}
+	if d := tech.GateDelay(H); d != 10 {
+		t.Errorf("H delay = %v, want 10", d)
+	}
+	if d := tech.GateDelay(CX); d != 100 {
+		t.Errorf("C-X delay = %v, want 100", d)
+	}
+	if d := tech.GateDelay(Measure); d != 10 {
+		t.Errorf("MEASURE delay = %v, want 10", d)
+	}
+}
+
+func TestTechValidateRejects(t *testing.T) {
+	mods := []func(*Tech){
+		func(t *Tech) { t.MoveDelay = 0 },
+		func(t *Tech) { t.TurnDelay = -1 },
+		func(t *Tech) { t.OneQubitGate = 0 },
+		func(t *Tech) { t.TwoQubitGate = 0 },
+		func(t *Tech) { t.ChannelCapacity = 0 },
+		func(t *Tech) { t.JunctionCapacity = 0 },
+		func(t *Tech) { t.TrapCapacity = 1 },
+	}
+	for i, mod := range mods {
+		tech := Default()
+		mod(&tech)
+		if err := tech.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid tech %+v", i, tech)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Time(634).String(); got != "634µs" {
+		t.Errorf("Time.String() = %q", got)
+	}
+}
+
+func TestNormalizePropertyCaseInsensitive(t *testing.T) {
+	f := func(upper bool) bool {
+		for k := Kind(0); int(k) < NumKinds; k++ {
+			s := k.String()
+			var alt string
+			if upper {
+				alt = toUpper(s)
+			} else {
+				alt = toLower(s)
+			}
+			got, ok := ParseKind(alt)
+			if !ok || got != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func toUpper(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'a' && b[i] <= 'z' {
+			b[i] -= 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func toLower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}

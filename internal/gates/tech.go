@@ -1,0 +1,92 @@
+package gates
+
+import "fmt"
+
+// Time is a simulated time or duration in microseconds. All latencies
+// in the paper are reported in µs; using an integer type keeps the
+// event-driven simulator exact and deterministic.
+type Time int64
+
+// String renders the time with its unit, e.g. "634µs".
+func (t Time) String() string { return fmt.Sprintf("%dµs", int64(t)) }
+
+// Tech holds the technology-dependent parameters of an ion-trap
+// quantum circuit fabric. The defaults mirror §V.A of the paper:
+//
+//	T_move = 1 µs, T_turn = 10 µs,
+//	T_1-qubit = 10 µs, T_2-qubit = 100 µs, channel capacity = 2.
+type Tech struct {
+	// MoveDelay is the time for a qubit to advance one cell along a
+	// channel without changing direction.
+	MoveDelay Time
+	// TurnDelay is the time for a qubit to change movement direction
+	// at a junction (or to enter/leave a trap perpendicular to the
+	// channel). The paper notes a turn takes 5-30x a move.
+	TurnDelay Time
+	// OneQubitGate is the duration of any one-qubit gate operation.
+	OneQubitGate Time
+	// TwoQubitGate is the duration of any two-qubit gate operation.
+	TwoQubitGate Time
+	// ChannelCapacity is the maximum number of qubits concurrently
+	// inside one channel. The paper sets it to 2 (ion multiplexing,
+	// refs [8][9][10]); QUALE effectively has 1.
+	ChannelCapacity int
+	// JunctionCapacity is the maximum number of qubits concurrently
+	// routed through one junction; the paper states junctions support
+	// two qubits between any incoming and outgoing channels.
+	JunctionCapacity int
+	// TrapCapacity is the number of qubits a trap can hold; two-qubit
+	// gates need both operands in one trap.
+	TrapCapacity int
+}
+
+// Default returns the technology parameters used throughout the
+// paper's experimental section (§V.A).
+func Default() Tech {
+	return Tech{
+		MoveDelay:        1,
+		TurnDelay:        10,
+		OneQubitGate:     10,
+		TwoQubitGate:     100,
+		ChannelCapacity:  2,
+		JunctionCapacity: 2,
+		TrapCapacity:     2,
+	}
+}
+
+// GateDelay returns the execution time of a gate of kind k, excluding
+// routing and congestion (the T_gate term of Eq. 1). QUBIT
+// declarations take no time; measurement is modeled as a one-qubit
+// operation.
+func (t Tech) GateDelay(k Kind) Time {
+	switch {
+	case k == Qubit:
+		return 0
+	case k.TwoQubit():
+		return t.TwoQubitGate
+	default:
+		return t.OneQubitGate
+	}
+}
+
+// Validate reports an error if any parameter is non-positive where a
+// positive value is required.
+func (t Tech) Validate() error {
+	switch {
+	case t.MoveDelay <= 0:
+		return fmt.Errorf("tech: MoveDelay must be positive, got %d", t.MoveDelay)
+	case t.TurnDelay <= 0:
+		return fmt.Errorf("tech: TurnDelay must be positive, got %d", t.TurnDelay)
+	case t.OneQubitGate <= 0:
+		return fmt.Errorf("tech: OneQubitGate must be positive, got %d", t.OneQubitGate)
+	case t.TwoQubitGate <= 0:
+		return fmt.Errorf("tech: TwoQubitGate must be positive, got %d", t.TwoQubitGate)
+	case t.ChannelCapacity < 1:
+		return fmt.Errorf("tech: ChannelCapacity must be at least 1, got %d", t.ChannelCapacity)
+	case t.JunctionCapacity < 1:
+		return fmt.Errorf("tech: JunctionCapacity must be at least 1, got %d", t.JunctionCapacity)
+	case t.TrapCapacity < 2:
+		return fmt.Errorf("tech: TrapCapacity must be at least 2 (two-qubit gates), got %d", t.TrapCapacity)
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+// Package gf2 provides bit-packed linear algebra over GF(2), the
+// substrate for the stabilizer-code machinery that synthesizes the
+// paper's QECC benchmark circuits.
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Matrix is a dense matrix over GF(2), each row packed into uint64
+// words.
+type Matrix struct {
+	rows, cols, words int
+	data              []uint64
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("gf2: negative dimensions %dx%d", rows, cols))
+	}
+	words := (cols + 63) / 64
+	return &Matrix{rows: rows, cols: cols, words: words, data: make([]uint64, rows*words)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// FromRows builds a matrix from row bit slices (one int per entry,
+// 0 or 1).
+func FromRows(rows [][]int) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("gf2: ragged row %d: %d entries, want %d", i, len(r), m.cols))
+		}
+		for j, v := range r {
+			m.Set(i, j, v&1)
+		}
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+func (m *Matrix) rowSlice(i int) []uint64 { return m.data[i*m.words : (i+1)*m.words] }
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("gf2: index (%d,%d) out of %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Get returns entry (i,j) as 0 or 1.
+func (m *Matrix) Get(i, j int) int {
+	m.check(i, j)
+	return int(m.rowSlice(i)[j/64]>>(j%64)) & 1
+}
+
+// Set assigns entry (i,j) to v&1.
+func (m *Matrix) Set(i, j, v int) {
+	m.check(i, j)
+	w := &m.rowSlice(i)[j/64]
+	mask := uint64(1) << (j % 64)
+	if v&1 == 1 {
+		*w |= mask
+	} else {
+		*w &^= mask
+	}
+}
+
+// Flip toggles entry (i,j).
+func (m *Matrix) Flip(i, j int) {
+	m.check(i, j)
+	m.rowSlice(i)[j/64] ^= uint64(1) << (j % 64)
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Equal reports entry-wise equality.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.data {
+		if m.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AddRow xors row src into row dst (dst += src).
+func (m *Matrix) AddRow(dst, src int) {
+	d := m.rowSlice(dst)
+	s := m.rowSlice(src)
+	for w := range d {
+		d[w] ^= s[w]
+	}
+}
+
+// SwapRows exchanges two rows.
+func (m *Matrix) SwapRows(a, b int) {
+	if a == b {
+		return
+	}
+	ra, rb := m.rowSlice(a), m.rowSlice(b)
+	for w := range ra {
+		ra[w], rb[w] = rb[w], ra[w]
+	}
+}
+
+// SwapCols exchanges two columns.
+func (m *Matrix) SwapCols(a, b int) {
+	if a == b {
+		return
+	}
+	for i := 0; i < m.rows; i++ {
+		va, vb := m.Get(i, a), m.Get(i, b)
+		m.Set(i, a, vb)
+		m.Set(i, b, va)
+	}
+}
+
+// RowWeight returns the number of ones in row i.
+func (m *Matrix) RowWeight(i int) int {
+	n := 0
+	for _, w := range m.rowSlice(i) {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// RowIsZero reports whether row i is all zeros.
+func (m *Matrix) RowIsZero(i int) bool { return m.RowWeight(i) == 0 }
+
+// RowDot returns the GF(2) inner product of rows i of m and j of o
+// (matrices must have equal column counts).
+func RowDot(m *Matrix, i int, o *Matrix, j int) int {
+	if m.cols != o.cols {
+		panic("gf2: RowDot on mismatched widths")
+	}
+	a, b := m.rowSlice(i), o.rowSlice(j)
+	acc := 0
+	for w := range a {
+		acc += bits.OnesCount64(a[w] & b[w])
+	}
+	return acc & 1
+}
+
+// RREF reduces the matrix in place to reduced row-echelon form over
+// the column range [colLo, colHi) using row operations only. It
+// returns the pivot column of each pivoted row, in order.
+func (m *Matrix) RREF(colLo, colHi int) []int {
+	if colLo < 0 || colHi > m.cols || colLo > colHi {
+		panic(fmt.Sprintf("gf2: RREF range [%d,%d) out of %d cols", colLo, colHi, m.cols))
+	}
+	var pivots []int
+	r := 0
+	for c := colLo; c < colHi && r < m.rows; c++ {
+		// Find a pivot at or below row r.
+		p := -1
+		for i := r; i < m.rows; i++ {
+			if m.Get(i, c) == 1 {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		m.SwapRows(r, p)
+		for i := 0; i < m.rows; i++ {
+			if i != r && m.Get(i, c) == 1 {
+				m.AddRow(i, r)
+			}
+		}
+		pivots = append(pivots, c)
+		r++
+	}
+	return pivots
+}
+
+// Rank returns the rank of the matrix (non-destructive).
+func (m *Matrix) Rank() int {
+	return len(m.Clone().RREF(0, m.cols))
+}
+
+// Mul returns m·o.
+func Mul(m, o *Matrix) *Matrix {
+	if m.cols != o.rows {
+		panic(fmt.Sprintf("gf2: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	out := NewMatrix(m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		dst := out.rowSlice(i)
+		for k := 0; k < m.cols; k++ {
+			if m.Get(i, k) == 1 {
+				src := o.rowSlice(k)
+				for w := range dst {
+					dst[w] ^= src[w]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the transposed matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if m.Get(i, j) == 1 {
+				t.Set(j, i, 1)
+			}
+		}
+	}
+	return t
+}
+
+// Submatrix copies the block [r0,r1)×[c0,c1).
+func (m *Matrix) Submatrix(r0, r1, c0, c1 int) *Matrix {
+	if r0 < 0 || r1 > m.rows || c0 < 0 || c1 > m.cols || r0 > r1 || c0 > c1 {
+		panic("gf2: submatrix range invalid")
+	}
+	out := NewMatrix(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		for j := c0; j < c1; j++ {
+			if m.Get(i, j) == 1 {
+				out.Set(i-r0, j-c0, 1)
+			}
+		}
+	}
+	return out
+}
+
+// NullSpace returns a basis (as matrix rows) of {x : m·xᵀ = 0}.
+func (m *Matrix) NullSpace() *Matrix {
+	r := m.Clone()
+	pivots := r.RREF(0, r.cols)
+	isPivot := make([]bool, m.cols)
+	for _, p := range pivots {
+		isPivot[p] = true
+	}
+	var free []int
+	for c := 0; c < m.cols; c++ {
+		if !isPivot[c] {
+			free = append(free, c)
+		}
+	}
+	out := NewMatrix(len(free), m.cols)
+	for fi, fc := range free {
+		out.Set(fi, fc, 1)
+		// For each pivot row, the pivot variable equals the sum of
+		// free variables present in that row.
+		for ri, pc := range pivots {
+			if r.Get(ri, fc) == 1 {
+				out.Set(fi, pc, 1)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the matrix as 0/1 rows.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			b.WriteByte(byte('0' + m.Get(i, j)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,238 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.Intn(2))
+		}
+	}
+	return m
+}
+
+func TestSetGetFlip(t *testing.T) {
+	m := NewMatrix(3, 70) // spans two words
+	m.Set(1, 65, 1)
+	if m.Get(1, 65) != 1 || m.Get(1, 64) != 0 {
+		t.Error("set/get across word boundary")
+	}
+	m.Flip(1, 65)
+	if m.Get(1, 65) != 0 {
+		t.Error("flip")
+	}
+	m.Set(2, 0, 5) // only low bit matters
+	if m.Get(2, 0) != 1 {
+		t.Error("set masks to 1 bit")
+	}
+}
+
+func TestIdentityAndMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomMatrix(rng, 7, 9)
+	if !Mul(Identity(7), m).Equal(m) {
+		t.Error("I*m != m")
+	}
+	if !Mul(m, Identity(9)).Equal(m) {
+		t.Error("m*I != m")
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		a := randomMatrix(rng, 5, 7)
+		b := randomMatrix(rng, 7, 6)
+		c := randomMatrix(rng, 6, 4)
+		if !Mul(Mul(a, b), c).Equal(Mul(a, Mul(b, c))) {
+			t.Fatal("associativity violated")
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomMatrix(rng, 11, 70)
+	if !m.Transpose().Transpose().Equal(m) {
+		t.Error("transpose not involutive")
+	}
+}
+
+func TestTransposeMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomMatrix(rng, 5, 8)
+	b := randomMatrix(rng, 8, 6)
+	left := Mul(a, b).Transpose()
+	right := Mul(b.Transpose(), a.Transpose())
+	if !left.Equal(right) {
+		t.Error("(ab)^T != b^T a^T")
+	}
+}
+
+func TestRREFProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		m := randomMatrix(rng, 6, 10)
+		orig := m.Clone()
+		pivots := m.RREF(0, m.cols)
+		// Pivot columns contain exactly one 1.
+		for ri, pc := range pivots {
+			for i := 0; i < m.rows; i++ {
+				want := 0
+				if i == ri {
+					want = 1
+				}
+				if m.Get(i, pc) != want {
+					t.Fatalf("trial %d: pivot column %d row %d = %d", trial, pc, i, m.Get(i, pc))
+				}
+			}
+		}
+		// Rank preserved.
+		if len(pivots) != orig.Rank() {
+			t.Fatalf("trial %d: pivots %d != rank %d", trial, len(pivots), orig.Rank())
+		}
+		// Row space preserved: every original row must reduce to zero
+		// against the RREF rows.
+		for i := 0; i < orig.rows; i++ {
+			row := orig.Submatrix(i, i+1, 0, orig.cols)
+			for ri, pc := range pivots {
+				if row.Get(0, pc) == 1 {
+					for c := 0; c < m.cols; c++ {
+						row.Set(0, c, row.Get(0, c)^m.Get(ri, c))
+					}
+				}
+			}
+			if !row.RowIsZero(0) {
+				t.Fatalf("trial %d: row %d not in RREF row space", trial, i)
+			}
+		}
+	}
+}
+
+func TestRankBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randomMatrix(rng, 8, 5)
+	r := m.Rank()
+	if r > 5 || r > 8 || r < 0 {
+		t.Errorf("rank %d out of bounds", r)
+	}
+	if NewMatrix(4, 4).Rank() != 0 {
+		t.Error("zero matrix rank")
+	}
+	if Identity(6).Rank() != 6 {
+		t.Error("identity rank")
+	}
+}
+
+func TestNullSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		m := randomMatrix(rng, 6, 9)
+		ns := m.NullSpace()
+		if ns.Rows() != m.Cols()-m.Rank() {
+			t.Fatalf("trial %d: nullspace dim %d, want %d", trial, ns.Rows(), m.Cols()-m.Rank())
+		}
+		// Every basis vector is annihilated by m.
+		prod := Mul(m, ns.Transpose())
+		for i := 0; i < prod.Rows(); i++ {
+			if !prod.RowIsZero(i) {
+				t.Fatalf("trial %d: m * nullspace != 0", trial)
+			}
+		}
+		// Basis vectors independent.
+		if ns.Rows() > 0 && ns.Rank() != ns.Rows() {
+			t.Fatalf("trial %d: nullspace basis dependent", trial)
+		}
+	}
+}
+
+func TestSwapColsRows(t *testing.T) {
+	m := FromRows([][]int{{1, 0, 1}, {0, 1, 0}})
+	m.SwapCols(0, 2)
+	want := FromRows([][]int{{1, 0, 1}, {0, 1, 0}})
+	if !m.Equal(want) {
+		t.Errorf("SwapCols wrong:\n%v", m)
+	}
+	m = FromRows([][]int{{1, 1, 0}, {0, 0, 1}})
+	m.SwapRows(0, 1)
+	if m.Get(0, 2) != 1 || m.Get(1, 0) != 1 {
+		t.Error("SwapRows wrong")
+	}
+	m.SwapRows(1, 1) // no-op
+	m.SwapCols(2, 2)
+}
+
+func TestRowDot(t *testing.T) {
+	a := FromRows([][]int{{1, 1, 0, 1}})
+	b := FromRows([][]int{{1, 0, 1, 1}})
+	if RowDot(a, 0, b, 0) != 0 { // overlap on cols 0 and 3 -> even
+		t.Error("RowDot even case")
+	}
+	c := FromRows([][]int{{1, 0, 0, 0}})
+	if RowDot(a, 0, c, 0) != 1 {
+		t.Error("RowDot odd case")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]int{{1, 0}, {1}})
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, f := range []func(){
+		func() { m.Get(2, 0) },
+		func() { m.Set(0, 2, 1) },
+		func() { m.Submatrix(0, 3, 0, 1) },
+		func() { Mul(NewMatrix(2, 3), NewMatrix(2, 3)) },
+		func() { m.RREF(0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestString(t *testing.T) {
+	m := FromRows([][]int{{1, 0}, {0, 1}})
+	if m.String() != "10\n01\n" {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestAddRowSelfZeroes(t *testing.T) {
+	m := FromRows([][]int{{1, 1, 1}})
+	m.AddRow(0, 0)
+	if !m.RowIsZero(0) {
+		t.Error("row + row != 0")
+	}
+}
+
+func TestRREFRange(t *testing.T) {
+	// Reducing only columns [1,3) must leave column 0 untouched as a
+	// pivot candidate.
+	m := FromRows([][]int{
+		{1, 1, 0},
+		{1, 1, 1},
+	})
+	pivots := m.RREF(1, 3)
+	for _, p := range pivots {
+		if p < 1 || p >= 3 {
+			t.Errorf("pivot %d outside range", p)
+		}
+	}
+}

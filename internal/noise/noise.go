@@ -1,0 +1,145 @@
+// Package noise implements the error-analysis stage of the quantum
+// CAD flow in Fig. 1 of the QSPR paper. The paper's motivation for
+// latency minimization is that "the circuit error should remain below
+// a certain error threshold"; the synthesizer cannot know the error
+// before mapping, because mapping determines the total latency — so
+// error analysis runs after mapping, and synthesis is redone with a
+// stronger code if the threshold is violated.
+//
+// The model charges three error sources against a mapped
+// micro-command trace:
+//
+//   - gate errors: a fixed infidelity per one- and two-qubit gate;
+//   - motion errors: a fixed infidelity per move and per turn (ion
+//     shuttling heats the ion chain);
+//   - decoherence: each qubit accumulates idle error at a constant
+//     rate over the whole execution latency (the term the paper's
+//     latency objective directly attacks).
+//
+// Probabilities combine as independent failure events:
+// P_fail = 1 - Π(1 - p_i).
+package noise
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Params holds the per-primitive error probabilities and the
+// decoherence rate. All values are probabilities in [0,1); Decay is
+// per microsecond per qubit.
+type Params struct {
+	OneQubitGate float64
+	TwoQubitGate float64
+	Move         float64
+	Turn         float64
+	Decay        float64
+}
+
+// DefaultParams returns error rates representative of the ion-trap
+// literature of the paper's era: two-qubit gates are the dominant
+// gate error, shuttling is an order cheaper, and idle decoherence is
+// slow but charged to every qubit for the whole execution.
+func DefaultParams() Params {
+	return Params{
+		OneQubitGate: 1e-4,
+		TwoQubitGate: 1e-3,
+		Move:         1e-5,
+		Turn:         5e-5,
+		Decay:        1e-6,
+	}
+}
+
+// Validate rejects probabilities outside [0,1).
+func (p Params) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"OneQubitGate", p.OneQubitGate},
+		{"TwoQubitGate", p.TwoQubitGate},
+		{"Move", p.Move},
+		{"Turn", p.Turn},
+		{"Decay", p.Decay},
+	} {
+		if v.val < 0 || v.val >= 1 || math.IsNaN(v.val) {
+			return fmt.Errorf("noise: %s = %v outside [0,1)", v.name, v.val)
+		}
+	}
+	return nil
+}
+
+// Report decomposes the failure estimate of one mapped circuit.
+type Report struct {
+	// GateError, MotionError, DecoherenceError are the failure
+	// probabilities attributable to each source alone.
+	GateError        float64
+	MotionError      float64
+	DecoherenceError float64
+	// Total is the combined failure probability.
+	Total float64
+	// Counts backing the estimate.
+	OneQubitGates, TwoQubitGates int
+	Moves, Turns                 int
+	QubitMicroseconds            float64
+}
+
+// Analyze estimates the failure probability of a mapped trace
+// executed on numQubits qubits.
+func Analyze(tr *trace.Trace, numQubits int, p Params) (*Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if numQubits <= 0 {
+		return nil, fmt.Errorf("noise: numQubits = %d", numQubits)
+	}
+	r := &Report{}
+	logOK := 0.0 // log of success probability, accumulated
+	gateLog, motionLog := 0.0, 0.0
+	for _, op := range tr.Ops {
+		switch op.Kind {
+		case trace.OpGate:
+			if op.Gate.TwoQubit() {
+				r.TwoQubitGates++
+				gateLog += math.Log1p(-p.TwoQubitGate)
+			} else {
+				r.OneQubitGates++
+				gateLog += math.Log1p(-p.OneQubitGate)
+			}
+		case trace.OpMove:
+			// One OpMove spans a hop's move segment; charge per cell.
+			cells := int(op.Duration()) // Tmove = 1µs per cell in the default tech
+			if cells < 1 {
+				cells = 1
+			}
+			r.Moves += cells
+			motionLog += float64(cells) * math.Log1p(-p.Move)
+		case trace.OpTurn:
+			r.Turns++
+			motionLog += math.Log1p(-p.Turn)
+		}
+	}
+	r.QubitMicroseconds = float64(numQubits) * float64(tr.Latency)
+	decayLog := r.QubitMicroseconds * math.Log1p(-p.Decay)
+	logOK = gateLog + motionLog + decayLog
+	r.GateError = 1 - math.Exp(gateLog)
+	r.MotionError = 1 - math.Exp(motionLog)
+	r.DecoherenceError = 1 - math.Exp(decayLog)
+	r.Total = 1 - math.Exp(logOK)
+	return r, nil
+}
+
+// String renders the report compactly.
+func (r *Report) String() string {
+	return fmt.Sprintf("total %.4g (gates %.4g over %d+%d ops, motion %.4g over %d moves/%d turns, decoherence %.4g over %.0f qubit·µs)",
+		r.Total, r.GateError, r.OneQubitGates, r.TwoQubitGates,
+		r.MotionError, r.Moves, r.Turns, r.DecoherenceError, r.QubitMicroseconds)
+}
+
+// MeetsThreshold reports whether the analyzed failure probability is
+// at or below the threshold.
+func (r *Report) MeetsThreshold(threshold float64) bool {
+	return r.Total <= threshold
+}

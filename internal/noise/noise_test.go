@@ -1,0 +1,145 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/trace"
+)
+
+func sampleTrace() *trace.Trace {
+	tr := &trace.Trace{}
+	tr.Add(trace.Op{Kind: trace.OpMove, Start: 0, End: 4, Qubits: []int{0}, Node: -1, Trap: -1, Edge: 0})
+	tr.Add(trace.Op{Kind: trace.OpTurn, Start: 4, End: 14, Qubits: []int{0}, Node: -1, Trap: -1, Edge: 0})
+	tr.Add(trace.Op{Kind: trace.OpGate, Start: 14, End: 114, Qubits: []int{0, 1}, Gate: gates.CX, Node: 0, Trap: 0, Edge: -1})
+	tr.Add(trace.Op{Kind: trace.OpGate, Start: 114, End: 124, Qubits: []int{0}, Gate: gates.H, Node: 1, Trap: 0, Edge: -1})
+	return tr
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	r, err := Analyze(sampleTrace(), 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OneQubitGates != 1 || r.TwoQubitGates != 1 {
+		t.Errorf("gate counts %d/%d", r.OneQubitGates, r.TwoQubitGates)
+	}
+	if r.Moves != 4 || r.Turns != 1 {
+		t.Errorf("motion counts %d/%d", r.Moves, r.Turns)
+	}
+	if r.QubitMicroseconds != 2*124 {
+		t.Errorf("qubit-time = %v", r.QubitMicroseconds)
+	}
+}
+
+func TestAnalyzeArithmetic(t *testing.T) {
+	p := DefaultParams()
+	r, err := Analyze(sampleTrace(), 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGates := 1 - (1-p.OneQubitGate)*(1-p.TwoQubitGate)
+	if math.Abs(r.GateError-wantGates) > 1e-12 {
+		t.Errorf("gate error %v, want %v", r.GateError, wantGates)
+	}
+	wantMotion := 1 - math.Pow(1-p.Move, 4)*(1-p.Turn)
+	if math.Abs(r.MotionError-wantMotion) > 1e-12 {
+		t.Errorf("motion error %v, want %v", r.MotionError, wantMotion)
+	}
+	wantDecay := 1 - math.Pow(1-p.Decay, 2*124)
+	if math.Abs(r.DecoherenceError-wantDecay) > 1e-9 {
+		t.Errorf("decoherence %v, want %v", r.DecoherenceError, wantDecay)
+	}
+	wantTotal := 1 - (1-wantGates)*(1-wantMotion)*(1-wantDecay)
+	if math.Abs(r.Total-wantTotal) > 1e-9 {
+		t.Errorf("total %v, want %v", r.Total, wantTotal)
+	}
+}
+
+func TestTotalBoundsComponents(t *testing.T) {
+	r, err := Analyze(sampleTrace(), 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []float64{r.GateError, r.MotionError, r.DecoherenceError} {
+		if r.Total < c {
+			t.Errorf("total %v below component %v", r.Total, c)
+		}
+	}
+	if r.Total > r.GateError+r.MotionError+r.DecoherenceError {
+		t.Errorf("total %v above union bound", r.Total)
+	}
+}
+
+func TestLatencyMonotonicity(t *testing.T) {
+	// Same ops, longer idle tail: error must grow. This is the
+	// paper's core claim — lower latency, lower error.
+	short := sampleTrace()
+	long := sampleTrace()
+	long.Add(trace.Op{Kind: trace.OpGate, Start: 10000, End: 10010, Qubits: []int{1}, Gate: gates.H, Node: 2, Trap: 0, Edge: -1})
+	rs, err := Analyze(short, 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Analyze(long, 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Total <= rs.Total {
+		t.Errorf("longer circuit not noisier: %v vs %v", rl.Total, rs.Total)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	r, err := Analyze(sampleTrace(), 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.MeetsThreshold(1.0) {
+		t.Error("threshold 1.0 not met")
+	}
+	if r.MeetsThreshold(0) {
+		t.Error("threshold 0 met by noisy circuit")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{OneQubitGate: -0.1},
+		{TwoQubitGate: 1.0},
+		{Move: math.NaN()},
+		{Decay: 2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+		if _, err := Analyze(sampleTrace(), 2, p); err == nil {
+			t.Errorf("Analyze accepted bad params %d", i)
+		}
+	}
+	if _, err := Analyze(sampleTrace(), 0, DefaultParams()); err == nil {
+		t.Error("zero qubits accepted")
+	}
+}
+
+func TestZeroNoise(t *testing.T) {
+	r, err := Analyze(sampleTrace(), 2, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total != 0 {
+		t.Errorf("zero-noise total = %v", r.Total)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r, err := Analyze(sampleTrace(), 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() == "" {
+		t.Error("empty report string")
+	}
+}

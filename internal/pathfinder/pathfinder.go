@@ -1,0 +1,242 @@
+// Package pathfinder implements the PathFinder negotiated-congestion
+// router of McMurchie & Ebeling (FPGA 1995) — reference [3] of the
+// QSPR paper and the router the original QUALE tool was built on.
+//
+// PathFinder routes a batch of nets that must coexist on a shared
+// resource graph. Every iteration routes each net by shortest path
+// under the cost
+//
+//	cost(e) = base(e) · (1 + presentFactor·overuse + history(e))
+//
+// where overuse counts how far the edge's capacity group would exceed
+// capacity if this net were added, and history accumulates on every
+// resource that ends an iteration congested. Nets negotiate: cheap
+// but contended resources become expensive over iterations until a
+// feasible (capacity-respecting) assignment emerges.
+//
+// In this repository the resource graph is the turn-blind routing
+// graph of the ion-trap fabric (QUALE's view of the world) and nets
+// are qubit trips between traps. The QSPR engine itself routes
+// time-multiplexed, one instruction at a time; PathFinder answers the
+// static question "can these trips coexist simultaneously?", which is
+// how QUALE's scheduler consumed it.
+package pathfinder
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/gates"
+	"repro/internal/routegraph"
+)
+
+// Net is one routing demand between two traps.
+type Net struct {
+	ID       int
+	From, To int // fabric trap IDs
+}
+
+// Options tunes the negotiation.
+type Options struct {
+	// MaxIterations bounds the rip-up/re-route loop (0 = 50).
+	MaxIterations int
+	// PresentFactor scales the present-congestion penalty per unit
+	// of overuse (0 = 0.5). It is multiplied by the iteration number,
+	// the standard PathFinder schedule.
+	PresentFactor float64
+	// HistoryIncrement is added to an edge group's history cost each
+	// iteration it ends congested (0 = 1).
+	HistoryIncrement float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 50
+	}
+	if o.PresentFactor == 0 {
+		o.PresentFactor = 0.5
+	}
+	if o.HistoryIncrement == 0 {
+		o.HistoryIncrement = 1
+	}
+	return o
+}
+
+// Result is the outcome of a negotiation.
+type Result struct {
+	// Routes[i] is the final route of nets[i].
+	Routes []routegraph.Route
+	// Iterations is the number of rip-up/re-route rounds performed.
+	Iterations int
+	// Feasible reports whether the final assignment respects every
+	// capacity group.
+	Feasible bool
+	// Overused counts capacity-group violations in the final
+	// assignment (0 when Feasible).
+	Overused int
+	// TotalDelay sums the physical travel time of all routes.
+	TotalDelay gates.Time
+}
+
+// Route negotiates routes for all nets on the graph. The graph's own
+// occupancy state is not consulted or modified; PathFinder maintains
+// its own usage model.
+func Route(g *routegraph.Graph, nets []Net, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	for _, n := range nets {
+		if n.From < 0 || n.From >= len(g.Fabric.Traps) || n.To < 0 || n.To >= len(g.Fabric.Traps) {
+			return nil, fmt.Errorf("pathfinder: net %d endpoints out of range", n.ID)
+		}
+	}
+	usage := make([]int, len(g.Groups)) // current committed use per group
+	history := make([]float64, len(g.Groups))
+	routes := make([]routegraph.Route, len(nets))
+	routed := make([]bool, len(nets))
+
+	res := &Result{}
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		res.Iterations = iter
+		presentFactor := opts.PresentFactor * float64(iter)
+		// Rip up and re-route every net.
+		for i, n := range nets {
+			if routed[i] {
+				for _, h := range routes[i].Hops {
+					usage[h.Group]--
+				}
+			}
+			r, ok := dijkstra(g, n.From, n.To, usage, history, presentFactor)
+			if !ok {
+				return nil, fmt.Errorf("pathfinder: net %d (%d->%d) unroutable", n.ID, n.From, n.To)
+			}
+			routes[i] = r
+			routed[i] = true
+			for _, h := range r.Hops {
+				usage[h.Group]++
+			}
+		}
+		// Assess congestion; bump history on overused groups.
+		overused := 0
+		for gi := range usage {
+			if usage[gi] > g.Groups[gi].Capacity {
+				overused++
+				history[gi] += opts.HistoryIncrement
+			}
+		}
+		if overused == 0 {
+			res.Feasible = true
+			break
+		}
+		res.Overused = overused
+	}
+	if res.Feasible {
+		res.Overused = 0
+	}
+	res.Routes = routes
+	for _, r := range routes {
+		res.TotalDelay += r.Delay
+	}
+	return res, nil
+}
+
+// dijkstra is a cost-model-specific shortest path over the routing
+// graph (the graph's Eq. 2 occupancy weights are deliberately NOT
+// used; PathFinder's negotiated costs replace them).
+func dijkstra(g *routegraph.Graph, fromTrap, toTrap int, usage []int, history []float64, presentFactor float64) (routegraph.Route, bool) {
+	if fromTrap == toTrap {
+		return routegraph.Route{From: fromTrap, To: toTrap}, true
+	}
+	src := g.TrapNodeID(fromTrap)
+	dst := g.TrapNodeID(toTrap)
+	const inf = math.MaxFloat64
+	dist := make([]float64, len(g.Nodes))
+	via := make([]int, len(g.Nodes))
+	settled := make([]bool, len(g.Nodes))
+	for i := range dist {
+		dist[i] = inf
+		via[i] = -1
+	}
+	dist[src] = 0
+	pq := &floatHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(floatDist)
+		if settled[cur.node] || cur.dist > dist[cur.node] {
+			continue
+		}
+		settled[cur.node] = true
+		if cur.node == dst {
+			break
+		}
+		for _, eid := range g.IncidentEdges(cur.node) {
+			e := &g.Edges[eid]
+			next := e.A
+			if next == cur.node {
+				next = e.B
+			}
+			if kind := g.Nodes[next].Kind; kind == routegraph.TrapNode && next != dst && next != src {
+				continue
+			}
+			grp := e.Group
+			over := usage[grp] + 1 - g.Groups[grp].Capacity
+			if over < 0 {
+				over = 0
+			}
+			base := float64(e.SelectBase)
+			if base == 0 {
+				base = 0.001 // zero-cost turn edges still negotiate
+			}
+			w := base * (1 + presentFactor*float64(over) + history[grp])
+			nd := cur.dist + w
+			if nd < dist[next] {
+				dist[next] = nd
+				via[next] = eid
+				heap.Push(pq, floatDist{node: next, dist: nd})
+			}
+		}
+	}
+	if dist[dst] == inf {
+		return routegraph.Route{}, false
+	}
+	var rev []int
+	for n := dst; n != src; {
+		eid := via[n]
+		rev = append(rev, eid)
+		e := &g.Edges[eid]
+		if e.A == n {
+			n = e.B
+		} else {
+			n = e.A
+		}
+	}
+	r := routegraph.Route{From: fromTrap, To: toTrap}
+	for i := len(rev) - 1; i >= 0; i-- {
+		e := &g.Edges[rev[i]]
+		r.Hops = append(r.Hops, routegraph.Hop{
+			Edge: e.ID, Group: e.Group,
+			Delay: e.RealDelay, Moves: e.Moves, Turns: e.Turns,
+		})
+		r.Delay += e.RealDelay
+		r.Moves += e.Moves
+		r.Turns += e.Turns
+	}
+	return r, true
+}
+
+type floatDist struct {
+	node int
+	dist float64
+}
+
+type floatHeap []floatDist
+
+func (h floatHeap) Len() int           { return len(h) }
+func (h floatHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h floatHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *floatHeap) Push(x any)        { *h = append(*h, x.(floatDist)) }
+func (h *floatHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

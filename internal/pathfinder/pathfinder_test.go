@@ -1,0 +1,186 @@
+package pathfinder
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/gates"
+	"repro/internal/routegraph"
+)
+
+func blindGraph(f *fabric.Fabric) *routegraph.Graph {
+	return routegraph.New(f, gates.Default(), routegraph.Options{TurnAware: false})
+}
+
+func TestSingleNet(t *testing.T) {
+	g := blindGraph(fabric.Small())
+	res, err := Route(g, []Net{{ID: 0, From: 0, To: 7}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Iterations != 1 {
+		t.Errorf("single net: feasible=%v iters=%d", res.Feasible, res.Iterations)
+	}
+	if len(res.Routes[0].Hops) == 0 {
+		t.Error("empty route")
+	}
+}
+
+func TestSameTrapNet(t *testing.T) {
+	g := blindGraph(fabric.Small())
+	res, err := Route(g, []Net{{ID: 0, From: 3, To: 3}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.TotalDelay != 0 {
+		t.Errorf("self net: %+v", res)
+	}
+}
+
+func TestNegotiationResolvesContention(t *testing.T) {
+	// Many nets funneled between the same two regions of the small
+	// fabric, under channel capacity 1: the greedy first iteration
+	// overlaps, negotiation must spread the nets until feasible.
+	f := fabric.Small()
+	tech := gates.Default()
+	tech.ChannelCapacity = 1
+	tech.JunctionCapacity = 2
+	g := routegraph.New(f, tech, routegraph.Options{TurnAware: false})
+	nets := []Net{
+		{ID: 0, From: 0, To: 6},
+		{ID: 1, From: 1, To: 7},
+		{ID: 2, From: 2, To: 4},
+	}
+	res, err := Route(g, nets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("negotiation failed after %d iterations (%d overused)", res.Iterations, res.Overused)
+	}
+	// Verify feasibility independently.
+	use := map[int]int{}
+	for _, r := range res.Routes {
+		for _, h := range r.Hops {
+			use[h.Group]++
+		}
+	}
+	for grp, u := range use {
+		if u > g.Groups[grp].Capacity {
+			t.Errorf("group %d used %d times, capacity %d", grp, u, g.Groups[grp].Capacity)
+		}
+	}
+}
+
+func TestRoutesConnectEndpoints(t *testing.T) {
+	g := blindGraph(fabric.Quale4585())
+	nets := []Net{
+		{ID: 0, From: 0, To: 461},
+		{ID: 1, From: 10, To: 300},
+		{ID: 2, From: 50, To: 200},
+		{ID: 3, From: 111, To: 350},
+	}
+	res, err := Route(g, nets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Routes {
+		cur := g.TrapNodeID(nets[i].From)
+		for _, h := range r.Hops {
+			e := g.Edges[h.Edge]
+			if e.A == cur {
+				cur = e.B
+			} else if e.B == cur {
+				cur = e.A
+			} else {
+				t.Fatalf("net %d: disconnected hop", i)
+			}
+		}
+		if cur != g.TrapNodeID(nets[i].To) {
+			t.Fatalf("net %d does not reach its sink", i)
+		}
+	}
+}
+
+func TestInvalidNetRejected(t *testing.T) {
+	g := blindGraph(fabric.Small())
+	if _, err := Route(g, []Net{{ID: 0, From: -1, To: 2}}, Options{}); err == nil {
+		t.Error("negative trap accepted")
+	}
+	if _, err := Route(g, []Net{{ID: 0, From: 0, To: 999}}, Options{}); err == nil {
+		t.Error("out-of-range trap accepted")
+	}
+}
+
+func TestHistoryCostsSteerAwayFromHotspots(t *testing.T) {
+	// With capacity 1 and two nets sharing the obvious shortest
+	// corridor, the final routes must not share any channel group.
+	f := fabric.Small()
+	tech := gates.Default()
+	tech.ChannelCapacity = 1
+	g := routegraph.New(f, tech, routegraph.Options{TurnAware: false})
+	nets := []Net{
+		{ID: 0, From: 0, To: 5},
+		{ID: 1, From: 1, To: 4},
+	}
+	res, err := Route(g, nets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("not feasible after %d iters", res.Iterations)
+	}
+	shared := map[int]bool{}
+	for _, h := range res.Routes[0].Hops {
+		if g.Groups[h.Group].Kind == routegraph.ChannelGroup {
+			shared[h.Group] = true
+		}
+	}
+	for _, h := range res.Routes[1].Hops {
+		if g.Groups[h.Group].Kind == routegraph.ChannelGroup && shared[h.Group] {
+			t.Errorf("channel group %d shared under capacity 1", h.Group)
+		}
+	}
+}
+
+func TestDoesNotTouchGraphOccupancy(t *testing.T) {
+	g := blindGraph(fabric.Small())
+	if _, err := Route(g, []Net{{ID: 0, From: 0, To: 7}, {ID: 1, From: 1, To: 6}}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Groups {
+		if g.Groups[i].Occupancy() != 0 {
+			t.Fatalf("PathFinder leaked occupancy into group %d", i)
+		}
+	}
+}
+
+func TestInfeasibleReportsOveruse(t *testing.T) {
+	// Force an impossible instance: more nets into one trap's channel
+	// than its capacity, with a tiny iteration budget. PathFinder
+	// must terminate and report overuse rather than loop.
+	f := fabric.Small()
+	tech := gates.Default()
+	tech.ChannelCapacity = 1
+	g := routegraph.New(f, tech, routegraph.Options{TurnAware: false})
+	// All nets end at trap 0: its single access channel is shared by
+	// construction, so feasibility is impossible for >1 net.
+	nets := []Net{
+		{ID: 0, From: 4, To: 0},
+		{ID: 1, From: 5, To: 0},
+		{ID: 2, From: 6, To: 0},
+	}
+	res, err := Route(g, nets, Options{MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Error("impossible instance reported feasible")
+	}
+	if res.Overused == 0 {
+		t.Error("no overuse reported for impossible instance")
+	}
+	if res.Iterations != 5 {
+		t.Errorf("iterations = %d, want the full budget", res.Iterations)
+	}
+}

@@ -1,0 +1,317 @@
+// Package place implements the qubit placers of the QSPR paper:
+//
+//   - Center placement (QUALE's placer, §I): qubits go to the free
+//     traps closest to the center of the fabric.
+//   - Monte-Carlo placement (§V.A): m' random permutations of the
+//     center placement; route the scheduled instructions for each and
+//     keep the lowest-latency result.
+//   - MVFB, Multi-start Variable-length Forward/Backward (§IV.A):
+//     QSPR's placer. It exploits the reversibility of quantum
+//     computation: a forward run of the QIDG from placement P yields
+//     a trace, a latency and an end placement P'; a backward run of
+//     the uncompute graph (UIDG) in reverse issue order from P'
+//     yields another latency and a new placement; iterating
+//     forward/backward walks the placement space. Each random seed's
+//     neighborhood search stops after three consecutive
+//     non-improving runs; the best run over m seeds wins.
+package place
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/fabric"
+	"repro/internal/gates"
+	"repro/internal/qidg"
+)
+
+// Center returns the deterministic center placement: qubit i rests in
+// the i-th closest trap to the fabric center, one qubit per trap.
+func Center(f *fabric.Fabric, numQubits int) (engine.Placement, error) {
+	if numQubits > len(f.Traps) {
+		return nil, fmt.Errorf("place: %d qubits exceed %d traps", numQubits, len(f.Traps))
+	}
+	order := f.TrapsByDistance(f.Center())
+	p := make(engine.Placement, numQubits)
+	copy(p, order[:numQubits])
+	return p, nil
+}
+
+// CenterPermutation places the qubits onto the numQubits
+// closest-to-center traps in a randomly permuted assignment.
+func CenterPermutation(f *fabric.Fabric, numQubits int, rng *rand.Rand) (engine.Placement, error) {
+	base, err := Center(f, numQubits)
+	if err != nil {
+		return nil, err
+	}
+	perm := rng.Perm(numQubits)
+	p := make(engine.Placement, numQubits)
+	for i, j := range perm {
+		p[i] = base[j]
+	}
+	return p, nil
+}
+
+// Solution is a placed-and-routed mapping result with provenance.
+type Solution struct {
+	// Result is the winning engine run. For a backward winner the
+	// trace has been reversed and the reported initial placement is
+	// the backward run's final placement, per §IV.A.
+	Result *engine.Result
+	// Backward records whether the winning run was an uncompute
+	// (backward) computation.
+	Backward bool
+	// Runs is the total number of placement runs (engine
+	// executions) performed to find the solution.
+	Runs int
+	// Seed identifies which random start produced the winner.
+	Seed int
+	// Iteration is the run index within the winning seed.
+	Iteration int
+}
+
+// MonteCarlo routes the program from `runs` random center-placement
+// permutations and returns the best solution (§V.A's MC placer).
+func MonteCarlo(g *qidg.Graph, cfg engine.Config, runs int, seed int64) (*Solution, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("place: MonteCarlo needs at least 1 run, got %d", runs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var best *engine.Result
+	bestRun := 0
+	for i := 0; i < runs; i++ {
+		p, err := CenterPermutation(cfg.Fabric, g.NumQubits, rng)
+		if err != nil {
+			return nil, err
+		}
+		res, err := engine.Run(g, cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Latency < best.Latency {
+			best = res
+			bestRun = i
+		}
+	}
+	return &Solution{Result: best, Runs: runs, Seed: bestRun}, nil
+}
+
+// PatienceScope selects what a "non-improving run" is measured
+// against when deciding to stop a seed's neighborhood search.
+type PatienceScope uint8
+
+const (
+	// ScopeGlobal stops a seed after Patience consecutive runs that
+	// fail to improve the best solution found by ANY seed so far.
+	// This reproduces the paper's realized placement-run counts
+	// (~3.5 runs per seed at patience 3) and is the default.
+	ScopeGlobal PatienceScope = iota
+	// ScopeSeed stops a seed after Patience consecutive runs that
+	// fail to improve that seed's own best. Seeds become fully
+	// independent, enabling parallel search.
+	ScopeSeed
+)
+
+// MVFBOptions configures the MVFB placer.
+type MVFBOptions struct {
+	// Seeds is m, the number of random center placements to start
+	// neighborhood searches from.
+	Seeds int
+	// Patience is the number of consecutive non-improving placement
+	// runs after which a seed's search stops. The paper uses 3.
+	Patience int
+	// PatienceScope selects the improvement reference (see the
+	// constants). ScopeGlobal matches the paper's protocol.
+	PatienceScope PatienceScope
+	// MaxRunsPerSeed bounds one seed's search (0 = 50 runs).
+	MaxRunsPerSeed int
+	// Seed seeds the random permutations.
+	Seed int64
+	// Workers runs that many seed searches concurrently (0 or 1 =
+	// sequential). Parallel search requires ScopeSeed (independent
+	// seeds); the result is then bit-identical for any worker count.
+	Workers int
+}
+
+// DefaultMVFBOptions mirrors the paper's setup with m seeds.
+func DefaultMVFBOptions(m int) MVFBOptions {
+	return MVFBOptions{Seeds: m, Patience: 3, MaxRunsPerSeed: 50, Seed: 1}
+}
+
+// MVFB runs the Multi-start Variable-length Forward/Backward placer.
+func MVFB(g *qidg.Graph, cfg engine.Config, opts MVFBOptions) (*Solution, error) {
+	if opts.Seeds <= 0 {
+		return nil, fmt.Errorf("place: MVFB needs at least 1 seed")
+	}
+	if opts.Patience <= 0 {
+		opts.Patience = 3
+	}
+	if opts.MaxRunsPerSeed <= 0 {
+		opts.MaxRunsPerSeed = 50
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.Workers > 1 && opts.PatienceScope != ScopeSeed {
+		return nil, fmt.Errorf("place: parallel MVFB requires PatienceScope = ScopeSeed")
+	}
+	// All random placements are drawn up front from one stream, so
+	// the work distribution cannot change the outcome.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	starts := make([]engine.Placement, opts.Seeds)
+	for i := range starts {
+		p, err := CenterPermutation(cfg.Fabric, g.NumQubits, rng)
+		if err != nil {
+			return nil, err
+		}
+		starts[i] = p
+	}
+	rev := g.Reverse()
+
+	if opts.PatienceScope == ScopeGlobal {
+		// Sequential search; every seed races (and updates) the
+		// shared global best, reproducing the paper's realized
+		// placement-run counts.
+		best := &Solution{}
+		totalRuns := 0
+		for seed := range starts {
+			r, err := searchSeed(g, rev, cfg, starts[seed], seed, opts, best)
+			if err != nil {
+				return nil, err
+			}
+			totalRuns += r.Runs
+		}
+		best.Runs = totalRuns
+		if best.Result == nil {
+			return nil, fmt.Errorf("place: MVFB produced no solution")
+		}
+		return best, nil
+	}
+	results := make([]*Solution, opts.Seeds)
+	errs := make([]error, opts.Seeds)
+	if opts.Workers == 1 {
+		for seed := range starts {
+			results[seed], errs[seed] = searchSeed(g, rev, cfg, starts[seed], seed, opts, nil)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for seed := range work {
+					results[seed], errs[seed] = searchSeed(g, rev, cfg, starts[seed], seed, opts, nil)
+				}
+			}()
+		}
+		for seed := range starts {
+			work <- seed
+		}
+		close(work)
+		wg.Wait()
+	}
+	// Deterministic merge: lowest latency, ties to the earlier seed.
+	best := &Solution{}
+	totalRuns := 0
+	for seed, r := range results {
+		if errs[seed] != nil {
+			return nil, errs[seed]
+		}
+		totalRuns += r.Runs
+		if best.Result == nil || r.Result.Latency < best.Result.Latency {
+			cp := *r
+			best = &cp
+		}
+	}
+	best.Runs = totalRuns
+	return best, nil
+}
+
+// searchSeed performs one variable-length forward/backward
+// neighborhood search. With shared == nil (ScopeSeed) it tracks and
+// returns the seed's own best; otherwise (ScopeGlobal) improvements
+// are written into shared immediately and patience counts runs that
+// fail to improve it.
+func searchSeed(g, rev *qidg.Graph, cfg engine.Config, p engine.Placement,
+	seed int, opts MVFBOptions, shared *Solution) (*Solution, error) {
+
+	best := &Solution{Seed: seed}
+	if shared != nil {
+		best = shared
+	}
+	runs := 0
+	sinceImprove := 0
+	fwdCfg := cfg
+	fwdCfg.ForcedOrder = nil
+	for iter := 0; iter < opts.MaxRunsPerSeed; iter++ {
+		// Forward computation on the QIDG.
+		fres, err := engine.Run(g, fwdCfg, p)
+		if err != nil {
+			return nil, err
+		}
+		runs++
+		if improves(best, fres.Latency) {
+			best.Result = fres
+			best.Backward = false
+			best.Seed = seed
+			best.Iteration = iter
+			sinceImprove = 0
+		} else if sinceImprove++; sinceImprove >= opts.Patience {
+			break
+		}
+		// Backward computation on the UIDG in reverse issue order,
+		// starting from the forward run's final placement.
+		bwdCfg := cfg
+		bwdCfg.ForcedOrder = reverseOrder(fres.IssueOrder)
+		bres, err := engine.Run(rev, bwdCfg, fres.Final)
+		if err != nil {
+			return nil, err
+		}
+		runs++
+		if improves(best, bres.Latency) {
+			best.Result = backwardSolution(bres)
+			best.Backward = true
+			best.Seed = seed
+			best.Iteration = iter
+			sinceImprove = 0
+		} else if sinceImprove++; sinceImprove >= opts.Patience {
+			break
+		}
+		// The backward run's end placement seeds the next forward
+		// computation (P_{k+1}).
+		p = bres.Final
+	}
+	best.Runs = runs
+	return best, nil
+}
+
+func improves(best *Solution, latency gates.Time) bool {
+	return best.Result == nil || latency < best.Result.Latency
+}
+
+func reverseOrder(order []int) []int {
+	out := make([]int, len(order))
+	for i, n := range order {
+		out[len(order)-1-i] = n
+	}
+	return out
+}
+
+// backwardSolution converts a winning backward (UIDG) run into the
+// reported forward solution: per §IV.A the initial placement is the
+// backward run's final placement P_{k+1}, the control trace is the
+// reverse of T'_k, and the latency is L'_k.
+func backwardSolution(bres *engine.Result) *engine.Result {
+	rt := bres.Trace.Reverse()
+	return &engine.Result{
+		Latency:    bres.Latency,
+		Trace:      rt,
+		Initial:    bres.Final.Clone(),
+		Final:      bres.Initial.Clone(),
+		IssueOrder: reverseOrder(bres.IssueOrder),
+		Stats:      bres.Stats,
+	}
+}

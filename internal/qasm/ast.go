@@ -1,0 +1,232 @@
+// Package qasm implements a front end for the QUALE-style Quantum
+// Assembly Language used by the QSPR paper (Fig. 3): a line-oriented
+// format with QUBIT declarations followed by gate applications, e.g.
+//
+//	QUBIT q0,0
+//	QUBIT q3
+//	H     q0
+//	C-X   q3,q2
+//
+// The package provides an AST, a parser, and a writer that reproduces
+// the canonical textual form.
+package qasm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gates"
+)
+
+// Instruction is a single QASM statement: either a QUBIT declaration
+// or a gate application.
+type Instruction struct {
+	// Kind is the gate (or the Qubit pseudo-gate).
+	Kind gates.Kind
+	// Qubits holds the operand qubit indices into the owning
+	// Program's qubit table. For two-qubit gates Qubits[0] is the
+	// control (source) and Qubits[1] the target (destination),
+	// matching the "C-X source,destination" reading of the paper.
+	Qubits []int
+	// Init is the declared initial value (0 or 1) for QUBIT
+	// statements that specify one; -1 when unspecified or for gates.
+	Init int
+	// Line is the 1-based source line, for diagnostics.
+	Line int
+}
+
+// Arity returns the number of qubit operands.
+func (in Instruction) Arity() int { return len(in.Qubits) }
+
+// Program is a parsed QASM program.
+type Program struct {
+	// Names maps qubit index to declared name, in declaration order.
+	Names []string
+	// Instrs is the instruction sequence in program order, including
+	// the QUBIT declarations.
+	Instrs []Instruction
+
+	index map[string]int
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{index: map[string]int{}}
+}
+
+// NumQubits returns the number of declared qubits.
+func (p *Program) NumQubits() int { return len(p.Names) }
+
+// QubitIndex returns the index of a declared qubit name, or -1.
+func (p *Program) QubitIndex(name string) int {
+	if i, ok := p.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// DeclareQubit adds a qubit declaration with the given initial value
+// (use -1 for "unspecified"). It returns the new qubit's index or an
+// error on duplicate names.
+func (p *Program) DeclareQubit(name string, init int, line int) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("qasm: empty qubit name (line %d)", line)
+	}
+	if _, dup := p.index[name]; dup {
+		return 0, fmt.Errorf("qasm: qubit %q redeclared (line %d)", name, line)
+	}
+	if init < -1 || init > 1 {
+		return 0, fmt.Errorf("qasm: qubit %q has invalid initial value %d (line %d)", name, init, line)
+	}
+	i := len(p.Names)
+	p.Names = append(p.Names, name)
+	if p.index == nil {
+		p.index = map[string]int{}
+	}
+	p.index[name] = i
+	p.Instrs = append(p.Instrs, Instruction{Kind: gates.Qubit, Qubits: []int{i}, Init: init, Line: line})
+	return i, nil
+}
+
+// AddGate appends a gate application over the named qubits.
+func (p *Program) AddGate(k gates.Kind, line int, qubitNames ...string) error {
+	if !k.Valid() || k == gates.Qubit {
+		return fmt.Errorf("qasm: invalid gate kind %v (line %d)", k, line)
+	}
+	if len(qubitNames) != k.Arity() {
+		return fmt.Errorf("qasm: gate %v expects %d operand(s), got %d (line %d)",
+			k, k.Arity(), len(qubitNames), line)
+	}
+	ops := make([]int, len(qubitNames))
+	for i, n := range qubitNames {
+		q := p.QubitIndex(n)
+		if q < 0 {
+			return fmt.Errorf("qasm: gate %v uses undeclared qubit %q (line %d)", k, n, line)
+		}
+		ops[i] = q
+	}
+	if len(ops) == 2 && ops[0] == ops[1] {
+		return fmt.Errorf("qasm: gate %v uses qubit %q twice (line %d)", k, qubitNames[0], line)
+	}
+	p.Instrs = append(p.Instrs, Instruction{Kind: k, Qubits: ops, Init: -1, Line: line})
+	return nil
+}
+
+// AddGateByIndex appends a gate application over qubit indices.
+func (p *Program) AddGateByIndex(k gates.Kind, qubits ...int) error {
+	names := make([]string, len(qubits))
+	for i, q := range qubits {
+		if q < 0 || q >= len(p.Names) {
+			return fmt.Errorf("qasm: qubit index %d out of range [0,%d)", q, len(p.Names))
+		}
+		names[i] = p.Names[q]
+	}
+	return p.AddGate(k, 0, names...)
+}
+
+// Gates returns the instructions excluding QUBIT declarations.
+func (p *Program) Gates() []Instruction {
+	out := make([]Instruction, 0, len(p.Instrs))
+	for _, in := range p.Instrs {
+		if in.Kind != gates.Qubit {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// GateCounts returns a histogram of gate kinds (declarations excluded).
+func (p *Program) GateCounts() map[gates.Kind]int {
+	h := map[gates.Kind]int{}
+	for _, in := range p.Instrs {
+		if in.Kind != gates.Qubit {
+			h[in.Kind]++
+		}
+	}
+	return h
+}
+
+// TwoQubitGateCount returns the number of two-qubit gates.
+func (p *Program) TwoQubitGateCount() int {
+	n := 0
+	for _, in := range p.Instrs {
+		if in.Kind != gates.Qubit && in.Kind.TwoQubit() {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	q := NewProgram()
+	q.Names = append([]string(nil), p.Names...)
+	for n, i := range p.index {
+		q.index[n] = i
+	}
+	q.Instrs = make([]Instruction, len(p.Instrs))
+	for i, in := range p.Instrs {
+		cp := in
+		cp.Qubits = append([]int(nil), in.Qubits...)
+		q.Instrs[i] = cp
+	}
+	return q
+}
+
+// Validate checks internal consistency: every operand index in range,
+// arities correct, qubit table and index in sync.
+func (p *Program) Validate() error {
+	if len(p.Names) != len(p.index) {
+		return fmt.Errorf("qasm: name table has %d entries but index has %d", len(p.Names), len(p.index))
+	}
+	for i, n := range p.Names {
+		if p.index[n] != i {
+			return fmt.Errorf("qasm: qubit %q indexed at %d, expected %d", n, p.index[n], i)
+		}
+	}
+	declared := make([]bool, len(p.Names))
+	for _, in := range p.Instrs {
+		if !in.Kind.Valid() {
+			return fmt.Errorf("qasm: invalid kind %v at line %d", in.Kind, in.Line)
+		}
+		if len(in.Qubits) != in.Kind.Arity() {
+			return fmt.Errorf("qasm: %v has %d operands, wants %d (line %d)",
+				in.Kind, len(in.Qubits), in.Kind.Arity(), in.Line)
+		}
+		for _, q := range in.Qubits {
+			if q < 0 || q >= len(p.Names) {
+				return fmt.Errorf("qasm: operand %d out of range (line %d)", q, in.Line)
+			}
+			if in.Kind != gates.Qubit && !declared[q] {
+				return fmt.Errorf("qasm: qubit %q used before declaration (line %d)", p.Names[q], in.Line)
+			}
+		}
+		if in.Kind == gates.Qubit {
+			declared[in.Qubits[0]] = true
+		}
+		if len(in.Qubits) == 2 && in.Qubits[0] == in.Qubits[1] {
+			return fmt.Errorf("qasm: duplicate operand in %v (line %d)", in.Kind, in.Line)
+		}
+	}
+	return nil
+}
+
+// String renders the program in canonical QASM text.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, in := range p.Instrs {
+		switch {
+		case in.Kind == gates.Qubit:
+			if in.Init >= 0 {
+				fmt.Fprintf(&b, "QUBIT %s,%d\n", p.Names[in.Qubits[0]], in.Init)
+			} else {
+				fmt.Fprintf(&b, "QUBIT %s\n", p.Names[in.Qubits[0]])
+			}
+		case len(in.Qubits) == 1:
+			fmt.Fprintf(&b, "%s %s\n", in.Kind, p.Names[in.Qubits[0]])
+		default:
+			fmt.Fprintf(&b, "%s %s,%s\n", in.Kind, p.Names[in.Qubits[0]], p.Names[in.Qubits[1]])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package qasm
+
+import (
+	"fmt"
+
+	"repro/internal/gates"
+)
+
+// Inverse returns the uncompute program: gates in reverse order, each
+// replaced by its inverse, with the original qubit declarations kept
+// up front (declarations are preparation, not unitaries). Appending
+// p.Inverse()'s gates after p's computes the identity on every input
+// — the reversibility property the MVFB placer exploits (§IV.A).
+//
+// Programs containing measurements cannot be inverted.
+func (p *Program) Inverse() (*Program, error) {
+	inv := NewProgram()
+	for _, in := range p.Instrs {
+		if in.Kind == gates.Qubit {
+			if _, err := inv.DeclareQubit(p.Names[in.Qubits[0]], in.Init, in.Line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	g := p.Gates()
+	for i := len(g) - 1; i >= 0; i-- {
+		in := g[i]
+		if in.Kind == gates.Measure {
+			return nil, fmt.Errorf("qasm: cannot invert a measurement (line %d)", in.Line)
+		}
+		if err := inv.AddGateByIndex(in.Kind.Inverse(), in.Qubits...); err != nil {
+			return nil, err
+		}
+	}
+	return inv, nil
+}
+
+// Concat appends q's gate instructions to a copy of p (the programs
+// must declare identical qubit tables).
+func Concat(p, q *Program) (*Program, error) {
+	if p.NumQubits() != q.NumQubits() {
+		return nil, fmt.Errorf("qasm: concat of programs with %d vs %d qubits", p.NumQubits(), q.NumQubits())
+	}
+	for i, n := range p.Names {
+		if q.Names[i] != n {
+			return nil, fmt.Errorf("qasm: concat qubit table mismatch at %d: %q vs %q", i, n, q.Names[i])
+		}
+	}
+	out := p.Clone()
+	for _, in := range q.Gates() {
+		if err := out.AddGateByIndex(in.Kind, in.Qubits...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

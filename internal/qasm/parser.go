@@ -1,0 +1,167 @@
+package qasm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/gates"
+)
+
+// ParseError describes a syntax or semantic error with its source line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("qasm: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse reads a QASM program from r. The accepted grammar, one
+// statement per line:
+//
+//	line     := ws stmt? ws comment?
+//	comment  := ('#' | "//") .*
+//	stmt     := "QUBIT" name (',' ('0'|'1'))?
+//	          | mnemonic name (',' name)?
+//	name     := [A-Za-z_][A-Za-z0-9_]*
+//
+// Mnemonics are those of gates.ParseKind. Blank lines and comments are
+// skipped. Operands may be separated by a comma and/or whitespace.
+func Parse(r io.Reader) (*Program, error) {
+	p := NewProgram()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if err := parseLine(p, sc.Text(), line); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("qasm: read: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseString parses a QASM program held in a string.
+func ParseString(s string) (*Program, error) { return Parse(strings.NewReader(s)) }
+
+// ParseFile parses the QASM program stored at path.
+func ParseFile(path string) (*Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("qasm: %w", err)
+	}
+	defer f.Close()
+	p, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+func parseLine(p *Program, raw string, line int) error {
+	s := stripComment(raw)
+	fields := tokenize(s)
+	if len(fields) == 0 {
+		return nil
+	}
+	mnemonic, args := fields[0], fields[1:]
+	if strings.EqualFold(mnemonic, "QUBIT") {
+		return parseQubit(p, args, line)
+	}
+	k, ok := gates.ParseKind(mnemonic)
+	if !ok || k == gates.Qubit {
+		return errf(line, "unknown instruction %q", mnemonic)
+	}
+	if len(args) != k.Arity() {
+		return errf(line, "%s expects %d operand(s), got %d", k, k.Arity(), len(args))
+	}
+	for _, a := range args {
+		if !validName(a) {
+			return errf(line, "invalid qubit name %q", a)
+		}
+	}
+	if err := p.AddGate(k, line, args...); err != nil {
+		return err
+	}
+	return nil
+}
+
+func parseQubit(p *Program, args []string, line int) error {
+	switch len(args) {
+	case 1:
+		if !validName(args[0]) {
+			return errf(line, "invalid qubit name %q", args[0])
+		}
+		_, err := p.DeclareQubit(args[0], -1, line)
+		return err
+	case 2:
+		if !validName(args[0]) {
+			return errf(line, "invalid qubit name %q", args[0])
+		}
+		v, err := strconv.Atoi(args[1])
+		if err != nil || (v != 0 && v != 1) {
+			return errf(line, "QUBIT initial value must be 0 or 1, got %q", args[1])
+		}
+		_, err = p.DeclareQubit(args[0], v, line)
+		return err
+	default:
+		return errf(line, "QUBIT expects a name and an optional initial value, got %d token(s)", len(args))
+	}
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// tokenize splits a statement into mnemonic and operand tokens,
+// treating commas and whitespace as separators.
+func tokenize(s string) []string {
+	return strings.FieldsFunc(s, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\r' || r == ';'
+	})
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Write renders the program to w in canonical textual form.
+func Write(w io.Writer, p *Program) error {
+	_, err := io.WriteString(w, p.String())
+	return err
+}

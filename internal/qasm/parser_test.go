@@ -1,0 +1,281 @@
+package qasm
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gates"
+)
+
+// fig3 is the QASM program of Fig. 3 of the paper: the [[5,1,3]]
+// encoding circuit for the cyclic quantum error-correcting code.
+const fig3 = `
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+`
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func TestParseFig3(t *testing.T) {
+	p := mustParse(t, fig3)
+	if got := p.NumQubits(); got != 5 {
+		t.Fatalf("NumQubits = %d, want 5", got)
+	}
+	if got := len(p.Gates()); got != 12 {
+		t.Fatalf("gate count = %d, want 12", got)
+	}
+	h := p.GateCounts()
+	if h[gates.H] != 4 || h[gates.CX] != 2 || h[gates.CY] != 3 || h[gates.CZ] != 3 {
+		t.Errorf("gate histogram = %v", h)
+	}
+	if p.TwoQubitGateCount() != 8 {
+		t.Errorf("two-qubit count = %d, want 8", p.TwoQubitGateCount())
+	}
+	// q3 has no declared initial value.
+	for _, in := range p.Instrs {
+		if in.Kind == gates.Qubit && p.Names[in.Qubits[0]] == "q3" && in.Init != -1 {
+			t.Errorf("q3 init = %d, want -1", in.Init)
+		}
+	}
+}
+
+func TestParseOperandOrder(t *testing.T) {
+	p := mustParse(t, "QUBIT a\nQUBIT b\nC-X a,b\n")
+	g := p.Gates()[0]
+	if p.Names[g.Qubits[0]] != "a" || p.Names[g.Qubits[1]] != "b" {
+		t.Errorf("control/target order lost: %v", g.Qubits)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := mustParse(t, fig3)
+	text := p.String()
+	q, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if q.String() != text {
+		t.Errorf("round trip not stable:\n%s\nvs\n%s", text, q.String())
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	src := `
+# leading comment
+QUBIT q0,0   # trailing comment
+// a C++-style comment
+QUBIT q1 , 1
+H q0 // another
+C-Z q0, q1
+`
+	p := mustParse(t, src)
+	if p.NumQubits() != 2 || len(p.Gates()) != 2 {
+		t.Fatalf("got %d qubits, %d gates", p.NumQubits(), len(p.Gates()))
+	}
+	for _, in := range p.Instrs {
+		if in.Kind == gates.Qubit && p.Names[in.Qubits[0]] == "q1" && in.Init != 1 {
+			t.Errorf("q1 init = %d, want 1", in.Init)
+		}
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	p := mustParse(t, "QUBIT a\nQUBIT b\nCNOT a,b\ncz b,a\n")
+	g := p.Gates()
+	if g[0].Kind != gates.CX || g[1].Kind != gates.CZ {
+		t.Errorf("alias parsing failed: %v %v", g[0].Kind, g[1].Kind)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown gate", "QUBIT q0\nFROB q0\n"},
+		{"undeclared qubit", "QUBIT q0\nH q1\n"},
+		{"redeclared qubit", "QUBIT q0\nQUBIT q0\n"},
+		{"bad init", "QUBIT q0,2\n"},
+		{"bad init text", "QUBIT q0,zero\n"},
+		{"missing operand", "QUBIT q0\nC-X q0\n"},
+		{"extra operand", "QUBIT q0\nH q0,q0\n"},
+		{"duplicate operand", "QUBIT q0\nQUBIT q1\nC-X q0,q0\n"},
+		{"bad name", "QUBIT 9lives\n"},
+		{"bad name char", "QUBIT q-0\nH q-0\n"},
+		{"qubit no args", "QUBIT\n"},
+		{"qubit too many", "QUBIT a,0,1\n"},
+		{"use before declare via gate", "H q0\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseString(c.src); err == nil {
+				t.Errorf("ParseString(%q) succeeded, want error", c.src)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := ParseString("QUBIT q0\nH q0\nFROB q0\n")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *ParseError", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("error line = %d, want 3", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 3") {
+		t.Errorf("error text %q lacks line info", pe.Error())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := mustParse(t, fig3)
+	q := p.Clone()
+	q.Instrs[5].Qubits[0] = 4
+	if p.Instrs[5].Qubits[0] == 4 {
+		t.Error("Clone shares operand slices")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("original corrupted by clone mutation: %v", err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	p := mustParse(t, fig3)
+	p.Instrs[6].Qubits[0] = 99
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted out-of-range operand")
+	}
+}
+
+func TestAddGateByIndex(t *testing.T) {
+	p := NewProgram()
+	if _, err := p.DeclareQubit("a", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DeclareQubit("b", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddGateByIndex(gates.CX, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddGateByIndex(gates.H, 5); err == nil {
+		t.Error("AddGateByIndex accepted out-of-range index")
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomProgramRoundTrip builds random valid programs and checks
+// that String -> Parse is the identity on the instruction stream.
+func TestRandomProgramRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	oneQ := []gates.Kind{gates.H, gates.X, gates.Y, gates.Z, gates.S, gates.Sdg, gates.T, gates.Tdg, gates.Measure}
+	twoQ := []gates.Kind{gates.CX, gates.CY, gates.CZ, gates.Swap}
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		p := NewProgram()
+		for i := 0; i < n; i++ {
+			name := "q" + string(rune('a'+i))
+			if _, err := p.DeclareQubit(name, rng.Intn(2), i+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for g := 0; g < 30; g++ {
+			if rng.Intn(2) == 0 {
+				k := oneQ[rng.Intn(len(oneQ))]
+				if err := p.AddGateByIndex(k, rng.Intn(n)); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				k := twoQ[rng.Intn(len(twoQ))]
+				a := rng.Intn(n)
+				b := (a + 1 + rng.Intn(n-1)) % n
+				if err := p.AddGateByIndex(k, a, b); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		q, err := ParseString(p.String())
+		if err != nil {
+			t.Fatalf("trial %d: reparse: %v", trial, err)
+		}
+		if q.String() != p.String() {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}
+
+func TestInverseStructure(t *testing.T) {
+	p := mustParse(t, fig3)
+	inv, err := p.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.NumQubits() != p.NumQubits() || len(inv.Gates()) != len(p.Gates()) {
+		t.Fatal("inverse changed shape")
+	}
+	// First inverse gate = inverse of last original gate.
+	g := p.Gates()
+	ig := inv.Gates()
+	last := g[len(g)-1]
+	if ig[0].Kind != last.Kind.Inverse() || ig[0].Qubits[0] != last.Qubits[0] {
+		t.Errorf("inverse head %v, want inverse of %v", ig[0], last)
+	}
+	// Double inverse = original gate stream.
+	back, err := inv.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != p.String() {
+		t.Error("double inverse differs from original")
+	}
+}
+
+func TestInverseRejectsMeasurement(t *testing.T) {
+	p := mustParse(t, "QUBIT a,0\nH a\nMEASURE a\n")
+	if _, err := p.Inverse(); err == nil {
+		t.Error("measurement inverted")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	p := mustParse(t, "QUBIT a,0\nQUBIT b,0\nH a\n")
+	q := mustParse(t, "QUBIT a,0\nQUBIT b,0\nC-X a,b\n")
+	cat, err := Concat(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Gates()) != 2 {
+		t.Errorf("concat gates = %d", len(cat.Gates()))
+	}
+	r := mustParse(t, "QUBIT x,0\nH x\n")
+	if _, err := Concat(p, r); err == nil {
+		t.Error("mismatched qubit tables accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package qasmgen
+
+import (
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/qidg"
+)
+
+func TestGHZShape(t *testing.T) {
+	p, err := GHZ(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumQubits() != 8 || len(p.Gates()) != 8 { // 1 H + 7 CX
+		t.Errorf("GHZ(8): %d qubits, %d gates", p.NumQubits(), len(p.Gates()))
+	}
+	g, err := qidg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure chain: critical path = everything.
+	tech := gates.Default()
+	if g.CriticalPathLatency(tech) != 10+7*100 {
+		t.Errorf("GHZ critical path = %v", g.CriticalPathLatency(tech))
+	}
+	if _, err := GHZ(1); err == nil {
+		t.Error("GHZ(1) accepted")
+	}
+}
+
+func TestBrickworkParallelism(t *testing.T) {
+	p, err := BrickworkLayers(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := qidg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := gates.Default()
+	// Depth is exactly the number of layers (each layer's gates are
+	// disjoint, consecutive layers share qubits).
+	if got := g.CriticalPathLatency(tech); got != 4*100 {
+		t.Errorf("brickwork depth latency = %v, want 400", got)
+	}
+	// Layer 0 has 4 parallel gates.
+	if len(g.Sources()) != 4 {
+		t.Errorf("layer-0 parallelism = %d, want 4", len(g.Sources()))
+	}
+	if _, err := BrickworkLayers(1, 1); err == nil {
+		t.Error("brickwork with 1 qubit accepted")
+	}
+	if _, err := BrickworkLayers(4, 0); err == nil {
+		t.Error("brickwork with 0 layers accepted")
+	}
+}
+
+func TestRandomCliffordDeterministic(t *testing.T) {
+	a, err := RandomClifford(6, 40, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomClifford(6, 40, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed differs")
+	}
+	c, err := RandomClifford(6, 40, 0.3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Error("different seeds identical")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Gates()) != 40 {
+		t.Errorf("gate count %d", len(a.Gates()))
+	}
+}
+
+func TestRandomCliffordFracBounds(t *testing.T) {
+	if _, err := RandomClifford(4, 10, -0.1, 1); err == nil {
+		t.Error("negative frac accepted")
+	}
+	if _, err := RandomClifford(4, 10, 1.5, 1); err == nil {
+		t.Error("frac >1 accepted")
+	}
+	all1q, err := RandomClifford(4, 20, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all1q.TwoQubitGateCount() != 0 {
+		t.Error("frac=1 produced 2q gates")
+	}
+	all2q, err := RandomClifford(4, 20, 0.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all2q.TwoQubitGateCount() != 20 {
+		t.Error("frac=0 produced 1q gates")
+	}
+}
+
+func TestSteaneSyndrome(t *testing.T) {
+	p, err := SteaneSyndrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumQubits() != 13 {
+		t.Errorf("qubits = %d", p.NumQubits())
+	}
+	h := p.GateCounts()
+	if h[gates.CX] != 24 {
+		t.Errorf("CX count = %d, want 24 (6 stabilizers x weight 4)", h[gates.CX])
+	}
+	if h[gates.Measure] != 6 {
+		t.Errorf("measure count = %d, want 6", h[gates.Measure])
+	}
+	if _, err := qidg.Build(p); err != nil {
+		t.Fatal(err)
+	}
+}

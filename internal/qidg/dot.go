@@ -1,0 +1,41 @@
+package qidg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the dependency graph in Graphviz dot syntax, one node
+// per instruction labeled with its gate and operands, suitable for
+// visualizing the Fig. 2-style circuit structure. qubitNames may be
+// nil, in which case indices are used.
+func (g *Graph) DOT(name string, qubitNames []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontname=monospace];\n", name)
+	qn := func(q int) string {
+		if qubitNames != nil && q < len(qubitNames) {
+			return qubitNames[q]
+		}
+		return fmt.Sprintf("q%d", q)
+	}
+	for _, n := range g.Nodes {
+		var label string
+		if n.Kind.TwoQubit() {
+			label = fmt.Sprintf("%d: %s %s,%s", n.ID, n.Kind, qn(n.Qubits[0]), qn(n.Qubits[1]))
+		} else {
+			label = fmt.Sprintf("%d: %s %s", n.ID, n.Kind, qn(n.Qubits[0]))
+		}
+		shape := ""
+		if n.Kind.TwoQubit() {
+			shape = ", style=filled, fillcolor=lightgray"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q%s];\n", n.ID, label, shape)
+	}
+	for u, ss := range g.Succs {
+		for _, v := range ss {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", u, v)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,348 @@
+// Package qidg implements the Quantum Instruction Dependency Graph of
+// the QSPR paper (§I, §III) and its reversal, the uncompute graph
+// (UIDG, §IV.A).
+//
+// Nodes are the gate-level instructions of a QASM program (QUBIT
+// declarations are excluded; they take no time). A directed edge
+// u -> v exists when v is the next instruction touching one of u's
+// operand qubits, so the graph is a DAG whose topological orders are
+// exactly the legal execution orders.
+package qidg
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/gates"
+	"repro/internal/qasm"
+)
+
+// Node is one gate-level instruction in the dependency graph.
+type Node struct {
+	// ID is the node's index in Graph.Nodes.
+	ID int
+	// Kind is the gate performed by this instruction.
+	Kind gates.Kind
+	// Qubits are the operand qubit indices; Qubits[0] is the control
+	// (source) for two-qubit gates.
+	Qubits []int
+	// Line is the originating QASM source line (0 if synthetic).
+	Line int
+}
+
+// Graph is a quantum instruction dependency graph.
+type Graph struct {
+	// Nodes in original program order (a topological order).
+	Nodes []Node
+	// Succs[i] lists nodes that directly depend on node i.
+	Succs [][]int
+	// Preds[i] lists the direct dependencies of node i.
+	Preds [][]int
+	// NumQubits is the number of qubits of the underlying program.
+	NumQubits int
+}
+
+// Build constructs the QIDG of a program. Dependencies are per-qubit:
+// each instruction depends on the previous instruction using any of
+// its operands. Duplicate edges (two shared qubits) are collapsed.
+func Build(p *qasm.Program) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("qidg: %w", err)
+	}
+	g := &Graph{NumQubits: p.NumQubits()}
+	last := make([]int, p.NumQubits()) // last node touching each qubit
+	for i := range last {
+		last[i] = -1
+	}
+	for _, in := range p.Instrs {
+		if in.Kind == gates.Qubit {
+			continue
+		}
+		id := len(g.Nodes)
+		g.Nodes = append(g.Nodes, Node{
+			ID:     id,
+			Kind:   in.Kind,
+			Qubits: append([]int(nil), in.Qubits...),
+			Line:   in.Line,
+		})
+		g.Succs = append(g.Succs, nil)
+		g.Preds = append(g.Preds, nil)
+		seen := -1
+		for _, q := range in.Qubits {
+			if prev := last[q]; prev >= 0 && prev != seen {
+				g.Succs[prev] = append(g.Succs[prev], id)
+				g.Preds[id] = append(g.Preds[id], prev)
+				seen = prev
+			}
+			last[q] = id
+		}
+		// Collapse the rare a<b vs b<a duplicate: both operands last
+		// touched by the same node but interleaved with another.
+		dedup(&g.Preds[id])
+	}
+	for i := range g.Succs {
+		dedup(&g.Succs[i])
+	}
+	return g, nil
+}
+
+func dedup(s *[]int) {
+	seen := map[int]bool{}
+	out := (*s)[:0]
+	for _, v := range *s {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	*s = out
+}
+
+// Len returns the number of instruction nodes.
+func (g *Graph) Len() int { return len(g.Nodes) }
+
+// Sources returns the IDs of nodes with no dependencies.
+func (g *Graph) Sources() []int {
+	var out []int
+	for i, p := range g.Preds {
+		if len(p) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Sinks returns the IDs of nodes nothing depends on.
+func (g *Graph) Sinks() []int {
+	var out []int
+	for i, s := range g.Succs {
+		if len(s) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns a topological order of the node IDs (Kahn's
+// algorithm, stable with respect to node ID for determinism). An
+// error is returned if the graph has a cycle, which indicates
+// corruption since Build always produces a DAG.
+func (g *Graph) TopoOrder() ([]int, error) {
+	indeg := make([]int, g.Len())
+	for i, p := range g.Preds {
+		indeg[i] = len(p)
+	}
+	// Stable queue: process smallest ready ID first via a simple
+	// ordered scan structure (graphs here are small, O(n^2) is fine
+	// for the largest benchmark, but we keep it near-linear with a
+	// monotone frontier).
+	frontier := make([]int, 0, g.Len())
+	for i, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	order := make([]int, 0, g.Len())
+	for len(frontier) > 0 {
+		// pick smallest ID for determinism
+		mi := 0
+		for i := 1; i < len(frontier); i++ {
+			if frontier[i] < frontier[mi] {
+				mi = i
+			}
+		}
+		n := frontier[mi]
+		frontier[mi] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		order = append(order, n)
+		for _, s := range g.Succs[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				frontier = append(frontier, s)
+			}
+		}
+	}
+	if len(order) != g.Len() {
+		return nil, fmt.Errorf("qidg: graph has a cycle (%d of %d ordered)", len(order), g.Len())
+	}
+	return order, nil
+}
+
+// Reverse returns the uncompute graph (UIDG): every edge reversed and
+// every gate replaced by its inverse. Node IDs are preserved, so a
+// schedule of g read backwards is a valid schedule of g.Reverse().
+func (g *Graph) Reverse() *Graph {
+	r := &Graph{
+		Nodes:     make([]Node, g.Len()),
+		Succs:     make([][]int, g.Len()),
+		Preds:     make([][]int, g.Len()),
+		NumQubits: g.NumQubits,
+	}
+	for i, n := range g.Nodes {
+		r.Nodes[i] = Node{
+			ID:     n.ID,
+			Kind:   n.Kind.Inverse(),
+			Qubits: append([]int(nil), n.Qubits...),
+			Line:   n.Line,
+		}
+		r.Succs[i] = append([]int(nil), g.Preds[i]...)
+		r.Preds[i] = append([]int(nil), g.Succs[i]...)
+	}
+	return r
+}
+
+// LongestToSink returns, for every node, the largest total gate delay
+// of any path from that node (inclusive) to a sink. This is the
+// second term of the QSPR scheduling priority (§III) and, maximized
+// over sources, the ideal-model latency (T_routing = T_congestion = 0).
+func (g *Graph) LongestToSink(tech gates.Tech) []gates.Time {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err) // Build guarantees a DAG
+	}
+	dist := make([]gates.Time, g.Len())
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		var best gates.Time
+		for _, s := range g.Succs[n] {
+			if dist[s] > best {
+				best = dist[s]
+			}
+		}
+		dist[n] = best + tech.GateDelay(g.Nodes[n].Kind)
+	}
+	return dist
+}
+
+// CriticalPathLatency returns the gate-delay critical path length of
+// the whole graph: the paper's ideal baseline execution latency.
+func (g *Graph) CriticalPathLatency(tech gates.Tech) gates.Time {
+	var best gates.Time
+	for _, d := range g.LongestToSink(tech) {
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// DescendantCounts returns, for every node, the number of distinct
+// nodes that transitively depend on it (excluding itself). This is
+// the first term of the QSPR scheduling priority and QPOS's initial
+// priority. Computed with bitsets in O(V*E/64).
+func (g *Graph) DescendantCounts() []int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	words := (g.Len() + 63) / 64
+	sets := make([][]uint64, g.Len())
+	counts := make([]int, g.Len())
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		set := make([]uint64, words)
+		for _, s := range g.Succs[n] {
+			set[s/64] |= 1 << (s % 64)
+			for w, v := range sets[s] {
+				set[w] |= v
+			}
+		}
+		sets[n] = set
+		c := 0
+		for _, w := range set {
+			c += bits.OnesCount64(w)
+		}
+		counts[n] = c
+	}
+	return counts
+}
+
+// ASAP returns the as-soon-as-possible start time of every node under
+// the ideal delay model (gate delays only, unlimited resources).
+func (g *Graph) ASAP(tech gates.Tech) []gates.Time {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	start := make([]gates.Time, g.Len())
+	for _, n := range order {
+		var ready gates.Time
+		for _, p := range g.Preds[n] {
+			end := start[p] + tech.GateDelay(g.Nodes[p].Kind)
+			if end > ready {
+				ready = end
+			}
+		}
+		start[n] = ready
+	}
+	return start
+}
+
+// ALAP returns the as-late-as-possible start times for the given
+// overall deadline (typically the critical-path latency). QUALE
+// schedules in ALAP order (§I).
+func (g *Graph) ALAP(tech gates.Tech, deadline gates.Time) []gates.Time {
+	dist := g.LongestToSink(tech)
+	start := make([]gates.Time, g.Len())
+	for i := range start {
+		start[i] = deadline - dist[i]
+	}
+	return start
+}
+
+// Validate checks structural invariants: matching Succs/Preds,
+// in-range IDs, acyclicity.
+func (g *Graph) Validate() error {
+	if len(g.Succs) != g.Len() || len(g.Preds) != g.Len() {
+		return fmt.Errorf("qidg: adjacency size mismatch")
+	}
+	for i, n := range g.Nodes {
+		if n.ID != i {
+			return fmt.Errorf("qidg: node %d has ID %d", i, n.ID)
+		}
+		for _, q := range n.Qubits {
+			if q < 0 || q >= g.NumQubits {
+				return fmt.Errorf("qidg: node %d operand %d out of range", i, q)
+			}
+		}
+	}
+	for u, ss := range g.Succs {
+		for _, v := range ss {
+			if v < 0 || v >= g.Len() {
+				return fmt.Errorf("qidg: edge %d->%d out of range", u, v)
+			}
+			if !contains(g.Preds[v], u) {
+				return fmt.Errorf("qidg: edge %d->%d missing from Preds", u, v)
+			}
+		}
+	}
+	for v, pp := range g.Preds {
+		for _, u := range pp {
+			if !contains(g.Succs[u], v) {
+				return fmt.Errorf("qidg: edge %d->%d missing from Succs", u, v)
+			}
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeCount returns the number of directed dependency edges.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, s := range g.Succs {
+		n += len(s)
+	}
+	return n
+}

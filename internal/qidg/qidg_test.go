@@ -1,0 +1,312 @@
+package qidg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/qasm"
+)
+
+const fig3 = `
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+`
+
+func buildFig3(t *testing.T) *Graph {
+	t.Helper()
+	p, err := qasm.ParseString(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildFig3Shape(t *testing.T) {
+	g := buildFig3(t)
+	if g.Len() != 12 {
+		t.Fatalf("node count = %d, want 12", g.Len())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The four H gates plus C-X q3,q2 have no unsatisfied deps... H
+	// gates depend on nothing; C-X q3,q2 depends on H q2.
+	srcs := g.Sources()
+	if len(srcs) != 4 {
+		t.Errorf("sources = %v, want the 4 H gates", srcs)
+	}
+	// The final C-Z q4,q0 is the unique sink.
+	sinks := g.Sinks()
+	if len(sinks) != 1 || g.Nodes[sinks[0]].Kind != gates.CZ {
+		t.Errorf("sinks = %v", sinks)
+	}
+}
+
+func TestCriticalPathFig3(t *testing.T) {
+	g := buildFig3(t)
+	// Hand-computed ASAP makespan with T_1q=10, T_2q=100: the chain
+	// H q2 -> C-X q3,q2 -> C-Z q4,q2 -> C-Y q2,q1 -> C-Y q3,q1 ->
+	// C-X q4,q1 -> C-Z q4,q0 gives 10 + 6*100 = 610.
+	// (The paper's Table 2 lists 510 for [[5,1,3]]; its Fig. 3 QASM
+	// skips instruction #16, suggesting the evaluated file differed
+	// by one two-qubit gate. EXPERIMENTS.md discusses the delta.)
+	if got := g.CriticalPathLatency(gates.Default()); got != 610 {
+		t.Errorf("critical path = %v, want 610µs", got)
+	}
+}
+
+func TestASAPMatchesCriticalPath(t *testing.T) {
+	g := buildFig3(t)
+	tech := gates.Default()
+	start := g.ASAP(tech)
+	var makespan gates.Time
+	for i, s := range start {
+		end := s + tech.GateDelay(g.Nodes[i].Kind)
+		if end > makespan {
+			makespan = end
+		}
+	}
+	if makespan != g.CriticalPathLatency(tech) {
+		t.Errorf("ASAP makespan %v != critical path %v", makespan, g.CriticalPathLatency(tech))
+	}
+}
+
+func TestALAPRespectsDeadlineAndPrecedence(t *testing.T) {
+	g := buildFig3(t)
+	tech := gates.Default()
+	deadline := g.CriticalPathLatency(tech)
+	alap := g.ALAP(tech, deadline)
+	asap := g.ASAP(tech)
+	for i := range alap {
+		if alap[i] < asap[i] {
+			t.Errorf("node %d: ALAP %v < ASAP %v", i, alap[i], asap[i])
+		}
+		end := alap[i] + tech.GateDelay(g.Nodes[i].Kind)
+		if end > deadline {
+			t.Errorf("node %d: ALAP end %v exceeds deadline %v", i, end, deadline)
+		}
+		for _, s := range g.Succs[i] {
+			if alap[i]+tech.GateDelay(g.Nodes[i].Kind) > alap[s] {
+				t.Errorf("ALAP violates edge %d->%d", i, s)
+			}
+		}
+	}
+}
+
+func TestTopoOrderIsValid(t *testing.T) {
+	g := buildFig3(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, g.Len())
+	for i, n := range order {
+		pos[n] = i
+	}
+	for u, ss := range g.Succs {
+		for _, v := range ss {
+			if pos[u] >= pos[v] {
+				t.Errorf("edge %d->%d violated by topo order", u, v)
+			}
+		}
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	g := buildFig3(t)
+	rr := g.Reverse().Reverse()
+	if rr.Len() != g.Len() {
+		t.Fatal("length changed")
+	}
+	for i := range g.Nodes {
+		if rr.Nodes[i].Kind != g.Nodes[i].Kind {
+			t.Errorf("node %d kind changed: %v -> %v", i, g.Nodes[i].Kind, rr.Nodes[i].Kind)
+		}
+	}
+	if err := rr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseSwapsSourcesAndSinks(t *testing.T) {
+	g := buildFig3(t)
+	r := g.Reverse()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sources()) != len(g.Sinks()) || len(r.Sinks()) != len(g.Sources()) {
+		t.Errorf("reverse sources/sinks mismatch: %v/%v vs %v/%v",
+			r.Sources(), r.Sinks(), g.Sinks(), g.Sources())
+	}
+	// Same critical path: delays are arity-based and reversal
+	// preserves arity.
+	tech := gates.Default()
+	if g.CriticalPathLatency(tech) != r.CriticalPathLatency(tech) {
+		t.Errorf("reversal changed critical path: %v vs %v",
+			g.CriticalPathLatency(tech), r.CriticalPathLatency(tech))
+	}
+}
+
+func TestDescendantCountsFig3(t *testing.T) {
+	g := buildFig3(t)
+	counts := g.DescendantCounts()
+	// The unique sink has no descendants.
+	sink := g.Sinks()[0]
+	if counts[sink] != 0 {
+		t.Errorf("sink descendants = %d", counts[sink])
+	}
+	// H q2 (node 2) reaches every two-qubit gate: C-X q3,q2 and all
+	// downstream; hand count: nodes 4,5,6,7,8,9,10,11 = 8.
+	if counts[2] != 8 {
+		t.Errorf("H q2 descendants = %d, want 8", counts[2])
+	}
+	// Monotone along edges: a predecessor has strictly more
+	// descendants than any successor... not strictly in general, but
+	// at least count(u) >= count(v)+1 for edge u->v.
+	for u, ss := range g.Succs {
+		for _, v := range ss {
+			if counts[u] < counts[v]+1 {
+				t.Errorf("edge %d->%d: counts %d < %d+1", u, v, counts[u], counts[v])
+			}
+		}
+	}
+}
+
+func TestLongestToSinkMonotone(t *testing.T) {
+	g := buildFig3(t)
+	tech := gates.Default()
+	dist := g.LongestToSink(tech)
+	for u, ss := range g.Succs {
+		du := tech.GateDelay(g.Nodes[u].Kind)
+		for _, v := range ss {
+			if dist[u] < dist[v]+du {
+				t.Errorf("edge %d->%d: dist %v < %v+%v", u, v, dist[u], dist[v], du)
+			}
+		}
+	}
+}
+
+// randomProgram builds a random program for property tests.
+func randomProgram(rng *rand.Rand, nq, ng int) *qasm.Program {
+	p := qasm.NewProgram()
+	for i := 0; i < nq; i++ {
+		name := make([]byte, 0, 4)
+		name = append(name, 'q', byte('a'+i%26))
+		if i >= 26 {
+			name = append(name, byte('0'+i/26))
+		}
+		if _, err := p.DeclareQubit(string(name), 0, i+1); err != nil {
+			panic(err)
+		}
+	}
+	oneQ := []gates.Kind{gates.H, gates.X, gates.S, gates.T}
+	twoQ := []gates.Kind{gates.CX, gates.CY, gates.CZ}
+	for i := 0; i < ng; i++ {
+		if rng.Intn(3) == 0 || nq < 2 {
+			_ = p.AddGateByIndex(oneQ[rng.Intn(len(oneQ))], rng.Intn(nq))
+		} else {
+			a := rng.Intn(nq)
+			b := (a + 1 + rng.Intn(nq-1)) % nq
+			_ = p.AddGateByIndex(twoQ[rng.Intn(len(twoQ))], a, b)
+		}
+	}
+	return p
+}
+
+func TestPropertyRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tech := gates.Default()
+	for trial := 0; trial < 40; trial++ {
+		nq := 2 + rng.Intn(20)
+		ng := 1 + rng.Intn(120)
+		p := randomProgram(rng, nq, ng)
+		g, err := Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		r := g.Reverse()
+		if err := r.Validate(); err != nil {
+			t.Fatalf("trial %d reverse: %v", trial, err)
+		}
+		if g.CriticalPathLatency(tech) != r.CriticalPathLatency(tech) {
+			t.Fatalf("trial %d: reversal changed critical path", trial)
+		}
+		if g.EdgeCount() != r.EdgeCount() {
+			t.Fatalf("trial %d: reversal changed edge count", trial)
+		}
+		// Program order must be a topological order.
+		for u, ss := range g.Succs {
+			for _, v := range ss {
+				if u >= v {
+					t.Fatalf("trial %d: forward edge %d->%d not increasing", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	p := qasm.NewProgram()
+	if _, err := p.DeclareQubit("q0", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 0 {
+		t.Errorf("len = %d", g.Len())
+	}
+	if g.CriticalPathLatency(gates.Default()) != 0 {
+		t.Error("empty graph has nonzero latency")
+	}
+	if order, err := g.TopoOrder(); err != nil || len(order) != 0 {
+		t.Errorf("topo of empty graph: %v, %v", order, err)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	g := buildFig3(t)
+	p, err := qasm.ParseString(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT("fig3", p.Names)
+	if !strings.Contains(dot, "digraph \"fig3\"") {
+		t.Error("missing digraph header")
+	}
+	if !strings.Contains(dot, "C-X q3,q2") {
+		t.Errorf("missing labeled node:\n%s", dot)
+	}
+	if strings.Count(dot, "->") != g.EdgeCount() {
+		t.Errorf("edge count mismatch: %d arrows, %d edges", strings.Count(dot, "->"), g.EdgeCount())
+	}
+	// Nil names fall back to indices.
+	if !strings.Contains(g.DOT("x", nil), "q0") {
+		t.Error("nil-name fallback broken")
+	}
+}

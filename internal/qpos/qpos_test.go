@@ -1,0 +1,98 @@
+package qpos
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/gates"
+	"repro/internal/qasm"
+	"repro/internal/qidg"
+	"repro/internal/sched"
+)
+
+const fig3 = `
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+`
+
+func fig3Graph(t *testing.T) *qidg.Graph {
+	t.Helper()
+	p, err := qasm.ParseString(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := qidg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestConfigVariants(t *testing.T) {
+	f := fabric.Quale4585()
+	dep := Config(f, VariantDependents)
+	if dep.Policy != sched.QPOSDependents {
+		t.Errorf("dependents variant policy = %v", dep.Policy)
+	}
+	del := Config(f, VariantDelay)
+	if del.Policy != sched.QPOSDelay {
+		t.Errorf("delay variant policy = %v", del.Policy)
+	}
+	if dep.Tech.ChannelCapacity != 1 || dep.TurnAware || dep.BothMove || dep.MedianTarget {
+		t.Error("QPOS shares QUALE's technology generation and routing style")
+	}
+}
+
+func TestMapBothVariants(t *testing.T) {
+	g := fig3Graph(t)
+	f := fabric.Quale4585()
+	ideal := g.CriticalPathLatency(gates.Default())
+	for _, v := range []Variant{VariantDependents, VariantDelay} {
+		res, err := Map(g, f, v)
+		if err != nil {
+			t.Fatalf("variant %d: %v", v, err)
+		}
+		if res.Latency < ideal {
+			t.Errorf("variant %d: latency %v below ideal %v", v, res.Latency, ideal)
+		}
+		if err := res.Trace.Validate(); err != nil {
+			t.Errorf("variant %d: %v", v, err)
+		}
+	}
+}
+
+func TestVariantsCanDiffer(t *testing.T) {
+	// The two priority flavors legitimately produce different
+	// schedules on circuits where descendant count and descendant
+	// delay disagree; at minimum both must complete and stay within
+	// sane bounds of each other.
+	g := fig3Graph(t)
+	f := fabric.Quale4585()
+	a, err := Map(g, f, VariantDependents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Map(g, f, VariantDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(a.Latency) / float64(b.Latency)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("variants diverge wildly: %v vs %v", a.Latency, b.Latency)
+	}
+}

@@ -1,0 +1,119 @@
+package quale
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/gates"
+	"repro/internal/qasm"
+	"repro/internal/qidg"
+)
+
+const fig3 = `
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+`
+
+func fig3Graph(t *testing.T) *qidg.Graph {
+	t.Helper()
+	p, err := qasm.ParseString(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := qidg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestConfigMatchesPaperDescription(t *testing.T) {
+	cfg := Config(fabric.Quale4585())
+	if cfg.Tech.ChannelCapacity != 1 {
+		t.Error("QUALE predates ion multiplexing; channel capacity must be 1")
+	}
+	if cfg.TurnAware {
+		t.Error("QUALE's router is turn-blind (Fig. 5b)")
+	}
+	if cfg.BothMove || cfg.MedianTarget {
+		t.Error("QUALE moves a single operand to the destination trap")
+	}
+	if cfg.Policy.String() != "quale-alap" {
+		t.Errorf("QUALE schedules ALAP, got %v", cfg.Policy)
+	}
+	// Gate delays are technology properties, unchanged.
+	if cfg.Tech.TwoQubitGate != gates.Default().TwoQubitGate {
+		t.Error("gate delays must not differ between tools")
+	}
+}
+
+func TestMapFig3(t *testing.T) {
+	g := fig3Graph(t)
+	f := fabric.Quale4585()
+	res, err := Map(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := g.CriticalPathLatency(gates.Default())
+	if res.Latency < ideal {
+		t.Errorf("latency %v below ideal %v", res.Latency, ideal)
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Errorf("trace: %v", err)
+	}
+	_, _, gateOps := res.Trace.Counts()
+	if gateOps != g.Len() {
+		t.Errorf("%d gate ops, want %d", gateOps, g.Len())
+	}
+}
+
+func TestMapDeterministic(t *testing.T) {
+	g := fig3Graph(t)
+	f := fabric.Quale4585()
+	a, err := Map(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Map(g, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency != b.Latency {
+		t.Errorf("QUALE (deterministic center placement) varied: %v vs %v", a.Latency, b.Latency)
+	}
+}
+
+func TestSingleOperandMovement(t *testing.T) {
+	// One two-qubit gate between far-apart qubits: QUALE must route
+	// exactly one qubit (the source) to the destination's trap.
+	p, err := qasm.ParseString("QUBIT a,0\nQUBIT b,0\nC-X a,b\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := qidg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(g, fabric.Quale4585())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RoutedQubitTrips != 1 {
+		t.Errorf("QUALE routed %d qubits for one gate, want 1", res.Stats.RoutedQubitTrips)
+	}
+}

@@ -1,0 +1,139 @@
+package routegraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/gates"
+)
+
+// bellmanFord computes single-source shortest selection costs with
+// the same Eq. 2 weights and trap-thoroughfare exclusion, as an
+// independent oracle for Dijkstra.
+func bellmanFord(g *Graph, srcTrap, dstTrap int) gates.Time {
+	const inf = gates.Time(math.MaxInt64)
+	src := g.TrapNodeID(srcTrap)
+	dst := g.TrapNodeID(dstTrap)
+	dist := make([]gates.Time, len(g.Nodes))
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	for iter := 0; iter < len(g.Nodes); iter++ {
+		changed := false
+		for eid := range g.Edges {
+			e := &g.Edges[eid]
+			w := g.EdgeWeight(eid)
+			if w == inf {
+				continue
+			}
+			relax := func(a, b int) {
+				// Trap nodes other than the endpoints are barred.
+				if g.Nodes[b].Kind == TrapNode && b != dst && b != src {
+					return
+				}
+				if g.Nodes[a].Kind == TrapNode && a != dst && a != src {
+					return
+				}
+				if dist[a] != inf && dist[a]+w < dist[b] {
+					dist[b] = dist[a] + w
+					changed = true
+				}
+			}
+			relax(e.A, e.B)
+			relax(e.B, e.A)
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist[dst]
+}
+
+// TestDijkstraMatchesBellmanFord cross-checks the router's shortest
+// path costs against an independent Bellman-Ford implementation,
+// uncongested and congested.
+func TestDijkstraMatchesBellmanFord(t *testing.T) {
+	g := New(fabric.Small(), gates.Default(), Options{TurnAware: true})
+	rng := rand.New(rand.NewSource(17))
+	n := len(g.Fabric.Traps)
+	check := func() {
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				r, ok := g.FindRoute(a, b)
+				want := bellmanFord(g, a, b)
+				if !ok {
+					if want != gates.Time(math.MaxInt64) {
+						t.Fatalf("Dijkstra found no route %d->%d but BF cost %v", a, b, want)
+					}
+					continue
+				}
+				if r.Cost != want {
+					t.Fatalf("route %d->%d: Dijkstra cost %v, Bellman-Ford %v", a, b, r.Cost, want)
+				}
+			}
+		}
+	}
+	check()
+	// Add random congestion and re-check three times.
+	for round := 0; round < 3; round++ {
+		var occupied []int
+		for i := range g.Groups {
+			if g.Groups[i].Occupancy() < g.Groups[i].Capacity && rng.Intn(3) == 0 {
+				g.Occupy(i)
+				occupied = append(occupied, i)
+			}
+		}
+		check()
+		for _, i := range occupied {
+			g.Release(i)
+		}
+	}
+}
+
+// TestRouteCostAtLeastDelay: the congestion-inflated selection cost
+// can never be below the physical travel time under the turn-aware
+// metric (weights only grow with occupancy).
+func TestRouteCostAtLeastDelay(t *testing.T) {
+	g := New(fabric.Quale4585(), gates.Default(), Options{TurnAware: true})
+	for a := 0; a < len(g.Fabric.Traps); a += 37 {
+		for b := 3; b < len(g.Fabric.Traps); b += 41 {
+			if a == b {
+				continue
+			}
+			r, ok := g.FindRoute(a, b)
+			if !ok {
+				t.Fatalf("no route %d->%d", a, b)
+			}
+			if r.Cost < r.Delay {
+				t.Errorf("route %d->%d: cost %v < delay %v", a, b, r.Cost, r.Delay)
+			}
+		}
+	}
+}
+
+// TestCommitUncommitRestoresWeights: committing then uncommitting a
+// route must restore every edge weight exactly.
+func TestCommitUncommitRestoresWeights(t *testing.T) {
+	g := New(fabric.Small(), gates.Default(), Options{TurnAware: true})
+	before := make([]gates.Time, len(g.Edges))
+	for i := range g.Edges {
+		before[i] = g.EdgeWeight(i)
+	}
+	r, ok := g.FindRoute(0, len(g.Fabric.Traps)-1)
+	if !ok {
+		t.Fatal("no route")
+	}
+	g.Commit(r)
+	g.Uncommit(r)
+	for i := range g.Edges {
+		if g.EdgeWeight(i) != before[i] {
+			t.Fatalf("edge %d weight changed after commit+uncommit", i)
+		}
+	}
+}

@@ -1,0 +1,468 @@
+// Package routegraph builds the weighted routing graph of §IV.B of
+// the QSPR paper from an ion-trap fabric and runs Dijkstra's
+// algorithm over it with the congestion-aware edge weights of Eq. 2.
+//
+// In the paper's base model every junction is a vertex and every
+// channel an edge. The turn-aware enhancement (Fig. 5.c) splits each
+// junction into two vertices — one joining the horizontal channels,
+// one joining the vertical channels — connected by a "turn edge"
+// whose weight is the technology turn delay. This package implements
+// the enhanced model and can optionally fall back to the turn-blind
+// metric (for reproducing QUALE and for the turn-awareness ablation).
+//
+// Congestion is tracked on capacity groups: one group per channel
+// (capacity = Tech.ChannelCapacity) and one per junction (capacity =
+// Tech.JunctionCapacity, charged by turn edges). Edge weights follow
+// Eq. 2: weight = (n+1) * base while n < capacity, infinity once the
+// group is saturated, where n is the number of qubits currently using
+// (or committed to use) the group.
+package routegraph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/fabric"
+	"repro/internal/gates"
+)
+
+// NodeKind classifies routing-graph vertices.
+type NodeKind uint8
+
+// Node kinds: the two planes of a split junction, and traps.
+const (
+	JuncH NodeKind = iota // junction vertex joining horizontal channels
+	JuncV                 // junction vertex joining vertical channels
+	TrapNode
+)
+
+// String names the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case JuncH:
+		return "juncH"
+	case JuncV:
+		return "juncV"
+	case TrapNode:
+		return "trap"
+	}
+	return "?"
+}
+
+// Node is one routing-graph vertex.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	// Junction is the fabric junction ID for JuncH/JuncV nodes, -1
+	// for traps.
+	Junction int
+	// Trap is the fabric trap ID for TrapNode nodes, -1 otherwise.
+	Trap int
+}
+
+// GroupKind classifies capacity groups.
+type GroupKind uint8
+
+// Group kinds.
+const (
+	ChannelGroup  GroupKind = iota // shared by all edges over one channel
+	JunctionGroup                  // charged by the turn edge of one junction
+)
+
+// Group is a congestion/capacity domain (a channel or a junction).
+type Group struct {
+	ID       int
+	Kind     GroupKind
+	Index    int // fabric channel or junction ID
+	Capacity int
+	occ      int
+}
+
+// Occupancy returns the current number of committed users.
+func (g *Group) Occupancy() int { return g.occ }
+
+// Edge is an undirected routing edge.
+type Edge struct {
+	ID   int
+	A, B int // node IDs
+	// Group is the capacity group charged while a qubit traverses
+	// this edge.
+	Group int
+	// SelectBase is the uncongested weight used for path selection.
+	// With the turn-aware metric it equals RealDelay; with the
+	// turn-blind metric turn contributions are dropped (Fig. 5.b).
+	SelectBase gates.Time
+	// RealDelay is the physical traversal time: Moves*T_move +
+	// Turns*T_turn.
+	RealDelay gates.Time
+	// Moves and Turns are the relocation counts of the traversal.
+	Moves, Turns int
+}
+
+// Options configures graph construction.
+type Options struct {
+	// TurnAware selects the Fig. 5.c metric (turn delays visible to
+	// the router). When false the router sees the Fig. 5.b metric:
+	// turns cost nothing during path selection although they still
+	// take real time when executed. QUALE uses the blind metric.
+	TurnAware bool
+	// TieSeed seeds the arbitrary choice among equal-cost shortest
+	// paths. Fig. 5 notes that to a turn-blind router all
+	// equal-Manhattan paths "look the same"; which one such a router
+	// returns is implementation accident, modeled here as a seeded
+	// coin flip so results stay reproducible.
+	TieSeed int64
+	// DefectiveChannels and DefectiveJunctions list fabric elements
+	// that failed fabrication: their capacity groups get capacity 0,
+	// so no route ever crosses them. Yield modeling for large trap
+	// arrays (beyond the paper, which assumes a perfect fabric).
+	DefectiveChannels  []int
+	DefectiveJunctions []int
+}
+
+// Graph is the routing graph over one fabric.
+type Graph struct {
+	Fabric *fabric.Fabric
+	Tech   gates.Tech
+	Opts   Options
+
+	Nodes  []Node
+	Edges  []Edge
+	Groups []Group
+
+	rng *rand.Rand // arbitrary-tie coin, seeded by Opts.TieSeed
+
+	adj       [][]int // node -> incident edge IDs
+	trapNode  []int   // fabric trap ID -> node ID
+	juncNodeH []int   // fabric junction ID -> JuncH node ID
+	juncNodeV []int   // fabric junction ID -> JuncV node ID
+	chanGroup []int   // fabric channel ID -> group ID
+	juncGroup []int   // fabric junction ID -> group ID
+}
+
+// New builds the routing graph for a fabric under the given
+// technology parameters.
+func New(f *fabric.Fabric, tech gates.Tech, opts Options) *Graph {
+	g := &Graph{
+		Fabric:    f,
+		Tech:      tech,
+		Opts:      opts,
+		rng:       rand.New(rand.NewSource(opts.TieSeed + 1)),
+		trapNode:  make([]int, len(f.Traps)),
+		juncNodeH: make([]int, len(f.Junctions)),
+		juncNodeV: make([]int, len(f.Junctions)),
+		chanGroup: make([]int, len(f.Channels)),
+		juncGroup: make([]int, len(f.Junctions)),
+	}
+	for _, j := range f.Junctions {
+		g.juncNodeH[j.ID] = g.addNode(Node{Kind: JuncH, Junction: j.ID, Trap: -1})
+		g.juncNodeV[j.ID] = g.addNode(Node{Kind: JuncV, Junction: j.ID, Trap: -1})
+		g.juncGroup[j.ID] = g.addGroup(Group{Kind: JunctionGroup, Index: j.ID, Capacity: tech.JunctionCapacity})
+	}
+	for _, ch := range f.Channels {
+		g.chanGroup[ch.ID] = g.addGroup(Group{Kind: ChannelGroup, Index: ch.ID, Capacity: tech.ChannelCapacity})
+	}
+	for _, tr := range f.Traps {
+		g.trapNode[tr.ID] = g.addNode(Node{Kind: TrapNode, Junction: -1, Trap: tr.ID})
+	}
+	for _, ch := range opts.DefectiveChannels {
+		if ch >= 0 && ch < len(f.Channels) {
+			g.Groups[g.chanGroup[ch]].Capacity = 0
+		}
+	}
+	for _, j := range opts.DefectiveJunctions {
+		if j >= 0 && j < len(f.Junctions) {
+			g.Groups[g.juncGroup[j]].Capacity = 0
+		}
+	}
+	g.buildEdges()
+	return g
+}
+
+// TrapReachable reports whether any route can reach the trap, i.e.
+// its access channel is not defective.
+func (g *Graph) TrapReachable(trapID int) bool {
+	ch := g.Fabric.Traps[trapID].Channel
+	return g.Groups[g.chanGroup[ch]].Capacity > 0
+}
+
+func (g *Graph) addNode(n Node) int {
+	n.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+	g.adj = append(g.adj, nil)
+	return n.ID
+}
+
+func (g *Graph) addGroup(gr Group) int {
+	gr.ID = len(g.Groups)
+	g.Groups = append(g.Groups, gr)
+	return gr.ID
+}
+
+func (g *Graph) addEdge(a, b, group int, moves, turns int) int {
+	real := gates.Time(moves)*g.Tech.MoveDelay + gates.Time(turns)*g.Tech.TurnDelay
+	sel := real
+	if !g.Opts.TurnAware {
+		sel = gates.Time(moves) * g.Tech.MoveDelay
+	}
+	e := Edge{
+		ID: len(g.Edges), A: a, B: b, Group: group,
+		SelectBase: sel, RealDelay: real, Moves: moves, Turns: turns,
+	}
+	g.Edges = append(g.Edges, e)
+	g.adj[a] = append(g.adj[a], e.ID)
+	g.adj[b] = append(g.adj[b], e.ID)
+	return e.ID
+}
+
+func (g *Graph) buildEdges() {
+	f := g.Fabric
+	// Turn edges inside each junction.
+	for _, j := range f.Junctions {
+		g.addEdge(g.juncNodeH[j.ID], g.juncNodeV[j.ID], g.juncGroup[j.ID], 0, 1)
+	}
+	// Channel edges between junction planes.
+	for _, ch := range f.Channels {
+		group := g.chanGroup[ch.ID]
+		// Crossing the channel also crosses its two end junction
+		// cells; the junction cells are charged to the moves.
+		moves := ch.Length + 1
+		if ch.Orientation == fabric.Horizontal {
+			g.addEdge(g.juncNodeH[ch.J1], g.juncNodeH[ch.J2], group, moves, 0)
+		} else {
+			g.addEdge(g.juncNodeV[ch.J1], g.juncNodeV[ch.J2], group, moves, 0)
+		}
+	}
+	// Trap access edges. A trap hangs perpendicular to its channel:
+	// leaving the trap costs one move into the attachment cell plus
+	// one turn to align with the channel, then Offset+1 (resp.
+	// Length-Offset) moves to the J1 (resp. J2) end junction.
+	for _, tr := range f.Traps {
+		ch := f.Channels[tr.Channel]
+		group := g.chanGroup[ch.ID]
+		var n1, n2 int
+		if ch.Orientation == fabric.Horizontal {
+			n1, n2 = g.juncNodeH[ch.J1], g.juncNodeH[ch.J2]
+		} else {
+			n1, n2 = g.juncNodeV[ch.J1], g.juncNodeV[ch.J2]
+		}
+		g.addEdge(g.trapNode[tr.ID], n1, group, tr.Offset+2, 1)
+		g.addEdge(g.trapNode[tr.ID], n2, group, ch.Length-tr.Offset+1, 1)
+	}
+	// Direct trap-to-trap edges along one channel (a qubit need not
+	// detour through a junction to hop between neighbouring traps).
+	for _, ch := range f.Channels {
+		for i := 0; i < len(ch.Traps); i++ {
+			for k := i + 1; k < len(ch.Traps); k++ {
+				a, b := f.Traps[ch.Traps[i]], f.Traps[ch.Traps[k]]
+				d := a.Offset - b.Offset
+				if d < 0 {
+					d = -d
+				}
+				if d == 0 {
+					// Opposite sides of one attachment cell: two
+					// straight moves, no turn.
+					g.addEdge(g.trapNode[a.ID], g.trapNode[b.ID], g.chanGroup[ch.ID], 2, 0)
+				} else {
+					g.addEdge(g.trapNode[a.ID], g.trapNode[b.ID], g.chanGroup[ch.ID], d+2, 2)
+				}
+			}
+		}
+	}
+}
+
+// TrapNodeID returns the graph node for a fabric trap.
+func (g *Graph) TrapNodeID(trapID int) int { return g.trapNode[trapID] }
+
+// IncidentEdges returns the IDs of edges touching a node. The slice
+// is shared; callers must not mutate it.
+func (g *Graph) IncidentEdges(node int) []int { return g.adj[node] }
+
+// ChannelGroupID returns the capacity group of a fabric channel.
+func (g *Graph) ChannelGroupID(chID int) int { return g.chanGroup[chID] }
+
+// JunctionGroupID returns the capacity group of a fabric junction.
+func (g *Graph) JunctionGroupID(jID int) int { return g.juncGroup[jID] }
+
+// Occupy commits one qubit to a capacity group (edge weights on the
+// group rise per Eq. 2). It panics if the group is already at
+// capacity, which would indicate an engine bookkeeping bug.
+func (g *Graph) Occupy(groupID int) {
+	gr := &g.Groups[groupID]
+	if gr.occ >= gr.Capacity {
+		panic(fmt.Sprintf("routegraph: group %d over capacity", groupID))
+	}
+	gr.occ++
+}
+
+// Release removes one committed qubit from a group ("when a qubit
+// exits a channel, the weight of the corresponding edge will be
+// decreased").
+func (g *Graph) Release(groupID int) {
+	gr := &g.Groups[groupID]
+	if gr.occ <= 0 {
+		panic(fmt.Sprintf("routegraph: group %d released below zero", groupID))
+	}
+	gr.occ--
+}
+
+// EdgeWeight evaluates Eq. 2 for an edge: (n+1)*base while the edge's
+// group has residual capacity, +inf (math.MaxInt64) otherwise.
+func (g *Graph) EdgeWeight(edgeID int) gates.Time {
+	e := &g.Edges[edgeID]
+	gr := &g.Groups[e.Group]
+	if gr.occ >= gr.Capacity {
+		return math.MaxInt64
+	}
+	return gates.Time(gr.occ+1) * e.SelectBase
+}
+
+// Hop is one traversed edge of a committed route.
+type Hop struct {
+	Edge  int
+	Group int
+	// Delay is the physical traversal time of this hop.
+	Delay gates.Time
+	// Moves, Turns are the relocation counts of this hop.
+	Moves, Turns int
+}
+
+// Route is a shortest path between two traps.
+type Route struct {
+	// From, To are fabric trap IDs.
+	From, To int
+	// Hops in travel order; empty when From == To.
+	Hops []Hop
+	// Delay is the total physical travel time (T_routing).
+	Delay gates.Time
+	// Cost is the congestion-inflated metric the router minimized.
+	Cost gates.Time
+	// Moves, Turns are total relocation counts.
+	Moves, Turns int
+}
+
+// FindRoute runs Dijkstra from one trap to another using the Eq. 2
+// weights. Trap vertices other than the endpoints are excluded (traps
+// are gate sites, not thoroughfares). ok is false when every path is
+// saturated (the instruction must wait in the busy queue).
+func (g *Graph) FindRoute(fromTrap, toTrap int) (Route, bool) {
+	if fromTrap == toTrap {
+		return Route{From: fromTrap, To: toTrap}, true
+	}
+	src := g.trapNode[fromTrap]
+	dst := g.trapNode[toTrap]
+	const inf = gates.Time(math.MaxInt64)
+	dist := make([]gates.Time, len(g.Nodes))
+	via := make([]int, len(g.Nodes)) // edge used to reach node
+	settled := make([]bool, len(g.Nodes))
+	for i := range dist {
+		dist[i] = inf
+		via[i] = -1
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodeDist)
+		if cur.dist > dist[cur.node] || settled[cur.node] {
+			continue
+		}
+		settled[cur.node] = true
+		if cur.node == dst {
+			break
+		}
+		for _, eid := range g.adj[cur.node] {
+			e := &g.Edges[eid]
+			next := e.A
+			if next == cur.node {
+				next = e.B
+			}
+			// Traps other than src/dst are not intermediates.
+			if g.Nodes[next].Kind == TrapNode && next != dst && next != src {
+				continue
+			}
+			w := g.EdgeWeight(eid)
+			if w == inf {
+				continue
+			}
+			nd := cur.dist + w
+			switch {
+			case nd < dist[next]:
+				dist[next] = nd
+				via[next] = eid
+				heap.Push(pq, nodeDist{node: next, dist: nd})
+			case nd == dist[next] && !settled[next] && g.rng.Intn(2) == 0:
+				// Equal-cost alternatives are indistinguishable to
+				// the router (Fig. 5); pick one arbitrarily but
+				// reproducibly. Swapping the predecessor of an
+				// unsettled node cannot invalidate settled paths.
+				via[next] = eid
+			}
+		}
+	}
+	if dist[dst] == inf {
+		return Route{}, false
+	}
+	// Reconstruct.
+	var rev []int
+	for n := dst; n != src; {
+		eid := via[n]
+		rev = append(rev, eid)
+		e := &g.Edges[eid]
+		if e.A == n {
+			n = e.B
+		} else {
+			n = e.A
+		}
+	}
+	r := Route{From: fromTrap, To: toTrap, Cost: dist[dst]}
+	for i := len(rev) - 1; i >= 0; i-- {
+		e := &g.Edges[rev[i]]
+		r.Hops = append(r.Hops, Hop{
+			Edge: e.ID, Group: e.Group,
+			Delay: e.RealDelay, Moves: e.Moves, Turns: e.Turns,
+		})
+		r.Delay += e.RealDelay
+		r.Moves += e.Moves
+		r.Turns += e.Turns
+	}
+	return r, true
+}
+
+// Commit charges every hop's group (call after accepting a route).
+func (g *Graph) Commit(r Route) {
+	for _, h := range r.Hops {
+		g.Occupy(h.Group)
+	}
+}
+
+// Uncommit releases every hop's group of a previously committed route
+// that will not be traveled after all (e.g. the sibling operand of a
+// two-qubit gate could not be routed, so the whole instruction goes
+// to the busy queue).
+func (g *Graph) Uncommit(r Route) {
+	for _, h := range r.Hops {
+		g.Release(h.Group)
+	}
+}
+
+// nodeDist / nodeHeap implement the Dijkstra priority queue.
+type nodeDist struct {
+	node int
+	dist gates.Time
+}
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(nodeDist)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

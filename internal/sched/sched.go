@@ -1,0 +1,238 @@
+// Package sched implements the instruction-scheduling policies of the
+// QSPR paper and its baselines (§III).
+//
+// The mapping problem is Minimum-Latency Resource-Constrained (MLRC)
+// scheduling where the resources are channel and junction capacities.
+// Because T_routing and T_congestion are only known after placement
+// and routing, QSPR schedules new instructions after routing each
+// issued instruction; the dynamic part lives in the engine package.
+// This package supplies the priority policies and the ready queue:
+//
+//   - QSPR: priority = a linear combination of the number of
+//     operations that transitively depend on the instruction and the
+//     longest gate-delay path from it to the QIDG end node.
+//   - QUALE: as-late-as-possible extraction order (ref [2]).
+//   - QPOS: number of dependent instructions (ref [4]); the ref [5]
+//     tweak uses the total delay of dependent instructions.
+//   - Forced: an explicit total order, used by the MVFB backward pass
+//     which must replay the forward schedule in reverse.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/gates"
+	"repro/internal/qidg"
+)
+
+// Policy names a priority policy.
+type Policy uint8
+
+// Scheduling policies.
+const (
+	// QSPR combines dependent count and longest path delay (§III).
+	QSPR Policy = iota
+	// QUALEALAP prioritizes instructions by as-late-as-possible
+	// start times: the QIDG is traversed backward, so instructions
+	// with earlier ALAP deadlines issue first.
+	QUALEALAP
+	// QPOSDependents prioritizes by the number of transitively
+	// dependent instructions (QPOS's initial priority).
+	QPOSDependents
+	// QPOSDelay prioritizes by the total gate delay of dependent
+	// instructions (the ref [5] tweak of QPOS).
+	QPOSDelay
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case QSPR:
+		return "qspr"
+	case QUALEALAP:
+		return "quale-alap"
+	case QPOSDependents:
+		return "qpos-dependents"
+	case QPOSDelay:
+		return "qpos-delay"
+	}
+	return "?"
+}
+
+// Weights holds the linear-combination coefficients of the QSPR
+// priority. The paper states "a linear combination of the number of
+// unscheduled operations that depend on it plus the length of the
+// longest path delay from that instruction to the end node"; the
+// defaults weight both terms equally.
+type Weights struct {
+	Dependents float64
+	PathDelay  float64
+}
+
+// DefaultWeights returns the equal-weight combination.
+func DefaultWeights() Weights { return Weights{Dependents: 1, PathDelay: 1} }
+
+// Priorities computes a static priority per QIDG node under the given
+// policy; larger is more urgent.
+func Priorities(g *qidg.Graph, tech gates.Tech, policy Policy, w Weights) []float64 {
+	pr := make([]float64, g.Len())
+	switch policy {
+	case QSPR:
+		deps := g.DescendantCounts()
+		dist := g.LongestToSink(tech)
+		for i := range pr {
+			pr[i] = w.Dependents*float64(deps[i]) + w.PathDelay*float64(dist[i])
+		}
+	case QUALEALAP:
+		// Earlier ALAP start => higher priority.
+		deadline := g.CriticalPathLatency(tech)
+		alap := g.ALAP(tech, deadline)
+		for i := range pr {
+			pr[i] = -float64(alap[i])
+		}
+	case QPOSDependents:
+		deps := g.DescendantCounts()
+		for i := range pr {
+			pr[i] = float64(deps[i])
+		}
+	case QPOSDelay:
+		total := dependentDelayTotals(g, tech)
+		for i := range pr {
+			pr[i] = float64(total[i])
+		}
+	default:
+		panic(fmt.Sprintf("sched: unknown policy %v", policy))
+	}
+	return pr
+}
+
+// dependentDelayTotals sums the gate delays of all transitive
+// descendants of each node.
+func dependentDelayTotals(g *qidg.Graph, tech gates.Tech) []gates.Time {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	// Descendant sets as bitsets; sum delays per set. Graphs are
+	// small (hundreds of nodes), so O(V^2/64) words is fine.
+	words := (g.Len() + 63) / 64
+	sets := make([][]uint64, g.Len())
+	totals := make([]gates.Time, g.Len())
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		set := make([]uint64, words)
+		for _, s := range g.Succs[n] {
+			set[s/64] |= 1 << (s % 64)
+			for w, v := range sets[s] {
+				set[w] |= v
+			}
+		}
+		sets[n] = set
+		var sum gates.Time
+		for w, word := range set {
+			for word != 0 {
+				idx := w*64 + bits.TrailingZeros64(word)
+				sum += tech.GateDelay(g.Nodes[idx].Kind)
+				word &= word - 1
+			}
+		}
+		totals[n] = sum
+	}
+	return totals
+}
+
+// ForcedPriorities converts an explicit total order (a slice of node
+// IDs, most-urgent first) into a priority vector.
+func ForcedPriorities(order []int, n int) ([]float64, error) {
+	if len(order) != n {
+		return nil, fmt.Errorf("sched: forced order has %d entries for %d nodes", len(order), n)
+	}
+	pr := make([]float64, n)
+	seen := make([]bool, n)
+	for rank, node := range order {
+		if node < 0 || node >= n {
+			return nil, fmt.Errorf("sched: forced order entry %d out of range", node)
+		}
+		if seen[node] {
+			return nil, fmt.Errorf("sched: node %d appears twice in forced order", node)
+		}
+		seen[node] = true
+		pr[node] = float64(n - rank)
+	}
+	return pr, nil
+}
+
+// ReadyQueue is a max-priority queue of ready instructions. Ties
+// break on lower node ID for determinism.
+type ReadyQueue struct {
+	pr []float64
+	h  prioHeap
+	in []bool
+}
+
+// NewReadyQueue builds a queue over the given priorities.
+func NewReadyQueue(pr []float64) *ReadyQueue {
+	return &ReadyQueue{pr: pr, in: make([]bool, len(pr))}
+}
+
+// Push marks node ready. Pushing a node twice panics: the engine must
+// only ready an instruction once.
+func (q *ReadyQueue) Push(node int) {
+	if q.in[node] {
+		panic(fmt.Sprintf("sched: node %d pushed twice", node))
+	}
+	q.in[node] = true
+	heap.Push(&q.h, prioItem{node: node, prio: q.pr[node]})
+}
+
+// Pop removes and returns the highest-priority ready node; ok is
+// false when empty.
+func (q *ReadyQueue) Pop() (node int, ok bool) {
+	if q.h.Len() == 0 {
+		return 0, false
+	}
+	it := heap.Pop(&q.h).(prioItem)
+	q.in[it.node] = false
+	return it.node, true
+}
+
+// Len returns the number of ready nodes.
+func (q *ReadyQueue) Len() int { return q.h.Len() }
+
+// Drain pops everything, returning nodes in priority order.
+func (q *ReadyQueue) Drain() []int {
+	out := make([]int, 0, q.Len())
+	for {
+		n, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, n)
+	}
+}
+
+type prioItem struct {
+	node int
+	prio float64
+}
+
+type prioHeap []prioItem
+
+func (h prioHeap) Len() int { return len(h) }
+func (h prioHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].node < h[j].node
+}
+func (h prioHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *prioHeap) Push(x any)   { *h = append(*h, x.(prioItem)) }
+func (h *prioHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,252 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/qasm"
+	"repro/internal/qidg"
+)
+
+const fig3 = `
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+`
+
+func fig3Graph(t *testing.T) *qidg.Graph {
+	t.Helper()
+	p, err := qasm.ParseString(fig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := qidg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestQSPRPriorityCombinesTerms(t *testing.T) {
+	g := fig3Graph(t)
+	tech := gates.Default()
+	pr := Priorities(g, tech, QSPR, DefaultWeights())
+	deps := g.DescendantCounts()
+	dist := g.LongestToSink(tech)
+	for i := range pr {
+		want := float64(deps[i]) + float64(dist[i])
+		if pr[i] != want {
+			t.Errorf("node %d: priority %v, want %v", i, pr[i], want)
+		}
+	}
+}
+
+func TestQSPRWeightsScale(t *testing.T) {
+	g := fig3Graph(t)
+	tech := gates.Default()
+	onlyDeps := Priorities(g, tech, QSPR, Weights{Dependents: 1})
+	onlyPath := Priorities(g, tech, QSPR, Weights{PathDelay: 1})
+	deps := g.DescendantCounts()
+	dist := g.LongestToSink(tech)
+	for i := range onlyDeps {
+		if onlyDeps[i] != float64(deps[i]) {
+			t.Errorf("deps-only priority wrong at %d", i)
+		}
+		if onlyPath[i] != float64(dist[i]) {
+			t.Errorf("path-only priority wrong at %d", i)
+		}
+	}
+}
+
+func TestALAPPriorityOrder(t *testing.T) {
+	g := fig3Graph(t)
+	tech := gates.Default()
+	pr := Priorities(g, tech, QUALEALAP, Weights{})
+	alap := g.ALAP(tech, g.CriticalPathLatency(tech))
+	for u := range pr {
+		for v := range pr {
+			if alap[u] < alap[v] && pr[u] <= pr[v] {
+				t.Fatalf("ALAP order violated: node %d (start %v) vs %d (start %v)", u, alap[u], v, alap[v])
+			}
+		}
+	}
+}
+
+func TestQPOSDelayAtLeastOneGate(t *testing.T) {
+	g := fig3Graph(t)
+	tech := gates.Default()
+	prDelay := Priorities(g, tech, QPOSDelay, Weights{})
+	prDeps := Priorities(g, tech, QPOSDependents, Weights{})
+	for i := range prDelay {
+		// Each dependent contributes at least the 1-qubit gate delay.
+		if prDelay[i] < prDeps[i]*float64(tech.OneQubitGate) {
+			t.Errorf("node %d: delay total %v < deps %v * min gate", i, prDelay[i], prDeps[i])
+		}
+	}
+	// The sink has zero under both.
+	sink := g.Sinks()[0]
+	if prDelay[sink] != 0 || prDeps[sink] != 0 {
+		t.Error("sink priority should be zero")
+	}
+}
+
+func TestPriorityMonotoneAlongEdges(t *testing.T) {
+	g := fig3Graph(t)
+	tech := gates.Default()
+	for _, policy := range []Policy{QSPR, QPOSDependents, QPOSDelay} {
+		pr := Priorities(g, tech, policy, DefaultWeights())
+		for u, ss := range g.Succs {
+			for _, v := range ss {
+				if pr[u] <= pr[v] {
+					t.Errorf("%v: edge %d->%d priority not decreasing (%v <= %v)", policy, u, v, pr[u], pr[v])
+				}
+			}
+		}
+	}
+}
+
+func TestForcedPriorities(t *testing.T) {
+	order := []int{2, 0, 1}
+	pr, err := ForcedPriorities(order, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pr[2] > pr[0] && pr[0] > pr[1]) {
+		t.Errorf("forced priorities %v do not respect order %v", pr, order)
+	}
+	if _, err := ForcedPriorities([]int{0, 0, 1}, 3); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := ForcedPriorities([]int{0, 1}, 3); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := ForcedPriorities([]int{0, 1, 5}, 3); err == nil {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestReadyQueueOrdering(t *testing.T) {
+	pr := []float64{1, 5, 3, 5, 2}
+	q := NewReadyQueue(pr)
+	for i := range pr {
+		q.Push(i)
+	}
+	got := q.Drain()
+	want := []int{1, 3, 2, 4, 0} // by priority desc, ties by ID asc
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReadyQueueDoublePushPanics(t *testing.T) {
+	q := NewReadyQueue([]float64{1, 2})
+	q.Push(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("double push did not panic")
+		}
+	}()
+	q.Push(0)
+}
+
+func TestReadyQueuePushPopPush(t *testing.T) {
+	q := NewReadyQueue([]float64{1, 2, 3})
+	q.Push(0)
+	n, ok := q.Pop()
+	if !ok || n != 0 {
+		t.Fatalf("pop = %d,%v", n, ok)
+	}
+	q.Push(0) // re-push after pop is legal
+	if q.Len() != 1 {
+		t.Error("len after re-push")
+	}
+	if _, ok := NewReadyQueue(nil).Pop(); ok {
+		t.Error("pop from empty queue")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if QSPR.String() != "qspr" || QUALEALAP.String() != "quale-alap" ||
+		QPOSDependents.String() != "qpos-dependents" || QPOSDelay.String() != "qpos-delay" ||
+		Policy(99).String() != "?" {
+		t.Error("policy names")
+	}
+}
+
+// TestForcedOrderIsTopologicalWhenReversed checks the MVFB use case:
+// reversing a valid issue order of G yields a valid issue order of
+// G.Reverse(), i.e. ForcedPriorities of the reversed order never
+// prioritizes a node above its (reversed-graph) predecessor... more
+// precisely, simulating extraction with those priorities respects
+// dependencies.
+func TestForcedOrderIsTopologicalWhenReversed(t *testing.T) {
+	g := fig3Graph(t)
+	fwd, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]int, len(fwd))
+	for i, n := range fwd {
+		rev[len(fwd)-1-i] = n
+	}
+	r := g.Reverse()
+	pos := make([]int, len(rev))
+	for i, n := range rev {
+		pos[n] = i
+	}
+	for u, ss := range r.Succs {
+		for _, v := range ss {
+			if pos[u] >= pos[v] {
+				t.Fatalf("reversed order violates reversed edge %d->%d", u, v)
+			}
+		}
+	}
+}
+
+func TestRandomGraphPriorityProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tech := gates.Default()
+	for trial := 0; trial < 20; trial++ {
+		p := qasm.NewProgram()
+		nq := 3 + rng.Intn(10)
+		for i := 0; i < nq; i++ {
+			if _, err := p.DeclareQubit("q"+string(rune('a'+i)), 0, i+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 40; i++ {
+			a := rng.Intn(nq)
+			b := (a + 1 + rng.Intn(nq-1)) % nq
+			_ = p.AddGateByIndex(gates.CX, a, b)
+		}
+		g, err := qidg.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := Priorities(g, tech, QSPR, DefaultWeights())
+		for u, ss := range g.Succs {
+			for _, v := range ss {
+				if pr[u] <= pr[v] {
+					t.Fatalf("trial %d: priority not monotone on edge %d->%d", trial, u, v)
+				}
+			}
+		}
+	}
+}

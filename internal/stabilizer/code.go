@@ -1,0 +1,289 @@
+// Package stabilizer implements stabilizer quantum error-correcting
+// codes and encoder-circuit synthesis. It supplies the six QECC
+// benchmark circuits of the QSPR paper's Table 1/2 ([[5,1,3]],
+// [[7,1,3]], [[9,1,3]], [[14,8,3]], [[19,1,7]], [[23,1,7]]), which
+// the paper took from Grassl's cyclic-code tables (ref [6], offline).
+//
+// A code on n qubits with k logical qubits is given by n-k
+// independent, mutually commuting Pauli generators, stored as an
+// (n-k)×2n binary check matrix [X|Z]. Encoders are synthesized by
+// the Gottesman/Cleve standard-form construction and verified exactly
+// with a Pauli-conjugation (Heisenberg) simulator.
+package stabilizer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gf2"
+)
+
+// Code is a stabilizer code: N physical qubits, K logical qubits and
+// N-K generator rows split into X and Z parts.
+type Code struct {
+	Name string
+	N, K int
+	// X and Z are (N-K)×N matrices; generator i applies X where
+	// X[i,q]=1 and Z where Z[i,q]=1 (both = Y).
+	X, Z *gf2.Matrix
+}
+
+// NewCode builds and validates a code from its check matrix halves.
+func NewCode(name string, n, k int, x, z *gf2.Matrix) (*Code, error) {
+	c := &Code{Name: name, N: n, K: k, X: x, Z: z}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Validate checks shapes, generator independence and pairwise
+// commutation (the symplectic inner products must all vanish).
+func (c *Code) Validate() error {
+	m := c.N - c.K
+	if m < 0 || c.N <= 0 {
+		return fmt.Errorf("stabilizer: invalid parameters [[%d,%d]]", c.N, c.K)
+	}
+	if c.X.Rows() != m || c.Z.Rows() != m || c.X.Cols() != c.N || c.Z.Cols() != c.N {
+		return fmt.Errorf("stabilizer: %s check matrix is %dx%d/%dx%d, want %dx%d",
+			c.Name, c.X.Rows(), c.X.Cols(), c.Z.Rows(), c.Z.Cols(), m, c.N)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if gf2.RowDot(c.X, i, c.Z, j)^gf2.RowDot(c.Z, i, c.X, j) != 0 {
+				return fmt.Errorf("stabilizer: %s generators %d and %d anticommute", c.Name, i, j)
+			}
+		}
+	}
+	if full := c.CheckMatrix(); full.Rank() != m {
+		return fmt.Errorf("stabilizer: %s generators dependent (rank %d of %d)", c.Name, full.Rank(), m)
+	}
+	return nil
+}
+
+// CheckMatrix returns the concatenated (N-K)×2N matrix [X|Z].
+func (c *Code) CheckMatrix() *gf2.Matrix {
+	m := c.N - c.K
+	full := gf2.NewMatrix(m, 2*c.N)
+	for i := 0; i < m; i++ {
+		for q := 0; q < c.N; q++ {
+			if c.X.Get(i, q) == 1 {
+				full.Set(i, q, 1)
+			}
+			if c.Z.Get(i, q) == 1 {
+				full.Set(i, c.N+q, 1)
+			}
+		}
+	}
+	return full
+}
+
+// GeneratorString renders generator i as a Pauli string (IXZY).
+func (c *Code) GeneratorString(i int) string {
+	b := make([]byte, c.N)
+	for q := 0; q < c.N; q++ {
+		switch {
+		case c.X.Get(i, q) == 1 && c.Z.Get(i, q) == 1:
+			b[q] = 'Y'
+		case c.X.Get(i, q) == 1:
+			b[q] = 'X'
+		case c.Z.Get(i, q) == 1:
+			b[q] = 'Z'
+		default:
+			b[q] = 'I'
+		}
+	}
+	return string(b)
+}
+
+// FromPauliStrings builds a code from explicit generator strings
+// (characters I, X, Y, Z).
+func FromPauliStrings(name string, n, k int, gens []string) (*Code, error) {
+	m := n - k
+	if len(gens) != m {
+		return nil, fmt.Errorf("stabilizer: %s needs %d generators, got %d", name, m, len(gens))
+	}
+	x := gf2.NewMatrix(m, n)
+	z := gf2.NewMatrix(m, n)
+	for i, g := range gens {
+		if len(g) != n {
+			return nil, fmt.Errorf("stabilizer: generator %d has length %d, want %d", i, len(g), n)
+		}
+		for q := 0; q < n; q++ {
+			switch g[q] {
+			case 'I', 'i':
+			case 'X', 'x':
+				x.Set(i, q, 1)
+			case 'Z', 'z':
+				z.Set(i, q, 1)
+			case 'Y', 'y':
+				x.Set(i, q, 1)
+				z.Set(i, q, 1)
+			default:
+				return nil, fmt.Errorf("stabilizer: generator %d has invalid Pauli %q", i, g[q])
+			}
+		}
+	}
+	return NewCode(name, n, k, x, z)
+}
+
+// Cyclic builds a code whose generators are the first n-k cyclic
+// shifts of one Pauli string (how Grassl's cyclic QECC tables present
+// codes; the [[5,1,3]] code is the shifts of XZZXI).
+func Cyclic(name string, n, k int, seed string) (*Code, error) {
+	if len(seed) != n {
+		return nil, fmt.Errorf("stabilizer: cyclic seed length %d, want %d", len(seed), n)
+	}
+	gens := make([]string, n-k)
+	b := []byte(seed)
+	for i := range gens {
+		shifted := make([]byte, n)
+		for q := 0; q < n; q++ {
+			shifted[(q+i)%n] = b[q]
+		}
+		gens[i] = string(shifted)
+	}
+	return FromPauliStrings(name, n, k, gens)
+}
+
+// CSS builds a Calderbank-Shor-Steane code from two classical parity
+// matrices: hx rows become X-type generators and hz rows Z-type
+// generators. Commutation requires hx·hzᵀ = 0.
+func CSS(name string, n int, hx, hz *gf2.Matrix) (*Code, error) {
+	if hx.Cols() != n || hz.Cols() != n {
+		return nil, fmt.Errorf("stabilizer: CSS parity width mismatch")
+	}
+	m := hx.Rows() + hz.Rows()
+	k := n - m
+	x := gf2.NewMatrix(m, n)
+	z := gf2.NewMatrix(m, n)
+	for i := 0; i < hx.Rows(); i++ {
+		for q := 0; q < n; q++ {
+			x.Set(i, q, hx.Get(i, q))
+		}
+	}
+	for i := 0; i < hz.Rows(); i++ {
+		for q := 0; q < n; q++ {
+			z.Set(hx.Rows()+i, q, hz.Get(i, q))
+		}
+	}
+	return NewCode(name, n, k, x, z)
+}
+
+// RandomSelfOrthogonal deterministically generates a random
+// stabilizer code with the given parameters: n-k independent,
+// mutually commuting generators drawn from a seeded stream.
+// Generator Pauli weights are steered into [wMin, wMax], mimicking
+// the low-weight generators of the cyclic QECC tables the paper
+// benchmarks against; the minimum distance is whatever it is — the
+// mapper benchmarks only need circuit structure, not
+// error-correcting power (see DESIGN.md's substitution notes for
+// [[14,8,3]] and [[19,1,7]]).
+func RandomSelfOrthogonal(name string, n, k, wMin, wMax int, seed int64) (*Code, error) {
+	m := n - k
+	if m <= 0 || m > 2*n {
+		return nil, fmt.Errorf("stabilizer: cannot build [[%d,%d]]", n, k)
+	}
+	if wMin < 1 || wMax < wMin || wMax > n {
+		return nil, fmt.Errorf("stabilizer: invalid weight band [%d,%d]", wMin, wMax)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var rows [][]int
+	stall := 0
+	for len(rows) < m {
+		v := candidateInCommutant(rng, n, rows, wMin, wMax)
+		if v == nil {
+			continue
+		}
+		trial := append(rows[:len(rows):len(rows)], v)
+		trialM := gf2.FromRows(trial)
+		if trialM.Rank() != len(trial) {
+			// Near the end of the build the weight band can become
+			// unsatisfiable with independent vectors; widen it
+			// progressively rather than loop forever.
+			if stall++; stall > 200 {
+				return nil, fmt.Errorf("stabilizer: cannot complete [[%d,%d]] in weight band [%d,%d]", n, k, wMin, wMax)
+			}
+			continue
+		}
+		stall = 0
+		rows = trial
+	}
+	x := gf2.NewMatrix(m, n)
+	z := gf2.NewMatrix(m, n)
+	for i, r := range rows {
+		for q := 0; q < n; q++ {
+			x.Set(i, q, r[q])
+			z.Set(i, q, r[n+q])
+		}
+	}
+	return NewCode(name, n, k, x, z)
+}
+
+// candidateInCommutant samples a nonzero (x|z) vector that commutes
+// with every accepted generator. Candidates are drawn as sparse
+// combinations of a commutant basis and the lowest-Pauli-weight one
+// of several draws is returned: the cyclic QECC tables the paper
+// benchmarks against have low-weight generators (comparable to the
+// code distance), and generator weight directly sets the circuit's
+// two-qubit gate count and depth.
+func candidateInCommutant(rng *rand.Rand, n int, rows [][]int, wMin, wMax int) []int {
+	// Constraint matrix: for each accepted generator (x_i|z_i), the
+	// new vector (x|z) must satisfy x·z_i + z·x_i = 0, i.e. it lies
+	// in the null space of A whose row i is (z_i | x_i). With no
+	// accepted rows the null space is everything.
+	a := gf2.NewMatrix(len(rows), 2*n)
+	for i, r := range rows {
+		for q := 0; q < n; q++ {
+			a.Set(i, q, r[n+q])
+			a.Set(i, n+q, r[q])
+		}
+	}
+	basis := a.NullSpace()
+	if basis.Rows() == 0 {
+		return nil
+	}
+	var best []int
+	bestDist := -1
+	for draw := 0; draw < 48; draw++ {
+		v := make([]int, 2*n)
+		// Combine a few random basis vectors; sparse combinations
+		// keep the Pauli weight low.
+		picks := 1 + rng.Intn(4)
+		for p := 0; p < picks; p++ {
+			b := rng.Intn(basis.Rows())
+			for c := 0; c < 2*n; c++ {
+				v[c] ^= basis.Get(b, c)
+			}
+		}
+		w := pauliWeight(v, n)
+		if w == 0 {
+			continue
+		}
+		// Distance to the target weight band; 0 inside the band.
+		d := 0
+		if w < wMin {
+			d = wMin - w
+		} else if w > wMax {
+			d = w - wMax
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = v, d
+			if d == 0 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// pauliWeight counts qubits where the (x|z) vector is non-identity.
+func pauliWeight(v []int, n int) int {
+	w := 0
+	for q := 0; q < n; q++ {
+		if v[q] == 1 || v[n+q] == 1 {
+			w++
+		}
+	}
+	return w
+}

@@ -1,0 +1,346 @@
+package stabilizer
+
+import (
+	"fmt"
+
+	"repro/internal/gates"
+	"repro/internal/gf2"
+	"repro/internal/qasm"
+)
+
+// Encoder synthesizes an encoding circuit for the code using the
+// Gottesman/Cleve standard-form construction, then verifies it
+// exactly (including signs) with the Pauli-conjugation simulator and
+// appends single-qubit Pauli corrections if any stabilizer comes out
+// with the wrong sign.
+//
+// The produced QASM program follows the Fig. 3 conventions of the
+// paper: the n-k ancilla qubits are declared with initial value 0 and
+// the k data qubits are declared without an initial value (compare
+// q3 in Fig. 3). Qubit names refer to standard-form positions; the
+// code's qubits are permuted accordingly (see Standard.Perm), which
+// only relabels the fabric mapping problem.
+func (c *Code) Encoder() (*qasm.Program, error) {
+	st, err := c.StandardForm()
+	if err != nil {
+		return nil, err
+	}
+	if err := st.VerifyLogicals(); err != nil {
+		return nil, err
+	}
+	prog, err := st.synthesize()
+	if err != nil {
+		return nil, err
+	}
+	if err := st.fixSigns(prog); err != nil {
+		return nil, err
+	}
+	if err := VerifyEncoder(st, prog); err != nil {
+		return nil, fmt.Errorf("stabilizer: synthesized encoder failed verification: %w", err)
+	}
+	return prog, nil
+}
+
+// synthesize emits the raw standard-form encoder circuit.
+func (st *Standard) synthesize() (*qasm.Program, error) {
+	n, k := st.Code.N, st.Code.K
+	r := st.R
+	s := n - k - r
+	prog := qasm.NewProgram()
+	for q := 0; q < n; q++ {
+		name := fmt.Sprintf("q%d", q)
+		init := 0
+		if q >= n-k {
+			init = -1 // data qubit, arbitrary input state
+		}
+		if _, err := prog.DeclareQubit(name, init, 0); err != nil {
+			return nil, err
+		}
+	}
+	add := func(kind gates.Kind, qs ...int) error {
+		return prog.AddGateByIndex(kind, qs...)
+	}
+	// Step 1: condition the logical X̄ operators on the data qubits:
+	// for each data qubit j, CNOT onto the middle-block qubits in
+	// X̄_j's X support. (The Z part of X̄_j acts on the first r
+	// qubits, which are still |0⟩, so it contributes nothing.)
+	for j := 0; j < k; j++ {
+		src := n - k + j
+		for m := r; m < r+s; m++ {
+			if st.LogicalXx.Get(j, m) == 1 {
+				if err := add(gates.CX, src, m); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Step 2: for each of the first r generators (X part = e_i plus
+	// A-blocks), put qubit i into |+⟩ and apply the generator
+	// conditioned on it: H on i, an S if the generator has Y on i,
+	// then controlled Paulis onto the rest of its support.
+	for i := 0; i < r; i++ {
+		if err := add(gates.H, i); err != nil {
+			return nil, err
+		}
+		if st.Code.Z.Get(i, i) == 1 {
+			if err := add(gates.S, i); err != nil {
+				return nil, err
+			}
+		}
+		for m := 0; m < n; m++ {
+			if m == i {
+				continue
+			}
+			x := st.Code.X.Get(i, m)
+			z := st.Code.Z.Get(i, m)
+			switch {
+			case x == 1 && z == 1:
+				if err := add(gates.CY, i, m); err != nil {
+					return nil, err
+				}
+			case x == 1:
+				if err := add(gates.CX, i, m); err != nil {
+					return nil, err
+				}
+			case z == 1:
+				if err := add(gates.CZ, i, m); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return prog, nil
+}
+
+// encodedBasis returns the conjugated images of the initial-state
+// stabilizers and the logical inputs: the transformed Z_i for each
+// ancilla i and the transformed X/Z of each data qubit.
+func (st *Standard) encodedBasis(prog *qasm.Program) (stab []*Pauli, logX, logZ []*Pauli, err error) {
+	n, k := st.Code.N, st.Code.K
+	for i := 0; i < n-k; i++ {
+		p := SingleZ(n, i)
+		if err := p.ApplyProgram(prog); err != nil {
+			return nil, nil, nil, err
+		}
+		stab = append(stab, p)
+	}
+	for j := 0; j < k; j++ {
+		px := SingleX(n, n-k+j)
+		pz := SingleZ(n, n-k+j)
+		if err := px.ApplyProgram(prog); err != nil {
+			return nil, nil, nil, err
+		}
+		if err := pz.ApplyProgram(prog); err != nil {
+			return nil, nil, nil, err
+		}
+		logX = append(logX, px)
+		logZ = append(logZ, pz)
+	}
+	return stab, logX, logZ, nil
+}
+
+// fixSigns appends single-qubit Pauli gates so that every transformed
+// initial stabilizer and logical operator carries the sign of the
+// code element it must equal (the true sign of the corresponding
+// generator product). The correction W must anticommute with exactly
+// the wrong-signed operators; since the transformed operators are
+// symplectically independent, the linear system over GF(2) always has
+// a solution.
+func (st *Standard) fixSigns(prog *qasm.Program) error {
+	stab, logX, logZ, err := st.encodedBasis(prog)
+	if err != nil {
+		return err
+	}
+	type goal struct {
+		p     *Pauli
+		coset *Pauli
+	}
+	var all []goal
+	for _, p := range stab {
+		all = append(all, goal{p, nil})
+	}
+	for j, p := range logX {
+		all = append(all, goal{p, logicalPauli(st, st.LogicalXx, st.LogicalXz, j)})
+	}
+	for j, p := range logZ {
+		all = append(all, goal{p, logicalPauli(st, st.LogicalZx, st.LogicalZz, j)})
+	}
+	n := st.Code.N
+	anyNeg := false
+	rhs := make([]int, len(all))
+	for i, g := range all {
+		want, err := expectedElement(st, g.p, g.coset)
+		if err != nil {
+			return fmt.Errorf("stabilizer: synthesized operator %d not in code group: %w", i, err)
+		}
+		if g.p.Neg != want.Neg {
+			rhs[i] = 1
+			anyNeg = true
+		}
+	}
+	if !anyNeg {
+		return nil
+	}
+	// Solve A·w = rhs where w = (x|z) of the correction W and row i
+	// encodes the symplectic product with operator i: ⟨W,P⟩ =
+	// x·P.z + z·P.x.
+	a := gf2.NewMatrix(len(all), 2*n)
+	for i, g := range all {
+		for q := 0; q < n; q++ {
+			a.Set(i, q, int(g.p.Z[q]))
+			a.Set(i, n+q, int(g.p.X[q]))
+		}
+	}
+	w, err := solve(a, rhs)
+	if err != nil {
+		return fmt.Errorf("stabilizer: sign correction unsolvable: %w", err)
+	}
+	for q := 0; q < n; q++ {
+		x, z := w[q], w[n+q]
+		var kind gates.Kind
+		switch {
+		case x == 1 && z == 1:
+			kind = gates.Y
+		case x == 1:
+			kind = gates.X
+		case z == 1:
+			kind = gates.Z
+		default:
+			continue
+		}
+		if err := prog.AddGateByIndex(kind, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// solve finds any x with M·x = rhs over GF(2).
+func solve(m *gf2.Matrix, rhs []int) ([]int, error) {
+	aug := gf2.NewMatrix(m.Rows(), m.Cols()+1)
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			aug.Set(i, j, m.Get(i, j))
+		}
+		aug.Set(i, m.Cols(), rhs[i])
+	}
+	pivots := aug.RREF(0, m.Cols())
+	x := make([]int, m.Cols())
+	for ri, pc := range pivots {
+		x[pc] = aug.Get(ri, m.Cols())
+	}
+	// Rows beyond the pivot count must have zero RHS.
+	for i := len(pivots); i < m.Rows(); i++ {
+		if aug.Get(i, m.Cols()) == 1 {
+			return nil, fmt.Errorf("gf2: inconsistent system")
+		}
+	}
+	return x, nil
+}
+
+// VerifyEncoder checks that the circuit exactly encodes the code:
+//
+//   - the image of each ancilla stabilizer Z_i lies in the code's
+//     stabilizer group with sign +1 (so |0...0⟩⊗|ψ⟩ maps into the +1
+//     eigenspace);
+//   - the image of each data-qubit X_j (Z_j) equals the logical X̄_j
+//     (Z̄_j) times a stabilizer element, with sign +1.
+func VerifyEncoder(st *Standard, prog *qasm.Program) error {
+	stab, logX, logZ, err := st.encodedBasis(prog)
+	if err != nil {
+		return err
+	}
+	for i, p := range stab {
+		if err := inGroup(st, p, nil); err != nil {
+			return fmt.Errorf("ancilla %d: %w", i, err)
+		}
+	}
+	for j := range logX {
+		if err := inGroup(st, logX[j], logicalPauli(st, st.LogicalXx, st.LogicalXz, j)); err != nil {
+			return fmt.Errorf("logical X_%d: %w", j, err)
+		}
+		if err := inGroup(st, logZ[j], logicalPauli(st, st.LogicalZx, st.LogicalZz, j)); err != nil {
+			return fmt.Errorf("logical Z_%d: %w", j, err)
+		}
+	}
+	return nil
+}
+
+func logicalPauli(st *Standard, xm, zm *gf2.Matrix, j int) *Pauli {
+	p := NewPauli(st.Code.N)
+	for q := 0; q < st.Code.N; q++ {
+		p.X[q] = uint8(xm.Get(j, q))
+		p.Z[q] = uint8(zm.Get(j, q))
+	}
+	return p
+}
+
+// inGroup verifies that p equals the true signed code element with
+// its (x|z) vector: a stabilizer product, optionally times a logical
+// coset representative.
+func inGroup(st *Standard, p *Pauli, coset *Pauli) error {
+	want, err := expectedElement(st, p, coset)
+	if err != nil {
+		return err
+	}
+	if !p.Equal(want) {
+		if p.Neg != want.Neg {
+			return fmt.Errorf("image has wrong sign: %v vs code element %v", p, want)
+		}
+		return fmt.Errorf("image mismatch: %v vs %v", p, want)
+	}
+	return nil
+}
+
+// expectedElement reconstructs, with exact sign, the code-group
+// element (coset · generator product) whose (x|z) vector matches p.
+// An error means p's vector is not in the group at all.
+func expectedElement(st *Standard, p *Pauli, coset *Pauli) (*Pauli, error) {
+	c := st.Code
+	m := c.N - c.K
+	// Residual vector to decompose over the generators.
+	res := p.Clone()
+	res.Neg = false
+	if coset != nil {
+		for q := 0; q < c.N; q++ {
+			res.X[q] ^= coset.X[q]
+			res.Z[q] ^= coset.Z[q]
+		}
+	}
+	// Solve generator-combination · [X|Z] = res over GF(2).
+	a := gf2.NewMatrix(m, 2*c.N)
+	for i := 0; i < m; i++ {
+		for q := 0; q < c.N; q++ {
+			a.Set(i, q, c.X.Get(i, q))
+			a.Set(i, c.N+q, c.Z.Get(i, q))
+		}
+	}
+	rhs := make([]int, 2*c.N)
+	for q := 0; q < c.N; q++ {
+		rhs[q] = int(res.X[q])
+		rhs[c.N+q] = int(res.Z[q])
+	}
+	sel, err := solve(a.Transpose(), rhs)
+	if err != nil {
+		return nil, fmt.Errorf("image not in stabilizer group/coset")
+	}
+	prod := NewPauli(c.N)
+	if coset != nil {
+		prod = coset.Clone()
+	}
+	for i := 0; i < m; i++ {
+		if sel[i] == 1 {
+			prod.Mul(generatorPauli(c, i))
+		}
+	}
+	return prod, nil
+}
+
+func generatorPauli(c *Code, i int) *Pauli {
+	p := NewPauli(c.N)
+	for q := 0; q < c.N; q++ {
+		p.X[q] = uint8(c.X.Get(i, q))
+		p.Z[q] = uint8(c.Z.Get(i, q))
+	}
+	return p
+}

@@ -1,0 +1,235 @@
+package stabilizer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gates"
+	"repro/internal/qasm"
+)
+
+// Pauli is a Hermitian Pauli operator on N qubits with sign ±1,
+// represented in the (x|z) binary convention: qubit q carries X if
+// x[q]=1, Z if z[q]=1, Y if both.
+type Pauli struct {
+	N    int
+	X, Z []uint8
+	// Neg is true for overall sign -1.
+	Neg bool
+}
+
+// NewPauli returns the identity (+1) on n qubits.
+func NewPauli(n int) *Pauli {
+	return &Pauli{N: n, X: make([]uint8, n), Z: make([]uint8, n)}
+}
+
+// SingleZ returns +Z on qubit q.
+func SingleZ(n, q int) *Pauli {
+	p := NewPauli(n)
+	p.Z[q] = 1
+	return p
+}
+
+// SingleX returns +X on qubit q.
+func SingleX(n, q int) *Pauli {
+	p := NewPauli(n)
+	p.X[q] = 1
+	return p
+}
+
+// Clone copies the operator.
+func (p *Pauli) Clone() *Pauli {
+	return &Pauli{N: p.N, X: append([]uint8(nil), p.X...), Z: append([]uint8(nil), p.Z...), Neg: p.Neg}
+}
+
+// Weight returns the number of non-identity tensor factors.
+func (p *Pauli) Weight() int {
+	w := 0
+	for q := 0; q < p.N; q++ {
+		if p.X[q]|p.Z[q] == 1 {
+			w++
+		}
+	}
+	return w
+}
+
+// Commutes reports whether p and o commute (symplectic product 0).
+func (p *Pauli) Commutes(o *Pauli) bool {
+	if p.N != o.N {
+		panic("stabilizer: Commutes on mismatched sizes")
+	}
+	acc := uint8(0)
+	for q := 0; q < p.N; q++ {
+		acc ^= p.X[q]&o.Z[q] ^ p.Z[q]&o.X[q]
+	}
+	return acc == 0
+}
+
+// Mul multiplies p by o in place (p <- p·o). The operators must
+// commute for the product to remain Hermitian with sign ±1; Mul
+// panics otherwise to catch misuse.
+func (p *Pauli) Mul(o *Pauli) {
+	if !p.Commutes(o) {
+		panic("stabilizer: Mul of anticommuting Paulis is not Hermitian")
+	}
+	// Phase bookkeeping: multiplying single-qubit Paulis accumulates
+	// powers of i: X·Z = -iY, Z·X = iY, etc. Track the exponent of i
+	// mod 4; for commuting operators it ends up 0 or 2.
+	iPow := 0
+	for q := 0; q < p.N; q++ {
+		iPow += pauliPhase(p.X[q], p.Z[q], o.X[q], o.Z[q])
+		p.X[q] ^= o.X[q]
+		p.Z[q] ^= o.Z[q]
+	}
+	switch iPow % 4 {
+	case 0:
+	case 2:
+		p.Neg = !p.Neg
+	default:
+		panic("stabilizer: commuting product produced imaginary phase")
+	}
+	if o.Neg {
+		p.Neg = !p.Neg
+	}
+}
+
+// pauliPhase returns the power of i arising from multiplying the
+// single-qubit Paulis (x1,z1)·(x2,z2) in the convention Y = iXZ.
+func pauliPhase(x1, z1, x2, z2 uint8) int {
+	// Represent each Pauli as i^e · X^x Z^z with e chosen so the
+	// operator is Hermitian: I,X,Z have e=0; Y = iXZ has e=1.
+	// (X^x1 Z^z1)(X^x2 Z^z2) = (-1)^(z1·x2) X^(x1+x2) Z^(z1+z2).
+	e1 := int(x1 & z1)
+	e2 := int(x2 & z2)
+	eOut := int((x1 ^ x2) & (z1 ^ z2))
+	// total i exponent: e1 + e2 + 2*(z1&x2) - eOut  (mod 4)
+	e := e1 + e2 + 2*int(z1&x2) - eOut
+	return ((e % 4) + 4) % 4
+}
+
+// Equal reports exact equality including sign.
+func (p *Pauli) Equal(o *Pauli) bool {
+	if p.N != o.N || p.Neg != o.Neg {
+		return false
+	}
+	for q := 0; q < p.N; q++ {
+		if p.X[q] != o.X[q] || p.Z[q] != o.Z[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders e.g. "-XIZY".
+func (p *Pauli) String() string {
+	var b strings.Builder
+	if p.Neg {
+		b.WriteByte('-')
+	} else {
+		b.WriteByte('+')
+	}
+	for q := 0; q < p.N; q++ {
+		switch {
+		case p.X[q] == 1 && p.Z[q] == 1:
+			b.WriteByte('Y')
+		case p.X[q] == 1:
+			b.WriteByte('X')
+		case p.Z[q] == 1:
+			b.WriteByte('Z')
+		default:
+			b.WriteByte('I')
+		}
+	}
+	return b.String()
+}
+
+// ApplyGate conjugates p by the gate (p <- g·p·g†), the Heisenberg
+// picture of applying g to the state.
+func (p *Pauli) ApplyGate(k gates.Kind, qs ...int) error {
+	switch k {
+	case gates.I, gates.Qubit, gates.Measure:
+		// Measurement appears only at circuit ends; treated as
+		// identity for conjugation purposes.
+	case gates.H:
+		q := qs[0]
+		if p.X[q]&p.Z[q] == 1 {
+			p.Neg = !p.Neg // Y -> -Y
+		}
+		p.X[q], p.Z[q] = p.Z[q], p.X[q]
+	case gates.S:
+		q := qs[0]
+		if p.X[q]&p.Z[q] == 1 {
+			p.Neg = !p.Neg // Y -> -X
+		}
+		p.Z[q] ^= p.X[q]
+	case gates.Sdg:
+		q := qs[0]
+		if p.X[q] == 1 && p.Z[q] == 0 {
+			p.Neg = !p.Neg // X -> -Y
+		}
+		p.Z[q] ^= p.X[q]
+	case gates.X:
+		q := qs[0]
+		if p.Z[q] == 1 {
+			p.Neg = !p.Neg
+		}
+	case gates.Y:
+		q := qs[0]
+		if p.X[q]^p.Z[q] == 1 {
+			p.Neg = !p.Neg
+		}
+	case gates.Z:
+		q := qs[0]
+		if p.X[q] == 1 {
+			p.Neg = !p.Neg
+		}
+	case gates.CX:
+		c, t := qs[0], qs[1]
+		if p.X[c]&p.Z[t]&(p.X[t]^p.Z[c]^1) == 1 {
+			p.Neg = !p.Neg
+		}
+		p.X[t] ^= p.X[c]
+		p.Z[c] ^= p.Z[t]
+	case gates.CZ:
+		// CZ = H_t · CX · H_t.
+		c, t := qs[0], qs[1]
+		if err := p.ApplyGate(gates.H, t); err != nil {
+			return err
+		}
+		if err := p.ApplyGate(gates.CX, c, t); err != nil {
+			return err
+		}
+		return p.ApplyGate(gates.H, t)
+	case gates.CY:
+		// CY = S_t · CX · S†_t.
+		c, t := qs[0], qs[1]
+		if err := p.ApplyGate(gates.Sdg, t); err != nil {
+			return err
+		}
+		if err := p.ApplyGate(gates.CX, c, t); err != nil {
+			return err
+		}
+		return p.ApplyGate(gates.S, t)
+	case gates.Swap:
+		a, b := qs[0], qs[1]
+		p.X[a], p.X[b] = p.X[b], p.X[a]
+		p.Z[a], p.Z[b] = p.Z[b], p.Z[a]
+	default:
+		return fmt.Errorf("stabilizer: gate %v is not Clifford; cannot conjugate", k)
+	}
+	return nil
+}
+
+// ApplyProgram conjugates p through every gate of a QASM program in
+// application order, yielding U·p·U† for the whole circuit U.
+func (p *Pauli) ApplyProgram(prog *qasm.Program) error {
+	for _, in := range prog.Instrs {
+		if in.Kind == gates.Qubit {
+			continue
+		}
+		if err := p.ApplyGate(in.Kind, in.Qubits...); err != nil {
+			return fmt.Errorf("line %d: %w", in.Line, err)
+		}
+	}
+	return nil
+}

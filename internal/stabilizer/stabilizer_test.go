@@ -1,0 +1,336 @@
+package stabilizer
+
+import (
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/qidg"
+)
+
+func TestKnownCodesValidate(t *testing.T) {
+	for _, c := range KnownCodes() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestKnownCodeParameters(t *testing.T) {
+	want := []struct {
+		name string
+		n, k int
+	}{
+		{"[[5,1,3]]", 5, 1},
+		{"[[7,1,3]]", 7, 1},
+		{"[[9,1,3]]", 9, 1},
+		{"[[14,8,3]]", 14, 8},
+		{"[[19,1,7]]", 19, 1},
+		{"[[23,1,7]]", 23, 1},
+	}
+	codes := KnownCodes()
+	for i, w := range want {
+		if codes[i].Name != w.name || codes[i].N != w.n || codes[i].K != w.k {
+			t.Errorf("code %d = %s [[%d,%d]], want %s [[%d,%d]]",
+				i, codes[i].Name, codes[i].N, codes[i].K, w.name, w.n, w.k)
+		}
+	}
+}
+
+func TestCyclic513Generators(t *testing.T) {
+	c := Cyclic513()
+	want := []string{"XZZXI", "IXZZX", "XIXZZ", "ZXIXZ"}
+	for i, w := range want {
+		if got := c.GeneratorString(i); got != w {
+			t.Errorf("generator %d = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestGolayDualSelfOrthogonal(t *testing.T) {
+	g := golayDualGenerator()
+	if g.Rows() != 11 || g.Cols() != 23 {
+		t.Fatalf("dual generator is %dx%d", g.Rows(), g.Cols())
+	}
+	if g.Rank() != 11 {
+		t.Errorf("dual generator rank %d, want 11", g.Rank())
+	}
+	// Self-orthogonality (C-perp inside C) and even row weights.
+	for i := 0; i < g.Rows(); i++ {
+		if g.RowWeight(i)%2 != 0 {
+			t.Errorf("row %d has odd weight %d", i, g.RowWeight(i))
+		}
+	}
+}
+
+func TestRandomSelfOrthogonalDeterministic(t *testing.T) {
+	a, err := RandomSelfOrthogonal("t", 14, 8, 3, 6, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomSelfOrthogonal("t", 14, 8, 3, 6, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.X.Equal(b.X) || !a.Z.Equal(b.Z) {
+		t.Error("same seed produced different codes")
+	}
+	c, err := RandomSelfOrthogonal("t", 14, 8, 3, 6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.X.Equal(c.X) && a.Z.Equal(c.Z) {
+		t.Error("different seeds produced identical codes")
+	}
+}
+
+func TestFromPauliStringsErrors(t *testing.T) {
+	if _, err := FromPauliStrings("bad", 3, 1, []string{"XXX"}); err == nil {
+		t.Error("wrong generator count accepted")
+	}
+	if _, err := FromPauliStrings("bad", 3, 1, []string{"XX", "ZZ"}); err == nil {
+		t.Error("short generator accepted")
+	}
+	if _, err := FromPauliStrings("bad", 3, 1, []string{"XQX", "ZZI"}); err == nil {
+		t.Error("invalid Pauli accepted")
+	}
+	// Anticommuting generators.
+	if _, err := FromPauliStrings("bad", 2, 0, []string{"XI", "ZI"}); err == nil {
+		t.Error("anticommuting generators accepted")
+	}
+	// Dependent generators.
+	if _, err := FromPauliStrings("bad", 3, 1, []string{"XXI", "XXI"}); err == nil {
+		t.Error("dependent generators accepted")
+	}
+}
+
+func TestStandardFormBlocks(t *testing.T) {
+	for _, c := range KnownCodes() {
+		st, err := c.StandardForm()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		n, k := c.N, c.K
+		m := n - k
+		r := st.R
+		s := m - r
+		x, z := st.Code.X, st.Code.Z
+		// X = [I_r ...; 0].
+		for i := 0; i < m; i++ {
+			for j := 0; j < r; j++ {
+				want := 0
+				if i == j {
+					want = 1
+				}
+				if x.Get(i, j) != want {
+					t.Fatalf("%s: X[%d,%d]=%d, want %d", c.Name, i, j, x.Get(i, j), want)
+				}
+			}
+			if i >= r {
+				for j := r; j < n; j++ {
+					if x.Get(i, j) != 0 {
+						t.Fatalf("%s: bottom X block not zero at (%d,%d)", c.Name, i, j)
+					}
+				}
+			}
+		}
+		// Z bottom = [D I_s E]; Z top middle block = 0.
+		for i := r; i < m; i++ {
+			for j := r; j < r+s; j++ {
+				want := 0
+				if j-r == i-r {
+					want = 1
+				}
+				if z.Get(i, j) != want {
+					t.Fatalf("%s: Z[%d,%d]=%d, want %d", c.Name, i, j, z.Get(i, j), want)
+				}
+			}
+		}
+		for i := 0; i < r; i++ {
+			for j := r; j < r+s; j++ {
+				if z.Get(i, j) != 0 {
+					t.Fatalf("%s: Z top middle block not zero at (%d,%d)", c.Name, i, j)
+				}
+			}
+		}
+		// Perm is a permutation.
+		seen := make([]bool, n)
+		for _, p := range st.Perm {
+			if p < 0 || p >= n || seen[p] {
+				t.Fatalf("%s: Perm invalid: %v", c.Name, st.Perm)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestLogicalsSatisfyAlgebra(t *testing.T) {
+	for _, c := range KnownCodes() {
+		st, err := c.StandardForm()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if err := st.VerifyLogicals(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestEncodersVerify(t *testing.T) {
+	for _, c := range KnownCodes() {
+		prog, err := c.Encoder()
+		if err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+			continue
+		}
+		if prog.NumQubits() != c.N {
+			t.Errorf("%s: encoder on %d qubits, want %d", c.Name, prog.NumQubits(), c.N)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Errorf("%s: program invalid: %v", c.Name, err)
+		}
+		// Ancillas initialized to 0, data qubits uninitialized.
+		inits := 0
+		for _, in := range prog.Instrs {
+			if in.Kind == gates.Qubit && in.Init == 0 {
+				inits++
+			}
+		}
+		if inits != c.N-c.K {
+			t.Errorf("%s: %d initialized ancillas, want %d", c.Name, inits, c.N-c.K)
+		}
+		// The dependency graph must build (feeds the mapper).
+		g, err := qidg.Build(prog)
+		if err != nil {
+			t.Errorf("%s: qidg: %v", c.Name, err)
+			continue
+		}
+		if g.Len() == 0 {
+			t.Errorf("%s: empty encoder circuit", c.Name)
+		}
+	}
+}
+
+func TestEncoderGateBudget(t *testing.T) {
+	// Encoder sizes should scale with code size and stay sane.
+	for _, c := range KnownCodes() {
+		prog, err := c.Encoder()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		two := prog.TwoQubitGateCount()
+		if two == 0 {
+			t.Errorf("%s: no two-qubit gates", c.Name)
+		}
+		if two > c.N*(c.N-c.K) {
+			t.Errorf("%s: %d two-qubit gates exceed n*(n-k)=%d", c.Name, two, c.N*(c.N-c.K))
+		}
+	}
+}
+
+func TestPauliMulTable(t *testing.T) {
+	// X*Z and Z*X anticommute: Mul must panic.
+	x := SingleX(1, 0)
+	z := SingleZ(1, 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Mul of anticommuting Paulis did not panic")
+			}
+		}()
+		x.Clone().Mul(z)
+	}()
+	// Y*Y = +I.
+	y := SingleX(1, 0)
+	y.Z[0] = 1
+	yy := y.Clone()
+	yy.Mul(y)
+	if yy.Weight() != 0 || yy.Neg {
+		t.Errorf("Y*Y = %v, want +I", yy)
+	}
+	// (XX)*(ZZ) = -YY? XX and ZZ commute; X*Z per qubit = -iY each,
+	// (-i)^2 = -1.
+	xx := NewPauli(2)
+	xx.X[0], xx.X[1] = 1, 1
+	zz := NewPauli(2)
+	zz.Z[0], zz.Z[1] = 1, 1
+	p := xx.Clone()
+	p.Mul(zz)
+	if !p.Neg || p.X[0] != 1 || p.Z[0] != 1 || p.X[1] != 1 || p.Z[1] != 1 {
+		t.Errorf("XX*ZZ = %v, want -YY", p)
+	}
+}
+
+func TestConjugationRules(t *testing.T) {
+	cases := []struct {
+		gate gates.Kind
+		qs   []int
+		in   func() *Pauli
+		want string
+	}{
+		{gates.H, []int{0}, func() *Pauli { return SingleX(1, 0) }, "+Z"},
+		{gates.H, []int{0}, func() *Pauli { return SingleZ(1, 0) }, "+X"},
+		{gates.H, []int{0}, func() *Pauli { p := SingleX(1, 0); p.Z[0] = 1; return p }, "-Y"},
+		{gates.S, []int{0}, func() *Pauli { return SingleX(1, 0) }, "+Y"},
+		{gates.S, []int{0}, func() *Pauli { p := SingleX(1, 0); p.Z[0] = 1; return p }, "-X"},
+		{gates.Sdg, []int{0}, func() *Pauli { return SingleX(1, 0) }, "-Y"},
+		{gates.X, []int{0}, func() *Pauli { return SingleZ(1, 0) }, "-Z"},
+		{gates.Z, []int{0}, func() *Pauli { return SingleX(1, 0) }, "-X"},
+		{gates.Y, []int{0}, func() *Pauli { return SingleX(1, 0) }, "-X"},
+		{gates.CX, []int{0, 1}, func() *Pauli { return SingleX(2, 0) }, "+XX"},
+		{gates.CX, []int{0, 1}, func() *Pauli { return SingleZ(2, 1) }, "+ZZ"},
+		{gates.CX, []int{0, 1}, func() *Pauli { return SingleZ(2, 0) }, "+ZI"},
+		{gates.CX, []int{0, 1}, func() *Pauli { return SingleX(2, 1) }, "+IX"},
+		{gates.CZ, []int{0, 1}, func() *Pauli { return SingleX(2, 0) }, "+XZ"},
+		{gates.CZ, []int{0, 1}, func() *Pauli { return SingleZ(2, 0) }, "+ZI"},
+		{gates.CY, []int{0, 1}, func() *Pauli { return SingleX(2, 0) }, "+XY"},
+		{gates.CY, []int{0, 1}, func() *Pauli { return SingleZ(2, 1) }, "+ZZ"},
+		{gates.Swap, []int{0, 1}, func() *Pauli { return SingleX(2, 0) }, "+IX"},
+	}
+	for i, c := range cases {
+		p := c.in()
+		if err := p.ApplyGate(c.gate, c.qs...); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if p.String() != c.want {
+			t.Errorf("case %d: %v conjugation = %v, want %v", i, c.gate, p.String(), c.want)
+		}
+	}
+}
+
+func TestConjugationPreservesCommutation(t *testing.T) {
+	// Clifford conjugation is a group automorphism: commutation
+	// relations survive any gate sequence.
+	a := SingleX(3, 0)
+	b := SingleZ(3, 0)
+	seq := []struct {
+		k  gates.Kind
+		qs []int
+	}{
+		{gates.H, []int{0}}, {gates.CX, []int{0, 1}}, {gates.S, []int{2}},
+		{gates.CY, []int{1, 2}}, {gates.CZ, []int{0, 2}}, {gates.H, []int{1}},
+	}
+	for _, g := range seq {
+		if err := a.ApplyGate(g.k, g.qs...); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.ApplyGate(g.k, g.qs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Commutes(b) {
+		t.Error("anticommuting pair became commuting under Clifford conjugation")
+	}
+}
+
+func TestCyclicSeedLengthError(t *testing.T) {
+	if _, err := Cyclic("bad", 5, 1, "XZZX"); err == nil {
+		t.Error("short cyclic seed accepted")
+	}
+}
+
+func TestGeneratorString(t *testing.T) {
+	c := Cyclic513()
+	if c.GeneratorString(0) != "XZZXI" {
+		t.Errorf("GeneratorString = %s", c.GeneratorString(0))
+	}
+}

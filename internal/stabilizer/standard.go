@@ -1,0 +1,181 @@
+package stabilizer
+
+import (
+	"fmt"
+
+	"repro/internal/gf2"
+)
+
+// Standard is a stabilizer code brought to the Gottesman standard
+// form by row operations and qubit (column) permutation:
+//
+//	X = [ I A1 A2 ]    Z = [ B 0 C ]
+//	    [ 0 0  0  ]        [ D I E ]
+//
+// with column blocks of widths R, N-K-R and K. The logical X
+// operators in the same basis are X̄ = (0 Eᵀ I | Cᵀ 0 0) and the
+// logical Z operators are Z̄ = (0 0 0 | A2ᵀ 0 I).
+type Standard struct {
+	// Code is the column-permuted, row-reduced code.
+	Code *Code
+	// R is the rank of the X part.
+	R int
+	// Perm maps standard-form qubit position to the original qubit
+	// index: position p holds original qubit Perm[p].
+	Perm []int
+	// LogicalX, LogicalZ are K×N matrices each for the X and Z parts
+	// of the logical operators.
+	LogicalXx, LogicalXz *gf2.Matrix
+	LogicalZx, LogicalZz *gf2.Matrix
+}
+
+// StandardForm reduces the code. The receiver is not modified.
+func (c *Code) StandardForm() (*Standard, error) {
+	n, k := c.N, c.K
+	m := n - k
+	x := c.X.Clone()
+	z := c.Z.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	swapCols := func(a, b int) {
+		x.SwapCols(a, b)
+		z.SwapCols(a, b)
+		perm[a], perm[b] = perm[b], perm[a]
+	}
+	// Phase 1: Gaussian elimination on the X part with full column
+	// pivoting, pivots moved to positions 0..r-1.
+	r := 0
+	for r < m {
+		// Find any 1 in X at row >= r, any column >= r.
+		pr, pc := -1, -1
+		for i := r; i < m && pr < 0; i++ {
+			for j := r; j < n; j++ {
+				if x.Get(i, j) == 1 {
+					pr, pc = i, j
+					break
+				}
+			}
+		}
+		if pr < 0 {
+			break
+		}
+		x.SwapRows(r, pr)
+		z.SwapRows(r, pr)
+		swapCols(r, pc)
+		for i := 0; i < m; i++ {
+			if i != r && x.Get(i, r) == 1 {
+				x.AddRow(i, r)
+				z.AddRow(i, r)
+			}
+		}
+		r++
+	}
+	s := m - r
+	// Phase 2: rows r..m-1 have zero X part; eliminate their Z part
+	// with pivots in positions r..r+s-1 (column swaps restricted to
+	// positions >= r keep the I_r block intact).
+	zr := 0
+	for zr < s {
+		pr, pc := -1, -1
+		for i := r + zr; i < m && pr < 0; i++ {
+			for j := r + zr; j < n; j++ {
+				if z.Get(i, j) == 1 {
+					pr, pc = i, j
+					break
+				}
+			}
+		}
+		if pr < 0 {
+			return nil, fmt.Errorf("stabilizer: %s generators dependent in standard form", c.Name)
+		}
+		x.SwapRows(r+zr, pr)
+		z.SwapRows(r+zr, pr)
+		swapCols(r+zr, pc)
+		for i := 0; i < m; i++ {
+			if i != r+zr && z.Get(i, r+zr) == 1 {
+				x.AddRow(i, r+zr)
+				z.AddRow(i, r+zr)
+			}
+		}
+		zr++
+	}
+	// The row additions in phase 2 already zeroed the top rows' Z
+	// entries in the middle block (columns r..r+s-1), giving
+	// Z_top = [B 0 C]. Phase 2 row ops added rows with zero X parts,
+	// so the X structure is untouched.
+	std := &Code{Name: c.Name + "-std", N: n, K: k, X: x, Z: z}
+	if err := std.Validate(); err != nil {
+		return nil, fmt.Errorf("stabilizer: standard form broke invariants: %w", err)
+	}
+	out := &Standard{Code: std, R: r, Perm: perm}
+	out.buildLogicals()
+	return out, nil
+}
+
+// buildLogicals fills in the logical X̄/Z̄ operators from the
+// standard-form blocks.
+func (st *Standard) buildLogicals() {
+	n, k := st.Code.N, st.Code.K
+	r := st.R
+	s := n - k - r
+	// Blocks: A2 = X[0:r, n-k:n], C = Z[0:r, n-k:n], E = Z[r:r+s, n-k:n].
+	st.LogicalXx = gf2.NewMatrix(k, n)
+	st.LogicalXz = gf2.NewMatrix(k, n)
+	st.LogicalZx = gf2.NewMatrix(k, n)
+	st.LogicalZz = gf2.NewMatrix(k, n)
+	for j := 0; j < k; j++ {
+		// X̄_j: X part = (0 | Eᵀ row j | e_j), Z part = (Cᵀ row j | 0 | 0).
+		for i := 0; i < s; i++ {
+			st.LogicalXx.Set(j, r+i, st.Code.Z.Get(r+i, n-k+j)) // Eᵀ
+		}
+		st.LogicalXx.Set(j, n-k+j, 1)
+		for i := 0; i < r; i++ {
+			st.LogicalXz.Set(j, i, st.Code.Z.Get(i, n-k+j)) // Cᵀ
+		}
+		// Z̄_j: Z part = (A2ᵀ row j | 0 | e_j).
+		for i := 0; i < r; i++ {
+			st.LogicalZz.Set(j, i, st.Code.X.Get(i, n-k+j)) // A2ᵀ
+		}
+		st.LogicalZz.Set(j, n-k+j, 1)
+	}
+}
+
+// VerifyLogicals checks the defining algebra: every logical operator
+// commutes with every stabilizer generator; X̄_i anticommutes with
+// Z̄_i and commutes with Z̄_j (i≠j); logical X operators commute among
+// themselves, as do logical Z operators.
+func (st *Standard) VerifyLogicals() error {
+	c := st.Code
+	m := c.N - c.K
+	symp := func(ax, az *gf2.Matrix, i int, bx, bz *gf2.Matrix, j int) int {
+		return gf2.RowDot(ax, i, bz, j) ^ gf2.RowDot(az, i, bx, j)
+	}
+	for i := 0; i < c.K; i++ {
+		for g := 0; g < m; g++ {
+			if symp(st.LogicalXx, st.LogicalXz, i, c.X, c.Z, g) != 0 {
+				return fmt.Errorf("stabilizer: X̄_%d anticommutes with generator %d", i, g)
+			}
+			if symp(st.LogicalZx, st.LogicalZz, i, c.X, c.Z, g) != 0 {
+				return fmt.Errorf("stabilizer: Z̄_%d anticommutes with generator %d", i, g)
+			}
+		}
+		for j := 0; j < c.K; j++ {
+			want := 0
+			if i == j {
+				want = 1
+			}
+			if symp(st.LogicalXx, st.LogicalXz, i, st.LogicalZx, st.LogicalZz, j) != want {
+				return fmt.Errorf("stabilizer: X̄_%d vs Z̄_%d symplectic product != %d", i, j, want)
+			}
+			if symp(st.LogicalXx, st.LogicalXz, i, st.LogicalXx, st.LogicalXz, j) != 0 {
+				return fmt.Errorf("stabilizer: X̄_%d vs X̄_%d anticommute", i, j)
+			}
+			if symp(st.LogicalZx, st.LogicalZz, i, st.LogicalZx, st.LogicalZz, j) != 0 {
+				return fmt.Errorf("stabilizer: Z̄_%d vs Z̄_%d anticommute", i, j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,360 @@
+// Package tableau implements an Aaronson-Gottesman stabilizer
+// tableau simulator (arXiv:quant-ph/0406196): it tracks the
+// stabilizer group of an n-qubit state under Clifford gates and
+// computational-basis measurements in O(n²) space.
+//
+// In this repository the simulator serves as the semantic oracle for
+// the mapper: the QSPR scheduler is free to reorder commuting-by-
+// dependency instructions and the MVFB placer may report a reversed
+// uncompute trace, so tests simulate both the original program order
+// and the mapped trace's gate order and require identical final
+// stabilizer states.
+package tableau
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/gates"
+	"repro/internal/qasm"
+	"repro/internal/trace"
+)
+
+// Tableau is the stabilizer/destabilizer tableau of an n-qubit
+// stabilizer state. Rows 0..n-1 are destabilizers, rows n..2n-1
+// stabilizers; row 2n is the scratch row used by measurement.
+type Tableau struct {
+	n int
+	// x, z, r are the standard tableau bits: x[i][q], z[i][q] give
+	// row i's Pauli on qubit q; r[i] is the sign bit.
+	x, z [][]uint8
+	r    []uint8
+	rng  *rand.Rand
+}
+
+// New returns the tableau of |0...0⟩ on n qubits: destabilizer i is
+// X_i, stabilizer i is Z_i. Random measurement outcomes are drawn
+// from the given seed, keeping runs reproducible.
+func New(n int, seed int64) *Tableau {
+	t := &Tableau{
+		n:   n,
+		x:   make([][]uint8, 2*n+1),
+		z:   make([][]uint8, 2*n+1),
+		r:   make([]uint8, 2*n+1),
+		rng: rand.New(rand.NewSource(seed)),
+	}
+	for i := range t.x {
+		t.x[i] = make([]uint8, n)
+		t.z[i] = make([]uint8, n)
+	}
+	for i := 0; i < n; i++ {
+		t.x[i][i] = 1   // destabilizer X_i
+		t.z[n+i][i] = 1 // stabilizer Z_i
+	}
+	return t
+}
+
+// N returns the number of qubits.
+func (t *Tableau) N() int { return t.n }
+
+func (t *Tableau) checkQubit(qs ...int) {
+	for _, q := range qs {
+		if q < 0 || q >= t.n {
+			panic(fmt.Sprintf("tableau: qubit %d out of %d", q, t.n))
+		}
+	}
+}
+
+// h applies a Hadamard on qubit q.
+func (t *Tableau) h(q int) {
+	for i := 0; i < 2*t.n; i++ {
+		t.r[i] ^= t.x[i][q] & t.z[i][q]
+		t.x[i][q], t.z[i][q] = t.z[i][q], t.x[i][q]
+	}
+}
+
+// s applies the phase gate on qubit q.
+func (t *Tableau) s(q int) {
+	for i := 0; i < 2*t.n; i++ {
+		t.r[i] ^= t.x[i][q] & t.z[i][q]
+		t.z[i][q] ^= t.x[i][q]
+	}
+}
+
+// cnot applies CNOT with control c, target d.
+func (t *Tableau) cnot(c, d int) {
+	for i := 0; i < 2*t.n; i++ {
+		t.r[i] ^= t.x[i][c] & t.z[i][d] & (t.x[i][d] ^ t.z[i][c] ^ 1)
+		t.x[i][d] ^= t.x[i][c]
+		t.z[i][c] ^= t.z[i][d]
+	}
+}
+
+// Apply performs a gate on the state. Measurement collapses the state
+// and discards the outcome; use Measure to observe it.
+func (t *Tableau) Apply(k gates.Kind, qs ...int) error {
+	if len(qs) != k.Arity() && k != gates.Qubit {
+		return fmt.Errorf("tableau: %v expects %d operand(s), got %d", k, k.Arity(), len(qs))
+	}
+	t.checkQubit(qs...)
+	switch k {
+	case gates.Qubit, gates.I:
+	case gates.H:
+		t.h(qs[0])
+	case gates.S:
+		t.s(qs[0])
+	case gates.Sdg:
+		// S† = S·S·S.
+		t.s(qs[0])
+		t.s(qs[0])
+		t.s(qs[0])
+	case gates.X:
+		// X = H Z H = H S S H.
+		t.h(qs[0])
+		t.s(qs[0])
+		t.s(qs[0])
+		t.h(qs[0])
+	case gates.Z:
+		t.s(qs[0])
+		t.s(qs[0])
+	case gates.Y:
+		// Y = i X Z; global phase is unobservable in the tableau.
+		t.s(qs[0])
+		t.s(qs[0]) // Z
+		t.h(qs[0])
+		t.s(qs[0])
+		t.s(qs[0])
+		t.h(qs[0]) // X
+	case gates.CX:
+		t.cnot(qs[0], qs[1])
+	case gates.CZ:
+		t.h(qs[1])
+		t.cnot(qs[0], qs[1])
+		t.h(qs[1])
+	case gates.CY:
+		t.s(qs[1])
+		t.s(qs[1])
+		t.s(qs[1]) // S† on target
+		t.cnot(qs[0], qs[1])
+		t.s(qs[1]) // S on target
+	case gates.Swap:
+		t.cnot(qs[0], qs[1])
+		t.cnot(qs[1], qs[0])
+		t.cnot(qs[0], qs[1])
+	case gates.Measure:
+		t.Measure(qs[0])
+	case gates.T, gates.Tdg:
+		return fmt.Errorf("tableau: %v is not a Clifford gate", k)
+	default:
+		return fmt.Errorf("tableau: unsupported gate %v", k)
+	}
+	return nil
+}
+
+// rowMult multiplies row i by row j (i <- i*j) tracking the sign via
+// the Aaronson-Gottesman g function.
+func (t *Tableau) rowMult(i, j int) {
+	phase := 2*int(t.r[i]) + 2*int(t.r[j])
+	for q := 0; q < t.n; q++ {
+		phase += g(t.x[j][q], t.z[j][q], t.x[i][q], t.z[i][q])
+		t.x[i][q] ^= t.x[j][q]
+		t.z[i][q] ^= t.z[j][q]
+	}
+	phase = ((phase % 4) + 4) % 4
+	t.r[i] = uint8(phase / 2)
+}
+
+// g returns the exponent of i contributed when multiplying the
+// single-qubit Paulis (x1,z1)·(x2,z2), per the AG paper.
+func g(x1, z1, x2, z2 uint8) int {
+	switch {
+	case x1 == 0 && z1 == 0:
+		return 0
+	case x1 == 1 && z1 == 1: // Y
+		return int(z2) - int(x2)
+	case x1 == 1 && z1 == 0: // X
+		return int(z2) * (2*int(x2) - 1)
+	default: // Z
+		return int(x2) * (1 - 2*int(z2))
+	}
+}
+
+// Measure performs a computational-basis measurement of qubit q and
+// returns the outcome (0 or 1). Deterministic outcomes are computed;
+// random outcomes are drawn from the tableau's seeded stream.
+func (t *Tableau) Measure(q int) int {
+	t.checkQubit(q)
+	n := t.n
+	// Is there a stabilizer with an X on q? Then the outcome is random.
+	p := -1
+	for i := n; i < 2*n; i++ {
+		if t.x[i][q] == 1 {
+			p = i
+			break
+		}
+	}
+	if p >= 0 {
+		// Random outcome.
+		for i := 0; i < 2*n; i++ {
+			if i != p && t.x[i][q] == 1 {
+				t.rowMult(i, p)
+			}
+		}
+		copy(t.x[p-n], t.x[p])
+		copy(t.z[p-n], t.z[p])
+		t.r[p-n] = t.r[p]
+		for c := 0; c < n; c++ {
+			t.x[p][c] = 0
+			t.z[p][c] = 0
+		}
+		t.z[p][q] = 1
+		out := uint8(t.rng.Intn(2))
+		t.r[p] = out
+		return int(out)
+	}
+	// Deterministic outcome: accumulate into the scratch row 2n.
+	scratch := 2 * n
+	for c := 0; c < n; c++ {
+		t.x[scratch][c] = 0
+		t.z[scratch][c] = 0
+	}
+	t.r[scratch] = 0
+	for i := 0; i < n; i++ {
+		if t.x[i][q] == 1 {
+			t.rowMult(scratch, i+n)
+		}
+	}
+	return int(t.r[scratch])
+}
+
+// RunProgram applies every gate of a QASM program in order. QUBIT
+// declarations with initial value 1 apply an X to prepare |1⟩.
+func RunProgram(t *Tableau, p *qasm.Program) error {
+	for _, in := range p.Instrs {
+		if in.Kind == gates.Qubit {
+			if in.Init == 1 {
+				if err := t.Apply(gates.X, in.Qubits[0]); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := t.Apply(in.Kind, in.Qubits...); err != nil {
+			return fmt.Errorf("line %d: %w", in.Line, err)
+		}
+	}
+	return nil
+}
+
+// RunTrace applies the gate micro-commands of a mapped trace in start
+// time order (initializations must be applied by the caller, matching
+// RunProgram's convention via InitFromProgram).
+func RunTrace(t *Tableau, tr *trace.Trace) error {
+	for _, op := range tr.GateOps() {
+		if err := t.Apply(op.Gate, op.Qubits...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InitFromProgram applies the QUBIT initializations of a program
+// (X on qubits declared with value 1).
+func InitFromProgram(t *Tableau, p *qasm.Program) error {
+	for _, in := range p.Instrs {
+		if in.Kind == gates.Qubit && in.Init == 1 {
+			if err := t.Apply(gates.X, in.Qubits[0]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CanonicalStabilizers returns a canonical (row-reduced, sorted)
+// rendering of the state's stabilizer group, usable as an equality
+// key for stabilizer states: two tableaux describe the same state iff
+// their canonical forms match.
+func (t *Tableau) CanonicalStabilizers() []string {
+	n := t.n
+	// Copy stabilizer rows into a local matrix of (x|z|r).
+	rows := make([][]uint8, n)
+	signs := make([]uint8, n)
+	for i := 0; i < n; i++ {
+		rows[i] = append(append([]uint8(nil), t.x[n+i]...), t.z[n+i]...)
+		signs[i] = t.r[n+i]
+	}
+	// Gaussian elimination over GF(2) with exact sign tracking via
+	// Pauli multiplication.
+	mulInto := func(dst, src int) {
+		phase := 2*int(signs[dst]) + 2*int(signs[src])
+		for q := 0; q < n; q++ {
+			phase += g(rows[src][q], rows[src][n+q], rows[dst][q], rows[dst][n+q])
+			rows[dst][q] ^= rows[src][q]
+			rows[dst][n+q] ^= rows[src][n+q]
+		}
+		phase = ((phase % 4) + 4) % 4
+		signs[dst] = uint8(phase / 2)
+	}
+	rank := 0
+	for c := 0; c < 2*n && rank < n; c++ {
+		pivot := -1
+		for i := rank; i < n; i++ {
+			if rows[i][c] == 1 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		signs[rank], signs[pivot] = signs[pivot], signs[rank]
+		for i := 0; i < n; i++ {
+			if i != rank && rows[i][c] == 1 {
+				mulInto(i, rank)
+			}
+		}
+		rank++
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		var b strings.Builder
+		if signs[i] == 1 {
+			b.WriteByte('-')
+		} else {
+			b.WriteByte('+')
+		}
+		for q := 0; q < n; q++ {
+			switch {
+			case rows[i][q] == 1 && rows[i][n+q] == 1:
+				b.WriteByte('Y')
+			case rows[i][q] == 1:
+				b.WriteByte('X')
+			case rows[i][n+q] == 1:
+				b.WriteByte('Z')
+			default:
+				b.WriteByte('I')
+			}
+		}
+		out[i] = b.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports whether two tableaux describe the same quantum state.
+func Equal(a, b *Tableau) bool {
+	if a.n != b.n {
+		return false
+	}
+	ca, cb := a.CanonicalStabilizers(), b.CanonicalStabilizers()
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}

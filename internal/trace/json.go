@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/gates"
+)
+
+// jsonOp is the wire form of one micro-command.
+type jsonOp struct {
+	Kind   string     `json:"kind"`
+	Start  gates.Time `json:"start_us"`
+	End    gates.Time `json:"end_us"`
+	Qubits []int      `json:"qubits"`
+	Gate   string     `json:"gate,omitempty"`
+	Node   int        `json:"node,omitempty"`
+	Trap   int        `json:"trap,omitempty"`
+	Edge   int        `json:"edge,omitempty"`
+}
+
+// jsonTrace is the wire form of a trace.
+type jsonTrace struct {
+	LatencyUS gates.Time `json:"latency_us"`
+	Ops       []jsonOp   `json:"ops"`
+}
+
+// MarshalJSON encodes the trace with symbolic op and gate names.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	out := jsonTrace{LatencyUS: t.Latency, Ops: make([]jsonOp, len(t.Ops))}
+	for i, op := range t.Ops {
+		jo := jsonOp{
+			Kind: op.Kind.String(), Start: op.Start, End: op.End,
+			Qubits: op.Qubits, Node: op.Node, Trap: op.Trap, Edge: op.Edge,
+		}
+		if op.Kind == OpGate {
+			jo.Gate = op.Gate.String()
+		}
+		out.Ops[i] = jo
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the MarshalJSON form.
+func (t *Trace) UnmarshalJSON(data []byte) error {
+	var in jsonTrace
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	t.Latency = in.LatencyUS
+	t.Ops = make([]Op, len(in.Ops))
+	for i, jo := range in.Ops {
+		op := Op{
+			Start: jo.Start, End: jo.End, Qubits: jo.Qubits,
+			Node: jo.Node, Trap: jo.Trap, Edge: jo.Edge,
+		}
+		switch jo.Kind {
+		case "move":
+			op.Kind = OpMove
+		case "turn":
+			op.Kind = OpTurn
+		case "gate":
+			op.Kind = OpGate
+			k, ok := gates.ParseKind(jo.Gate)
+			if !ok {
+				return fmt.Errorf("trace: unknown gate %q in op %d", jo.Gate, i)
+			}
+			op.Gate = k
+		default:
+			return fmt.Errorf("trace: unknown op kind %q in op %d", jo.Kind, i)
+		}
+		t.Ops[i] = op
+	}
+	return nil
+}
+
+// WriteJSON streams the trace as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}

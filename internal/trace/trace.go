@@ -1,0 +1,194 @@
+// Package trace records the micro-commands a quantum system
+// controller would issue to execute a mapped circuit: qubit moves,
+// turns, and gate-level operations (§IV.A of the QSPR paper).
+//
+// A complete computational solution in the paper is the pair (initial
+// placement, micro-command trace). The MVFB placer additionally needs
+// the *reverse* of a trace: because quantum computation is
+// reversible, running the inverse operations in reverse time order
+// executes the uncompute graph, and the paper reports "reverse of
+// T'_k" as the solution when a backward computation wins.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/gates"
+)
+
+// OpKind classifies a micro-command.
+type OpKind uint8
+
+// Micro-command kinds.
+const (
+	OpMove OpKind = iota // a qubit advances through a channel segment
+	OpTurn               // a qubit changes direction at a junction
+	OpGate               // a gate-level operation inside a trap
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpMove:
+		return "move"
+	case OpTurn:
+		return "turn"
+	case OpGate:
+		return "gate"
+	}
+	return "?"
+}
+
+// Op is one timed micro-command.
+type Op struct {
+	Kind OpKind
+	// Start and End bound the command in simulated time, Start < End
+	// except for zero-duration bookkeeping ops.
+	Start, End gates.Time
+	// Qubits are the participating qubit indices (one for moves and
+	// turns; one or two for gates).
+	Qubits []int
+	// Gate is the gate kind for OpGate commands.
+	Gate gates.Kind
+	// Node is the QIDG node ID for OpGate commands, -1 otherwise.
+	Node int
+	// Trap is the fabric trap where an OpGate executes, -1 otherwise.
+	Trap int
+	// Edge is the routing-graph edge for moves/turns, -1 otherwise.
+	Edge int
+}
+
+// Duration returns End-Start.
+func (o Op) Duration() gates.Time { return o.End - o.Start }
+
+// String renders a compact human-readable command.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpGate:
+		return fmt.Sprintf("[%6d,%6d] %s q%v @trap%d", o.Start, o.End, o.Gate, o.Qubits, o.Trap)
+	default:
+		return fmt.Sprintf("[%6d,%6d] %s q%v edge%d", o.Start, o.End, o.Kind, o.Qubits, o.Edge)
+	}
+}
+
+// Trace is a time-ordered sequence of micro-commands.
+type Trace struct {
+	Ops []Op
+	// Latency is the completion time of the last command.
+	Latency gates.Time
+}
+
+// Add appends an op and advances Latency.
+func (t *Trace) Add(o Op) {
+	t.Ops = append(t.Ops, o)
+	if o.End > t.Latency {
+		t.Latency = o.End
+	}
+}
+
+// Sort orders ops by start time (stable on end time, then kind) so a
+// trace assembled from interleaved per-qubit streams reads naturally.
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Ops, func(i, j int) bool {
+		a, b := t.Ops[i], t.Ops[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		return a.Kind < b.Kind
+	})
+}
+
+// Reverse returns the reversed trace: each command c becomes its
+// inverse over the mirrored interval [L-End, L-Start], where L is the
+// trace latency. Gate commands are replaced by their inverse gates;
+// moves and turns are their own inverses (traversed backwards).
+func (t *Trace) Reverse() *Trace {
+	r := &Trace{Latency: t.Latency}
+	r.Ops = make([]Op, len(t.Ops))
+	for i, o := range t.Ops {
+		ro := o
+		ro.Start = t.Latency - o.End
+		ro.End = t.Latency - o.Start
+		if o.Kind == OpGate {
+			ro.Gate = o.Gate.Inverse()
+		}
+		ro.Qubits = append([]int(nil), o.Qubits...)
+		r.Ops[i] = ro
+	}
+	r.Sort()
+	return r
+}
+
+// GateOps returns only the gate commands, in time order.
+func (t *Trace) GateOps() []Op {
+	var out []Op
+	for _, o := range t.Ops {
+		if o.Kind == OpGate {
+			out = append(out, o)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Counts tallies micro-commands by kind.
+func (t *Trace) Counts() (moves, turns, gateOps int) {
+	for _, o := range t.Ops {
+		switch o.Kind {
+		case OpMove:
+			moves++
+		case OpTurn:
+			turns++
+		case OpGate:
+			gateOps++
+		}
+	}
+	return
+}
+
+// Validate checks per-qubit non-overlap: a qubit cannot execute two
+// micro-commands at once. It also checks interval sanity.
+func (t *Trace) Validate() error {
+	type iv struct {
+		s, e gates.Time
+		op   int
+	}
+	perQubit := map[int][]iv{}
+	for i, o := range t.Ops {
+		if o.End < o.Start {
+			return fmt.Errorf("trace: op %d has negative duration", i)
+		}
+		if o.End > t.Latency {
+			return fmt.Errorf("trace: op %d ends after latency %v", i, t.Latency)
+		}
+		for _, q := range o.Qubits {
+			perQubit[q] = append(perQubit[q], iv{o.Start, o.End, i})
+		}
+	}
+	for q, ivs := range perQubit {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].s < ivs[i-1].e {
+				return fmt.Errorf("trace: qubit %d overlaps ops %d and %d ([%d,%d] vs [%d,%d])",
+					q, ivs[i-1].op, ivs[i].op, ivs[i-1].s, ivs[i-1].e, ivs[i].s, ivs[i].e)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the whole trace, one command per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, o := range t.Ops {
+		b.WriteString(o.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "latency: %v\n", t.Latency)
+	return b.String()
+}

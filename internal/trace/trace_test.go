@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gates"
+)
+
+func sampleTrace() *Trace {
+	t := &Trace{}
+	t.Add(Op{Kind: OpMove, Start: 0, End: 4, Qubits: []int{0}, Node: -1, Trap: -1, Edge: 3})
+	t.Add(Op{Kind: OpTurn, Start: 4, End: 14, Qubits: []int{0}, Node: -1, Trap: -1, Edge: 7})
+	t.Add(Op{Kind: OpMove, Start: 0, End: 6, Qubits: []int{1}, Node: -1, Trap: -1, Edge: 9})
+	t.Add(Op{Kind: OpGate, Start: 14, End: 114, Qubits: []int{0, 1}, Gate: gates.CX, Node: 5, Trap: 2, Edge: -1})
+	t.Add(Op{Kind: OpGate, Start: 114, End: 124, Qubits: []int{0}, Gate: gates.S, Node: 6, Trap: 2, Edge: -1})
+	return t
+}
+
+func TestAddTracksLatency(t *testing.T) {
+	tr := sampleTrace()
+	if tr.Latency != 124 {
+		t.Errorf("latency = %v, want 124", tr.Latency)
+	}
+}
+
+func TestValidateAcceptsSample(t *testing.T) {
+	if err := sampleTrace().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsOverlap(t *testing.T) {
+	tr := sampleTrace()
+	tr.Add(Op{Kind: OpMove, Start: 10, End: 20, Qubits: []int{0}, Node: -1, Trap: -1, Edge: 1})
+	if err := tr.Validate(); err == nil {
+		t.Error("overlapping qubit ops accepted")
+	}
+}
+
+func TestValidateRejectsNegativeDuration(t *testing.T) {
+	tr := &Trace{Latency: 10}
+	tr.Ops = append(tr.Ops, Op{Kind: OpMove, Start: 5, End: 3, Qubits: []int{0}})
+	if err := tr.Validate(); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestReverseMirrorsIntervals(t *testing.T) {
+	tr := sampleTrace()
+	rv := tr.Reverse()
+	if rv.Latency != tr.Latency {
+		t.Fatalf("reverse latency %v != %v", rv.Latency, tr.Latency)
+	}
+	if err := rv.Validate(); err != nil {
+		t.Fatalf("reverse invalid: %v", err)
+	}
+	// The last gate (S at [114,124]) becomes the first op: Sdag at
+	// [0,10].
+	first := rv.Ops[0]
+	if first.Kind != OpGate || first.Gate != gates.Sdg || first.Start != 0 || first.End != 10 {
+		t.Errorf("first reversed op = %+v, want Sdag [0,10]", first)
+	}
+}
+
+func TestReverseIsInvolution(t *testing.T) {
+	tr := sampleTrace()
+	tr.Sort()
+	back := tr.Reverse().Reverse()
+	if len(back.Ops) != len(tr.Ops) {
+		t.Fatal("op count changed")
+	}
+	for i := range tr.Ops {
+		a, b := tr.Ops[i], back.Ops[i]
+		if a.Kind != b.Kind || a.Start != b.Start || a.End != b.End || a.Gate != b.Gate {
+			t.Errorf("op %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	m, tu, g := sampleTrace().Counts()
+	if m != 2 || tu != 1 || g != 2 {
+		t.Errorf("counts = %d,%d,%d; want 2,1,2", m, tu, g)
+	}
+}
+
+func TestGateOpsOrdered(t *testing.T) {
+	tr := sampleTrace()
+	gops := tr.GateOps()
+	if len(gops) != 2 || gops[0].Gate != gates.CX || gops[1].Gate != gates.S {
+		t.Errorf("gate ops = %+v", gops)
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	tr := sampleTrace()
+	tr.Sort()
+	for i := 1; i < len(tr.Ops); i++ {
+		if tr.Ops[i].Start < tr.Ops[i-1].Start {
+			t.Fatal("not sorted by start")
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := sampleTrace().String()
+	if !strings.Contains(s, "C-X") || !strings.Contains(s, "latency: 124µs") {
+		t.Errorf("trace rendering missing content:\n%s", s)
+	}
+	if !strings.Contains(sampleTrace().Ops[0].String(), "move") {
+		t.Error("move op rendering")
+	}
+	if OpMove.String() != "move" || OpTurn.String() != "turn" || OpGate.String() != "gate" || OpKind(9).String() != "?" {
+		t.Error("op kind names")
+	}
+}
+
+func TestValidateRejectsEndAfterLatency(t *testing.T) {
+	tr := &Trace{Latency: 5}
+	tr.Ops = append(tr.Ops, Op{Kind: OpMove, Start: 0, End: 10, Qubits: []int{0}})
+	if err := tr.Validate(); err == nil {
+		t.Error("op past latency accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	tr.Sort()
+	data, err := tr.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Latency != tr.Latency || len(back.Ops) != len(tr.Ops) {
+		t.Fatalf("round trip changed shape")
+	}
+	for i := range tr.Ops {
+		a, b := tr.Ops[i], back.Ops[i]
+		if a.Kind != b.Kind || a.Start != b.Start || a.End != b.End || a.Gate != b.Gate {
+			t.Errorf("op %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+	if err := back.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONRejectsGarbage(t *testing.T) {
+	var tr Trace
+	if err := tr.UnmarshalJSON([]byte(`{"ops":[{"kind":"warp"}]}`)); err == nil {
+		t.Error("unknown op kind accepted")
+	}
+	if err := tr.UnmarshalJSON([]byte(`{"ops":[{"kind":"gate","gate":"FROB"}]}`)); err == nil {
+		t.Error("unknown gate accepted")
+	}
+	if err := tr.UnmarshalJSON([]byte(`not json`)); err == nil {
+		t.Error("non-JSON accepted")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf strings.Builder
+	if err := sampleTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"latency_us\": 124") {
+		t.Errorf("JSON output:\n%s", buf.String())
+	}
+}

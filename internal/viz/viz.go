@@ -1,0 +1,170 @@
+// Package viz renders mapped-circuit artifacts as ASCII: a per-qubit
+// Gantt timeline of the micro-command trace and a fabric-utilization
+// heatmap. Both are debugging and paper-figure aids; cmd/qspr exposes
+// them behind -gantt and -heatmap.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fabric"
+	"repro/internal/gates"
+	"repro/internal/routegraph"
+	"repro/internal/trace"
+)
+
+// Gantt renders the trace as one row per qubit and one column per
+// time bucket. Legend: '.' idle, 'm' moving, 't' turning, 'G'
+// executing a two-qubit gate, 'g' a one-qubit gate. width is the
+// number of columns (minimum 10).
+func Gantt(tr *trace.Trace, numQubits, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if tr.Latency <= 0 || numQubits <= 0 {
+		return ""
+	}
+	cols := make([][]byte, numQubits)
+	for q := range cols {
+		cols[q] = []byte(strings.Repeat(".", width))
+	}
+	bucket := func(t gates.Time) int {
+		b := int(int64(t) * int64(width) / int64(tr.Latency))
+		if b >= width {
+			b = width - 1
+		}
+		return b
+	}
+	// Paint in priority order: moves, turns, then gates on top.
+	paint := func(op trace.Op, ch byte) {
+		lo, hi := bucket(op.Start), bucket(op.End)
+		if op.End > op.Start && bucket(op.End-1) < hi {
+			hi = bucket(op.End - 1)
+		}
+		for _, q := range op.Qubits {
+			if q < 0 || q >= numQubits {
+				continue
+			}
+			for c := lo; c <= hi && c < width; c++ {
+				cols[q][c] = ch
+			}
+		}
+	}
+	for _, op := range tr.Ops {
+		if op.Kind == trace.OpMove {
+			paint(op, 'm')
+		}
+	}
+	for _, op := range tr.Ops {
+		if op.Kind == trace.OpTurn {
+			paint(op, 't')
+		}
+	}
+	for _, op := range tr.Ops {
+		if op.Kind == trace.OpGate {
+			ch := byte('g')
+			if op.Gate.TwoQubit() {
+				ch = 'G'
+			}
+			paint(op, ch)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 .. %v  (%d columns, legend: G=2q gate g=1q gate m=move t=turn .=idle)\n",
+		tr.Latency, width)
+	for q := 0; q < numQubits; q++ {
+		fmt.Fprintf(&b, "q%-3d |%s|\n", q, cols[q])
+	}
+	return b.String()
+}
+
+// ChannelUtilization tallies, per fabric channel, the total time
+// qubits spent traversing it according to the trace's move/turn ops
+// (attributed via the routing-graph edge recorded on each op).
+func ChannelUtilization(tr *trace.Trace, g *routegraph.Graph) map[int]gates.Time {
+	use := map[int]gates.Time{}
+	for _, op := range tr.Ops {
+		if op.Kind == trace.OpGate || op.Edge < 0 || op.Edge >= len(g.Edges) {
+			continue
+		}
+		grp := g.Groups[g.Edges[op.Edge].Group]
+		if grp.Kind == routegraph.ChannelGroup {
+			use[grp.Index] += op.Duration()
+		}
+	}
+	return use
+}
+
+// Heatmap renders the fabric with each channel cell shaded by its
+// utilization: ' ' unused, then 1-9 in linear scale of the busiest
+// channel. Junctions show 'J', traps 'T'.
+func Heatmap(tr *trace.Trace, g *routegraph.Graph) string {
+	f := g.Fabric
+	use := ChannelUtilization(tr, g)
+	var max gates.Time
+	for _, u := range use {
+		if u > max {
+			max = u
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "channel utilization heatmap (max %v in one channel)\n", max)
+	for r := 0; r < f.Rows; r++ {
+		for c := 0; c < f.Cols; c++ {
+			p := fabric.Pos{Row: r, Col: c}
+			switch f.At(p) {
+			case fabric.Junction:
+				b.WriteByte('J')
+			case fabric.Trap:
+				b.WriteByte('T')
+			case fabric.Channel:
+				ch := f.ChannelAt(p)
+				u := use[ch]
+				if u == 0 || max == 0 {
+					b.WriteByte(' ')
+				} else {
+					level := int64(u) * 9 / int64(max)
+					if level < 1 {
+						level = 1
+					}
+					b.WriteByte(byte('0' + level))
+				}
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TopChannels returns the n busiest channels with their utilization,
+// sorted descending (ties by channel ID).
+func TopChannels(tr *trace.Trace, g *routegraph.Graph, n int) []struct {
+	Channel int
+	Time    gates.Time
+} {
+	use := ChannelUtilization(tr, g)
+	out := make([]struct {
+		Channel int
+		Time    gates.Time
+	}, 0, len(use))
+	for ch, u := range use {
+		out = append(out, struct {
+			Channel int
+			Time    gates.Time
+		}{ch, u})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		return out[i].Channel < out[j].Channel
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
