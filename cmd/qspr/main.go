@@ -7,11 +7,16 @@
 //	qspr -circuit '[[5,1,3]]'                 # built-in benchmark
 //	qspr -qasm prog.qasm -heuristic quale     # map a file with QUALE
 //	qspr -qasm prog.qasm -fabric fab.txt -m 100 -trace
+//	qspr -circuit all -parallel 8 -format csv -out runs.csv
 //
-// Without -fabric the 45×85 fabric of Fig. 4 is used.
+// Without -fabric the 45×85 fabric of Fig. 4 is used. -circuit also
+// accepts a comma-separated list of benchmarks or 'all'; multiple
+// circuits are swept concurrently by internal/experiment and reported
+// with -format/-out (bytes independent of -parallel).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +24,7 @@ import (
 
 	"repro/internal/circuits"
 	"repro/internal/core"
-	"repro/internal/fabric"
+	"repro/internal/experiment"
 	"repro/internal/gates"
 	"repro/internal/qasm"
 	"repro/internal/routegraph"
@@ -40,6 +45,9 @@ func main() {
 		gantt     = flag.Bool("gantt", false, "print a per-qubit timeline of the trace")
 		heatmap   = flag.Bool("heatmap", false, "print a channel-utilization heatmap of the fabric")
 		jsonOut   = flag.String("json", "", "write the micro-command trace as JSON to this file ('-' = stdout)")
+		parallel  = flag.Int("parallel", 0, "workers for a multi-circuit sweep (0 = all CPU cores); also MVFB seed-search workers for a single run when > 1")
+		format    = flag.String("format", "markdown", "sweep report format: json, csv, markdown")
+		out       = flag.String("out", "", "write the sweep report to this file instead of stdout")
 	)
 	flag.Parse()
 	if *list {
@@ -49,19 +57,50 @@ func main() {
 		}
 		return
 	}
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	h, err := experiment.ParseHeuristic(*heuristic)
+	if err != nil {
+		fatal(err)
+	}
+	fc, err := experiment.LoadFabric(*fabPath)
+	if err != nil {
+		fatal(err)
+	}
+	fab := fc.Fabric
+	benches, isSweep, err := sweepCircuits(*qasmPath, *circuitN)
+	if err != nil {
+		fatal(err)
+	}
+	if isSweep {
+		// Single-run inspection flags have no meaning for a sweep;
+		// reject them rather than silently drop the requested output.
+		for _, name := range []string{"trace", "gantt", "heatmap", "json"} {
+			if setFlags[name] {
+				fatal(fmt.Errorf("-%s applies to a single run, not a multi-circuit sweep", name))
+			}
+		}
+		if err := experiment.ValidateFormat(*format); err != nil {
+			fatal(err)
+		}
+		runSweep(benches, fc, h, *m, *seed, *parallel, *format, *out)
+		return
+	}
+	// Conversely, the sweep report flags are never consulted on the
+	// single-run path.
+	for _, name := range []string{"format", "out"} {
+		if setFlags[name] {
+			fatal(fmt.Errorf("-%s applies to a multi-circuit sweep (-circuit all or a comma-separated list)", name))
+		}
+	}
 	prog, err := loadProgram(*qasmPath, *circuitN)
 	if err != nil {
 		fatal(err)
 	}
-	fab, err := loadFabric(*fabPath)
-	if err != nil {
-		fatal(err)
+	if *parallel > 1 {
+		fmt.Fprintln(os.Stderr, "qspr: note: -parallel > 1 searches MVFB seeds concurrently with per-seed stopping; latency can differ from the sequential paper protocol (and from sweep mode, which keeps each run sequential)")
 	}
-	h, err := parseHeuristic(*heuristic)
-	if err != nil {
-		fatal(err)
-	}
-	res, err := core.Map(prog, fab, core.Options{Heuristic: h, Seeds: *m, Seed: *seed})
+	res, err := core.Map(prog, fab, core.Options{Heuristic: h, Seeds: *m, Seed: *seed, Workers: *parallel})
 	if err != nil {
 		fatal(err)
 	}
@@ -130,34 +169,49 @@ func loadProgram(path, name string) (*qasm.Program, error) {
 	}
 }
 
-func loadFabric(path string) (*fabric.Fabric, error) {
-	if path == "" {
-		return fabric.Quale4585(), nil
+// sweepCircuits reports whether -circuit names more than one
+// benchmark ("all" or a comma-separated list) and resolves them.
+// Commas inside brackets are part of a single code label like
+// "[[5,1,3]]", so a lone "[[5,1,3]]" is not a sweep.
+func sweepCircuits(qasmPath, name string) ([]circuits.Benchmark, bool, error) {
+	if qasmPath != "" || name == "" {
+		return nil, false, nil
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+	if !strings.EqualFold(strings.TrimSpace(name), "all") &&
+		len(experiment.SplitCircuitList(name)) < 2 {
+		return nil, false, nil
 	}
-	defer f.Close()
-	return fabric.ParseText(f)
+	benches, err := experiment.SelectCircuits(name)
+	return benches, true, err
 }
 
-func parseHeuristic(s string) (core.Heuristic, error) {
-	switch strings.ToLower(s) {
-	case "qspr":
-		return core.QSPR, nil
-	case "qspr-center", "center":
-		return core.QSPRCenter, nil
-	case "mc", "montecarlo", "monte-carlo":
-		return core.MonteCarlo, nil
-	case "quale":
-		return core.QUALE, nil
-	case "qpos":
-		return core.QPOS, nil
-	case "qpos-delay", "qposdelay":
-		return core.QPOSDelay, nil
+// runSweep maps every named benchmark concurrently via
+// internal/experiment and writes the deterministic report.
+func runSweep(benches []circuits.Benchmark, fc experiment.FabricChoice, h core.Heuristic, m int, seed int64, workers int, format, out string) {
+	rep, err := experiment.Execute(context.Background(), experiment.Spec{
+		Circuits:   benches,
+		Fabrics:    []experiment.FabricChoice{fc},
+		Heuristics: []core.Heuristic{h},
+		SeedCounts: []int{m},
+		Seed:       seed,
+	}, experiment.Options{Workers: workers})
+	if err != nil {
+		fatal(err)
 	}
-	return 0, fmt.Errorf("unknown heuristic %q", s)
+	if err := rep.WriteFile(format, out); err != nil {
+		fatal(err)
+	}
+	failed := false
+	for _, rr := range rep.Results {
+		if rr.Err != "" {
+			fmt.Fprintf(os.Stderr, "qspr: %s × %s m=%d failed: %s\n",
+				rr.Circuit.Name, rr.Heuristic, rr.Seeds, rr.Err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,119 @@
+// Command qsprbench sweeps the QSPR-vs-QUALE comparison (or any
+// heuristic mix) over benchmark circuits, fabrics and knob settings
+// in parallel, and emits a deterministic report.
+//
+//	qsprbench                                  # paper headline: all circuits, QUALE vs QSPR
+//	qsprbench -m 100 -format markdown          # Table 2 protocol, markdown output
+//	qsprbench -circuits '[[5,1,3]],[[9,1,3]]' -heuristics all -m 5,25
+//	qsprbench -parallel 8 -format csv -out results.csv
+//	qsprbench -fabric fab.txt -compare=false -format json
+//
+// The emitted JSON/CSV/markdown bytes are identical for any -parallel
+// value: runs are mapped by single-threaded seeded workers and
+// aggregated in declaration order, and wall-clock time is excluded
+// from the report.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		circuitsF  = flag.String("circuits", "all", "comma-separated built-in circuit names, or 'all'")
+		heuristics = flag.String("heuristics", "quale,qspr", "comma-separated heuristics (qspr, qspr-center, mc, quale, qpos, qpos-delay) or 'all'")
+		mList      = flag.String("m", "25", "comma-separated MVFB seed counts to sweep")
+		seed       = flag.Int64("seed", 1, "random seed")
+		fabPath    = flag.String("fabric", "", "fabric description file (default: the 45x85 Fig. 4 fabric)")
+		parallel   = flag.Int("parallel", 0, "worker-pool size (0 = all CPU cores); output is identical for any value")
+		format     = flag.String("format", "markdown", "report format: json, csv, markdown")
+		out        = flag.String("out", "", "write the report to this file instead of stdout")
+		compare    = flag.Bool("compare", true, "also print the QSPR-vs-QUALE comparison table to stderr")
+		progress   = flag.Bool("progress", false, "print per-run progress to stderr")
+	)
+	flag.Parse()
+
+	if err := experiment.ValidateFormat(*format); err != nil {
+		fatal(err)
+	}
+	spec := experiment.Spec{Seed: *seed}
+	var err error
+	if spec.Circuits, err = experiment.SelectCircuits(*circuitsF); err != nil {
+		fatal(err)
+	}
+	if spec.Heuristics, err = experiment.ParseHeuristics(*heuristics); err != nil {
+		fatal(err)
+	}
+	if spec.SeedCounts, err = experiment.ParseSeedCounts(*mList); err != nil {
+		fatal(err)
+	}
+	fc, err := experiment.LoadFabric(*fabPath)
+	if err != nil {
+		fatal(err)
+	}
+	spec.Fabrics = []experiment.FabricChoice{fc}
+
+	opts := experiment.Options{Workers: *parallel}
+	runs, err := spec.Runs()
+	if err != nil {
+		fatal(err)
+	}
+	if *progress {
+		total := len(runs)
+		n := 0
+		opts.OnResult = func(rr experiment.RunResult) {
+			n++
+			status := "ok"
+			if rr.Err != "" {
+				status = "FAILED: " + rr.Err
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s × %s m=%d (%v) %s\n",
+				n, total, rr.Circuit.Name, rr.Heuristic, rr.Seeds, rr.Wall.Round(1e6), status)
+		}
+	}
+
+	// Ctrl-C stops the sweep between runs; completed runs are still
+	// reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := experiment.Execute(ctx, spec, opts)
+	interrupted := err != nil
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "qsprbench: sweep interrupted (%v); reporting %d/%d completed runs\n",
+			err, len(rep.Results), len(runs))
+	}
+
+	if err := rep.WriteFile(*format, *out); err != nil {
+		fatal(err)
+	}
+	if *compare {
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprintln(os.Stderr, "QSPR vs QUALE:")
+		if err := rep.WriteComparison(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+	failed := false
+	for _, rr := range rep.Results {
+		if rr.Err != "" {
+			fmt.Fprintf(os.Stderr, "qsprbench: %s × %s m=%d failed: %s\n",
+				rr.Circuit.Name, rr.Heuristic, rr.Seeds, rr.Err)
+			failed = true
+		}
+	}
+	if interrupted || failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qsprbench:", err)
+	os.Exit(1)
+}

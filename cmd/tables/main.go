@@ -9,19 +9,25 @@
 //
 // Paper values are printed alongside for comparison. Use -m to
 // change the placement-seed counts and -quick for a fast pass.
+//
+// Tables 2 and m are batch sweeps driven by internal/experiment: they
+// fan out across all CPU cores (-parallel) and can emit the raw
+// per-run report as JSON/CSV/markdown (-format, -out) with bytes
+// independent of the worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
-	"strings"
 	"text/tabwriter"
 
 	"repro/internal/circuits"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/experiment"
 	"repro/internal/fabric"
 	"repro/internal/gates"
 	"repro/internal/place"
@@ -51,30 +57,46 @@ var paperTable1MVFB = map[string][2]int{
 
 func main() {
 	var (
-		table = flag.String("table", "2", "which table to regenerate: 1, 2, m, ablation, all")
-		mList = flag.String("m", "25,100", "comma-separated seed counts for Table 1")
-		seeds = flag.Int("seeds", 100, "MVFB seeds (m) for QSPR in Table 2")
-		quick = flag.Bool("quick", false, "fast pass with small m")
+		table    = flag.String("table", "2", "which table to regenerate: 1, 2, m, ablation, all")
+		mList    = flag.String("m", "25,100", "comma-separated seed counts for Table 1")
+		seeds    = flag.Int("seeds", 100, "MVFB seeds (m) for QSPR in Table 2")
+		quick    = flag.Bool("quick", false, "fast pass with small m")
+		parallel = flag.Int("parallel", 0, "worker-pool size for the table 2 / m sweeps (0 = all CPU cores)")
+		format   = flag.String("format", "table", "output format, only with -table 2 or m: table, json, csv, markdown")
+		out      = flag.String("out", "", "write the report to this file instead of stdout (only with -table 2 or m)")
 	)
 	flag.Parse()
 	if *quick {
 		*mList = "5,10"
 		*seeds = 5
 	}
+	if *format != "table" && *format != "" {
+		must(experiment.ValidateFormat(*format))
+		// Raw reports are per-sweep; tables 1/ablation (and "all",
+		// which would overwrite one report with the next) only render
+		// the human tables.
+		if *table != "2" && *table != "m" {
+			must(fmt.Errorf("-format %s requires -table 2 or -table m", *format))
+		}
+	} else if *out != "" {
+		// The human "table" format always prints to stdout; reject
+		// -out rather than silently never writing the file.
+		must(fmt.Errorf("-out requires -format json, csv or markdown"))
+	}
 	fab := fabric.Quale4585()
 	switch *table {
 	case "1":
 		table1(fab, parseInts(*mList))
 	case "2":
-		table2(fab, *seeds)
+		table2(fab, *seeds, *parallel, *format, *out)
 	case "m":
-		mSweep(fab)
+		mSweep(fab, *parallel, *format, *out)
 	case "ablation":
 		ablation(fab)
 	case "all":
-		table2(fab, *seeds)
+		table2(fab, *seeds, *parallel, *format, *out)
 		table1(fab, parseInts(*mList))
-		mSweep(fab)
+		mSweep(fab, *parallel, *format, *out)
 		ablation(fab)
 	default:
 		fmt.Fprintf(os.Stderr, "tables: unknown table %q\n", *table)
@@ -83,32 +105,53 @@ func main() {
 }
 
 func parseInts(s string) []int {
-	var out []int
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || v <= 0 {
-			fmt.Fprintf(os.Stderr, "tables: bad -m entry %q\n", f)
-			os.Exit(1)
-		}
-		out = append(out, v)
-	}
+	out, err := experiment.ParseSeedCounts(s)
+	must(err)
 	return out
 }
 
-func table2(fab *fabric.Fabric, seeds int) {
+// sweep runs a spec through the experiment worker pool and aborts on
+// any per-run failure (the paper tables need every cell).
+func sweep(spec experiment.Spec, workers int) *experiment.Report {
+	rep, err := experiment.Execute(context.Background(), spec, experiment.Options{Workers: workers})
+	must(err)
+	for _, rr := range rep.Results {
+		if rr.Err != "" {
+			must(fmt.Errorf("%s × %s m=%d: %s", rr.Circuit.Name, rr.Heuristic, rr.Seeds, rr.Err))
+		}
+	}
+	return rep
+}
+
+// emit writes the raw per-run report in the requested format, either
+// to stdout or to -out. Returns false for the human "table" format,
+// which the caller renders itself.
+func emit(rep *experiment.Report, format, out string) bool {
+	if format == "table" || format == "" {
+		return false
+	}
+	must(rep.WriteFile(format, out))
+	return true
+}
+
+func table2(fab *fabric.Fabric, seeds, workers int, format, out string) {
+	rep := sweep(experiment.Spec{
+		Circuits:   circuits.All(),
+		Fabrics:    []experiment.FabricChoice{{Name: "quale45x85", Fabric: fab}},
+		Heuristics: []core.Heuristic{core.QUALE, core.QSPR},
+		SeedCounts: []int{seeds},
+	}, workers)
+	if emit(rep, format, out) {
+		return
+	}
 	fmt.Printf("Table 2: execution latency of mapped QECC circuits (QSPR m=%d)\n", seeds)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "circuit\tbaseline\tQUALE\tQSPR\timprove%\tpaper-baseline\tpaper-QUALE\tpaper-QSPR\tpaper-improve%")
-	for _, b := range circuits.All() {
-		quale, err := core.Map(b.Program, fab, core.Options{Heuristic: core.QUALE})
-		must(err)
-		qspr, err := core.Map(b.Program, fab, core.Options{Heuristic: core.QSPR, Seeds: seeds})
-		must(err)
-		imp := 100 * float64(quale.Latency-qspr.Latency) / float64(quale.Latency)
-		p := paperTable2[b.Name]
+	for _, r := range rep.Comparison() {
+		p := paperTable2[r.Circuit]
 		pImp := 100 * float64(p[1]-p[2]) / float64(p[1])
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\t%d\t%d\t%d\t%.1f\n",
-			b.Name, qspr.Ideal, quale.Latency, qspr.Latency, imp, p[0], p[1], p[2], pImp)
+			r.Circuit, r.IdealUS, r.QualeUS, r.QsprUS, r.ImprovePct, p[0], p[1], p[2], pImp)
 	}
 	must(w.Flush())
 	fmt.Println()
@@ -142,18 +185,29 @@ func table1(fab *fabric.Fabric, ms []int) {
 	}
 }
 
-func mSweep(fab *fabric.Fabric) {
-	fmt.Println("Sensitivity to m (§IV.A): MVFB best latency on [[9,1,3]]")
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "m\tlatency(µs)\truns\truntime(ms)")
+func mSweep(fab *fabric.Fabric, workers int, format, out string) {
 	b, err := circuits.ByName("[[9,1,3]]")
 	must(err)
-	for _, m := range []int{1, 5, 10, 25, 50, 100} {
-		res, err := core.Map(b.Program, fab, core.Options{Heuristic: core.QSPR, Seeds: m})
-		must(err)
-		fmt.Fprintf(w, "%d\t%d\t%d\t%d\n", m, res.Latency, res.Runs, res.Runtime.Milliseconds())
+	rep := sweep(experiment.Spec{
+		Circuits:   []circuits.Benchmark{b},
+		Fabrics:    []experiment.FabricChoice{{Name: "quale45x85", Fabric: fab}},
+		Heuristics: []core.Heuristic{core.QSPR},
+		SeedCounts: []int{1, 5, 10, 25, 50, 100},
+	}, workers)
+	if emit(rep, format, out) {
+		return
+	}
+	fmt.Println("Sensitivity to m (§IV.A): MVFB best latency on [[9,1,3]]")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "m\tlatency(µs)\truns\twall(ms)")
+	for _, rr := range rep.Results {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\n",
+			rr.Seeds, rr.Metrics.LatencyUS, rr.Metrics.PlacementRuns, rr.Wall.Milliseconds())
 	}
 	must(w.Flush())
+	if workers != 1 {
+		fmt.Println("(wall time per run is measured under concurrent execution; use -parallel 1 for the paper's uncontended CPU-runtime scaling)")
+	}
 	fmt.Println()
 }
 

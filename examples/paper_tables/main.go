@@ -1,0 +1,77 @@
+// Paper tables: reproduce the headline comparison of the QSPR paper
+// (DATE 2012, Table 2) end-to-end with the batch experiment runner —
+// all six QECC encoder benchmarks mapped by the QUALE baseline and by
+// QSPR, fanned across all CPU cores, and reported next to the
+// published numbers.
+//
+//	go run ./examples/paper_tables            # quick pass (m=5)
+//	go run ./examples/paper_tables -m 100     # the paper's full protocol
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/fabric"
+)
+
+// paperTable2 holds the published Table 2 latencies (µs):
+// baseline, QUALE, QSPR.
+var paperTable2 = map[string][3]int{
+	"[[5,1,3]]":  {510, 832, 634},
+	"[[7,1,3]]":  {510, 798, 610},
+	"[[9,1,3]]":  {910, 2216, 1159},
+	"[[14,8,3]]": {2500, 7511, 3390},
+	"[[19,1,7]]": {2510, 6838, 3393},
+	"[[23,1,7]]": {1410, 3738, 2066},
+}
+
+func main() {
+	m := flag.Int("m", 5, "MVFB placement seeds (the paper uses 100)")
+	parallel := flag.Int("parallel", 0, "workers (0 = all CPU cores)")
+	flag.Parse()
+
+	// One declarative spec describes the whole table: every benchmark
+	// × {QUALE, QSPR} on the paper's 45×85 fabric.
+	spec := experiment.Spec{
+		Circuits:   circuits.All(),
+		Fabrics:    []experiment.FabricChoice{{Name: "quale45x85", Fabric: fabric.Quale4585()}},
+		Heuristics: []core.Heuristic{core.QUALE, core.QSPR},
+		SeedCounts: []int{*m},
+	}
+
+	// Execute fans the 12 runs across a work-stealing worker pool;
+	// the aggregated report is identical for any -parallel value.
+	rep, err := experiment.Execute(context.Background(), spec, experiment.Options{
+		Workers: *parallel,
+		OnResult: func(rr experiment.RunResult) {
+			fmt.Fprintf(os.Stderr, "  done: %-11s %-6s (%v)\n", rr.Circuit.Name, rr.Heuristic, rr.Wall.Round(1e6))
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rr := range rep.Results {
+		if rr.Err != "" {
+			log.Fatalf("%s × %s failed: %s", rr.Circuit.Name, rr.Heuristic, rr.Err)
+		}
+	}
+
+	fmt.Printf("\nQSPR vs QUALE on the 45x85 fabric (m=%d; paper values in parentheses)\n\n", *m)
+	fmt.Printf("%-11s  %14s  %14s  %14s  %10s\n", "circuit", "baseline(µs)", "QUALE(µs)", "QSPR(µs)", "improve%")
+	for _, r := range rep.Comparison() {
+		p := paperTable2[r.Circuit]
+		pImp := 100 * float64(p[1]-p[2]) / float64(p[1])
+		fmt.Printf("%-11s  %6d (%5d)  %6d (%5d)  %6d (%5d)  %4.1f (%4.1f)\n",
+			r.Circuit, r.IdealUS, p[0], r.QualeUS, p[1], r.QsprUS, p[2], r.ImprovePct, pImp)
+	}
+	fmt.Println("\nThe reproduction shows the paper's qualitative result: QSPR's")
+	fmt.Println("priority scheduling + MVFB placement + turn-aware routing beats")
+	fmt.Println("the QUALE baseline on every benchmark.")
+}

@@ -1,0 +1,45 @@
+package experiment_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/fabric"
+	"repro/internal/qasm"
+)
+
+// Execute fans a declarative sweep — circuits × heuristics × fabrics
+// × seed counts — across a work-stealing worker pool and returns a
+// report whose serialized bytes are identical for any worker count.
+// Here the paper's Fig. 3 circuit is mapped by both the QUALE
+// baseline and QSPR on the small test fabric.
+func ExampleExecute() {
+	prog, err := qasm.ParseString(circuits.Fig3QASM)
+	if err != nil {
+		panic(err)
+	}
+	spec := experiment.Spec{
+		Circuits:   []circuits.Benchmark{{Name: "fig3", Program: prog, Source: "paper-fig3"}},
+		Fabrics:    []experiment.FabricChoice{{Name: "small9x9", Fabric: fabric.Small()}},
+		Heuristics: []core.Heuristic{core.QUALE, core.QSPR},
+		SeedCounts: []int{3},
+	}
+	rep, err := experiment.Execute(context.Background(), spec, experiment.Options{Workers: 4})
+	if err != nil {
+		panic(err)
+	}
+	for _, rr := range rep.Results {
+		fmt.Printf("%s %s: latency %dµs (ideal %dµs)\n",
+			rr.Circuit.Name, rr.Heuristic, rr.Metrics.LatencyUS, rr.Metrics.IdealUS)
+	}
+	rep.WriteComparison(os.Stdout)
+	// Output:
+	// fig3 QUALE: latency 1066µs (ideal 610µs)
+	// fig3 QSPR: latency 788µs (ideal 610µs)
+	// circuit  fabric    m  baseline(µs)  QUALE(µs)  QSPR(µs)  improve%
+	// fig3     small9x9  3  610           1066       788       26.1
+}

@@ -1,0 +1,331 @@
+// Package experiment is the batch orchestration layer of the QSPR
+// reproduction: it fans a declarative sweep (circuits × heuristics ×
+// fabrics × knobs) across a work-stealing worker pool, collects
+// per-run metrics, and emits deterministic JSON/CSV/markdown reports
+// whose bytes are independent of worker count and completion order.
+//
+// The paper's results are all tables — latency of QSPR vs. the QUALE
+// baseline over many benchmark circuits and knob settings — so the
+// unit of work here is one (circuit, fabric, heuristic, m) mapping.
+// A Spec expands to a stable, indexed run list; Execute maps each run
+// with a single-threaded deterministic core.Map call and parallelizes
+// *across* runs, so the aggregated Report is byte-identical for any
+// worker count.
+//
+//	spec := experiment.Spec{
+//	    Circuits:   experiment.BuiltinCircuits(),
+//	    Fabrics:    []experiment.FabricChoice{{Name: "quale45x85", Fabric: fabric.Quale4585()}},
+//	    Heuristics: []core.Heuristic{core.QUALE, core.QSPR},
+//	    SeedCounts: []int{25},
+//	}
+//	rep, err := experiment.Execute(context.Background(), spec, experiment.Options{})
+//	rep.WriteMarkdown(os.Stdout)
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/gates"
+)
+
+// FabricChoice is one named fabric in a sweep.
+type FabricChoice struct {
+	// Name labels the fabric in reports, e.g. "quale45x85".
+	Name string
+	// Fabric is the ion-trap layout to map onto.
+	Fabric *fabric.Fabric
+}
+
+// Spec declares a sweep: the full cartesian product of Circuits ×
+// Fabrics × Heuristics × SeedCounts, each pair seeded with Seed.
+type Spec struct {
+	// Circuits to map. Use BuiltinCircuits for the paper's six QECC
+	// encoder benchmarks.
+	Circuits []circuits.Benchmark
+	// Fabrics to map onto. Empty is an error; use the 45×85 Fig. 4
+	// fabric via fabric.Quale4585 for the paper's protocol.
+	Fabrics []FabricChoice
+	// Heuristics to compare, e.g. {core.QUALE, core.QSPR}.
+	Heuristics []core.Heuristic
+	// SeedCounts is the list of m values (MVFB random starts / MC run
+	// counts) to sweep. Deterministic heuristics (QUALE, QPOS) ignore
+	// m but still run once per value. Default {25}.
+	SeedCounts []int
+	// Seed feeds each run's random permutations (default 1).
+	Seed int64
+	// Tech overrides the technology parameters (nil = paper §V.A).
+	Tech *gates.Tech
+}
+
+// Run is one unit of work: a single (circuit, fabric, heuristic, m)
+// mapping. Index is the run's stable position in the expanded sweep
+// and fixes its position in every report regardless of completion
+// order.
+type Run struct {
+	Index     int
+	Circuit   circuits.Benchmark
+	Fabric    FabricChoice
+	Heuristic core.Heuristic
+	// Seeds is m for this run.
+	Seeds int
+	// Seed is the RNG seed for this run.
+	Seed int64
+	// Tech overrides technology parameters (nil = default).
+	Tech *gates.Tech
+}
+
+// Runs expands the spec into its stable, indexed run list. Expansion
+// order is circuits (outer) → fabrics → heuristics → seed counts
+// (inner); reports list runs in this order.
+func (s Spec) Runs() ([]Run, error) {
+	if len(s.Circuits) == 0 {
+		return nil, fmt.Errorf("experiment: spec has no circuits")
+	}
+	if len(s.Fabrics) == 0 {
+		return nil, fmt.Errorf("experiment: spec has no fabrics")
+	}
+	if len(s.Heuristics) == 0 {
+		return nil, fmt.Errorf("experiment: spec has no heuristics")
+	}
+	seedCounts := s.SeedCounts
+	if len(seedCounts) == 0 {
+		seedCounts = []int{25}
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	for _, f := range s.Fabrics {
+		if f.Fabric == nil {
+			return nil, fmt.Errorf("experiment: fabric %q is nil", f.Name)
+		}
+	}
+	var runs []Run
+	for _, c := range s.Circuits {
+		for _, f := range s.Fabrics {
+			for _, h := range s.Heuristics {
+				for _, m := range seedCounts {
+					if m <= 0 {
+						return nil, fmt.Errorf("experiment: seed count %d <= 0", m)
+					}
+					runs = append(runs, Run{
+						Index:     len(runs),
+						Circuit:   c,
+						Fabric:    f,
+						Heuristic: h,
+						Seeds:     m,
+						Seed:      seed,
+						Tech:      s.Tech,
+					})
+				}
+			}
+		}
+	}
+	return runs, nil
+}
+
+// Metrics are the deterministic per-run measurements. All time-like
+// fields are simulated microseconds (gates.Time), never wall-clock,
+// so two runs of the same Run are bit-identical.
+type Metrics struct {
+	// LatencyUS is the execution latency of the mapped circuit.
+	LatencyUS int64 `json:"latency_us"`
+	// IdealUS is the gate-delay critical path (Table 2 "Baseline").
+	IdealUS int64 `json:"ideal_us"`
+	// OverheadUS is LatencyUS - IdealUS (T_routing + T_congestion).
+	OverheadUS int64 `json:"overhead_us"`
+	// Moves and Turns count relocation micro-commands.
+	Moves int `json:"moves"`
+	Turns int `json:"turns"`
+	// Trips counts individual qubit journeys.
+	Trips int `json:"trips"`
+	// Blocked counts issue attempts deferred to the busy queue.
+	Blocked int `json:"blocked"`
+	// GateDelayUS, RoutingDelayUS and CongestionDelayUS split the
+	// latency into the three terms of Eq. 1.
+	GateDelayUS       int64 `json:"gate_delay_us"`
+	RoutingDelayUS    int64 `json:"routing_delay_us"`
+	CongestionDelayUS int64 `json:"congestion_delay_us"`
+	// PlacementRuns is the number of placement runs performed.
+	PlacementRuns int `json:"placement_runs"`
+	// BackwardWinner records whether MVFB's best run was an
+	// uncompute (backward) computation.
+	BackwardWinner bool `json:"backward_winner,omitempty"`
+	// Placement is the winning initial placement: Placement[q] is the
+	// trap holding qubit q at t=0.
+	Placement []int `json:"placement"`
+}
+
+// RunResult is the outcome of one run: its metrics on success or an
+// error string on failure (a failed or panicking run never aborts the
+// sweep — see Execute). Wall is the run's wall-clock duration; it is
+// deliberately excluded from all serialized reports so that output is
+// reproducible.
+type RunResult struct {
+	Run
+	Metrics *Metrics
+	// Err is non-empty if the run failed or panicked.
+	Err string
+	// Wall is the run's wall-clock duration (not serialized).
+	Wall time.Duration
+}
+
+// Report is the aggregated outcome of a sweep, with Results sorted by
+// run index — a stable order independent of worker count and
+// completion order.
+type Report struct {
+	Results []RunResult
+}
+
+// runMapper executes one run through the real mapping stack.
+func runMapper(r Run) (*Metrics, error) {
+	res, err := core.Map(r.Circuit.Program, r.Fabric.Fabric, core.Options{
+		Heuristic: r.Heuristic,
+		Seeds:     r.Seeds,
+		Seed:      r.Seed,
+		Tech:      r.Tech,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := res.Mapping.Stats
+	return &Metrics{
+		LatencyUS:         int64(res.Latency),
+		IdealUS:           int64(res.Ideal),
+		OverheadUS:        int64(res.Overhead()),
+		Moves:             s.Moves,
+		Turns:             s.Turns,
+		Trips:             s.RoutedQubitTrips,
+		Blocked:           s.Blocked,
+		GateDelayUS:       int64(s.GateDelay),
+		RoutingDelayUS:    int64(s.RoutingDelay),
+		CongestionDelayUS: int64(s.CongestionDelay),
+		PlacementRuns:     res.Runs,
+		BackwardWinner:    res.BackwardWinner,
+		Placement:         append([]int(nil), res.Mapping.Initial...),
+	}, nil
+}
+
+// BuiltinCircuits returns the paper's six QECC encoder benchmarks
+// (circuits.All) ready for a Spec.
+func BuiltinCircuits() []circuits.Benchmark { return circuits.All() }
+
+// SelectCircuits resolves a comma-separated list of built-in
+// benchmark names; "all" selects every benchmark. Commas inside
+// brackets are part of a single code label like "[[5,1,3]]".
+func SelectCircuits(s string) ([]circuits.Benchmark, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return circuits.All(), nil
+	}
+	var out []circuits.Benchmark
+	for _, name := range SplitCircuitList(s) {
+		b, err := circuits.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// ParseSeedCounts parses a comma-separated list of positive m values
+// (MVFB seed counts), e.g. "5,25,100".
+func ParseSeedCounts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("experiment: bad seed count %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// LoadFabric reads a fabric description file for a sweep; an empty
+// path selects the paper's 45×85 Fig. 4 fabric, named "quale45x85".
+// A file-backed fabric is named by its path.
+func LoadFabric(path string) (FabricChoice, error) {
+	if path == "" {
+		return FabricChoice{Name: "quale45x85", Fabric: fabric.Quale4585()}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return FabricChoice{}, err
+	}
+	defer f.Close()
+	fab, err := fabric.ParseText(f)
+	if err != nil {
+		return FabricChoice{}, err
+	}
+	return FabricChoice{Name: path, Fabric: fab}, nil
+}
+
+// SplitCircuitList splits a comma-separated list of circuit names,
+// keeping commas inside brackets (benchmark names are code labels
+// like "[[5,1,3]]") as part of the name.
+func SplitCircuitList(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// ParseHeuristics parses a comma-separated heuristic list such as
+// "qspr,quale" (see ParseHeuristic for the accepted names); "all"
+// expands to every heuristic.
+func ParseHeuristics(s string) ([]core.Heuristic, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return []core.Heuristic{core.QSPR, core.QSPRCenter, core.MonteCarlo,
+			core.QUALE, core.QPOS, core.QPOSDelay}, nil
+	}
+	var out []core.Heuristic
+	for _, f := range strings.Split(s, ",") {
+		h, err := ParseHeuristic(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}
+
+// ParseHeuristic maps a CLI name to a core.Heuristic: qspr,
+// qspr-center (center), mc (montecarlo, monte-carlo), quale, qpos,
+// qpos-delay (qposdelay).
+func ParseHeuristic(s string) (core.Heuristic, error) {
+	switch strings.ToLower(s) {
+	case "qspr":
+		return core.QSPR, nil
+	case "qspr-center", "center":
+		return core.QSPRCenter, nil
+	case "mc", "montecarlo", "monte-carlo":
+		return core.MonteCarlo, nil
+	case "quale":
+		return core.QUALE, nil
+	case "qpos":
+		return core.QPOS, nil
+	case "qpos-delay", "qposdelay":
+		return core.QPOSDelay, nil
+	}
+	return 0, fmt.Errorf("unknown heuristic %q", s)
+}

@@ -1,0 +1,298 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/qasm"
+)
+
+// fig3Benchmarks returns n copies of the paper's Fig. 3 circuit under
+// distinct names — cheap, real work for runner tests.
+func fig3Benchmarks(t *testing.T, n int) []circuits.Benchmark {
+	t.Helper()
+	prog, err := qasm.ParseString(circuits.Fig3QASM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]circuits.Benchmark, n)
+	for i := range out {
+		out[i] = circuits.Benchmark{Name: fmt.Sprintf("fig3-%d", i), Program: prog, Source: "test"}
+	}
+	return out
+}
+
+func smallSpec(t *testing.T, nCircuits int) Spec {
+	t.Helper()
+	return Spec{
+		Circuits:   fig3Benchmarks(t, nCircuits),
+		Fabrics:    []FabricChoice{{Name: "small9x9", Fabric: fabric.Small()}},
+		Heuristics: []core.Heuristic{core.QUALE, core.QSPR},
+		SeedCounts: []int{3},
+	}
+}
+
+func TestRunsExpansionStableOrder(t *testing.T) {
+	spec := smallSpec(t, 2)
+	spec.SeedCounts = []int{3, 7}
+	runs, err := spec.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 circuits × 1 fabric × 2 heuristics × 2 seed counts.
+	if len(runs) != 8 {
+		t.Fatalf("got %d runs, want 8", len(runs))
+	}
+	for i, r := range runs {
+		if r.Index != i {
+			t.Errorf("run %d has Index %d", i, r.Index)
+		}
+	}
+	// Innermost dimension is the seed count, then heuristics.
+	if runs[0].Seeds != 3 || runs[1].Seeds != 7 {
+		t.Errorf("seed counts not innermost: %d, %d", runs[0].Seeds, runs[1].Seeds)
+	}
+	if runs[0].Heuristic != core.QUALE || runs[2].Heuristic != core.QSPR {
+		t.Errorf("heuristic order wrong: %v, %v", runs[0].Heuristic, runs[2].Heuristic)
+	}
+	if runs[0].Circuit.Name != "fig3-0" || runs[4].Circuit.Name != "fig3-1" {
+		t.Errorf("circuit order wrong: %s, %s", runs[0].Circuit.Name, runs[4].Circuit.Name)
+	}
+}
+
+func TestRunsExpansionErrors(t *testing.T) {
+	base := smallSpec(t, 1)
+	for name, mutate := range map[string]func(*Spec){
+		"no circuits":   func(s *Spec) { s.Circuits = nil },
+		"no fabrics":    func(s *Spec) { s.Fabrics = nil },
+		"no heuristics": func(s *Spec) { s.Heuristics = nil },
+		"nil fabric":    func(s *Spec) { s.Fabrics = []FabricChoice{{Name: "x"}} },
+		"bad m":         func(s *Spec) { s.SeedCounts = []int{0} },
+	} {
+		spec := base
+		mutate(&spec)
+		if _, err := spec.Runs(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestDeterminismAcrossWorkers is the acceptance check of the
+// subsystem: the serialized JSON and CSV reports must be byte-identical
+// for worker counts 1, 4 and 16.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	spec := smallSpec(t, 3)
+	type output struct{ json, csv, md []byte }
+	var outputs []output
+	for _, workers := range []int{1, 4, 16} {
+		rep, err := Execute(context.Background(), spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(rep.Results) != 6 {
+			t.Fatalf("workers=%d: %d results, want 6", workers, len(rep.Results))
+		}
+		for _, rr := range rep.Results {
+			if rr.Err != "" {
+				t.Fatalf("workers=%d: run %d failed: %s", workers, rr.Index, rr.Err)
+			}
+		}
+		var j, c, m bytes.Buffer
+		if err := rep.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteMarkdown(&m); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, output{j.Bytes(), c.Bytes(), m.Bytes()})
+	}
+	for i := 1; i < len(outputs); i++ {
+		if !bytes.Equal(outputs[0].json, outputs[i].json) {
+			t.Errorf("JSON differs between worker counts 1 and %d", []int{1, 4, 16}[i])
+		}
+		if !bytes.Equal(outputs[0].csv, outputs[i].csv) {
+			t.Errorf("CSV differs between worker counts 1 and %d", []int{1, 4, 16}[i])
+		}
+		if !bytes.Equal(outputs[0].md, outputs[i].md) {
+			t.Errorf("markdown differs between worker counts 1 and %d", []int{1, 4, 16}[i])
+		}
+	}
+}
+
+// TestCancellationMidSweep cancels the context after the first result
+// and checks Execute stops early, reports context.Canceled, and
+// returns only completed runs.
+func TestCancellationMidSweep(t *testing.T) {
+	spec := smallSpec(t, 8) // 16 runs
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	slow := func(ctx context.Context, r Run) (*Metrics, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+		return &Metrics{LatencyUS: int64(r.Index)}, nil
+	}
+	var done int
+	rep, err := Execute(ctx, spec, Options{
+		Workers: 2,
+		RunFunc: slow,
+		OnResult: func(RunResult) {
+			done++
+			if done == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(rep.Results) >= 16 {
+		t.Errorf("all %d runs completed despite cancellation", len(rep.Results))
+	}
+	if len(rep.Results) == 0 {
+		t.Error("no completed runs reported")
+	}
+}
+
+// TestPanicIsolation proves one panicking run does not kill the sweep:
+// every other run completes and the panic is recorded as that run's
+// error.
+func TestPanicIsolation(t *testing.T) {
+	spec := smallSpec(t, 4) // 8 runs
+	fn := func(_ context.Context, r Run) (*Metrics, error) {
+		switch r.Index {
+		case 3:
+			panic("boom | with\npipe and newline")
+		case 5:
+			return nil, errors.New("plain failure")
+		}
+		return &Metrics{LatencyUS: int64(100 + r.Index)}, nil
+	}
+	rep, err := Execute(context.Background(), spec, Options{Workers: 4, RunFunc: fn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 8 {
+		t.Fatalf("%d results, want 8", len(rep.Results))
+	}
+	for _, rr := range rep.Results {
+		switch rr.Index {
+		case 3:
+			if !strings.Contains(rr.Err, "panic: boom") {
+				t.Errorf("run 3: Err = %q, want panic record", rr.Err)
+			}
+			if rr.Metrics != nil {
+				t.Error("run 3: metrics set despite panic")
+			}
+		case 5:
+			if rr.Err != "plain failure" {
+				t.Errorf("run 5: Err = %q", rr.Err)
+			}
+		default:
+			if rr.Err != "" || rr.Metrics == nil {
+				t.Errorf("run %d: Err=%q Metrics=%v", rr.Index, rr.Err, rr.Metrics)
+			}
+		}
+	}
+	// Failed runs appear in every format with their error; markdown
+	// must escape pipes and newlines so the table row stays intact.
+	var c, md bytes.Buffer
+	if err := rep.WriteCSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.String(), "panic: boom") {
+		t.Error("CSV missing the panic record")
+	}
+	if err := rep.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), `boom \| with pipe and newline`) {
+		t.Errorf("markdown error cell not escaped:\n%s", md.String())
+	}
+}
+
+// TestQsprBeatsOrMatchesQuale sanity-checks the real mapping stack
+// through the runner: on every benchmark pair the winning MVFB
+// mapping is at least as good as the QUALE baseline, and both respect
+// the ideal lower bound.
+func TestQsprBeatsOrMatchesQuale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	spec := smallSpec(t, 1)
+	rep, err := Execute(context.Background(), spec, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Comparison()
+	if len(rows) != 1 {
+		t.Fatalf("%d comparison rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.QualeUS == 0 || r.QsprUS == 0 {
+		t.Fatalf("missing latencies: %+v", r)
+	}
+	if r.QsprUS < r.IdealUS || r.QualeUS < r.IdealUS {
+		t.Errorf("latency below ideal bound: %+v", r)
+	}
+	if r.QsprUS > r.QualeUS {
+		t.Errorf("QSPR (%d) worse than QUALE (%d)", r.QsprUS, r.QualeUS)
+	}
+}
+
+func TestParseHeuristics(t *testing.T) {
+	hs, err := ParseHeuristics("qspr, quale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 2 || hs[0] != core.QSPR || hs[1] != core.QUALE {
+		t.Errorf("got %v", hs)
+	}
+	if hs, err = ParseHeuristics("all"); err != nil || len(hs) != 6 {
+		t.Errorf("all: %v, %v", hs, err)
+	}
+	if _, err = ParseHeuristics("nope"); err == nil {
+		t.Error("expected error for unknown heuristic")
+	}
+}
+
+func TestSelectCircuits(t *testing.T) {
+	all, err := SelectCircuits("all")
+	if err != nil || len(all) != 6 {
+		t.Fatalf("all: %d benchmarks, err %v", len(all), err)
+	}
+	// Commas inside brackets belong to the code label.
+	two, err := SelectCircuits("[[5,1,3]], [[9,1,3]]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name != "[[5,1,3]]" || two[1].Name != "[[9,1,3]]" {
+		t.Errorf("got %v", two)
+	}
+	if _, err := SelectCircuits("bogus"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+	if got := SplitCircuitList("[[5,1,3]]"); len(got) != 1 {
+		t.Errorf("single name split into %d parts: %q", len(got), got)
+	}
+}
+
+func TestWriteUnknownFormat(t *testing.T) {
+	rep := &Report{}
+	if err := rep.Write(&bytes.Buffer{}, "yaml"); err == nil {
+		t.Error("expected error for unknown format")
+	}
+}

@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RunFunc executes one run and returns its metrics. Options.RunFunc
+// overrides the default (the real core.Map stack) — tests use this to
+// inject failures and delays.
+type RunFunc func(ctx context.Context, r Run) (*Metrics, error)
+
+// Options configures Execute.
+type Options struct {
+	// Workers is the worker-pool size; <= 0 means GOMAXPROCS. The
+	// report is byte-identical for any value.
+	Workers int
+	// RunFunc overrides the per-run mapper (nil = the real stack).
+	RunFunc RunFunc
+	// OnResult, if non-nil, is called as each run completes, in
+	// completion order (not index order), serialized by a mutex. Use
+	// it for progress reporting.
+	OnResult func(RunResult)
+}
+
+// Execute expands spec and maps every run across a work-stealing
+// worker pool.
+//
+// Scheduling: each worker owns a deque pre-filled round-robin with a
+// share of the runs; it pops work LIFO from its own tail and, when
+// empty, steals FIFO from the head of the most loaded peer. Long runs
+// (big circuits, large m) therefore never serialize behind one
+// worker's queue.
+//
+// Determinism: each run is mapped by a single-threaded, seeded
+// core.Map call, and results are slotted by run index, so the
+// returned Report — and the bytes of WriteJSON/WriteCSV — are
+// identical for any worker count and any completion order.
+//
+// Failure isolation: a run that returns an error or panics records
+// the failure in its RunResult.Err and the sweep continues; Execute
+// itself returns a non-nil error only when ctx is canceled, in which
+// case the report holds the runs completed before cancellation.
+func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
+	runs, err := spec.Runs()
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	fn := opts.RunFunc
+	if fn == nil {
+		fn = func(_ context.Context, r Run) (*Metrics, error) { return runMapper(r) }
+	}
+
+	// Round-robin pre-distribution: worker w owns runs w, w+N, w+2N…
+	// so every worker starts with a mix of circuits (adjacent runs
+	// tend to share a circuit and hence a cost profile).
+	queues := make([]*deque, workers)
+	for w := range queues {
+		queues[w] = &deque{}
+	}
+	for i, r := range runs {
+		queues[i%workers].push(r)
+	}
+
+	results := make([]*RunResult, len(runs))
+	var cbMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				r, ok := queues[self].popTail()
+				if !ok {
+					r, ok = stealFrom(queues, self)
+				}
+				if !ok {
+					return
+				}
+				rr := executeRun(ctx, r, fn)
+				results[r.Index] = rr
+				if opts.OnResult != nil {
+					cbMu.Lock()
+					opts.OnResult(*rr)
+					cbMu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep := &Report{}
+	for _, rr := range results {
+		if rr != nil {
+			rep.Results = append(rep.Results, *rr)
+		}
+	}
+	return rep, ctx.Err()
+}
+
+// executeRun runs one unit of work with panic isolation.
+func executeRun(ctx context.Context, r Run, fn RunFunc) (rr *RunResult) {
+	start := time.Now()
+	rr = &RunResult{Run: r}
+	defer func() {
+		rr.Wall = time.Since(start)
+		if p := recover(); p != nil {
+			rr.Metrics = nil
+			rr.Err = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+	m, err := fn(ctx, r)
+	if err != nil {
+		rr.Err = err.Error()
+		return rr
+	}
+	rr.Metrics = m
+	return rr
+}
+
+// stealFrom takes work from the head of the most loaded peer queue.
+func stealFrom(queues []*deque, self int) (Run, bool) {
+	for {
+		victim, best := -1, 0
+		for i, q := range queues {
+			if i == self {
+				continue
+			}
+			if n := q.len(); n > best {
+				victim, best = i, n
+			}
+		}
+		if victim < 0 {
+			return Run{}, false
+		}
+		// The victim may drain between the scan and the steal; rescan
+		// rather than give up, and stop only when every peer is empty.
+		if r, ok := queues[victim].popHead(); ok {
+			return r, true
+		}
+	}
+}
+
+// deque is a mutex-guarded double-ended work queue. The owner pops
+// from the tail (LIFO keeps its cache warm on related runs); thieves
+// pop from the head (FIFO steals the oldest, typically largest
+// remaining chunk of the round-robin pre-distribution).
+type deque struct {
+	mu   sync.Mutex
+	runs []Run
+}
+
+func (d *deque) push(r Run) {
+	d.mu.Lock()
+	d.runs = append(d.runs, r)
+	d.mu.Unlock()
+}
+
+func (d *deque) popTail() (Run, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.runs) == 0 {
+		return Run{}, false
+	}
+	r := d.runs[len(d.runs)-1]
+	d.runs = d.runs[:len(d.runs)-1]
+	return r, true
+}
+
+func (d *deque) popHead() (Run, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.runs) == 0 {
+		return Run{}, false
+	}
+	r := d.runs[0]
+	d.runs = d.runs[1:]
+	return r, true
+}
+
+func (d *deque) len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.runs)
+}

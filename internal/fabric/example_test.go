@@ -1,0 +1,33 @@
+package fabric_test
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+)
+
+// Generate builds a regular tiled fabric — a lattice of junctions
+// joined by channels, with traps hanging off the horizontal channels
+// — from a compact spec.
+func ExampleGenerate() {
+	f, err := fabric.Generate(fabric.GenSpec{Rows: 9, Cols: 9, Pitch: 4})
+	if err != nil {
+		panic(err)
+	}
+	s := f.Stats()
+	fmt.Printf("%dx%d: %d junctions, %d channels, %d traps\n",
+		f.Rows, f.Cols, s.Junctions, s.Channels, s.Traps)
+	fmt.Printf("center cell: %v (%v)\n", f.Center(), f.At(f.Center()))
+	// Output:
+	// 9x9: 9 junctions, 12 channels, 8 traps
+	// center cell: {4 4} (J)
+}
+
+// Quale4585 is the 45×85 fabric of the paper's Fig. 4, the substrate
+// of every experimental table.
+func ExampleQuale4585() {
+	f := fabric.Quale4585()
+	fmt.Println(f.Stats())
+	// Output:
+	// 45x85 fabric: 264 junctions, 494 channels (1482 cells), 462 traps
+}

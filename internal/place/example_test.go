@@ -1,0 +1,57 @@
+package place_test
+
+import (
+	"fmt"
+
+	"repro/internal/circuits"
+	"repro/internal/engine"
+	"repro/internal/fabric"
+	"repro/internal/gates"
+	"repro/internal/place"
+	"repro/internal/qasm"
+	"repro/internal/qidg"
+	"repro/internal/sched"
+)
+
+// MVFB is the paper's placement search (§IV.A): m random starts, each
+// refined by alternating forward/backward computations until Patience
+// non-improving runs. Here it places the paper's Fig. 3 circuit on the
+// small test fabric with the full QSPR engine configuration.
+func ExampleMVFB() {
+	prog, err := qasm.ParseString(circuits.Fig3QASM)
+	if err != nil {
+		panic(err)
+	}
+	g, err := qidg.Build(prog)
+	if err != nil {
+		panic(err)
+	}
+	cfg := engine.Config{
+		Fabric: fabric.Small(), Tech: gates.Default(),
+		Policy: sched.QSPR, Weights: sched.DefaultWeights(),
+		TurnAware: true, BothMove: true, MedianTarget: true,
+	}
+	sol, err := place.MVFB(g, cfg, place.DefaultMVFBOptions(3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("latency: %v after %d runs\n", sol.Result.Latency, sol.Runs)
+	fmt.Printf("initial placement valid: %v\n",
+		sol.Result.Initial.Validate(cfg.Fabric, cfg.Tech.TrapCapacity) == nil)
+	// Output:
+	// latency: 788µs after 11 runs
+	// initial placement valid: true
+}
+
+// Center is the deterministic starting placement: qubits packed into
+// the traps nearest the fabric's center.
+func ExampleCenter() {
+	f := fabric.Small()
+	p, err := place.Center(f, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("qubit -> trap: %v\n", []int(p))
+	// Output:
+	// qubit -> trap: [2 3 4 5]
+}
