@@ -193,6 +193,28 @@ func BenchmarkFig5_Routing(b *testing.B) {
 	}
 }
 
+// BenchmarkFig5_RoutingCold is BenchmarkFig5_Routing with the route
+// cache defeated: one junction group is kept occupied, so every
+// iteration runs a full congested Dijkstra on the reusable search
+// state. This isolates the raw search-core speed from cache replay.
+func BenchmarkFig5_RoutingCold(b *testing.B) {
+	tech := gates.Default()
+	g := routegraph.New(benchFabric, tech, routegraph.Options{TurnAware: true})
+	g.Occupy(g.JunctionGroupID(0))
+	a := benchFabric.TrapsByDistance(fabric.Pos{Row: 0, Col: 0})[0]
+	z := benchFabric.TrapsByDistance(fabric.Pos{Row: 44, Col: 84})[0]
+	var travel gates.Time
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, ok := g.FindRoute(a, z)
+		if !ok {
+			b.Fatal("no route")
+		}
+		travel = r.Delay
+	}
+	b.ReportMetric(float64(travel), "travel_µs")
+}
+
 // BenchmarkFig4_FabricGeneration measures building the 45×85 fabric
 // of Fig. 4 (grid synthesis plus topology derivation).
 func BenchmarkFig4_FabricGeneration(b *testing.B) {

@@ -20,11 +20,19 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiment"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code: keeping the profile-flushing defers
+// on a normal return path (os.Exit would skip them and truncate the
+// CPU profile). The named result lets the deferred heap-profile
+// writer flip a successful sweep to a failing exit.
+func run() (code int) {
 	var (
 		circuitsF  = flag.String("circuits", "all", "comma-separated built-in circuit names, or 'all'")
 		heuristics = flag.String("heuristics", "quale,qspr", "comma-separated heuristics (qspr, qspr-center, mc, quale, qpos, qpos-delay) or 'all'")
@@ -36,33 +44,61 @@ func main() {
 		out        = flag.String("out", "", "write the report to this file instead of stdout")
 		compare    = flag.Bool("compare", true, "also print the QSPR-vs-QUALE comparison table to stderr")
 		progress   = flag.Bool("progress", false, "print per-run progress to stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				code = fail(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				code = fail(err)
+			}
+		}()
+	}
+
 	if err := experiment.ValidateFormat(*format); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	spec := experiment.Spec{Seed: *seed}
 	var err error
 	if spec.Circuits, err = experiment.SelectCircuits(*circuitsF); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if spec.Heuristics, err = experiment.ParseHeuristics(*heuristics); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if spec.SeedCounts, err = experiment.ParseSeedCounts(*mList); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	fc, err := experiment.LoadFabric(*fabPath)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	spec.Fabrics = []experiment.FabricChoice{fc}
 
 	opts := experiment.Options{Workers: *parallel}
 	runs, err := spec.Runs()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *progress {
 		total := len(runs)
@@ -91,13 +127,13 @@ func main() {
 	}
 
 	if err := rep.WriteFile(*format, *out); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *compare {
 		fmt.Fprintln(os.Stderr)
 		fmt.Fprintln(os.Stderr, "QSPR vs QUALE:")
 		if err := rep.WriteComparison(os.Stderr); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	failed := false
@@ -109,11 +145,12 @@ func main() {
 		}
 	}
 	if interrupted || failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "qsprbench:", err)
-	os.Exit(1)
+	return 1
 }

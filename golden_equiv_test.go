@@ -1,0 +1,68 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/gates"
+)
+
+// table2Golden pins, for every Table 2 circuit, the exact latencies
+// and relocation counts produced by the pre-refactor routing core
+// (QUALE single deterministic run; QSPR with the MVFB placer at m=3,
+// seed 1). The zero-allocation core, the CSR adjacency, the route
+// cache and the cross-run graph reuse must all leave these numbers
+// bit-identical: any drift in the seeded tie-break stream, the heap
+// pop order, or the cache replay shows up here.
+type table2Golden struct {
+	quale      gates.Time
+	qspr       gates.Time
+	qsprMoves  int
+	qsprTurns  int
+	qualeMoves int
+}
+
+var table2Goldens = map[string]table2Golden{
+	"[[5,1,3]]":  {quale: 1028, qspr: 764, qsprMoves: 48, qsprTurns: 16, qualeMoves: 108},
+	"[[7,1,3]]":  {quale: 1027, qspr: 766, qsprMoves: 88, qsprTurns: 26, qualeMoves: 140},
+	"[[9,1,3]]":  {quale: 924, qspr: 792, qsprMoves: 92, qsprTurns: 32, qualeMoves: 136},
+	"[[14,8,3]]": {quale: 3293, qspr: 2798, qsprMoves: 240, qsprTurns: 84, qualeMoves: 408},
+	"[[19,1,7]]": {quale: 8948, qspr: 8156, qsprMoves: 1400, qsprTurns: 482, qualeMoves: 1630},
+	"[[23,1,7]]": {quale: 3781, qspr: 3008, qsprMoves: 1050, qsprTurns: 364, qualeMoves: 1514},
+}
+
+func TestGoldenTable2Equivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	fab := fabric.Quale4585()
+	for _, b := range circuits.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			q, err := core.Map(b.Program, fab, core.Options{Heuristic: core.QUALE})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := core.Map(b.Program, fab, core.Options{Heuristic: core.QSPR, Seeds: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("golden: {quale: %d, qspr: %d, qsprMoves: %d, qsprTurns: %d, qualeMoves: %d}",
+				q.Latency, s.Latency, s.Mapping.Stats.Moves, s.Mapping.Stats.Turns, q.Mapping.Stats.Moves)
+			want, ok := table2Goldens[b.Name]
+			if !ok {
+				t.Fatalf("no golden recorded for %s", b.Name)
+			}
+			if q.Latency != want.quale || q.Mapping.Stats.Moves != want.qualeMoves {
+				t.Errorf("QUALE: latency %v moves %d, want %v / %d (pre-refactor golden)",
+					q.Latency, q.Mapping.Stats.Moves, want.quale, want.qualeMoves)
+			}
+			if s.Latency != want.qspr || s.Mapping.Stats.Moves != want.qsprMoves || s.Mapping.Stats.Turns != want.qsprTurns {
+				t.Errorf("QSPR m=3: latency %v moves %d turns %d, want %v / %d / %d (pre-refactor golden)",
+					s.Latency, s.Mapping.Stats.Moves, s.Mapping.Stats.Turns, want.qspr, want.qsprMoves, want.qsprTurns)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ package engine
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/events"
 	"repro/internal/fabric"
@@ -83,6 +84,39 @@ type Config struct {
 
 	// MaxEvents guards the simulator; 0 means the default guard.
 	MaxEvents int
+
+	// RouteGraph optionally supplies a pre-built routing graph to
+	// reuse across runs instead of rebuilding CSR arrays and search
+	// state per Run. It must describe the same fabric, technology and
+	// routing options as this config (build it with BuildRouteGraph);
+	// Run resets its occupancy and tie-break rng, so results are
+	// bit-identical to a fresh graph while its route cache and
+	// buffers stay warm. A graph must not be shared by concurrent
+	// runs — give each worker its own.
+	RouteGraph *routegraph.Graph
+}
+
+// BuildRouteGraph constructs the routing graph exactly as Run would,
+// for callers that execute many runs over one config (MVFB,
+// Monte-Carlo) and want to reuse it via Config.RouteGraph.
+func (c *Config) BuildRouteGraph() *routegraph.Graph {
+	return routegraph.New(c.Fabric, c.Tech, routegraph.Options{
+		TurnAware: c.TurnAware, TieSeed: c.TieSeed,
+		DefectiveChannels: c.DefectiveChannels, DefectiveJunctions: c.DefectiveJunctions,
+	})
+}
+
+// checkRouteGraph rejects a supplied graph that was not built from
+// this config — silently accepting one would change routing results.
+func (c *Config) checkRouteGraph(rg *routegraph.Graph) error {
+	ok := rg.Fabric == c.Fabric && rg.Tech == c.Tech &&
+		rg.Opts.TurnAware == c.TurnAware && rg.Opts.TieSeed == c.TieSeed &&
+		slices.Equal(rg.Opts.DefectiveChannels, c.DefectiveChannels) &&
+		slices.Equal(rg.Opts.DefectiveJunctions, c.DefectiveJunctions)
+	if !ok {
+		return fmt.Errorf("engine: RouteGraph was built for a different fabric/tech/options")
+	}
+	return nil
 }
 
 func (c *Config) validate() error {
@@ -205,13 +239,19 @@ func Run(g *qidg.Graph, cfg Config, initial Placement) (*Result, error) {
 	} else {
 		prio = sched.Priorities(g, cfg.Tech, cfg.Policy, cfg.Weights)
 	}
+	rg := cfg.RouteGraph
+	if rg == nil {
+		rg = cfg.BuildRouteGraph()
+	} else {
+		if err := cfg.checkRouteGraph(rg); err != nil {
+			return nil, err
+		}
+		rg.Reset()
+	}
 	s := &simulator{
-		cfg: cfg,
-		g:   g,
-		rg: routegraph.New(cfg.Fabric, cfg.Tech, routegraph.Options{
-			TurnAware: cfg.TurnAware, TieSeed: cfg.TieSeed,
-			DefectiveChannels: cfg.DefectiveChannels, DefectiveJunctions: cfg.DefectiveJunctions,
-		}),
+		cfg:             cfg,
+		g:               g,
+		rg:              rg,
 		q:               events.New(),
 		prio:            prio,
 		ready:           sched.NewReadyQueue(prio),
@@ -507,6 +547,9 @@ func (s *simulator) departQubit(n, q int, r routegraph.Route, target int, now ga
 // trap now, each hop's capacity group is released as the qubit exits
 // it, and onArrive runs at the journey's end (the caller updates
 // trapOf there; the destination seat must already be reserved).
+// r.Hops aliases the graph's reusable hop buffer (valid only until
+// the next FindRoute), so it is consumed synchronously here — the
+// scheduled events capture scalars, never the slice.
 func (s *simulator) sendQubit(q int, r routegraph.Route, now gates.Time, onArrive func(gates.Time)) {
 	from := s.trapOf[q]
 	s.trapLoad[from]--

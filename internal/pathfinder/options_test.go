@@ -1,0 +1,102 @@
+package pathfinder
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/gates"
+	"repro/internal/routegraph"
+)
+
+// contendedInstance builds a capacity-1 instance whose greedy routes
+// overlap (both nets want the same shortest corridor), so convergence
+// requires congestion pricing: the default options need 5 negotiation
+// rounds on it.
+func contendedInstance() (*routegraph.Graph, []Net) {
+	tech := gates.Default()
+	tech.ChannelCapacity = 1
+	tech.JunctionCapacity = 2
+	g := routegraph.New(fabric.Small(), tech, routegraph.Options{TurnAware: false})
+	return g, []Net{
+		{ID: 0, From: 0, To: 5},
+		{ID: 1, From: 1, To: 4},
+	}
+}
+
+// TestZeroOptionsAreExpressible: Float(0) must mean literally zero,
+// not "use the default". With both knobs at genuine zero the cost
+// function never changes, so the router re-derives the same
+// overlapping assignment every iteration and can never converge —
+// whereas the nil (default) knobs do converge on the same instance.
+func TestZeroOptionsAreExpressible(t *testing.T) {
+	g, nets := contendedInstance()
+	def, err := Route(g, nets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !def.Feasible || def.Iterations < 2 {
+		t.Fatalf("default options must negotiate to feasibility on this instance (got %d iters, feasible=%v)",
+			def.Iterations, def.Feasible)
+	}
+
+	g2, _ := contendedInstance()
+	zero, err := Route(g2, nets, Options{
+		MaxIterations:    8,
+		PresentFactor:    Float(0),
+		HistoryIncrement: Float(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Feasible {
+		t.Error("genuine zero pricing converged; Float(0) is being treated as a default")
+	}
+	if zero.Iterations != 8 {
+		t.Errorf("iterations = %d, want the full budget 8", zero.Iterations)
+	}
+	if zero.Overused == 0 {
+		t.Error("no overuse reported although pricing was disabled")
+	}
+}
+
+// TestNilOptionsKeepDefaults pins the documented defaults so the
+// pointer migration cannot silently change the zero value's meaning.
+func TestNilOptionsKeepDefaults(t *testing.T) {
+	r := Options{}.withDefaults()
+	if r.maxIterations != 50 || r.presentFactor != 0.5 || r.historyIncrement != 1 {
+		t.Errorf("zero-value defaults = %+v, want {50 0.5 1}", r)
+	}
+	r = Options{MaxIterations: 3, PresentFactor: Float(2), HistoryIncrement: Float(0.25)}.withDefaults()
+	if r.maxIterations != 3 || r.presentFactor != 2 || r.historyIncrement != 0.25 {
+		t.Errorf("explicit options = %+v, want {3 2 0.25}", r)
+	}
+}
+
+// TestIterationsZeroAllocSteadyState asserts that rip-up/re-route
+// rounds after the first allocate nothing: running 10 extra
+// iterations of an instance that cannot converge must cost exactly
+// as many allocations as running 2.
+func TestIterationsZeroAllocSteadyState(t *testing.T) {
+	tech := gates.Default()
+	tech.ChannelCapacity = 1
+	tech.JunctionCapacity = 1
+	g := routegraph.New(fabric.Small(), tech, routegraph.Options{TurnAware: false})
+	// Impossible: three nets into one trap's single access channel.
+	nets := []Net{{ID: 0, From: 4, To: 0}, {ID: 1, From: 5, To: 0}, {ID: 2, From: 6, To: 0}}
+	run := func(iters int) float64 {
+		return testing.AllocsPerRun(20, func() {
+			res, err := Route(g, nets, Options{MaxIterations: iters})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Iterations != iters {
+				t.Fatalf("ran %d iterations, want %d", res.Iterations, iters)
+			}
+		})
+	}
+	short, long := run(2), run(12)
+	if long > short {
+		t.Errorf("12 iterations allocate %.1f objects, 2 iterations %.1f: steady-state iterations are not allocation-free",
+			long, short)
+	}
+}

@@ -20,10 +20,15 @@
 // time-multiplexed, one instruction at a time; PathFinder answers the
 // static question "can these trips coexist simultaneously?", which is
 // how QUALE's scheduler consumed it.
+//
+// The shortest-path inner loop is routegraph's shared search core
+// (CSR adjacency + reusable generation-stamped state), instantiated
+// at float64 with the negotiated cost as the weight callback; after
+// the first iteration warms the buffers, rip-up/re-route rounds run
+// allocation-free.
 package pathfinder
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -38,29 +43,50 @@ type Net struct {
 }
 
 // Options tunes the negotiation.
+//
+// PresentFactor and HistoryIncrement are pointers so that a genuine
+// zero is expressible: nil means "use the default" while new(float64)
+// (or Float(0)) means literally zero. A NaN in-band sentinel was
+// considered and rejected — the zero value Options{} must keep the
+// documented defaults, and with a NaN sentinel the zero value would
+// instead silently mean "no present cost, no history", the exact
+// ambiguity (inverted) this type previously had.
 type Options struct {
 	// MaxIterations bounds the rip-up/re-route loop (0 = 50).
 	MaxIterations int
 	// PresentFactor scales the present-congestion penalty per unit
-	// of overuse (0 = 0.5). It is multiplied by the iteration number,
-	// the standard PathFinder schedule.
-	PresentFactor float64
+	// of overuse (nil = 0.5). It is multiplied by the iteration
+	// number, the standard PathFinder schedule. Float(0) disables
+	// present-congestion pricing entirely.
+	PresentFactor *float64
 	// HistoryIncrement is added to an edge group's history cost each
-	// iteration it ends congested (0 = 1).
-	HistoryIncrement float64
+	// iteration it ends congested (nil = 1). Float(0) disables
+	// history accumulation.
+	HistoryIncrement *float64
 }
 
-func (o Options) withDefaults() Options {
-	if o.MaxIterations == 0 {
-		o.MaxIterations = 50
+// Float returns a pointer to v, for setting Options fields inline.
+func Float(v float64) *float64 { return &v }
+
+// resolved is Options with the defaults applied.
+type resolved struct {
+	maxIterations    int
+	presentFactor    float64
+	historyIncrement float64
+}
+
+func (o Options) withDefaults() resolved {
+	r := resolved{maxIterations: o.MaxIterations, presentFactor: 0.5, historyIncrement: 1}
+	if r.maxIterations == 0 {
+		r.maxIterations = 50
 	}
-	if o.PresentFactor == 0 {
-		o.PresentFactor = 0.5
+	if o.PresentFactor != nil {
+		r.presentFactor = *o.PresentFactor
 	}
-	if o.HistoryIncrement == 0 {
-		o.HistoryIncrement = 1
+	if o.HistoryIncrement != nil {
+		r.historyIncrement = *o.HistoryIncrement
 	}
-	return o
+	return r
 }
 
 // Result is the outcome of a negotiation.
@@ -83,7 +109,7 @@ type Result struct {
 // occupancy state is not consulted or modified; PathFinder maintains
 // its own usage model.
 func Route(g *routegraph.Graph, nets []Net, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	o := opts.withDefaults()
 	for _, n := range nets {
 		if n.From < 0 || n.From >= len(g.Fabric.Traps) || n.To < 0 || n.To >= len(g.Fabric.Traps) {
 			return nil, fmt.Errorf("pathfinder: net %d endpoints out of range", n.ID)
@@ -94,22 +120,55 @@ func Route(g *routegraph.Graph, nets []Net, opts Options) (*Result, error) {
 	routes := make([]routegraph.Route, len(nets))
 	routed := make([]bool, len(nets))
 
+	// The negotiated cost as a weight callback over the shared search
+	// core. presentFactor follows the standard PathFinder schedule, so
+	// the closure reads it through a variable updated per iteration.
+	// The graph's Eq. 2 occupancy weights are deliberately NOT used.
+	s := g.AcquireFloatSearcher()
+	defer g.ReleaseFloatSearcher(s)
+	presentFactor := 0.0
+	weight := func(eid int32) float64 {
+		e := &g.Edges[eid]
+		grp := e.Group
+		over := usage[grp] + 1 - g.Groups[grp].Capacity
+		if over < 0 {
+			over = 0
+		}
+		base := float64(e.SelectBase)
+		if base == 0 {
+			base = 0.001 // zero-cost turn edges still negotiate
+		}
+		return base * (1 + presentFactor*float64(over) + history[grp])
+	}
+
 	res := &Result{}
-	for iter := 1; iter <= opts.MaxIterations; iter++ {
+	for iter := 1; iter <= o.maxIterations; iter++ {
 		res.Iterations = iter
-		presentFactor := opts.PresentFactor * float64(iter)
+		presentFactor = o.presentFactor * float64(iter)
 		// Rip up and re-route every net.
-		for i, n := range nets {
+		for i := range nets {
+			n := &nets[i]
 			if routed[i] {
 				for _, h := range routes[i].Hops {
 					usage[h.Group]--
 				}
 			}
-			r, ok := dijkstra(g, n.From, n.To, usage, history, presentFactor)
-			if !ok {
-				return nil, fmt.Errorf("pathfinder: net %d (%d->%d) unroutable", n.ID, n.From, n.To)
+			r := &routes[i]
+			r.From, r.To = n.From, n.To
+			r.Delay, r.Moves, r.Turns = 0, 0, 0
+			r.Hops = r.Hops[:0]
+			if n.From != n.To {
+				if _, ok := s.ShortestPath(n.From, n.To, math.MaxFloat64, weight); !ok {
+					return nil, fmt.Errorf("pathfinder: net %d (%d->%d) unroutable", n.ID, n.From, n.To)
+				}
+				r.Hops = s.AppendHops(r.Hops)
+				for k := range r.Hops {
+					h := &r.Hops[k]
+					r.Delay += h.Delay
+					r.Moves += h.Moves
+					r.Turns += h.Turns
+				}
 			}
-			routes[i] = r
 			routed[i] = true
 			for _, h := range r.Hops {
 				usage[h.Group]++
@@ -120,7 +179,7 @@ func Route(g *routegraph.Graph, nets []Net, opts Options) (*Result, error) {
 		for gi := range usage {
 			if usage[gi] > g.Groups[gi].Capacity {
 				overused++
-				history[gi] += opts.HistoryIncrement
+				history[gi] += o.historyIncrement
 			}
 		}
 		if overused == 0 {
@@ -133,110 +192,8 @@ func Route(g *routegraph.Graph, nets []Net, opts Options) (*Result, error) {
 		res.Overused = 0
 	}
 	res.Routes = routes
-	for _, r := range routes {
-		res.TotalDelay += r.Delay
+	for i := range routes {
+		res.TotalDelay += routes[i].Delay
 	}
 	return res, nil
-}
-
-// dijkstra is a cost-model-specific shortest path over the routing
-// graph (the graph's Eq. 2 occupancy weights are deliberately NOT
-// used; PathFinder's negotiated costs replace them).
-func dijkstra(g *routegraph.Graph, fromTrap, toTrap int, usage []int, history []float64, presentFactor float64) (routegraph.Route, bool) {
-	if fromTrap == toTrap {
-		return routegraph.Route{From: fromTrap, To: toTrap}, true
-	}
-	src := g.TrapNodeID(fromTrap)
-	dst := g.TrapNodeID(toTrap)
-	const inf = math.MaxFloat64
-	dist := make([]float64, len(g.Nodes))
-	via := make([]int, len(g.Nodes))
-	settled := make([]bool, len(g.Nodes))
-	for i := range dist {
-		dist[i] = inf
-		via[i] = -1
-	}
-	dist[src] = 0
-	pq := &floatHeap{{node: src, dist: 0}}
-	for pq.Len() > 0 {
-		cur := heap.Pop(pq).(floatDist)
-		if settled[cur.node] || cur.dist > dist[cur.node] {
-			continue
-		}
-		settled[cur.node] = true
-		if cur.node == dst {
-			break
-		}
-		for _, eid := range g.IncidentEdges(cur.node) {
-			e := &g.Edges[eid]
-			next := e.A
-			if next == cur.node {
-				next = e.B
-			}
-			if kind := g.Nodes[next].Kind; kind == routegraph.TrapNode && next != dst && next != src {
-				continue
-			}
-			grp := e.Group
-			over := usage[grp] + 1 - g.Groups[grp].Capacity
-			if over < 0 {
-				over = 0
-			}
-			base := float64(e.SelectBase)
-			if base == 0 {
-				base = 0.001 // zero-cost turn edges still negotiate
-			}
-			w := base * (1 + presentFactor*float64(over) + history[grp])
-			nd := cur.dist + w
-			if nd < dist[next] {
-				dist[next] = nd
-				via[next] = eid
-				heap.Push(pq, floatDist{node: next, dist: nd})
-			}
-		}
-	}
-	if dist[dst] == inf {
-		return routegraph.Route{}, false
-	}
-	var rev []int
-	for n := dst; n != src; {
-		eid := via[n]
-		rev = append(rev, eid)
-		e := &g.Edges[eid]
-		if e.A == n {
-			n = e.B
-		} else {
-			n = e.A
-		}
-	}
-	r := routegraph.Route{From: fromTrap, To: toTrap}
-	for i := len(rev) - 1; i >= 0; i-- {
-		e := &g.Edges[rev[i]]
-		r.Hops = append(r.Hops, routegraph.Hop{
-			Edge: e.ID, Group: e.Group,
-			Delay: e.RealDelay, Moves: e.Moves, Turns: e.Turns,
-		})
-		r.Delay += e.RealDelay
-		r.Moves += e.Moves
-		r.Turns += e.Turns
-	}
-	return r, true
-}
-
-type floatDist struct {
-	node int
-	dist float64
-}
-
-type floatHeap []floatDist
-
-func (h floatHeap) Len() int           { return len(h) }
-func (h floatHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
-func (h floatHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *floatHeap) Push(x any)        { *h = append(*h, x.(floatDist)) }
-func (h *floatHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
 }

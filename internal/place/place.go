@@ -79,6 +79,12 @@ func MonteCarlo(g *qidg.Graph, cfg engine.Config, runs int, seed int64) (*Soluti
 		return nil, fmt.Errorf("place: MonteCarlo needs at least 1 run, got %d", runs)
 	}
 	rng := rand.New(rand.NewSource(seed))
+	// One routing graph for the whole sweep: engine.Run resets it per
+	// run (bit-identical to a fresh build) while its CSR arrays,
+	// search state and uncongested route cache stay warm.
+	if cfg.RouteGraph == nil {
+		cfg.RouteGraph = cfg.BuildRouteGraph()
+	}
 	var best *engine.Result
 	bestRun := 0
 	for i := 0; i < runs; i++ {
@@ -156,6 +162,16 @@ func MVFB(g *qidg.Graph, cfg engine.Config, opts MVFBOptions) (*Solution, error)
 	}
 	if opts.Workers > 1 && opts.PatienceScope != ScopeSeed {
 		return nil, fmt.Errorf("place: parallel MVFB requires PatienceScope = ScopeSeed")
+	}
+	// Routing-graph reuse: engine.Run resets a supplied graph per run
+	// (bit-identical to building fresh) while its CSR arrays and
+	// uncongested route cache stay warm. Sequential searches share one
+	// graph for the whole placement search; parallel workers must not
+	// share the mutable graph, so each searchSeed call builds its own.
+	if opts.Workers > 1 {
+		cfg.RouteGraph = nil
+	} else if cfg.RouteGraph == nil {
+		cfg.RouteGraph = cfg.BuildRouteGraph()
 	}
 	// All random placements are drawn up front from one stream, so
 	// the work distribution cannot change the outcome.
@@ -241,6 +257,13 @@ func searchSeed(g, rev *qidg.Graph, cfg engine.Config, p engine.Placement,
 	best := &Solution{Seed: seed}
 	if shared != nil {
 		best = shared
+	}
+	// One routing graph per seed search (parallel workers arrive here
+	// with RouteGraph == nil — the graph is mutable and must not be
+	// shared across goroutines), reused by every forward and backward
+	// run of this seed.
+	if cfg.RouteGraph == nil {
+		cfg.RouteGraph = cfg.BuildRouteGraph()
 	}
 	runs := 0
 	sinceImprove := 0

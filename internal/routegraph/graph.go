@@ -19,10 +19,10 @@
 package routegraph
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/fabric"
 	"repro/internal/gates"
@@ -123,6 +123,13 @@ type Options struct {
 }
 
 // Graph is the routing graph over one fabric.
+//
+// Construction builds a CSR (compressed sparse row) adjacency once;
+// queries run on a pooled, generation-stamped search state and touch
+// no per-query heap memory. The graph is NOT safe for concurrent
+// mutation (FindRoute, Occupy, Release, Commit, Reset); concurrent
+// read-only shortest-path queries are supported through per-goroutine
+// Searchers (see NewSearcher / AcquireSearcher).
 type Graph struct {
 	Fabric *fabric.Fabric
 	Tech   gates.Tech
@@ -134,12 +141,41 @@ type Graph struct {
 
 	rng *rand.Rand // arbitrary-tie coin, seeded by Opts.TieSeed
 
-	adj       [][]int // node -> incident edge IDs
-	trapNode  []int   // fabric trap ID -> node ID
-	juncNodeH []int   // fabric junction ID -> JuncH node ID
-	juncNodeV []int   // fabric junction ID -> JuncV node ID
-	chanGroup []int   // fabric channel ID -> group ID
-	juncGroup []int   // fabric junction ID -> group ID
+	adj       [][]int32 // build-time only; flattened into CSR by New
+	trapNode  []int     // fabric trap ID -> node ID
+	juncNodeH []int     // fabric junction ID -> JuncH node ID
+	juncNodeV []int     // fabric junction ID -> JuncV node ID
+	chanGroup []int     // fabric channel ID -> group ID
+	juncGroup []int     // fabric junction ID -> group ID
+
+	// CSR adjacency: the incident edges of node n are
+	// edgeList[edgeStart[n]:edgeStart[n+1]], and edgeOther holds the
+	// far endpoint of each slot so the hot loop never inspects Edge.
+	edgeStart []int32
+	edgeList  []int32
+	edgeOther []int32
+	nodeKind  []NodeKind // Nodes[i].Kind, densely packed for the hot loop
+
+	// totalOcc gates the route cache: every totally idle state is
+	// weight-identical (Eq. 2 depends only on group occupancies), so
+	// totalOcc == 0 is the canonical cacheable generation; any
+	// nonzero occupancy bypasses the cache entirely.
+	totalOcc int
+
+	// Pools of reusable search states: the Eq. 2 (gates.Time)
+	// instantiation used by FindRoute, and the float64 instantiation
+	// used by external cost models (PathFinder).
+	searchMu   sync.Mutex
+	searchFree []*Searcher[gates.Time]
+	floatMu    sync.Mutex
+	floatFree  []*Searcher[float64]
+
+	cache   map[uint64]*routeEntry
+	hopsBuf []Hop  // backs Route.Hops; valid until the next query
+	drawBuf []int8 // replayed tie-break coins
+
+	weightFn func(edge int32) gates.Time
+	tieFn    func(next, edge int32) bool
 }
 
 // New builds the routing graph for a fabric under the given
@@ -178,7 +214,108 @@ func New(f *fabric.Fabric, tech gates.Tech, opts Options) *Graph {
 		}
 	}
 	g.buildEdges()
+	g.buildCSR()
+	g.cache = make(map[uint64]*routeEntry)
+	g.weightFn = func(edge int32) gates.Time { return g.EdgeWeight(int(edge)) }
+	g.tieFn = func(next, edge int32) bool { return g.rng.Intn(2) == 0 }
 	return g
+}
+
+// buildCSR flattens the build-time adjacency lists into the CSR
+// arrays and releases them.
+func (g *Graph) buildCSR() {
+	n := len(g.Nodes)
+	g.edgeStart = make([]int32, n+1)
+	total := 0
+	for i, a := range g.adj {
+		g.edgeStart[i] = int32(total)
+		total += len(a)
+	}
+	g.edgeStart[n] = int32(total)
+	g.edgeList = make([]int32, 0, total)
+	g.edgeOther = make([]int32, 0, total)
+	g.nodeKind = make([]NodeKind, n)
+	for i, a := range g.adj {
+		g.nodeKind[i] = g.Nodes[i].Kind
+		for _, eid := range a {
+			e := &g.Edges[eid]
+			other := e.A
+			if other == i {
+				other = e.B
+			}
+			g.edgeList = append(g.edgeList, eid)
+			g.edgeOther = append(g.edgeOther, int32(other))
+		}
+	}
+	g.adj = nil
+}
+
+// Reset restores the graph to its just-built state: every capacity
+// group released and the tie-break rng rewound to its seed, exactly
+// as if New had been called again. The route cache is retained — its
+// entries describe the zero-occupancy weights, which are identical
+// in every totally idle state — so repeated engine runs over one
+// graph (MVFB, Monte-Carlo) keep their warm cache. Used by
+// engine.Run when a pre-built graph is supplied.
+func (g *Graph) Reset() {
+	for i := range g.Groups {
+		g.Groups[i].occ = 0
+	}
+	g.totalOcc = 0
+	g.rng.Seed(g.Opts.TieSeed + 1)
+}
+
+// acquireSearcher takes a pooled search state (or grows the pool).
+func (g *Graph) acquireSearcher() *Searcher[gates.Time] {
+	g.searchMu.Lock()
+	if n := len(g.searchFree); n > 0 {
+		s := g.searchFree[n-1]
+		g.searchFree = g.searchFree[:n-1]
+		g.searchMu.Unlock()
+		return s
+	}
+	g.searchMu.Unlock()
+	return NewSearcher[gates.Time](g)
+}
+
+func (g *Graph) releaseSearcher(s *Searcher[gates.Time]) {
+	g.searchMu.Lock()
+	g.searchFree = append(g.searchFree, s)
+	g.searchMu.Unlock()
+}
+
+// AcquireSearcher hands out a reusable gates.Time search state from
+// the graph-owned pool, for workers that run read-only shortest-path
+// queries concurrently (ShortestPath with a caller-supplied weight
+// function). Return it with ReleaseSearcher when done. FindRoute
+// itself mutates shared graph state (tie rng, cache, hop buffer) and
+// must not be called concurrently.
+func (g *Graph) AcquireSearcher() *Searcher[gates.Time] { return g.acquireSearcher() }
+
+// ReleaseSearcher returns a Searcher to the graph's pool.
+func (g *Graph) ReleaseSearcher(s *Searcher[gates.Time]) { g.releaseSearcher(s) }
+
+// AcquireFloatSearcher is AcquireSearcher for the float64 cost
+// domain (external cost models such as PathFinder's negotiated
+// congestion). Return it with ReleaseFloatSearcher so repeated
+// batch-routing calls on one graph reuse the grown buffers.
+func (g *Graph) AcquireFloatSearcher() *Searcher[float64] {
+	g.floatMu.Lock()
+	if n := len(g.floatFree); n > 0 {
+		s := g.floatFree[n-1]
+		g.floatFree = g.floatFree[:n-1]
+		g.floatMu.Unlock()
+		return s
+	}
+	g.floatMu.Unlock()
+	return NewSearcher[float64](g)
+}
+
+// ReleaseFloatSearcher returns a float64 Searcher to the graph's pool.
+func (g *Graph) ReleaseFloatSearcher(s *Searcher[float64]) {
+	g.floatMu.Lock()
+	g.floatFree = append(g.floatFree, s)
+	g.floatMu.Unlock()
 }
 
 // TrapReachable reports whether any route can reach the trap, i.e.
@@ -212,8 +349,8 @@ func (g *Graph) addEdge(a, b, group int, moves, turns int) int {
 		SelectBase: sel, RealDelay: real, Moves: moves, Turns: turns,
 	}
 	g.Edges = append(g.Edges, e)
-	g.adj[a] = append(g.adj[a], e.ID)
-	g.adj[b] = append(g.adj[b], e.ID)
+	g.adj[a] = append(g.adj[a], int32(e.ID))
+	g.adj[b] = append(g.adj[b], int32(e.ID))
 	return e.ID
 }
 
@@ -276,9 +413,12 @@ func (g *Graph) buildEdges() {
 // TrapNodeID returns the graph node for a fabric trap.
 func (g *Graph) TrapNodeID(trapID int) int { return g.trapNode[trapID] }
 
-// IncidentEdges returns the IDs of edges touching a node. The slice
-// is shared; callers must not mutate it.
-func (g *Graph) IncidentEdges(node int) []int { return g.adj[node] }
+// IncidentEdges returns the IDs of edges touching a node as a view
+// into the CSR edge list. The slice is shared; callers must not
+// mutate it.
+func (g *Graph) IncidentEdges(node int) []int32 {
+	return g.edgeList[g.edgeStart[node]:g.edgeStart[node+1]]
+}
 
 // ChannelGroupID returns the capacity group of a fabric channel.
 func (g *Graph) ChannelGroupID(chID int) int { return g.chanGroup[chID] }
@@ -295,6 +435,7 @@ func (g *Graph) Occupy(groupID int) {
 		panic(fmt.Sprintf("routegraph: group %d over capacity", groupID))
 	}
 	gr.occ++
+	g.totalOcc++
 }
 
 // Release removes one committed qubit from a group ("when a qubit
@@ -306,6 +447,10 @@ func (g *Graph) Release(groupID int) {
 		panic(fmt.Sprintf("routegraph: group %d released below zero", groupID))
 	}
 	gr.occ--
+	g.totalOcc--
+	// When totalOcc returns to 0 the weights are identical to every
+	// other totally idle state, so the uncongested route cache is
+	// valid again (see cache.go).
 }
 
 // EdgeWeight evaluates Eq. 2 for an edge: (n+1)*base while the edge's
@@ -333,7 +478,10 @@ type Hop struct {
 type Route struct {
 	// From, To are fabric trap IDs.
 	From, To int
-	// Hops in travel order; empty when From == To.
+	// Hops in travel order; empty when From == To. The slice returned
+	// by FindRoute aliases a per-graph scratch buffer and is valid
+	// only until the next FindRoute call on the same graph; callers
+	// that retain a route across queries must Clone it first.
 	Hops []Hop
 	// Delay is the total physical travel time (T_routing).
 	Delay gates.Time
@@ -343,91 +491,62 @@ type Route struct {
 	Moves, Turns int
 }
 
+// Clone deep-copies a route so it survives later queries on the
+// graph (FindRoute reuses the hop buffer between calls).
+func (r Route) Clone() Route {
+	r.Hops = append([]Hop(nil), r.Hops...)
+	return r
+}
+
+// timeInf is the impassable-edge sentinel of the Eq. 2 weight domain.
+const timeInf = gates.Time(math.MaxInt64)
+
+// buildRoute assembles the Route totals over g.hopsBuf.
+func (g *Graph) buildRoute(fromTrap, toTrap int, cost gates.Time) Route {
+	r := Route{From: fromTrap, To: toTrap, Cost: cost, Hops: g.hopsBuf}
+	for i := range r.Hops {
+		h := &r.Hops[i]
+		r.Delay += h.Delay
+		r.Moves += h.Moves
+		r.Turns += h.Turns
+	}
+	return r
+}
+
 // FindRoute runs Dijkstra from one trap to another using the Eq. 2
 // weights. Trap vertices other than the endpoints are excluded (traps
 // are gate sites, not thoroughfares). ok is false when every path is
 // saturated (the instruction must wait in the busy queue).
+//
+// While the graph is totally idle, repeated queries are served from
+// the route cache (see cache.go) with bit-identical results. The
+// returned Route's hop slice is valid until the next FindRoute call;
+// see Route.Hops.
 func (g *Graph) FindRoute(fromTrap, toTrap int) (Route, bool) {
 	if fromTrap == toTrap {
 		return Route{From: fromTrap, To: toTrap}, true
 	}
-	src := g.trapNode[fromTrap]
-	dst := g.trapNode[toTrap]
-	const inf = gates.Time(math.MaxInt64)
-	dist := make([]gates.Time, len(g.Nodes))
-	via := make([]int, len(g.Nodes)) // edge used to reach node
-	settled := make([]bool, len(g.Nodes))
-	for i := range dist {
-		dist[i] = inf
-		via[i] = -1
-	}
-	dist[src] = 0
-	pq := &nodeHeap{{node: src, dist: 0}}
-	for pq.Len() > 0 {
-		cur := heap.Pop(pq).(nodeDist)
-		if cur.dist > dist[cur.node] || settled[cur.node] {
-			continue
-		}
-		settled[cur.node] = true
-		if cur.node == dst {
-			break
-		}
-		for _, eid := range g.adj[cur.node] {
-			e := &g.Edges[eid]
-			next := e.A
-			if next == cur.node {
-				next = e.B
-			}
-			// Traps other than src/dst are not intermediates.
-			if g.Nodes[next].Kind == TrapNode && next != dst && next != src {
-				continue
-			}
-			w := g.EdgeWeight(eid)
-			if w == inf {
-				continue
-			}
-			nd := cur.dist + w
-			switch {
-			case nd < dist[next]:
-				dist[next] = nd
-				via[next] = eid
-				heap.Push(pq, nodeDist{node: next, dist: nd})
-			case nd == dist[next] && !settled[next] && g.rng.Intn(2) == 0:
-				// Equal-cost alternatives are indistinguishable to
-				// the router (Fig. 5); pick one arbitrarily but
-				// reproducibly. Swapping the predecessor of an
-				// unsettled node cannot invalidate settled paths.
-				via[next] = eid
-			}
+	uncongested := g.totalOcc == 0
+	key := routeKey(fromTrap, toTrap)
+	if uncongested {
+		if e, ok := g.cache[key]; ok {
+			return g.replayCacheEntry(e, fromTrap, toTrap)
 		}
 	}
-	if dist[dst] == inf {
+	s := g.acquireSearcher()
+	found := s.run(int32(g.trapNode[fromTrap]), int32(g.trapNode[toTrap]),
+		timeInf, g.weightFn, g.tieFn, uncongested)
+	if uncongested {
+		g.storeCacheEntry(key, s)
+	}
+	if !found {
+		g.releaseSearcher(s)
 		return Route{}, false
 	}
-	// Reconstruct.
-	var rev []int
-	for n := dst; n != src; {
-		eid := via[n]
-		rev = append(rev, eid)
-		e := &g.Edges[eid]
-		if e.A == n {
-			n = e.B
-		} else {
-			n = e.A
-		}
-	}
-	r := Route{From: fromTrap, To: toTrap, Cost: dist[dst]}
-	for i := len(rev) - 1; i >= 0; i-- {
-		e := &g.Edges[rev[i]]
-		r.Hops = append(r.Hops, Hop{
-			Edge: e.ID, Group: e.Group,
-			Delay: e.RealDelay, Moves: e.Moves, Turns: e.Turns,
-		})
-		r.Delay += e.RealDelay
-		r.Moves += e.Moves
-		r.Turns += e.Turns
-	}
-	return r, true
+	cost := s.dist[s.lastDst]
+	g.hopsBuf = s.appendHops(g.hopsBuf[:0])
+	g.releaseSearcher(s)
+	return g.buildRoute(fromTrap, toTrap, cost), true
 }
 
 // Commit charges every hop's group (call after accepting a route).
@@ -445,24 +564,4 @@ func (g *Graph) Uncommit(r Route) {
 	for _, h := range r.Hops {
 		g.Release(h.Group)
 	}
-}
-
-// nodeDist / nodeHeap implement the Dijkstra priority queue.
-type nodeDist struct {
-	node int
-	dist gates.Time
-}
-
-type nodeHeap []nodeDist
-
-func (h nodeHeap) Len() int           { return len(h) }
-func (h nodeHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
-func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(nodeDist)) }
-func (h *nodeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
 }

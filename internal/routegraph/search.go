@@ -1,0 +1,268 @@
+package routegraph
+
+// This file is the shared zero-allocation shortest-path core used by
+// both FindRoute (Eq. 2 congestion weights, gates.Time) and the
+// PathFinder negotiated router (float64 costs). Design:
+//
+//   - The graph adjacency is flattened into CSR arrays at build time
+//     (edgeStart/edgeList, plus edgeOther carrying the far endpoint
+//     of each adjacency slot so the inner loop never branches on
+//     "which end am I").
+//   - All per-query state (dist/via/settled) lives in a reusable
+//     Searcher and is invalidated in O(1) by bumping a generation
+//     counter instead of clearing O(|nodes|) memory.
+//   - The priority queue is a monomorphic slice heap: no container/
+//     heap, no `any` boxing, zero allocations at steady state.
+//
+// IMPORTANT — heap shape. The legacy implementation used
+// container/heap over a binary heap, and FindRoute breaks cost ties
+// with a seeded rng that is consumed once per "equal-cost relaxation
+// event". The sequence of those events depends on the exact pop
+// order among equal-distance heap entries, so this heap replicates
+// container/heap's binary sift-up/sift-down *verbatim*. A 4-ary heap
+// would be marginally faster on paper but changes the pop order
+// among equal keys, which perturbs the tie-break stream and breaks
+// the pinned golden equivalence with the pre-refactor router (see
+// golden_test.go). Bit-identical results win over a few percent of
+// heap arithmetic.
+
+// Weight is the cost domain of a search: the engine router uses
+// gates.Time (int64 µs), PathFinder uses float64 negotiated costs.
+type Weight interface {
+	~int64 | ~float64
+}
+
+type searchNode[W Weight] struct {
+	node int32
+	dist W
+}
+
+// viaWrite records one write to the predecessor array during a
+// search. tie < 0 marks an unconditional (strictly-improving) write;
+// tie >= 0 marks the tie-index of an equal-cost write that the
+// seeded coin accepted or rejected. The route cache replays these
+// against a fresh draw sequence (see cache.go).
+type viaWrite struct {
+	node int32
+	edge int32
+	tie  int32
+}
+
+// Searcher is a reusable Dijkstra state over one Graph. It may be
+// used concurrently with other Searchers on the same graph as long
+// as the graph itself is not mutated (Occupy/Release/FindRoute);
+// concurrent MVFB or Monte-Carlo workers obtain one per goroutine
+// via NewSearcher or the graph-owned pool (AcquireSearcher).
+type Searcher[W Weight] struct {
+	g *Graph
+
+	dist         []W
+	via          []int32
+	distStamp    []uint32
+	settledStamp []uint32
+	gen          uint32
+	heap         []searchNode[W]
+	revBuf       []int32
+
+	// recording state for the route cache (FindRoute only).
+	record  bool
+	writes  []viaWrite
+	numTies int32
+
+	lastSrc, lastDst int32
+	lastFound        bool
+}
+
+// NewSearcher returns a reusable search state for g. The zero
+// allocation guarantee holds from the second query on (buffers grow
+// to their steady-state size during the first).
+func NewSearcher[W Weight](g *Graph) *Searcher[W] {
+	n := len(g.Nodes)
+	return &Searcher[W]{
+		g:            g,
+		dist:         make([]W, n),
+		via:          make([]int32, n),
+		distStamp:    make([]uint32, n),
+		settledStamp: make([]uint32, n),
+	}
+}
+
+// begin opens a fresh query: O(1) state reset via generation bump.
+func (s *Searcher[W]) begin() {
+	s.gen++
+	if s.gen == 0 { // uint32 wrap: clear stamps once every 4G queries
+		clear(s.distStamp)
+		clear(s.settledStamp)
+		s.gen = 1
+	}
+	s.heap = s.heap[:0]
+	s.writes = s.writes[:0]
+	s.numTies = 0
+	s.lastFound = false
+}
+
+// push appends and sifts up, replicating container/heap.Push exactly
+// (strict < comparison, identical swap order).
+func (s *Searcher[W]) push(x searchNode[W]) {
+	h := append(s.heap, x)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	s.heap = h
+}
+
+// pop replicates container/heap.Pop exactly: swap root with last,
+// sift down over the shortened heap, return the displaced root.
+func (s *Searcher[W]) pop() searchNode[W] {
+	h := s.heap
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].dist < h[j1].dist {
+			j = j2
+		}
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	v := h[n]
+	s.heap = h[:n]
+	return v
+}
+
+// run executes Dijkstra from graph node src to dst under the given
+// weight function. An edge whose weight equals inf is impassable.
+// onEqual, when non-nil, is consulted once per equal-cost relaxation
+// of an unsettled node and may redirect the predecessor (FindRoute's
+// seeded tie-break); record additionally logs every predecessor
+// write for cache replay. Trap nodes other than src/dst are excluded
+// (gate sites are not thoroughfares).
+func (s *Searcher[W]) run(src, dst int32, inf W, weight func(edge int32) W, onEqual func(next, edge int32) bool, record bool) bool {
+	s.begin()
+	s.record = record
+	s.lastSrc, s.lastDst = src, dst
+	g := s.g
+	dist, stamp, settled, via := s.dist, s.distStamp, s.settledStamp, s.via
+	gen := s.gen
+	kinds := g.nodeKind
+	start, list, other := g.edgeStart, g.edgeList, g.edgeOther
+
+	dist[src] = 0
+	stamp[src] = gen
+	via[src] = -1
+	s.push(searchNode[W]{node: src, dist: 0})
+	for len(s.heap) > 0 {
+		cur := s.pop()
+		cn := cur.node
+		if cur.dist > dist[cn] || settled[cn] == gen {
+			continue
+		}
+		settled[cn] = gen
+		if cn == dst {
+			break
+		}
+		for k := start[cn]; k < start[cn+1]; k++ {
+			eid := list[k]
+			next := other[k]
+			if kinds[next] == TrapNode && next != dst && next != src {
+				continue
+			}
+			w := weight(eid)
+			if w == inf {
+				continue
+			}
+			nd := cur.dist + w
+			d := inf
+			if stamp[next] == gen {
+				d = dist[next]
+			}
+			if nd < d {
+				dist[next] = nd
+				stamp[next] = gen
+				via[next] = eid
+				if record {
+					s.writes = append(s.writes, viaWrite{node: next, edge: eid, tie: -1})
+				}
+				s.push(searchNode[W]{node: next, dist: nd})
+			} else if nd == d && settled[next] != gen && onEqual != nil {
+				// Equal-cost alternatives are indistinguishable to the
+				// router (Fig. 5); the callback picks one arbitrarily
+				// but reproducibly. Swapping the predecessor of an
+				// unsettled node cannot invalidate settled paths.
+				if record {
+					s.writes = append(s.writes, viaWrite{node: next, edge: eid, tie: s.numTies})
+				}
+				s.numTies++
+				if onEqual(next, eid) {
+					via[next] = eid
+				}
+			}
+		}
+	}
+	s.lastFound = s.distStamp[dst] == gen
+	return s.lastFound
+}
+
+// ShortestPath runs Dijkstra between two traps under the caller's
+// weight function (an edge weighing exactly inf is impassable) and
+// returns the destination cost. Use AppendHops to materialize the
+// path. This is the entry point for external cost models such as
+// PathFinder's negotiated congestion; FindRoute layers the Eq. 2
+// weights, the seeded tie-break and the route cache on the same core.
+func (s *Searcher[W]) ShortestPath(fromTrap, toTrap int, inf W, weight func(edge int32) W) (W, bool) {
+	src := int32(s.g.trapNode[fromTrap])
+	dst := int32(s.g.trapNode[toTrap])
+	if !s.run(src, dst, inf, weight, nil, false) {
+		var zero W
+		return zero, false
+	}
+	return s.dist[dst], true
+}
+
+// AppendHops appends the hops of the most recent found path, in
+// travel order, and returns the extended slice. It must only be
+// called after a successful ShortestPath on this Searcher.
+func (s *Searcher[W]) AppendHops(hops []Hop) []Hop {
+	if !s.lastFound {
+		panic("routegraph: AppendHops without a found path")
+	}
+	return s.appendHops(hops)
+}
+
+func (s *Searcher[W]) appendHops(hops []Hop) []Hop {
+	g := s.g
+	rev := s.revBuf[:0]
+	for n := s.lastDst; n != s.lastSrc; {
+		eid := s.via[n]
+		rev = append(rev, eid)
+		e := &g.Edges[eid]
+		if int32(e.A) == n {
+			n = int32(e.B)
+		} else {
+			n = int32(e.A)
+		}
+	}
+	s.revBuf = rev
+	for i := len(rev) - 1; i >= 0; i-- {
+		e := &g.Edges[rev[i]]
+		hops = append(hops, Hop{
+			Edge: e.ID, Group: e.Group,
+			Delay: e.RealDelay, Moves: e.Moves, Turns: e.Turns,
+		})
+	}
+	return hops
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Regenerates the "after" measurements tracked in BENCH_routing.json:
+# the Fig. 5 routing microbenchmarks (cache-hit steady state and
+# cache-defeated cold search) and one MVFB placement run. Run from
+# the repository root. The "before" numbers in BENCH_routing.json are
+# frozen — they were measured on the pre-refactor router (PR 1) and
+# cannot be regenerated from this tree.
+set -e
+echo "== Fig. 5 routing (50 iterations/op) =="
+go test -run '^$' -bench 'BenchmarkFig5_Routing' -benchtime 50x -benchmem .
+echo
+echo "== MVFB placement, [[5,1,3]] (single run) =="
+go test -run '^$' -bench 'BenchmarkTable1_MVFB/\[\[5,1,3\]\]' -benchtime 1x -benchmem .
