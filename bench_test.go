@@ -143,6 +143,61 @@ func BenchmarkTable1_MC(b *testing.B) {
 	}
 }
 
+// BenchmarkMVFB_InnerParallel measures intra-mapping scaling: one
+// QSPR mapping with the MVFB starts fanned across 1, 2 and 4 workers.
+// The latency and runs metrics must not move with the worker count —
+// only ns/op may (tracked in BENCH_placement.json; on an N-core
+// machine the speedup is bounded by min(N, m) and by the speculative
+// runs the global-patience replay discards).
+func BenchmarkMVFB_InnerParallel(b *testing.B) {
+	for _, bench := range []string{"[[5,1,3]]", "[[7,1,3]]"} {
+		c, err := circuits.ByName(bench)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", bench, workers), func(b *testing.B) {
+				var latency gates.Time
+				runs := 0
+				for i := 0; i < b.N; i++ {
+					res, err := core.Map(c.Program, benchFabric, core.Options{
+						Heuristic: core.QSPR, Seeds: 10, InnerParallel: workers,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					latency = res.Latency
+					runs = res.Runs
+				}
+				b.ReportMetric(float64(latency), "latency_µs")
+				b.ReportMetric(float64(runs), "runs")
+			})
+		}
+	}
+}
+
+// BenchmarkPortfolio races MVFB, Monte-Carlo and Center concurrently
+// on one mapping (heuristic "portfolio") at the full CPU budget.
+func BenchmarkPortfolio(b *testing.B) {
+	c, err := circuits.ByName("[[9,1,3]]")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("[[9,1,3]]", func(b *testing.B) {
+		var latency gates.Time
+		for i := 0; i < b.N; i++ {
+			res, err := core.Map(c.Program, benchFabric, core.Options{
+				Heuristic: core.Portfolio, Seeds: 5, InnerParallel: 4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			latency = res.Latency
+		}
+		b.ReportMetric(float64(latency), "latency_µs")
+	})
+}
+
 // BenchmarkMSweep reproduces the §IV.A sensitivity analysis: MVFB
 // solution quality as a function of the number of random seeds m.
 func BenchmarkMSweep(b *testing.B) {

@@ -7,12 +7,15 @@
 //	qspr -circuit '[[5,1,3]]'                 # built-in benchmark
 //	qspr -qasm prog.qasm -heuristic quale     # map a file with QUALE
 //	qspr -qasm prog.qasm -fabric fab.txt -m 100 -trace
+//	qspr -circuit '[[7,1,3]]' -inner-parallel 8     # parallel MVFB, same result
+//	qspr -circuit '[[9,1,3]]' -heuristic portfolio  # race MVFB vs MC vs Center
 //	qspr -circuit all -parallel 8 -format csv -out runs.csv
 //
 // Without -fabric the 45×85 fabric of Fig. 4 is used. -circuit also
 // accepts a comma-separated list of benchmarks or 'all'; multiple
 // circuits are swept concurrently by internal/experiment and reported
-// with -format/-out (bytes independent of -parallel).
+// with -format/-out. Reports and single-run results are byte-identical
+// for any -parallel / -inner-parallel values (docs/CONCURRENCY.md).
 package main
 
 import (
@@ -37,7 +40,7 @@ func main() {
 		circuitN  = flag.String("circuit", "", "built-in benchmark name, e.g. '[[5,1,3]]' (see -list)")
 		list      = flag.Bool("list", false, "list built-in benchmark circuits and exit")
 		fabPath   = flag.String("fabric", "", "fabric description file (default: the 45x85 Fig. 4 fabric)")
-		heuristic = flag.String("heuristic", "qspr", "mapping heuristic: qspr, qspr-center, mc, quale, qpos, qpos-delay")
+		heuristic = flag.String("heuristic", "qspr", "mapping heuristic: qspr, qspr-center, mc, quale, qpos, qpos-delay, portfolio")
 		m         = flag.Int("m", 25, "random seeds for the MVFB placer / runs for the MC placer")
 		seed      = flag.Int64("seed", 1, "random seed")
 		showTrace = flag.Bool("trace", false, "print the micro-command trace")
@@ -45,7 +48,8 @@ func main() {
 		gantt     = flag.Bool("gantt", false, "print a per-qubit timeline of the trace")
 		heatmap   = flag.Bool("heatmap", false, "print a channel-utilization heatmap of the fabric")
 		jsonOut   = flag.String("json", "", "write the micro-command trace as JSON to this file ('-' = stdout)")
-		parallel  = flag.Int("parallel", 0, "workers for a multi-circuit sweep (0 = all CPU cores); also MVFB seed-search workers for a single run when > 1")
+		parallel  = flag.Int("parallel", 0, "CPU budget for a multi-circuit sweep (0 = all CPU cores); shared with -inner-parallel")
+		innerPar  = flag.Int("inner-parallel", 0, "workers within one mapping (MVFB starts / MC trials / portfolio placers); results are byte-identical for any value")
 		format    = flag.String("format", "markdown", "sweep report format: json, csv, markdown")
 		out       = flag.String("out", "", "write the sweep report to this file instead of stdout")
 	)
@@ -83,7 +87,7 @@ func main() {
 		if err := experiment.ValidateFormat(*format); err != nil {
 			fatal(err)
 		}
-		runSweep(benches, fc, h, *m, *seed, *parallel, *format, *out)
+		runSweep(benches, fc, h, *m, *seed, *parallel, *innerPar, *format, *out)
 		return
 	}
 	// Conversely, the sweep report flags are never consulted on the
@@ -97,10 +101,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *parallel > 1 {
-		fmt.Fprintln(os.Stderr, "qspr: note: -parallel > 1 searches MVFB seeds concurrently with per-seed stopping; latency can differ from the sequential paper protocol (and from sweep mode, which keeps each run sequential)")
+	// On a single run -parallel doubles as the inner worker count (it
+	// was this command's only parallelism knob before -inner-parallel
+	// existed); either way the result is bit-identical to sequential.
+	inner := *innerPar
+	if inner == 0 {
+		inner = *parallel
 	}
-	res, err := core.Map(prog, fab, core.Options{Heuristic: h, Seeds: *m, Seed: *seed, Workers: *parallel})
+	res, err := core.Map(prog, fab, core.Options{Heuristic: h, Seeds: *m, Seed: *seed, InnerParallel: inner})
 	if err != nil {
 		fatal(err)
 	}
@@ -111,6 +119,9 @@ func main() {
 	fmt.Printf("execution latency:%v\n", res.Latency)
 	fmt.Printf("overhead:         %v (T_routing + T_congestion)\n", res.Overhead())
 	fmt.Printf("placement runs:   %d\n", res.Runs)
+	if res.PortfolioWinner != "" {
+		fmt.Printf("portfolio winner: %s\n", res.PortfolioWinner)
+	}
 	fmt.Printf("cpu runtime:      %v\n", res.Runtime)
 	if *showStats {
 		s := res.Mapping.Stats
@@ -187,13 +198,14 @@ func sweepCircuits(qasmPath, name string) ([]circuits.Benchmark, bool, error) {
 
 // runSweep maps every named benchmark concurrently via
 // internal/experiment and writes the deterministic report.
-func runSweep(benches []circuits.Benchmark, fc experiment.FabricChoice, h core.Heuristic, m int, seed int64, workers int, format, out string) {
+func runSweep(benches []circuits.Benchmark, fc experiment.FabricChoice, h core.Heuristic, m int, seed int64, workers, inner int, format, out string) {
 	rep, err := experiment.Execute(context.Background(), experiment.Spec{
-		Circuits:   benches,
-		Fabrics:    []experiment.FabricChoice{fc},
-		Heuristics: []core.Heuristic{h},
-		SeedCounts: []int{m},
-		Seed:       seed,
+		Circuits:      benches,
+		Fabrics:       []experiment.FabricChoice{fc},
+		Heuristics:    []core.Heuristic{h},
+		SeedCounts:    []int{m},
+		Seed:          seed,
+		InnerParallel: inner,
 	}, experiment.Options{Workers: workers})
 	if err != nil {
 		fatal(err)

@@ -6,12 +6,16 @@
 //	qsprbench -m 100 -format markdown          # Table 2 protocol, markdown output
 //	qsprbench -circuits '[[5,1,3]],[[9,1,3]]' -heuristics all -m 5,25
 //	qsprbench -parallel 8 -format csv -out results.csv
+//	qsprbench -parallel 8 -inner-parallel 4 -m 100    # 2 runs × 4 MVFB workers
 //	qsprbench -fabric fab.txt -compare=false -format json
 //
 // The emitted JSON/CSV/markdown bytes are identical for any -parallel
-// value: runs are mapped by single-threaded seeded workers and
-// aggregated in declaration order, and wall-clock time is excluded
-// from the report.
+// and -inner-parallel values: each run is mapped by a seeded,
+// deterministically-parallel core.Map call, results are aggregated in
+// declaration order, and wall-clock time is excluded from the report.
+// -parallel is the sweep's CPU budget; when -inner-parallel asks for
+// workers inside each mapping the across-run pool shrinks so the two
+// levels never oversubscribe it (see docs/CONCURRENCY.md).
 package main
 
 import (
@@ -35,11 +39,12 @@ func main() { os.Exit(run()) }
 func run() (code int) {
 	var (
 		circuitsF  = flag.String("circuits", "all", "comma-separated built-in circuit names, or 'all'")
-		heuristics = flag.String("heuristics", "quale,qspr", "comma-separated heuristics (qspr, qspr-center, mc, quale, qpos, qpos-delay) or 'all'")
+		heuristics = flag.String("heuristics", "quale,qspr", "comma-separated heuristics (qspr, qspr-center, mc, quale, qpos, qpos-delay, portfolio) or 'all'")
 		mList      = flag.String("m", "25", "comma-separated MVFB seed counts to sweep")
 		seed       = flag.Int64("seed", 1, "random seed")
 		fabPath    = flag.String("fabric", "", "fabric description file (default: the 45x85 Fig. 4 fabric)")
-		parallel   = flag.Int("parallel", 0, "worker-pool size (0 = all CPU cores); output is identical for any value")
+		parallel   = flag.Int("parallel", 0, "CPU budget for the sweep (0 = all CPU cores); shared between across-run workers and -inner-parallel; output is identical for any value")
+		innerPar   = flag.Int("inner-parallel", 0, "workers within each mapping (MVFB starts / MC trials / portfolio placers); output is identical for any value")
 		format     = flag.String("format", "markdown", "report format: json, csv, markdown")
 		out        = flag.String("out", "", "write the report to this file instead of stdout")
 		compare    = flag.Bool("compare", true, "also print the QSPR-vs-QUALE comparison table to stderr")
@@ -78,7 +83,7 @@ func run() (code int) {
 	if err := experiment.ValidateFormat(*format); err != nil {
 		return fail(err)
 	}
-	spec := experiment.Spec{Seed: *seed}
+	spec := experiment.Spec{Seed: *seed, InnerParallel: *innerPar}
 	var err error
 	if spec.Circuits, err = experiment.SelectCircuits(*circuitsF); err != nil {
 		return fail(err)

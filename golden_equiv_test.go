@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"slices"
 	"testing"
 
 	"repro/internal/circuits"
@@ -62,6 +63,23 @@ func TestGoldenTable2Equivalence(t *testing.T) {
 			if s.Latency != want.qspr || s.Mapping.Stats.Moves != want.qsprMoves || s.Mapping.Stats.Turns != want.qsprTurns {
 				t.Errorf("QSPR m=3: latency %v moves %d turns %d, want %v / %d / %d (pre-refactor golden)",
 					s.Latency, s.Mapping.Stats.Moves, s.Mapping.Stats.Turns, want.qspr, want.qsprMoves, want.qsprTurns)
+			}
+			// Intra-mapping parallelism must reproduce the same
+			// goldens: the parallel MVFB search replays the sequential
+			// global-patience protocol bit-for-bit at any worker count.
+			for _, workers := range []int{2, 8} {
+				p, err := core.Map(b.Program, fab, core.Options{Heuristic: core.QSPR, Seeds: 3, InnerParallel: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p.Latency != want.qspr || p.Mapping.Stats != s.Mapping.Stats ||
+					p.Runs != s.Runs || p.BackwardWinner != s.BackwardWinner {
+					t.Errorf("QSPR m=3 inner-parallel=%d: latency %v runs %d, want golden %v runs %d",
+						workers, p.Latency, p.Runs, want.qspr, s.Runs)
+				}
+				if !slices.Equal(p.Mapping.Initial, s.Mapping.Initial) {
+					t.Errorf("QSPR m=3 inner-parallel=%d: winning placement diverges from sequential", workers)
+				}
 			}
 		})
 	}

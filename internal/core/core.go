@@ -48,6 +48,11 @@ const (
 	QPOS
 	// QPOSDelay is the Whitney et al. tweak of QPOS (ref [5]).
 	QPOSDelay
+	// Portfolio races heterogeneous placers — MVFB, Monte-Carlo and
+	// Center — concurrently under the QSPR engine and keeps the best
+	// mapping by (latency, placer rank). Inspired by portfolio-style
+	// parallel search (cf. DateSAT); not a row of the paper's tables.
+	Portfolio
 )
 
 // String names the heuristic as used in the paper's tables.
@@ -65,6 +70,8 @@ func (h Heuristic) String() string {
 		return "QPOS"
 	case QPOSDelay:
 		return "QPOS-delay"
+	case Portfolio:
+		return "Portfolio"
 	}
 	return "?"
 }
@@ -82,10 +89,17 @@ type Options struct {
 	Seed int64
 	// Patience is MVFB's non-improving-run stop count (default 3).
 	Patience int
-	// Workers runs MVFB seed searches concurrently (default 1).
-	// Parallel search uses per-seed stopping (place.ScopeSeed), so
-	// results differ slightly from the sequential paper protocol but
-	// are identical for any worker count > 1.
+	// InnerParallel is the worker count *within* one mapping: MVFB
+	// starts, Monte-Carlo trials and the portfolio's racing placers
+	// are fanned across this many workers. The mapping result is
+	// bit-identical for any value (see docs/CONCURRENCY.md); 0 or 1
+	// is sequential. Sweeps (internal/experiment) share one CPU
+	// budget between this level and across-run parallelism.
+	InnerParallel int
+	// Workers is the old name of InnerParallel, consulted only when
+	// InnerParallel is 0.
+	//
+	// Deprecated: set InnerParallel.
 	Workers int
 }
 
@@ -98,6 +112,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Patience == 0 {
 		o.Patience = 3
+	}
+	if o.InnerParallel == 0 {
+		o.InnerParallel = o.Workers
+	}
+	if o.InnerParallel < 1 {
+		o.InnerParallel = 1
 	}
 	return o
 }
@@ -118,6 +138,9 @@ type Result struct {
 	// BackwardWinner records whether MVFB's best run was an
 	// uncompute (backward) computation.
 	BackwardWinner bool
+	// PortfolioWinner names the placer that won a Portfolio race
+	// ("MVFB", "MC" or "Center"); empty for every other heuristic.
+	PortfolioWinner string
 	// Runtime is the wall-clock CPU time of the mapping (the paper's
 	// Table 1 "CPU Runtime" column).
 	Runtime time.Duration
@@ -146,14 +169,12 @@ func Map(prog *qasm.Program, fab *fabric.Fabric, opts Options) (*Result, error) 
 	switch opts.Heuristic {
 	case QSPR:
 		cfg := qsprConfig(fab, tech)
-		mvfbOpts := place.MVFBOptions{
+		// The paper's global-patience protocol at any worker count:
+		// parallel MVFB is bit-identical to the sequential search.
+		sol, err := place.MVFB(g, cfg, place.MVFBOptions{
 			Seeds: opts.Seeds, Patience: opts.Patience,
-			MaxRunsPerSeed: 50, Seed: opts.Seed, Workers: opts.Workers,
-		}
-		if opts.Workers > 1 {
-			mvfbOpts.PatienceScope = place.ScopeSeed
-		}
-		sol, err := place.MVFB(g, cfg, mvfbOpts)
+			MaxRunsPerSeed: 50, Seed: opts.Seed, Workers: opts.InnerParallel,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -174,12 +195,28 @@ func Map(prog *qasm.Program, fab *fabric.Fabric, opts Options) (*Result, error) 
 		res.Runs = 1
 	case MonteCarlo:
 		cfg := qsprConfig(fab, tech)
-		sol, err := place.MonteCarlo(g, cfg, opts.Seeds, opts.Seed)
+		sol, err := place.MonteCarloParallel(g, cfg, opts.Seeds, opts.Seed, opts.InnerParallel)
 		if err != nil {
 			return nil, err
 		}
 		res.Mapping = sol.Result
 		res.Runs = sol.Runs
+	case Portfolio:
+		cfg := qsprConfig(fab, tech)
+		sol, err := place.Portfolio(g, cfg, place.PortfolioOptions{
+			MVFB: place.MVFBOptions{
+				Seeds: opts.Seeds, Patience: opts.Patience,
+				MaxRunsPerSeed: 50, Seed: opts.Seed,
+			},
+			Workers: opts.InnerParallel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Mapping = sol.Result
+		res.Runs = sol.Runs
+		res.BackwardWinner = sol.Backward && sol.Rank == place.RankMVFB
+		res.PortfolioWinner = sol.Placer
 	case QUALE:
 		r, err := quale.Map(g, fab)
 		if err != nil {

@@ -8,9 +8,10 @@
 // baseline over many benchmark circuits and knob settings — so the
 // unit of work here is one (circuit, fabric, heuristic, m) mapping.
 // A Spec expands to a stable, indexed run list; Execute maps each run
-// with a single-threaded deterministic core.Map call and parallelizes
-// *across* runs, so the aggregated Report is byte-identical for any
-// worker count.
+// with a deterministic core.Map call and parallelizes *across* runs —
+// optionally also *within* each run (Spec.InnerParallel), the two
+// levels sharing one CPU budget — so the aggregated Report is
+// byte-identical for any combination of worker counts.
 //
 //	spec := experiment.Spec{
 //	    Circuits:   experiment.BuiltinCircuits(),
@@ -62,6 +63,13 @@ type Spec struct {
 	Seed int64
 	// Tech overrides the technology parameters (nil = paper §V.A).
 	Tech *gates.Tech
+	// InnerParallel is the worker count *within* each mapping (MVFB
+	// starts / MC trials / portfolio placers; see
+	// core.Options.InnerParallel). Every mapping result — and hence
+	// the report — is bit-identical for any value. Execute shrinks
+	// the across-run worker pool so that outer × inner stays within
+	// the sweep's CPU budget. 0 or 1 keeps each run single-threaded.
+	InnerParallel int
 }
 
 // Run is one unit of work: a single (circuit, fabric, heuristic, m)
@@ -79,6 +87,9 @@ type Run struct {
 	Seed int64
 	// Tech overrides technology parameters (nil = default).
 	Tech *gates.Tech
+	// InnerParallel is the mapping-internal worker count (does not
+	// change the result).
+	InnerParallel int
 }
 
 // Runs expands the spec into its stable, indexed run list. Expansion
@@ -116,13 +127,14 @@ func (s Spec) Runs() ([]Run, error) {
 						return nil, fmt.Errorf("experiment: seed count %d <= 0", m)
 					}
 					runs = append(runs, Run{
-						Index:     len(runs),
-						Circuit:   c,
-						Fabric:    f,
-						Heuristic: h,
-						Seeds:     m,
-						Seed:      seed,
-						Tech:      s.Tech,
+						Index:         len(runs),
+						Circuit:       c,
+						Fabric:        f,
+						Heuristic:     h,
+						Seeds:         m,
+						Seed:          seed,
+						Tech:          s.Tech,
+						InnerParallel: s.InnerParallel,
 					})
 				}
 			}
@@ -158,6 +170,9 @@ type Metrics struct {
 	// BackwardWinner records whether MVFB's best run was an
 	// uncompute (backward) computation.
 	BackwardWinner bool `json:"backward_winner,omitempty"`
+	// PortfolioWinner names the placer that won a Portfolio race
+	// ("MVFB", "MC" or "Center"); empty for every other heuristic.
+	PortfolioWinner string `json:"portfolio_winner,omitempty"`
 	// Placement is the winning initial placement: Placement[q] is the
 	// trap holding qubit q at t=0.
 	Placement []int `json:"placement"`
@@ -187,10 +202,11 @@ type Report struct {
 // runMapper executes one run through the real mapping stack.
 func runMapper(r Run) (*Metrics, error) {
 	res, err := core.Map(r.Circuit.Program, r.Fabric.Fabric, core.Options{
-		Heuristic: r.Heuristic,
-		Seeds:     r.Seeds,
-		Seed:      r.Seed,
-		Tech:      r.Tech,
+		Heuristic:     r.Heuristic,
+		Seeds:         r.Seeds,
+		Seed:          r.Seed,
+		Tech:          r.Tech,
+		InnerParallel: r.InnerParallel,
 	})
 	if err != nil {
 		return nil, err
@@ -209,6 +225,7 @@ func runMapper(r Run) (*Metrics, error) {
 		CongestionDelayUS: int64(s.CongestionDelay),
 		PlacementRuns:     res.Runs,
 		BackwardWinner:    res.BackwardWinner,
+		PortfolioWinner:   res.PortfolioWinner,
 		Placement:         append([]int(nil), res.Mapping.Initial...),
 	}, nil
 }
@@ -292,7 +309,9 @@ func SplitCircuitList(s string) []string {
 
 // ParseHeuristics parses a comma-separated heuristic list such as
 // "qspr,quale" (see ParseHeuristic for the accepted names); "all"
-// expands to every heuristic.
+// expands to every table heuristic. The portfolio meta-heuristic is
+// excluded from "all" — it re-runs three of the placers already in
+// the list — but can be named explicitly.
 func ParseHeuristics(s string) ([]core.Heuristic, error) {
 	if strings.EqualFold(strings.TrimSpace(s), "all") {
 		return []core.Heuristic{core.QSPR, core.QSPRCenter, core.MonteCarlo,
@@ -311,11 +330,13 @@ func ParseHeuristics(s string) ([]core.Heuristic, error) {
 
 // ParseHeuristic maps a CLI name to a core.Heuristic: qspr,
 // qspr-center (center), mc (montecarlo, monte-carlo), quale, qpos,
-// qpos-delay (qposdelay).
+// qpos-delay (qposdelay), portfolio.
 func ParseHeuristic(s string) (core.Heuristic, error) {
 	switch strings.ToLower(s) {
 	case "qspr":
 		return core.QSPR, nil
+	case "portfolio":
+		return core.Portfolio, nil
 	case "qspr-center", "center":
 		return core.QSPRCenter, nil
 	case "mc", "montecarlo", "monte-carlo":

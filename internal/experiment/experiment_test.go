@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -294,5 +295,101 @@ func TestWriteUnknownFormat(t *testing.T) {
 	rep := &Report{}
 	if err := rep.Write(&bytes.Buffer{}, "yaml"); err == nil {
 		t.Error("expected error for unknown format")
+	}
+}
+
+// TestDeterminismAcrossInnerWorkers: the second parallelism level.
+// Reports — including the portfolio meta-heuristic's rows — must be
+// byte-identical for inner worker counts 1, 2 and 8, with the outer
+// pool at its default.
+func TestDeterminismAcrossInnerWorkers(t *testing.T) {
+	spec := smallSpec(t, 2)
+	spec.Heuristics = []core.Heuristic{core.QSPR, core.MonteCarlo, core.Portfolio}
+	var outputs [][]byte
+	for _, inner := range []int{1, 2, 8} {
+		s := spec
+		s.InnerParallel = inner
+		rep, err := Execute(context.Background(), s, Options{})
+		if err != nil {
+			t.Fatalf("inner=%d: %v", inner, err)
+		}
+		for _, rr := range rep.Results {
+			if rr.Err != "" {
+				t.Fatalf("inner=%d: run %d failed: %s", inner, rr.Index, rr.Err)
+			}
+		}
+		var j bytes.Buffer
+		if err := rep.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, j.Bytes())
+	}
+	for i := 1; i < len(outputs); i++ {
+		if !bytes.Equal(outputs[0], outputs[i]) {
+			t.Errorf("JSON differs between inner worker counts 1 and %d", []int{1, 2, 8}[i])
+		}
+	}
+}
+
+// TestSharedCPUBudget: with InnerParallel > 1 the across-run pool
+// shrinks so outer × inner stays within Options.Workers. Observed via
+// the peak number of concurrently running RunFuncs.
+func TestSharedCPUBudget(t *testing.T) {
+	spec := smallSpec(t, 8)
+	spec.Heuristics = []core.Heuristic{core.QSPR}
+	spec.InnerParallel = 4
+	var mu sync.Mutex
+	running, peak := 0, 0
+	block := make(chan struct{})
+	opts := Options{
+		Workers: 8, // budget 8 / inner 4 => at most 2 concurrent runs
+		RunFunc: func(_ context.Context, r Run) (*Metrics, error) {
+			mu.Lock()
+			running++
+			if running > peak {
+				peak = running
+			}
+			mu.Unlock()
+			<-block
+			mu.Lock()
+			running--
+			mu.Unlock()
+			return &Metrics{}, nil
+		},
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := Execute(context.Background(), spec, opts); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Let the pool spin up, then release the workers.
+	time.Sleep(50 * time.Millisecond)
+	close(block)
+	<-done
+	if peak > 2 {
+		t.Errorf("peak concurrent runs %d exceeds budget 8 / inner 4 = 2", peak)
+	}
+	if peak < 1 {
+		t.Errorf("no runs observed")
+	}
+}
+
+// TestParseHeuristicPortfolio: the portfolio is nameable but not part
+// of "all" (it re-runs placers already in the expansion).
+func TestParseHeuristicPortfolio(t *testing.T) {
+	h, err := ParseHeuristic("portfolio")
+	if err != nil || h != core.Portfolio {
+		t.Fatalf("ParseHeuristic(portfolio) = %v, %v", h, err)
+	}
+	all, err := ParseHeuristics("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range all {
+		if h == core.Portfolio {
+			t.Error("'all' should not include the portfolio meta-heuristic")
+		}
 	}
 }

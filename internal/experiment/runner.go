@@ -15,8 +15,12 @@ type RunFunc func(ctx context.Context, r Run) (*Metrics, error)
 
 // Options configures Execute.
 type Options struct {
-	// Workers is the worker-pool size; <= 0 means GOMAXPROCS. The
-	// report is byte-identical for any value.
+	// Workers is the sweep's total CPU budget; <= 0 means GOMAXPROCS.
+	// When the spec also asks for intra-mapping parallelism
+	// (Spec.InnerParallel > 1) the across-run pool is shrunk to
+	// budget / inner, so the two parallelism levels never
+	// oversubscribe the budget between them. The report is
+	// byte-identical for any value.
 	Workers int
 	// RunFunc overrides the per-run mapper (nil = the real stack).
 	RunFunc RunFunc
@@ -35,10 +39,11 @@ type Options struct {
 // (big circuits, large m) therefore never serialize behind one
 // worker's queue.
 //
-// Determinism: each run is mapped by a single-threaded, seeded
-// core.Map call, and results are slotted by run index, so the
-// returned Report — and the bytes of WriteJSON/WriteCSV — are
-// identical for any worker count and any completion order.
+// Determinism: each run is mapped by a seeded core.Map call whose
+// result is bit-identical at any Spec.InnerParallel worker count, and
+// results are slotted by run index, so the returned Report — and the
+// bytes of WriteJSON/WriteCSV — are identical for any outer worker
+// count, any inner worker count and any completion order.
 //
 // Failure isolation: a run that returns an error or panics records
 // the failure in its RunResult.Err and the sweep continues; Execute
@@ -49,9 +54,30 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// One CPU budget covers both parallelism levels: with inner
+	// workers inside every mapping, the across-run pool shrinks so
+	// outer × inner stays within the budget. Results are unaffected —
+	// each run is deterministic at any inner worker count.
+	budget := opts.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	inner := spec.InnerParallel
+	if inner < 1 {
+		inner = 1
+	}
+	if inner > budget {
+		// An inner request beyond the whole budget would oversubscribe
+		// even a single run; clamp it (results are identical at any
+		// inner worker count, so this only changes scheduling).
+		inner = budget
+		for i := range runs {
+			runs[i].InnerParallel = inner
+		}
+	}
+	workers := budget / inner
+	if workers < 1 {
+		workers = 1
 	}
 	if workers > len(runs) {
 		workers = len(runs)

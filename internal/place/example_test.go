@@ -55,3 +55,70 @@ func ExampleCenter() {
 	// Output:
 	// qubit -> trap: [2 3 4 5]
 }
+
+// Parallel MVFB: the same search fanned across a worker pool. The
+// solution — winning placement, latency and realized run count — is
+// bit-identical to the sequential search for every worker count; only
+// wall-clock time changes.
+func ExampleMVFB_innerParallel() {
+	prog, err := qasm.ParseString(circuits.Fig3QASM)
+	if err != nil {
+		panic(err)
+	}
+	g, err := qidg.Build(prog)
+	if err != nil {
+		panic(err)
+	}
+	cfg := engine.Config{
+		Fabric: fabric.Small(), Tech: gates.Default(),
+		Policy: sched.QSPR, Weights: sched.DefaultWeights(),
+		TurnAware: true, BothMove: true, MedianTarget: true,
+	}
+	opts := place.DefaultMVFBOptions(3)
+	seq, err := place.MVFB(g, cfg, opts)
+	if err != nil {
+		panic(err)
+	}
+	opts.Workers = 8
+	par, err := place.MVFB(g, cfg, opts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("latency: %v after %d runs\n", par.Result.Latency, par.Runs)
+	fmt.Printf("identical to sequential: %v\n",
+		par.Result.Latency == seq.Result.Latency && par.Runs == seq.Runs &&
+			par.Seed == seq.Seed && par.Iteration == seq.Iteration)
+	// Output:
+	// latency: 788µs after 11 runs
+	// identical to sequential: true
+}
+
+// Portfolio races MVFB, Monte-Carlo and the deterministic Center
+// placement concurrently and keeps the best mapping; on equal latency
+// the lower rank (MVFB < MC < Center) wins, so the result is
+// reproducible for any worker budget.
+func ExamplePortfolio() {
+	prog, err := qasm.ParseString(circuits.Fig3QASM)
+	if err != nil {
+		panic(err)
+	}
+	g, err := qidg.Build(prog)
+	if err != nil {
+		panic(err)
+	}
+	cfg := engine.Config{
+		Fabric: fabric.Small(), Tech: gates.Default(),
+		Policy: sched.QSPR, Weights: sched.DefaultWeights(),
+		TurnAware: true, BothMove: true, MedianTarget: true,
+	}
+	sol, err := place.Portfolio(g, cfg, place.PortfolioOptions{
+		MVFB:    place.DefaultMVFBOptions(3),
+		Workers: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("winner: %s, latency: %v\n", sol.Placer, sol.Result.Latency)
+	// Output:
+	// winner: MVFB, latency: 788µs
+}

@@ -1,0 +1,192 @@
+package place
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/engine"
+	"repro/internal/fabric"
+	"repro/internal/gates"
+	"repro/internal/qidg"
+)
+
+// innerParallelCases: two circuits × both fabrics, the satellite
+// matrix of the determinism contract. [[7,1,3]] (7 qubits) still fits
+// the 8-trap Small fabric.
+func innerParallelCases(t *testing.T) []struct {
+	name string
+	g    *qidg.Graph
+	cfg  engine.Config
+} {
+	t.Helper()
+	g713, err := circuits.ByName("[[7,1,3]]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := qidg.Build(g713.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		name string
+		g    *qidg.Graph
+		cfg  engine.Config
+	}{
+		{"fig3/small", fig3Graph(t), qsprConfig(fabric.Small())},
+		{"fig3/quale45x85", fig3Graph(t), qsprConfig(fabric.Quale4585())},
+		{"[[7,1,3]]/small", g2, qsprConfig(fabric.Small())},
+		{"[[7,1,3]]/quale45x85", g2, qsprConfig(fabric.Quale4585())},
+	}
+}
+
+// traceBytes serializes a result's trace; byte equality here is the
+// report-bytes half of the determinism contract.
+func traceBytes(t *testing.T, res *engine.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMVFBInnerParallelByteIdentical pins the tentpole contract: the
+// complete MVFB solution — winning placement, latency, run count,
+// provenance, and the serialized trace bytes — is identical for inner
+// worker counts 1, 2 and 8, on two circuits × both fabrics, under
+// both patience scopes.
+func TestMVFBInnerParallelByteIdentical(t *testing.T) {
+	for _, tc := range innerParallelCases(t) {
+		for _, scope := range []PatienceScope{ScopeGlobal, ScopeSeed} {
+			scope := scope
+			tc := tc
+			t.Run(fmt.Sprintf("%s/scope=%d", tc.name, scope), func(t *testing.T) {
+				base := MVFBOptions{Seeds: 4, Patience: 3, MaxRunsPerSeed: 12, Seed: 3, PatienceScope: scope}
+				seq, err := MVFB(tc.g, tc.cfg, base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seqTrace := traceBytes(t, seq.Result)
+				for _, workers := range []int{2, 8} {
+					opts := base
+					opts.Workers = workers
+					par, err := MVFB(tc.g, tc.cfg, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if par.Runs != seq.Runs || par.Seed != seq.Seed ||
+						par.Iteration != seq.Iteration || par.Backward != seq.Backward {
+						t.Errorf("workers=%d provenance diverges: runs %d/%d seed %d/%d iter %d/%d bwd %v/%v",
+							workers, par.Runs, seq.Runs, par.Seed, seq.Seed,
+							par.Iteration, seq.Iteration, par.Backward, seq.Backward)
+					}
+					if !reflect.DeepEqual(par.Result, seq.Result) {
+						t.Errorf("workers=%d result diverges: latency %v vs %v, placement %v vs %v",
+							workers, par.Result.Latency, seq.Result.Latency,
+							par.Result.Initial, seq.Result.Initial)
+					}
+					if !bytes.Equal(traceBytes(t, par.Result), seqTrace) {
+						t.Errorf("workers=%d trace bytes diverge", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMonteCarloInnerParallelByteIdentical: MC trials are fanned the
+// same way; the (latency, trial index) reduction must reproduce the
+// sequential first-minimum winner exactly.
+func TestMonteCarloInnerParallelByteIdentical(t *testing.T) {
+	for _, tc := range innerParallelCases(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			seq, err := MonteCarloParallel(tc.g, tc.cfg, 9, 11, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqTrace := traceBytes(t, seq.Result)
+			for _, workers := range []int{2, 8} {
+				par, err := MonteCarloParallel(tc.g, tc.cfg, 9, 11, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par.Runs != seq.Runs || par.Seed != seq.Seed {
+					t.Errorf("workers=%d provenance diverges: runs %d/%d trial %d/%d",
+						workers, par.Runs, seq.Runs, par.Seed, seq.Seed)
+				}
+				if !reflect.DeepEqual(par.Result, seq.Result) {
+					t.Errorf("workers=%d result diverges: latency %v vs %v",
+						workers, par.Result.Latency, seq.Result.Latency)
+				}
+				if !bytes.Equal(traceBytes(t, par.Result), seqTrace) {
+					t.Errorf("workers=%d trace bytes diverge", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestPortfolioTieBreak: on equal latency the lower rank wins — the
+// order MVFB, Monte-Carlo, Center is the portfolio's fixed priority.
+func TestPortfolioTieBreak(t *testing.T) {
+	sol := func(latency int) *Solution {
+		return &Solution{Result: &engine.Result{Latency: gates.Time(latency)}}
+	}
+	cases := []struct {
+		name string
+		sols []*Solution
+		want int
+	}{
+		{"strictly-best-wins", []*Solution{sol(300), sol(200), sol(100)}, RankCenter},
+		{"tie-goes-to-mvfb", []*Solution{sol(100), sol(100), sol(100)}, RankMVFB},
+		{"tie-goes-to-mc-over-center", []*Solution{sol(200), sol(100), sol(100)}, RankMonteCarlo},
+		{"missing-entrant-skipped", []*Solution{nil, sol(100), sol(100)}, RankMonteCarlo},
+		{"all-missing", []*Solution{nil, nil, nil}, -1},
+	}
+	for _, tc := range cases {
+		if got := pickPortfolioWinner(tc.sols); got != tc.want {
+			t.Errorf("%s: winner %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestPortfolioMatchesStandalone: the portfolio must return exactly
+// the best of its entrants run standalone, with the right provenance,
+// for any worker budget.
+func TestPortfolioMatchesStandalone(t *testing.T) {
+	g := fig3Graph(t)
+	cfg := qsprConfig(fabric.Quale4585())
+	mvfbOpts := MVFBOptions{Seeds: 3, Patience: 3, MaxRunsPerSeed: 12, Seed: 5}
+	mvfb, err := MVFB(g, cfg, mvfbOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MonteCarlo(g, cfg, 2*mvfbOpts.Seeds, mvfbOpts.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center, err := centerSolution(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWin := pickPortfolioWinner([]*Solution{mvfb, mc, center})
+	wantLatency := []*Solution{mvfb, mc, center}[wantWin].Result.Latency
+	wantRuns := mvfb.Runs + mc.Runs + center.Runs
+	for _, workers := range []int{1, 2, 8} {
+		p, err := Portfolio(g, cfg, PortfolioOptions{MVFB: mvfbOpts, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Result.Latency != wantLatency || p.Rank != wantWin || p.Placer != PlacerName(wantWin) {
+			t.Errorf("workers=%d: winner %s latency %v, want rank %d latency %v",
+				workers, p.Placer, p.Result.Latency, wantWin, wantLatency)
+		}
+		if p.Runs != wantRuns {
+			t.Errorf("workers=%d: total runs %d, want %d", workers, p.Runs, wantRuns)
+		}
+	}
+}

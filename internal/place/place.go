@@ -14,12 +14,22 @@
 //     forward/backward walks the placement space. Each random seed's
 //     neighborhood search stops after three consecutive
 //     non-improving runs; the best run over m seeds wins.
+//   - Portfolio (portfolio.go): MVFB, Monte-Carlo and Center raced
+//     concurrently on one mapping, best by (latency, placer rank) —
+//     portfolio-style parallel search in the spirit of DateSAT.
+//
+// MVFB's starts, Monte-Carlo's trials and the portfolio's placers
+// all fan across bounded worker pools (MVFBOptions.Workers,
+// MonteCarloParallel, PortfolioOptions.Workers) with results
+// bit-identical to the sequential search at any worker count; the
+// determinism model is documented in docs/CONCURRENCY.md.
 package place
 
 import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/fabric"
@@ -74,34 +84,115 @@ type Solution struct {
 
 // MonteCarlo routes the program from `runs` random center-placement
 // permutations and returns the best solution (§V.A's MC placer).
+// It is MonteCarloParallel with a single worker.
 func MonteCarlo(g *qidg.Graph, cfg engine.Config, runs int, seed int64) (*Solution, error) {
+	return MonteCarloParallel(g, cfg, runs, seed, 1)
+}
+
+// MonteCarloParallel is MonteCarlo with the trials fanned across a
+// bounded worker pool. Every trial's placement is drawn up front from
+// one stream — trial i's randomness is a pure function of (seed, i) —
+// and the winner is reduced by (latency, trial index), so the result
+// is bit-identical to the sequential placer for any worker count.
+func MonteCarloParallel(g *qidg.Graph, cfg engine.Config, runs int, seed int64, workers int) (*Solution, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("place: MonteCarlo needs at least 1 run, got %d", runs)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	// One routing graph for the whole sweep: engine.Run resets it per
-	// run (bit-identical to a fresh build) while its CSR arrays,
-	// search state and uncongested route cache stay warm.
-	if cfg.RouteGraph == nil {
-		cfg.RouteGraph = cfg.BuildRouteGraph()
-	}
-	var best *engine.Result
-	bestRun := 0
-	for i := 0; i < runs; i++ {
+	placements := make([]engine.Placement, runs)
+	for i := range placements {
 		p, err := CenterPermutation(cfg.Fabric, g.NumQubits, rng)
 		if err != nil {
 			return nil, err
 		}
-		res, err := engine.Run(g, cfg, p)
+		placements[i] = p
+	}
+	if workers <= 1 || runs == 1 {
+		// One routing graph for the whole sweep: engine.Run resets it
+		// per run (bit-identical to a fresh build) while its CSR
+		// arrays, search state and uncongested route cache stay warm.
+		if cfg.RouteGraph == nil {
+			cfg.RouteGraph = cfg.BuildRouteGraph()
+		}
+		var best *engine.Result
+		bestRun := 0
+		for i, p := range placements {
+			res, err := engine.Run(g, cfg, p)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || res.Latency < best.Latency {
+				best = res
+				bestRun = i
+			}
+		}
+		return &Solution{Result: best, Runs: runs, Seed: bestRun}, nil
+	}
+	if workers > runs {
+		workers = runs
+	}
+	// Each worker keeps only its own (latency, trial index)-minimal
+	// candidate; the final reduce across workers applies the same
+	// order, reproducing the sequential first-strict-minimum winner.
+	type candidate struct {
+		result *engine.Result
+		trial  int
+	}
+	cands := make([]candidate, workers)
+	errs := make([]error, workers)
+	work := make(chan int)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			// The routing graph is mutable, so each worker owns one,
+			// reset per run and kept warm across its trials.
+			wcfg := cfg
+			wcfg.RouteGraph = cfg.BuildRouteGraph()
+			best := candidate{trial: -1}
+			for i := range work {
+				// Once any worker failed the call returns an error;
+				// drain the channel without doing the doomed work.
+				if failed.Load() {
+					continue
+				}
+				res, err := engine.Run(g, wcfg, placements[i])
+				if err != nil {
+					errs[self] = err
+					failed.Store(true)
+					continue
+				}
+				if best.result == nil || res.Latency < best.result.Latency ||
+					(res.Latency == best.result.Latency && i < best.trial) {
+					best = candidate{result: res, trial: i}
+				}
+			}
+			cands[self] = best
+		}(w)
+	}
+	for i := range placements {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		if best == nil || res.Latency < best.Latency {
-			best = res
-			bestRun = i
+	}
+	best := candidate{trial: -1}
+	for _, c := range cands {
+		if c.result == nil {
+			continue
+		}
+		if best.result == nil || c.result.Latency < best.result.Latency ||
+			(c.result.Latency == best.result.Latency && c.trial < best.trial) {
+			best = c
 		}
 	}
-	return &Solution{Result: best, Runs: runs, Seed: bestRun}, nil
+	return &Solution{Result: best.result, Runs: runs, Seed: best.trial}, nil
 }
 
 // PatienceScope selects what a "non-improving run" is measured
@@ -135,9 +226,13 @@ type MVFBOptions struct {
 	MaxRunsPerSeed int
 	// Seed seeds the random permutations.
 	Seed int64
-	// Workers runs that many seed searches concurrently (0 or 1 =
-	// sequential). Parallel search requires ScopeSeed (independent
-	// seeds); the result is then bit-identical for any worker count.
+	// Workers runs that many start searches concurrently (0 or 1 =
+	// sequential). Valid under either PatienceScope: the winner is
+	// reduced by the (latency, start index) order of the sequential
+	// protocol, so the result — including the realized run count — is
+	// bit-identical to Workers == 1 for any worker count. See
+	// docs/CONCURRENCY.md for the speculative-trajectory mechanism
+	// that makes this true even for ScopeGlobal.
 	Workers int
 }
 
@@ -147,6 +242,20 @@ func DefaultMVFBOptions(m int) MVFBOptions {
 }
 
 // MVFB runs the Multi-start Variable-length Forward/Backward placer.
+//
+// Parallel model (opts.Workers > 1): a start's forward/backward
+// trajectory — the sequence of placements visited and latencies
+// realized — is a pure function of its start placement; the patience
+// rule only decides where the trajectory is truncated. Workers
+// therefore search every start independently (speculatively running
+// each to its own local-patience stop, which can only overshoot the
+// sequential stopping point), and a sequential replay then applies
+// the exact paper protocol — shared global best, patience counted
+// against it, (latency, start index) tie-break — over the recorded
+// trajectories. The winning placement, its latency and the reported
+// run count are bit-identical to the sequential search for every
+// worker count; speculative runs past the replayed stopping point are
+// discarded and never reported.
 func MVFB(g *qidg.Graph, cfg engine.Config, opts MVFBOptions) (*Solution, error) {
 	if opts.Seeds <= 0 {
 		return nil, fmt.Errorf("place: MVFB needs at least 1 seed")
@@ -160,21 +269,13 @@ func MVFB(g *qidg.Graph, cfg engine.Config, opts MVFBOptions) (*Solution, error)
 	if opts.Workers <= 0 {
 		opts.Workers = 1
 	}
-	if opts.Workers > 1 && opts.PatienceScope != ScopeSeed {
-		return nil, fmt.Errorf("place: parallel MVFB requires PatienceScope = ScopeSeed")
+	if opts.Workers > opts.Seeds {
+		opts.Workers = opts.Seeds
 	}
-	// Routing-graph reuse: engine.Run resets a supplied graph per run
-	// (bit-identical to building fresh) while its CSR arrays and
-	// uncongested route cache stay warm. Sequential searches share one
-	// graph for the whole placement search; parallel workers must not
-	// share the mutable graph, so each searchSeed call builds its own.
-	if opts.Workers > 1 {
-		cfg.RouteGraph = nil
-	} else if cfg.RouteGraph == nil {
-		cfg.RouteGraph = cfg.BuildRouteGraph()
-	}
-	// All random placements are drawn up front from one stream, so
-	// the work distribution cannot change the outcome.
+	// All random start placements are drawn up front from one stream:
+	// start i's randomness is a pure function of (opts.Seed, i), so
+	// neither the worker count nor the work distribution can change
+	// which placements are searched.
 	rng := rand.New(rand.NewSource(opts.Seed))
 	starts := make([]engine.Placement, opts.Seeds)
 	for i := range starts {
@@ -186,40 +287,71 @@ func MVFB(g *qidg.Graph, cfg engine.Config, opts MVFBOptions) (*Solution, error)
 	}
 	rev := g.Reverse()
 
-	if opts.PatienceScope == ScopeGlobal {
-		// Sequential search; every seed races (and updates) the
-		// shared global best, reproducing the paper's realized
-		// placement-run counts.
-		best := &Solution{}
-		totalRuns := 0
+	trajs := make([][]runRecord, opts.Seeds)
+	if opts.Workers == 1 {
+		// Routing-graph reuse: engine.Run resets a supplied graph per
+		// run (bit-identical to building fresh) while its CSR arrays
+		// and uncongested route cache stay warm; one graph serves the
+		// whole sequential search.
+		if cfg.RouteGraph == nil {
+			cfg.RouteGraph = cfg.BuildRouteGraph()
+		}
+		// Under ScopeGlobal the prior starts' best is threaded into
+		// each search as its improvement bound, so the sequential path
+		// runs exactly the paper protocol with no speculative runs.
+		rb := &replayBound{patience: opts.Patience}
+		var hint boundFunc
+		if opts.PatienceScope == ScopeGlobal {
+			hint = rb.get
+		}
 		for seed := range starts {
-			r, err := searchSeed(g, rev, cfg, starts[seed], seed, opts, best)
+			t, err := searchTrajectory(g, rev, cfg, starts[seed], opts, hint)
 			if err != nil {
 				return nil, err
 			}
-			totalRuns += r.Runs
-		}
-		best.Runs = totalRuns
-		if best.Result == nil {
-			return nil, fmt.Errorf("place: MVFB produced no solution")
-		}
-		return best, nil
-	}
-	results := make([]*Solution, opts.Seeds)
-	errs := make([]error, opts.Seeds)
-	if opts.Workers == 1 {
-		for seed := range starts {
-			results[seed], errs[seed] = searchSeed(g, rev, cfg, starts[seed], seed, opts, nil)
+			rb.record(seed, t, trajs)
 		}
 	} else {
-		var wg sync.WaitGroup
+		// Speculative search with an incremental-replay hint: as
+		// trajectories complete in start order, the replay front
+		// advances and publishes the bound the sequential protocol
+		// would have observed; starts still in flight read it (at
+		// every run) to truncate early. The published bound covers a
+		// prefix of the starts before the one searching, so it is
+		// always ≥ the sequential bound — trajectories can only
+		// overshoot the replayed stopping point, never undershoot it.
+		// The final replay stays bit-identical while the wasted
+		// speculative work shrinks.
+		rb := &replayBound{patience: opts.Patience}
+		var hint boundFunc
+		if opts.PatienceScope == ScopeGlobal {
+			hint = rb.get
+		}
+		errs := make([]error, opts.Seeds)
 		work := make(chan int)
+		var failed atomic.Bool
+		var wg sync.WaitGroup
 		for w := 0; w < opts.Workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// The routing graph is mutable, so each worker owns
+				// one, reset per run and kept warm across its starts.
+				wcfg := cfg
+				wcfg.RouteGraph = cfg.BuildRouteGraph()
 				for seed := range work {
-					results[seed], errs[seed] = searchSeed(g, rev, cfg, starts[seed], seed, opts, nil)
+					// Once any start failed the call returns an error;
+					// drain the channel without searching the rest.
+					if failed.Load() {
+						continue
+					}
+					t, err := searchTrajectory(g, rev, wcfg, starts[seed], opts, hint)
+					if err != nil {
+						errs[seed] = err
+						failed.Store(true)
+						continue
+					}
+					rb.record(seed, t, trajs)
 				}
 			}()
 		}
@@ -228,45 +360,116 @@ func MVFB(g *qidg.Graph, cfg engine.Config, opts MVFBOptions) (*Solution, error)
 		}
 		close(work)
 		wg.Wait()
-	}
-	// Deterministic merge: lowest latency, ties to the earlier seed.
-	best := &Solution{}
-	totalRuns := 0
-	for seed, r := range results {
-		if errs[seed] != nil {
-			return nil, errs[seed]
-		}
-		totalRuns += r.Runs
-		if best.Result == nil || r.Result.Latency < best.Result.Latency {
-			cp := *r
-			best = &cp
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
-	best.Runs = totalRuns
-	return best, nil
+	if opts.PatienceScope == ScopeGlobal {
+		return replayGlobal(trajs, opts.Patience)
+	}
+	return reduceSeedScope(trajs)
 }
 
-// searchSeed performs one variable-length forward/backward
-// neighborhood search. With shared == nil (ScopeSeed) it tracks and
-// returns the seed's own best; otherwise (ScopeGlobal) improvements
-// are written into shared immediately and patience counts runs that
-// fail to improve it.
-func searchSeed(g, rev *qidg.Graph, cfg engine.Config, p engine.Placement,
-	seed int, opts MVFBOptions, shared *Solution) (*Solution, error) {
+// boundFunc supplies the current global improvement bound to a
+// trajectory search; ok == false means no bound yet.
+type boundFunc func() (bound gates.Time, ok bool)
 
-	best := &Solution{Seed: seed}
-	if shared != nil {
-		best = shared
+// replayBound incrementally replays the global-patience protocol over
+// consecutively-completed trajectories and publishes the best latency
+// the sequential search would have observed so far. A start reading
+// the bound mid-search always gets a value derived from a prefix of
+// the starts before it (the replay front cannot pass an unfinished
+// start), hence ≥ the exact sequential bound — safe to truncate on.
+type replayBound struct {
+	mu       sync.Mutex
+	patience int
+	pos      int // next start index to replay
+	have     bool
+	best     gates.Time
+}
+
+func (rb *replayBound) get() (gates.Time, bool) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.best, rb.have
+}
+
+// record stores one start's finished trajectory (the trajs slots are
+// shared with concurrently-searching workers, so the assignment must
+// happen under the bound's mutex) and advances the replay front over
+// every consecutively-recorded trajectory, applying the same
+// patience-truncated walk as replayGlobal (latencies only).
+func (rb *replayBound) record(seed int, traj []runRecord, trajs [][]runRecord) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	trajs[seed] = traj
+	for rb.pos < len(trajs) && trajs[rb.pos] != nil {
+		sinceImprove := 0
+		for _, rec := range trajs[rb.pos] {
+			if !rb.have || rec.latency < rb.best {
+				rb.best, rb.have = rec.latency, true
+				sinceImprove = 0
+			} else if sinceImprove++; sinceImprove >= rb.patience {
+				break
+			}
+		}
+		rb.pos++
 	}
-	// One routing graph per seed search (parallel workers arrive here
-	// with RouteGraph == nil — the graph is mutable and must not be
-	// shared across goroutines), reused by every forward and backward
-	// run of this seed.
+}
+
+// runRecord is one placement run in a start's recorded trajectory.
+// result is retained only for runs that improved the search's own
+// best at the time they ran — the only runs a replay can ever crown —
+// so a trajectory holds O(improvements) engine results, not O(runs).
+type runRecord struct {
+	latency  gates.Time
+	backward bool
+	iter     int
+	result   *engine.Result
+}
+
+// searchTrajectory performs one start's variable-length
+// forward/backward neighborhood search and records every run. The
+// search's improvement reference is min(hint(), own stored-prefix
+// best): under the sequential ScopeGlobal protocol the hint is the
+// exact earlier-starts bound and the trajectory is truncated at
+// exactly the paper protocol's stopping point; under a speculative
+// (parallel) or nil hint the reference is only ever ≥ the sequential
+// one, so the trajectory stops at-or-after the replayed stopping
+// point and retains a result for every run the replay could crown.
+func searchTrajectory(g, rev *qidg.Graph, cfg engine.Config, p engine.Placement,
+	opts MVFBOptions, hint boundFunc) ([]runRecord, error) {
+
 	if cfg.RouteGraph == nil {
 		cfg.RouteGraph = cfg.BuildRouteGraph()
 	}
-	runs := 0
+	var localBest gates.Time
+	haveLocal := false
+	improves := func(latency gates.Time) bool {
+		if haveLocal && latency >= localBest {
+			return false
+		}
+		if hint != nil {
+			if b, ok := hint(); ok && latency >= b {
+				return false
+			}
+		}
+		return true
+	}
+	var traj []runRecord
 	sinceImprove := 0
+	record := func(rec runRecord) bool {
+		if rec.result != nil {
+			localBest, haveLocal = rec.latency, true
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+		}
+		traj = append(traj, rec)
+		return rec.result == nil && sinceImprove >= opts.Patience
+	}
 	fwdCfg := cfg
 	fwdCfg.ForcedOrder = nil
 	for iter := 0; iter < opts.MaxRunsPerSeed; iter++ {
@@ -275,14 +478,11 @@ func searchSeed(g, rev *qidg.Graph, cfg engine.Config, p engine.Placement,
 		if err != nil {
 			return nil, err
 		}
-		runs++
-		if improves(best, fres.Latency) {
-			best.Result = fres
-			best.Backward = false
-			best.Seed = seed
-			best.Iteration = iter
-			sinceImprove = 0
-		} else if sinceImprove++; sinceImprove >= opts.Patience {
+		rec := runRecord{latency: fres.Latency, iter: iter}
+		if improves(fres.Latency) {
+			rec.result = fres
+		}
+		if record(rec) {
 			break
 		}
 		// Backward computation on the UIDG in reverse issue order,
@@ -293,26 +493,82 @@ func searchSeed(g, rev *qidg.Graph, cfg engine.Config, p engine.Placement,
 		if err != nil {
 			return nil, err
 		}
-		runs++
-		if improves(best, bres.Latency) {
-			best.Result = backwardSolution(bres)
-			best.Backward = true
-			best.Seed = seed
-			best.Iteration = iter
-			sinceImprove = 0
-		} else if sinceImprove++; sinceImprove >= opts.Patience {
+		rec = runRecord{latency: bres.Latency, backward: true, iter: iter}
+		if improves(bres.Latency) {
+			rec.result = backwardSolution(bres)
+		}
+		if record(rec) {
 			break
 		}
 		// The backward run's end placement seeds the next forward
 		// computation (P_{k+1}).
 		p = bres.Final
 	}
-	best.Runs = runs
+	return traj, nil
+}
+
+// replayGlobal merges the recorded trajectories under the sequential
+// ScopeGlobal protocol: starts are replayed in index order against a
+// shared global best, patience counts runs that fail to improve it,
+// and runs past a start's replayed stopping point are discarded. A
+// replayed improvement always has its result retained (improving the
+// global best implies improving the start's own prefix best, which is
+// what searchTrajectory records), so the winner — and the realized
+// run count — match the sequential search exactly.
+func replayGlobal(trajs [][]runRecord, patience int) (*Solution, error) {
+	best := &Solution{}
+	totalRuns := 0
+	for seed, traj := range trajs {
+		sinceImprove := 0
+		for _, rec := range traj {
+			totalRuns++
+			if best.Result == nil || rec.latency < best.Result.Latency {
+				best.Result = rec.result
+				best.Backward = rec.backward
+				best.Seed = seed
+				best.Iteration = rec.iter
+				sinceImprove = 0
+			} else if sinceImprove++; sinceImprove >= patience {
+				break
+			}
+		}
+	}
+	best.Runs = totalRuns
+	if best.Result == nil {
+		return nil, fmt.Errorf("place: MVFB produced no solution")
+	}
 	return best, nil
 }
 
-func improves(best *Solution, latency gates.Time) bool {
-	return best.Result == nil || latency < best.Result.Latency
+// reduceSeedScope merges fully independent (ScopeSeed) trajectories:
+// every recorded run counts, each start's best is its last retained
+// improvement, and the winner is reduced by (latency, start index).
+func reduceSeedScope(trajs [][]runRecord) (*Solution, error) {
+	best := &Solution{}
+	totalRuns := 0
+	for seed, traj := range trajs {
+		totalRuns += len(traj)
+		var sb *runRecord
+		for i := range traj {
+			if traj[i].result != nil {
+				sb = &traj[i]
+			}
+		}
+		if sb == nil {
+			continue
+		}
+		if best.Result == nil || sb.latency < best.Result.Latency {
+			best.Result = sb.result
+			best.Backward = sb.backward
+			best.Seed = seed
+			best.Iteration = sb.iter
+		}
+	}
+	best.Runs = totalRuns
+	if best.Result == nil {
+		return nil, fmt.Errorf("place: MVFB produced no solution")
+	}
+	return best, nil
 }
 
 func reverseOrder(order []int) []int {

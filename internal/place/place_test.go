@@ -298,14 +298,35 @@ func TestMVFBParallelEquivalence(t *testing.T) {
 	}
 }
 
-// TestMVFBParallelRequiresSeedScope: global patience couples seeds,
-// so parallel execution under it must be rejected.
-func TestMVFBParallelRequiresSeedScope(t *testing.T) {
+// TestMVFBParallelGlobalScope: the paper's global-patience protocol
+// is parallelized by speculative trajectories + deterministic replay;
+// every field of the solution — including the realized run count,
+// which the replay truncates to the sequential stopping point — must
+// match the sequential search.
+func TestMVFBParallelGlobalScope(t *testing.T) {
 	g := fig3Graph(t)
 	cfg := qsprConfig(fabric.Quale4585())
-	_, err := MVFB(g, cfg, MVFBOptions{Seeds: 2, Workers: 4})
-	if err == nil {
-		t.Error("parallel MVFB with global patience accepted")
+	base := MVFBOptions{Seeds: 5, Patience: 3, MaxRunsPerSeed: 20, Seed: 7}
+	seq, err := MVFB(g, cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		opts := base
+		opts.Workers = workers
+		par, err := MVFB(g, cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Result.Latency != seq.Result.Latency ||
+			par.Runs != seq.Runs ||
+			par.Seed != seq.Seed ||
+			par.Backward != seq.Backward ||
+			par.Iteration != seq.Iteration {
+			t.Errorf("workers=%d diverges: %v/%d/%d/%v vs %v/%d/%d/%v",
+				workers, par.Result.Latency, par.Runs, par.Seed, par.Backward,
+				seq.Result.Latency, seq.Runs, seq.Seed, seq.Backward)
+		}
 	}
 }
 

@@ -1,0 +1,175 @@
+package place
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/qidg"
+)
+
+// Portfolio placer ranks: the index of each placer in the race is its
+// tie-break rank — on equal latency the lower rank wins, so a
+// portfolio result is reproducible regardless of completion order.
+const (
+	RankMVFB = iota
+	RankMonteCarlo
+	RankCenter
+)
+
+// PlacerName names a portfolio rank as reported in results.
+func PlacerName(rank int) string {
+	switch rank {
+	case RankMVFB:
+		return "MVFB"
+	case RankMonteCarlo:
+		return "MC"
+	case RankCenter:
+		return "Center"
+	}
+	return "?"
+}
+
+// PortfolioOptions configures the placer portfolio race.
+type PortfolioOptions struct {
+	// MVFB configures the MVFB entrant (its Workers field is
+	// overridden by the portfolio's budget split).
+	MVFB MVFBOptions
+	// MCRuns is the Monte-Carlo entrant's trial count; 0 means
+	// 2 × MVFB.Seeds (the Table 1 protocol's budget ratio, with the
+	// realized MVFB run count unknowable before the race ends).
+	MCRuns int
+	// MCSeed seeds the Monte-Carlo trials; 0 means MVFB.Seed.
+	MCSeed int64
+	// Workers is the total CPU budget shared by the raced placers:
+	// MVFB and Monte-Carlo split it, Center's single run rides along.
+	// <= 1 runs the placers sequentially. The result is identical for
+	// any value.
+	Workers int
+}
+
+// PortfolioSolution is the outcome of a portfolio race.
+type PortfolioSolution struct {
+	// Solution is the winning placer's solution; Runs is the total
+	// number of placement runs performed by ALL entrants (the race's
+	// realized cost), while Seed/Iteration/Backward describe the
+	// winner.
+	Solution
+	// Rank is the winning placer's rank (RankMVFB, RankMonteCarlo,
+	// RankCenter); Placer is its name.
+	Rank   int
+	Placer string
+}
+
+// Portfolio races heterogeneous placers — MVFB, Monte-Carlo and the
+// deterministic Center placement — concurrently on one mapping and
+// returns the best solution by (latency, placer rank). Each entrant
+// is internally deterministic for any worker count and the reduction
+// is a barrier, so the portfolio result is bit-identical for any
+// Workers value, including the fully sequential one.
+func Portfolio(g *qidg.Graph, cfg engine.Config, opts PortfolioOptions) (*PortfolioSolution, error) {
+	if opts.MVFB.Seeds <= 0 {
+		return nil, fmt.Errorf("place: portfolio needs at least 1 MVFB seed")
+	}
+	mcRuns := opts.MCRuns
+	if mcRuns <= 0 {
+		mcRuns = 2 * opts.MVFB.Seeds
+	}
+	mcSeed := opts.MCSeed
+	if mcSeed == 0 {
+		mcSeed = opts.MVFB.Seed
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	sols := make([]*Solution, 3)
+	errs := make([]error, 3)
+	if workers == 1 {
+		// Sequential race: one shared routing graph stays warm across
+		// all entrants (engine.Run resets it per run).
+		if cfg.RouteGraph == nil {
+			cfg.RouteGraph = cfg.BuildRouteGraph()
+		}
+		mvfbOpts := opts.MVFB
+		mvfbOpts.Workers = 1
+		sols[RankMVFB], errs[RankMVFB] = MVFB(g, cfg, mvfbOpts)
+		sols[RankMonteCarlo], errs[RankMonteCarlo] = MonteCarloParallel(g, cfg, mcRuns, mcSeed, 1)
+		sols[RankCenter], errs[RankCenter] = centerSolution(g, cfg)
+	} else {
+		// Concurrent race on exactly `workers` engine goroutines: the
+		// budget is split between the two search placers, and Center's
+		// single cheap run rides on the Monte-Carlo goroutine after it
+		// finishes rather than claiming a slot of its own. The mutable
+		// routing graph must not be shared, so every entrant builds
+		// its own.
+		mvfbW := (workers + 1) / 2
+		mcW := workers - mvfbW
+		if mcW < 1 {
+			mcW = 1
+		}
+		mvfbOpts := opts.MVFB
+		mvfbOpts.Workers = mvfbW
+		ccfg := cfg
+		ccfg.RouteGraph = nil
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			sols[RankMVFB], errs[RankMVFB] = MVFB(g, ccfg, mvfbOpts)
+		}()
+		go func() {
+			defer wg.Done()
+			sols[RankMonteCarlo], errs[RankMonteCarlo] = MonteCarloParallel(g, ccfg, mcRuns, mcSeed, mcW)
+			sols[RankCenter], errs[RankCenter] = centerSolution(g, ccfg)
+		}()
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	win := pickPortfolioWinner(sols)
+	if win < 0 {
+		return nil, fmt.Errorf("place: portfolio produced no solution")
+	}
+	out := &PortfolioSolution{Solution: *sols[win], Rank: win, Placer: PlacerName(win)}
+	out.Runs = 0
+	for _, s := range sols {
+		out.Runs += s.Runs
+	}
+	return out, nil
+}
+
+// centerSolution runs the deterministic Center placement once — the
+// portfolio's cheap fallback entrant (QUALE's placer under the
+// caller's engine configuration).
+func centerSolution(g *qidg.Graph, cfg engine.Config) (*Solution, error) {
+	p, err := Center(cfg.Fabric, g.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Run(g, cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Result: res, Runs: 1}, nil
+}
+
+// pickPortfolioWinner reduces a rank-ordered entrant slice to the
+// winning index: lowest latency, ties to the lowest rank. Returns -1
+// when no entrant produced a result.
+func pickPortfolioWinner(sols []*Solution) int {
+	best := -1
+	for i, s := range sols {
+		if s == nil || s.Result == nil {
+			continue
+		}
+		if best < 0 || s.Result.Latency < sols[best].Result.Latency {
+			best = i
+		}
+	}
+	return best
+}

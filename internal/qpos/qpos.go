@@ -19,6 +19,11 @@
 // Reference [5] (Whitney, Isailovic, Patel, Kubiatowicz) tweaks the
 // initial priority to the total delay of dependent instructions; use
 // VariantDelay for that flavour.
+//
+// Entry point: Map runs the flow on a dependency graph and fabric
+// under a Variant (VariantDependents for ref [4], VariantDelay for
+// ref [5]), returning the engine.Result that core.Map surfaces for
+// the QPOS and QPOS-delay heuristics.
 package qpos
 
 import (

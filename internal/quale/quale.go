@@ -21,6 +21,11 @@
 // weight degenerates to "free or infinite", which matches
 // PathFinder's feasibility-driven behaviour on this fabric. This
 // substitution is recorded in DESIGN.md.
+//
+// Entry point: Map runs the whole QUALE flow (ALAP scheduling,
+// center placement, capacity-1 turn-blind routing) on a dependency
+// graph and fabric, returning the engine.Result that core.Map
+// surfaces for the QUALE heuristic.
 package quale
 
 import (

@@ -8,6 +8,14 @@
 // reversible, running the inverse operations in reverse time order
 // executes the uncompute graph, and the paper reports "reverse of
 // T'_k" as the solution when a backward computation wins.
+//
+// Entry points: a Trace is built by the engine via Add and finished
+// with Sort; Reverse implements the MVFB backward-solution
+// conversion; Validate audits internal consistency (used by the
+// engine's post-run invariant checks and tests); Counts/GateOps feed
+// the mapping statistics; String and WriteJSON (json.go) render the
+// trace for cmd/qspr's -trace and -json flags, and package viz draws
+// Gantt timelines and heatmaps from it.
 package trace
 
 import (

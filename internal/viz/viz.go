@@ -1,7 +1,12 @@
 // Package viz renders mapped-circuit artifacts as ASCII: a per-qubit
-// Gantt timeline of the micro-command trace and a fabric-utilization
-// heatmap. Both are debugging and paper-figure aids; cmd/qspr exposes
-// them behind -gantt and -heatmap.
+// Gantt timeline of the micro-command trace (the §IV.A control-trace
+// view) and a fabric-utilization heatmap over the routing graph of
+// Fig. 5. Both are debugging and paper-figure aids.
+//
+// Entry points: Gantt draws the timeline; Heatmap and TopChannels
+// summarize channel utilization (ChannelUtilization exposes the raw
+// per-channel busy times). cmd/qspr surfaces them behind the -gantt
+// and -heatmap flags.
 package viz
 
 import (

@@ -6,8 +6,13 @@
 # frozen — they were measured on the pre-refactor router (PR 1) and
 # cannot be regenerated from this tree.
 set -e
-echo "== Fig. 5 routing (50 iterations/op) =="
-go test -run '^$' -bench 'BenchmarkFig5_Routing' -benchtime 50x -benchmem .
+OUT="${OUT:-/tmp/qspr_bench_routing.txt}"
+{
+  echo "== Fig. 5 routing (50 iterations/op) =="
+  go test -run '^$' -bench 'BenchmarkFig5_Routing' -benchtime 50x -benchmem .
+  echo
+  echo "== MVFB placement, [[5,1,3]] (single run) =="
+  go test -run '^$' -bench 'BenchmarkTable1_MVFB/\[\[5,1,3\]\]' -benchtime 1x -benchmem .
+} | tee "$OUT"
 echo
-echo "== MVFB placement, [[5,1,3]] (single run) =="
-go test -run '^$' -bench 'BenchmarkTable1_MVFB/\[\[5,1,3\]\]' -benchtime 1x -benchmem .
+echo "raw output written to: $OUT (curate the 'after' side of BENCH_routing.json)"
