@@ -182,6 +182,8 @@ func Map(prog *qasm.Program, fab *fabric.Fabric, opts Options) (*Result, error) 
 		res.Runs = sol.Runs
 		res.BackwardWinner = sol.Backward
 	case QSPRCenter:
+		// A single deterministic run whose trace is the deliverable:
+		// engine.Run captures unconditionally, no deferred replay.
 		cfg := qsprConfig(fab, tech)
 		p, err := place.Center(fab, g.NumQubits)
 		if err != nil {

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/fabric"
+	"repro/internal/qidg"
+)
+
+func benchGraph(b *testing.B, name string) *qidg.Graph {
+	b.Helper()
+	bench, err := circuits.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := qidg.Build(bench.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkEngineRun measures the compatibility entry point: a fresh
+// simulator and trace per call, exactly what every caller paid before
+// the reusable Sim core (the "before" column of BENCH_engine.json).
+func BenchmarkEngineRun(b *testing.B) {
+	for _, name := range []string{"[[5,1,3]]", "[[7,1,3]]"} {
+		b.Run(name, func(b *testing.B) {
+			g := benchGraph(b, name)
+			f := fabric.Quale4585()
+			cfg := qsprConfig(f)
+			p := centerPlacement(f, g.NumQubits)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(g, cfg, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimRun measures the reusable core: one warm Sim per
+// sub-benchmark, traceless (the search configuration — the "after"
+// column of BENCH_engine.json) and with capture on (the winner-replay
+// configuration).
+func BenchmarkSimRun(b *testing.B) {
+	for _, name := range []string{"[[5,1,3]]", "[[7,1,3]]"} {
+		for _, collect := range []bool{false, true} {
+			label := name + "/traceless"
+			if collect {
+				label = name + "/capture"
+			}
+			b.Run(label, func(b *testing.B) {
+				g := benchGraph(b, name)
+				f := fabric.Quale4585()
+				cfg := qsprConfig(f)
+				cfg.CollectTrace = collect
+				p := centerPlacement(f, g.NumQubits)
+				sim := NewSim()
+				if _, err := sim.Run(g, cfg, p); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.Run(g, cfg, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSimRun_MVFBShape measures the placer's inner-loop shape on
+// one Sim: forward on the QIDG, backward on the UIDG under a forced
+// order, alternating — the workload whose steady-state allocation
+// profile the reusable core exists to flatten.
+func BenchmarkSimRun_MVFBShape(b *testing.B) {
+	g := benchGraph(b, "[[5,1,3]]")
+	rev := g.Reverse()
+	f := fabric.Quale4585()
+	cfg := qsprConfig(f)
+	cfg.CollectTrace = false
+	p := centerPlacement(f, g.NumQubits)
+	sim := NewSim()
+	fwd, err := sim.Run(g, cfg, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	order := make([]int, len(fwd.IssueOrder))
+	for i, n := range fwd.IssueOrder {
+		order[len(order)-1-i] = n
+	}
+	bcfg := cfg
+	bcfg.ForcedOrder = order
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fres, err := sim.Run(g, cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(rev, bcfg, fres.Final); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -10,13 +10,26 @@
 // forward on the QIDG and backward on the UIDG; the QUALE baseline
 // (package quale) calls it with different knobs (ALAP priorities,
 // turn-blind metric, capacity-1 channels, single moving operand).
+//
+// Two entry points run a mapping:
+//
+//   - Sim, the reusable simulator core (sim.go). A Sim owns every
+//     piece of per-run state — typed event queue, ready/busy queues,
+//     placement and reservation bookkeeping, pooled trace — and
+//     recycles all of it across runs, so a steady-state Sim.Run
+//     performs no allocations beyond the returned Result. Search
+//     loops (MVFB, Monte-Carlo, the portfolio) give each worker its
+//     own Sim and run candidates with Config.CollectTrace=false,
+//     re-running only the winner with capture on; trace writes are
+//     side-effect-free, so the replay is byte-identical.
+//   - Run, the one-shot compatibility wrapper: a fresh Sim per call
+//     with trace capture always on, exactly the pre-Sim behaviour.
 package engine
 
 import (
 	"fmt"
 	"slices"
 
-	"repro/internal/events"
 	"repro/internal/fabric"
 	"repro/internal/gates"
 	"repro/internal/qidg"
@@ -82,6 +95,17 @@ type Config struct {
 	// own trap is used whenever it has room.
 	MedianTarget bool
 
+	// CollectTrace enables micro-command capture on Sim.Run. With it
+	// false the simulator runs against a null trace sink: latency,
+	// issue order, final placement and stats are bit-identical (trace
+	// writes have no side effects) but Result.Trace is nil and the
+	// run allocates nothing for capture. Search loops run candidates
+	// traceless and re-run only the winner with CollectTrace=true;
+	// determinism makes the replayed trace byte-identical to one
+	// captured during the search. The compatibility wrapper Run
+	// ignores this field and always captures.
+	CollectTrace bool
+
 	// MaxEvents guards the simulator; 0 means the default guard.
 	MaxEvents int
 
@@ -92,7 +116,9 @@ type Config struct {
 	// Run resets its occupancy and tie-break rng, so results are
 	// bit-identical to a fresh graph while its route cache and
 	// buffers stay warm. A graph must not be shared by concurrent
-	// runs — give each worker its own.
+	// runs — give each worker its own. A Sim reused across runs keeps
+	// its own warm graph automatically, so setting this is only
+	// useful to share one graph between several sequential Sims.
 	RouteGraph *routegraph.Graph
 }
 
@@ -104,6 +130,15 @@ func (c *Config) BuildRouteGraph() *routegraph.Graph {
 		TurnAware: c.TurnAware, TieSeed: c.TieSeed,
 		DefectiveChannels: c.DefectiveChannels, DefectiveJunctions: c.DefectiveJunctions,
 	})
+}
+
+// routeGraphCompatible reports whether a graph built for cfg a can be
+// reused (after Reset) for cfg b without changing any routing result.
+func routeGraphCompatible(a, b *Config) bool {
+	return a.Fabric == b.Fabric && a.Tech == b.Tech &&
+		a.TurnAware == b.TurnAware && a.TieSeed == b.TieSeed &&
+		slices.Equal(a.DefectiveChannels, b.DefectiveChannels) &&
+		slices.Equal(a.DefectiveJunctions, b.DefectiveJunctions)
 }
 
 // checkRouteGraph rejects a supplied graph that was not built from
@@ -135,7 +170,11 @@ type Stats struct {
 	Moves, Turns int
 	// RoutedQubitTrips counts individual qubit journeys.
 	RoutedQubitTrips int
-	// Blocked counts issue attempts deferred to the busy queue.
+	// Blocked counts issue attempts deferred to the busy queue: every
+	// time an instruction fails to issue it increments, so one
+	// instruction parked through k retry rounds contributes k. It is
+	// a pressure metric (deferral events), not a count of distinct
+	// blocked instructions.
 	Blocked int
 	// Evictions counts bystander relocations performed to break
 	// trap-capacity deadlocks (cf. QPOS's deadlock prevention).
@@ -144,7 +183,14 @@ type Stats struct {
 	// (the realized T_routing of Eq. 1).
 	RoutingDelay gates.Time
 	// CongestionDelay sums the time issued instructions spent
-	// waiting in the busy queue (the realized T_congestion).
+	// waiting in the busy queue (the realized T_congestion): for each
+	// instruction, the span from its first failed issue attempt to
+	// the moment it settles — a one-qubit gate when it starts, a
+	// two-qubit instruction when its last mover is dispatched. A
+	// two-qubit instruction whose operands are already co-resident in
+	// the chosen target issues through the zero-mover fast path and
+	// never settles a congestion span (preserved pre-refactor
+	// behaviour, pinned by the engine fingerprints).
 	CongestionDelay gates.Time
 	// GateDelay sums T_gate over all executed instructions.
 	GateDelay gates.Time
@@ -154,7 +200,9 @@ type Stats struct {
 // (initial placement, control trace) plus derived data.
 type Result struct {
 	Latency gates.Time
-	Trace   *trace.Trace
+	// Trace is the captured micro-command trace; nil when the run was
+	// executed with Config.CollectTrace false.
+	Trace *trace.Trace
 	// Initial and Final are the qubit placements before and after
 	// the computation (the final placement seeds the next MVFB
 	// half-iteration).
@@ -164,6 +212,24 @@ type Result struct {
 	Stats      Stats
 }
 
+// Run executes the graph on the fabric from the given initial
+// placement and returns the complete solution.
+//
+// Run is the one-shot compatibility wrapper around Sim: it builds a
+// fresh simulator per call and always captures the trace (ignoring
+// cfg.CollectTrace), exactly the pre-Sim behaviour. Callers running
+// many mappings should hold a Sim per worker instead — its event
+// queue, search state, routing graph and trace storage stay warm
+// across runs.
+func Run(g *qidg.Graph, cfg Config, initial Placement) (*Result, error) {
+	cfg.CollectTrace = true
+	s := NewSim()
+	// The Sim dies with this call, so the Result can own the pooled
+	// trace directly instead of paying for a clone.
+	s.donateTrace = true
+	return s.Run(g, cfg, initial)
+}
+
 // instPlan is the routing plan of one two-qubit instruction. The
 // target trap is chosen once (seats for all incoming operands are
 // reserved at that moment) and the operands are dispatched as soon as
@@ -171,11 +237,14 @@ type Result struct {
 // is essential: with channel capacity 1 both operands need the target
 // trap's single access channel, so reserving both full journeys at
 // once could never succeed — the qubits use the channel one after the
-// other instead.
+// other instead. The movers live inline (at most the two operands),
+// so a plan holds no heap references and the plans slice is reused
+// across runs.
 type instPlan struct {
-	target int   // chosen gate trap, -1 until decided
-	movers []int // operands that must travel, in dispatch order
-	next   int   // index of the next mover to dispatch
+	target  int    // chosen gate trap, -1 until decided
+	movers  [2]int // operands that must travel, in dispatch order
+	nMovers uint8  // valid entries in movers
+	next    uint8  // index of the next mover to dispatch
 }
 
 // instState tracks one instruction through the simulation.
@@ -187,448 +256,3 @@ const (
 	instRouting                  // operands traveling / gate running
 	instDone
 )
-
-type simulator struct {
-	cfg Config
-	g   *qidg.Graph
-	rg  *routegraph.Graph
-	q   *events.Queue
-
-	prio      []float64
-	ready     *sched.ReadyQueue
-	blocked   []int // instruction IDs parked in the busy queue
-	blockedAt map[int]gates.Time
-
-	state     []instState
-	predsLeft []int
-
-	trapOf   []int // qubit -> resting trap (-1 in transit)
-	trapLoad []int // trap -> resident+reserved qubits
-
-	plans           []instPlan
-	pendingArrivals []int // per instruction: operands still traveling
-
-	evicting bool  // one eviction in flight at a time
-	pinned   []int // per qubit: >0 while owned by an in-flight instruction
-
-	tr    *trace.Trace
-	order []int
-	stats Stats
-	done  int
-}
-
-// Run executes the graph on the fabric from the given initial
-// placement and returns the complete solution.
-func Run(g *qidg.Graph, cfg Config, initial Placement) (*Result, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	if len(initial) != g.NumQubits {
-		return nil, fmt.Errorf("engine: placement covers %d qubits, graph has %d", len(initial), g.NumQubits)
-	}
-	if err := initial.Validate(cfg.Fabric, cfg.Tech.TrapCapacity); err != nil {
-		return nil, err
-	}
-	var prio []float64
-	if cfg.ForcedOrder != nil {
-		p, err := sched.ForcedPriorities(cfg.ForcedOrder, g.Len())
-		if err != nil {
-			return nil, err
-		}
-		prio = p
-	} else {
-		prio = sched.Priorities(g, cfg.Tech, cfg.Policy, cfg.Weights)
-	}
-	rg := cfg.RouteGraph
-	if rg == nil {
-		rg = cfg.BuildRouteGraph()
-	} else {
-		if err := cfg.checkRouteGraph(rg); err != nil {
-			return nil, err
-		}
-		rg.Reset()
-	}
-	s := &simulator{
-		cfg:             cfg,
-		g:               g,
-		rg:              rg,
-		q:               events.New(),
-		prio:            prio,
-		ready:           sched.NewReadyQueue(prio),
-		blockedAt:       map[int]gates.Time{},
-		state:           make([]instState, g.Len()),
-		predsLeft:       make([]int, g.Len()),
-		trapOf:          append([]int(nil), initial...),
-		trapLoad:        make([]int, len(cfg.Fabric.Traps)),
-		plans:           make([]instPlan, g.Len()),
-		pendingArrivals: make([]int, g.Len()),
-		pinned:          make([]int, g.NumQubits),
-		tr:              &trace.Trace{},
-	}
-	for i := range s.plans {
-		s.plans[i].target = -1
-	}
-	for _, t := range initial {
-		s.trapLoad[t]++
-	}
-	for i := range s.predsLeft {
-		s.predsLeft[i] = len(g.Preds[i])
-		if s.predsLeft[i] == 0 {
-			s.state[i] = instReady
-			s.ready.Push(i)
-		}
-	}
-	s.q.At(0, func(now gates.Time) { s.issueReady(now) })
-	maxEvents := cfg.MaxEvents
-	if maxEvents == 0 {
-		maxEvents = 200*g.Len() + 100000
-	}
-	if _, err := s.q.Run(maxEvents); err != nil {
-		return nil, err
-	}
-	if s.done != g.Len() {
-		return nil, fmt.Errorf("engine: deadlock: %d of %d instructions completed, %d blocked",
-			s.done, g.Len(), len(s.blocked))
-	}
-	if err := s.checkInvariants(); err != nil {
-		return nil, err
-	}
-	s.tr.Sort()
-	final := Placement(append([]int(nil), s.trapOf...))
-	return &Result{
-		Latency:    s.tr.Latency,
-		Trace:      s.tr,
-		Initial:    initial.Clone(),
-		Final:      final,
-		IssueOrder: s.order,
-		Stats:      s.stats,
-	}, nil
-}
-
-// checkInvariants audits bookkeeping after a completed simulation:
-// every routing reservation released, every qubit at rest in a trap,
-// trap loads consistent, and the trace internally valid. A failure
-// here is always an engine bug, never a property of the input.
-func (s *simulator) checkInvariants() error {
-	for i := range s.rg.Groups {
-		if occ := s.rg.Groups[i].Occupancy(); occ != 0 {
-			return fmt.Errorf("engine: internal: group %d still holds %d reservations after completion", i, occ)
-		}
-	}
-	load := make([]int, len(s.trapLoad))
-	for q, t := range s.trapOf {
-		if t < 0 {
-			return fmt.Errorf("engine: internal: qubit %d still in transit after completion", q)
-		}
-		load[t]++
-	}
-	for t := range load {
-		if load[t] != s.trapLoad[t] {
-			return fmt.Errorf("engine: internal: trap %d load %d, residents %d", t, s.trapLoad[t], load[t])
-		}
-		if load[t] > s.cfg.Tech.TrapCapacity {
-			return fmt.Errorf("engine: internal: trap %d over capacity", t)
-		}
-	}
-	if err := s.tr.Validate(); err != nil {
-		return fmt.Errorf("engine: internal: %w", err)
-	}
-	return nil
-}
-
-// issueReady pops ready instructions in priority order and attempts
-// to issue each; failures go to the busy queue.
-func (s *simulator) issueReady(now gates.Time) {
-	for {
-		n, ok := s.ready.Pop()
-		if !ok {
-			return
-		}
-		if !s.tryIssue(n, now) {
-			s.blocked = append(s.blocked, n)
-			if _, seen := s.blockedAt[n]; !seen {
-				s.blockedAt[n] = now
-			}
-			s.stats.Blocked++
-		}
-	}
-}
-
-// retryBlocked re-queues busy instructions (a channel's status
-// changed) and attempts issue again.
-func (s *simulator) retryBlocked(now gates.Time) {
-	if len(s.blocked) == 0 {
-		return
-	}
-	parked := s.blocked
-	s.blocked = nil
-	for _, n := range parked {
-		s.ready.Push(n)
-	}
-	s.issueReady(now)
-}
-
-// tryIssue attempts to route and start instruction n at time now.
-func (s *simulator) tryIssue(n int, now gates.Time) bool {
-	node := &s.g.Nodes[n]
-	if node.Kind.TwoQubit() {
-		return s.tryIssueTwoQubit(n, now)
-	}
-	// One-qubit gate: the operand rests in a trap; execute in place.
-	// (If the qubit is mid-flight as an eviction victim, wait.)
-	q := node.Qubits[0]
-	if s.trapOf[q] < 0 {
-		return false
-	}
-	s.pinned[q]++
-	s.startGate(n, now, s.trapOf[q])
-	return true
-}
-
-// tryEvict relocates one idle bystander qubit so a blocked two-qubit
-// instruction can find a gate trap. At most one eviction is in flight
-// at a time, which is enough for liveness: when it lands the busy
-// queue is retried and either the instruction issues or the next
-// eviction starts.
-func (s *simulator) tryEvict(n int, now gates.Time) {
-	if s.evicting {
-		return
-	}
-	node := &s.g.Nodes[n]
-	c, d := node.Qubits[0], node.Qubits[1]
-	// Preferred gate site: the trap of one of the operands (evicting
-	// its stranger co-resident makes room for the partner).
-	for _, host := range []int{s.trapOf[d], s.trapOf[c]} {
-		victim := -1
-		for q := range s.trapOf {
-			if q != c && q != d && s.trapOf[q] == host && s.pinned[q] == 0 {
-				victim = q
-				break
-			}
-		}
-		if victim < 0 {
-			continue
-		}
-		// Destination: nearest trap with a genuinely free seat.
-		dest := s.cfg.Fabric.NearestTrap(s.cfg.Fabric.Traps[host].Pos, func(t int) bool {
-			return t != host && s.rg.TrapReachable(t) && s.trapLoad[t] < s.cfg.Tech.TrapCapacity
-		})
-		if dest < 0 {
-			return // every seat reserved; retry on a later event
-		}
-		r, ok := s.rg.FindRoute(host, dest)
-		if !ok {
-			return // congested; retry on a later event
-		}
-		s.rg.Commit(r)
-		s.evicting = true
-		s.stats.Evictions++
-		s.trapLoad[dest]++ // reserve the landing seat
-		s.sendQubit(victim, r, now, func(tnow gates.Time) {
-			s.trapOf[victim] = dest
-			s.evicting = false
-			s.retryBlocked(tnow)
-		})
-		return
-	}
-}
-
-// chooseTarget picks the trap the two-qubit gate will execute in. A
-// candidate trap must seat both operands: its current load (counting
-// every resident and reserved qubit) plus the operands still to
-// arrive may not exceed the trap capacity.
-func (s *simulator) chooseTarget(n int) int {
-	node := &s.g.Nodes[n]
-	c, d := node.Qubits[0], node.Qubits[1]
-	need := func(t int) int {
-		k := 0
-		if s.trapOf[c] != t {
-			k++
-		}
-		if s.trapOf[d] != t {
-			k++
-		}
-		return k
-	}
-	fits := func(t int) bool {
-		return s.rg.TrapReachable(t) && s.trapLoad[t]+need(t) <= s.cfg.Tech.TrapCapacity
-	}
-	if !s.cfg.MedianTarget {
-		// Destination-fixed routing (QUALE/QPOS): use d's trap when
-		// it can also host c; otherwise fall back to the nearest
-		// trap to d with room for both.
-		dt := s.trapOf[d]
-		if fits(dt) {
-			return dt
-		}
-		return s.cfg.Fabric.NearestTrap(s.cfg.Fabric.Traps[dt].Pos, fits)
-	}
-	// Median placement (§IV.B): the median location of the two
-	// operands, then the nearest trap with room.
-	pc := s.cfg.Fabric.Traps[s.trapOf[c]].Pos
-	pd := s.cfg.Fabric.Traps[s.trapOf[d]].Pos
-	median := fabric.Pos{Row: (pc.Row + pd.Row) / 2, Col: (pc.Col + pd.Col) / 2}
-	return s.cfg.Fabric.NearestTrap(median, fits)
-}
-
-func (s *simulator) tryIssueTwoQubit(n int, now gates.Time) bool {
-	node := &s.g.Nodes[n]
-	c, d := node.Qubits[0], node.Qubits[1]
-	pl := &s.plans[n]
-	if pl.target < 0 {
-		// An operand may be mid-flight as an eviction victim; the
-		// instruction waits for it to land.
-		if s.trapOf[c] < 0 || s.trapOf[d] < 0 {
-			return false
-		}
-		target := s.chooseTarget(n)
-		if target < 0 {
-			// No trap anywhere can seat both operands: either a
-			// transient reservation pile-up or a genuine capacity
-			// deadlock. Deadlock prevention (cf. QPOS, ref [4]):
-			// relocate a bystander qubit to open a seat.
-			s.tryEvict(n, now)
-			return false
-		}
-		pl.target = target
-		// The operands now belong to this instruction until its gate
-		// completes; eviction must not relocate them.
-		s.pinned[c]++
-		s.pinned[d]++
-		// Single-operand mode: if the destination qubit is already
-		// in the target there is nothing to do for it; the mode
-		// differs from BothMove only through chooseTarget
-		// (destination-fixed).
-		for _, q := range []int{c, d} {
-			if s.trapOf[q] != target {
-				pl.movers = append(pl.movers, q)
-			}
-		}
-		// Reserve all incoming seats now so no later instruction
-		// claims them while the movers are en route or waiting.
-		s.trapLoad[target] += len(pl.movers)
-		s.pendingArrivals[n] = len(pl.movers)
-		s.state[n] = instRouting
-		s.order = append(s.order, n)
-		if len(pl.movers) == 0 {
-			s.startGate(n, now, target)
-			return true
-		}
-	}
-	// Dispatch the remaining movers, each along its own shortest
-	// path. The routes are committed one by one so the sibling and
-	// later instructions see the congestion (§IV.B: weights are
-	// increased as soon as a path is returned). A mover that cannot
-	// route yet parks the instruction in the busy queue; it resumes
-	// when a channel's status changes.
-	for pl.next < len(pl.movers) {
-		q := pl.movers[pl.next]
-		r, ok := s.rg.FindRoute(s.trapOf[q], pl.target)
-		if !ok {
-			return false
-		}
-		s.rg.Commit(r)
-		pl.next++
-		s.departQubit(n, q, r, pl.target, now)
-	}
-	if wait, ok := s.blockedAt[n]; ok {
-		s.stats.CongestionDelay += now - wait
-		delete(s.blockedAt, n)
-	}
-	return true
-}
-
-// departQubit simulates one qubit's journey toward its gate trap.
-func (s *simulator) departQubit(n, q int, r routegraph.Route, target int, now gates.Time) {
-	s.sendQubit(q, r, now, func(tnow gates.Time) { s.arriveQubit(n, q, target, tnow) })
-}
-
-// sendQubit animates one qubit along a committed route: it leaves its
-// trap now, each hop's capacity group is released as the qubit exits
-// it, and onArrive runs at the journey's end (the caller updates
-// trapOf there; the destination seat must already be reserved).
-// r.Hops aliases the graph's reusable hop buffer (valid only until
-// the next FindRoute), so it is consumed synchronously here — the
-// scheduled events capture scalars, never the slice.
-func (s *simulator) sendQubit(q int, r routegraph.Route, now gates.Time, onArrive func(gates.Time)) {
-	from := s.trapOf[q]
-	s.trapLoad[from]--
-	s.trapOf[q] = -1
-	s.stats.RoutedQubitTrips++
-	s.stats.Moves += r.Moves
-	s.stats.Turns += r.Turns
-	s.stats.RoutingDelay += r.Delay
-	t := now
-	for _, h := range r.Hops {
-		hopEnd := t + h.Delay
-		// Micro-commands: the turn part then the move part of the
-		// hop (order within a hop does not affect timing).
-		turnT := gates.Time(h.Turns) * s.cfg.Tech.TurnDelay
-		if h.Turns > 0 {
-			s.tr.Add(trace.Op{Kind: trace.OpTurn, Start: t, End: t + turnT, Qubits: []int{q}, Node: -1, Trap: -1, Edge: h.Edge})
-		}
-		if h.Moves > 0 {
-			s.tr.Add(trace.Op{Kind: trace.OpMove, Start: t + turnT, End: hopEnd, Qubits: []int{q}, Node: -1, Trap: -1, Edge: h.Edge})
-		}
-		group := h.Group
-		s.q.At(hopEnd, func(tnow gates.Time) {
-			s.rg.Release(group)
-			s.retryBlocked(tnow)
-		})
-		t = hopEnd
-	}
-	s.q.At(t, onArrive)
-}
-
-func (s *simulator) arriveQubit(n, q, target int, now gates.Time) {
-	s.trapOf[q] = target
-	s.pendingArrivals[n]--
-	// The gate starts once every mover has been dispatched AND has
-	// arrived; with staggered dispatch a not-yet-routed sibling may
-	// still be waiting in the busy queue.
-	if s.pendingArrivals[n] == 0 && s.plans[n].next == len(s.plans[n].movers) {
-		s.startGate(n, now, target)
-	}
-}
-
-// startGate begins the gate-level operation of instruction n in trap.
-func (s *simulator) startGate(n int, now gates.Time, trapID int) {
-	node := &s.g.Nodes[n]
-	if s.state[n] != instRouting { // one-qubit path issues directly
-		if wait, ok := s.blockedAt[n]; ok {
-			s.stats.CongestionDelay += now - wait
-			delete(s.blockedAt, n)
-		}
-		s.state[n] = instRouting
-		s.order = append(s.order, n)
-	}
-	d := s.cfg.Tech.GateDelay(node.Kind)
-	s.stats.GateDelay += d
-	s.tr.Add(trace.Op{
-		Kind: trace.OpGate, Start: now, End: now + d,
-		Qubits: append([]int(nil), node.Qubits...),
-		Gate:   node.Kind, Node: n, Trap: trapID, Edge: -1,
-	})
-	s.q.At(now+d, func(tnow gates.Time) { s.completeGate(n, tnow) })
-}
-
-func (s *simulator) completeGate(n int, now gates.Time) {
-	s.state[n] = instDone
-	s.done++
-	for _, q := range s.g.Nodes[n].Qubits {
-		s.pinned[q]--
-	}
-	for _, succ := range s.g.Succs[n] {
-		s.predsLeft[succ]--
-		if s.predsLeft[succ] == 0 {
-			s.state[succ] = instReady
-			s.ready.Push(succ)
-		}
-	}
-	// "Execution of an instruction finishes — the simulator
-	// schedules more instruction(s) that depend on the finished
-	// instruction." Retry the busy queue too: freed qubits can
-	// unblock trap-capacity failures.
-	s.retryBlocked(now)
-	s.issueReady(now)
-}

@@ -1,0 +1,75 @@
+package engine_test
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/fabric"
+	"repro/internal/gates"
+	"repro/internal/qasm"
+	"repro/internal/qidg"
+	"repro/internal/sched"
+)
+
+// ExampleSim_reuse shows the search-loop protocol on one reusable
+// simulator: candidate runs execute traceless (CollectTrace=false —
+// same latency, no capture cost, steady-state allocation-free), and
+// the chosen run is replayed once with capture on to produce the
+// deliverable trace. One Sim serves every run; its event queue,
+// search state and routing graph stay warm across Reset cycles.
+func ExampleSim_reuse() {
+	prog, err := qasm.ParseString(`
+QUBIT a,0
+QUBIT b,0
+QUBIT c,0
+H a
+C-X a,b
+C-Z b,c
+`)
+	if err != nil {
+		panic(err)
+	}
+	g, err := qidg.Build(prog)
+	if err != nil {
+		panic(err)
+	}
+	f := fabric.Small()
+	cfg := engine.Config{
+		Fabric: f, Tech: gates.Default(),
+		Policy: sched.QSPR, Weights: sched.DefaultWeights(),
+		TurnAware: true, BothMove: true, MedianTarget: true,
+	}
+
+	sim := engine.NewSim()
+
+	// Candidate phase: try two placements traceless, keep the best.
+	candidates := []engine.Placement{{0, 5, 7}, {3, 3, 4}}
+	best := -1
+	var bestLatency gates.Time
+	for i, p := range candidates {
+		res, err := sim.Run(g, cfg, p)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("candidate %d: latency %v (trace captured: %v)\n", i, res.Latency, res.Trace != nil)
+		if best < 0 || res.Latency < bestLatency {
+			best, bestLatency = i, res.Latency
+		}
+	}
+
+	// Winner replay: same Sim, capture on — deterministic, so the
+	// trace is exactly what the candidate run would have recorded.
+	cfg.CollectTrace = true
+	win, err := sim.Run(g, cfg, candidates[best])
+	if err != nil {
+		panic(err)
+	}
+	moves, turns, gateOps := win.Trace.Counts()
+	fmt.Printf("winner %d: latency %v, trace %d moves / %d turns / %d gates\n",
+		best, win.Latency, moves, turns, gateOps)
+
+	// Output:
+	// candidate 0: latency 310µs (trace captured: false)
+	// candidate 1: latency 236µs (trace captured: false)
+	// winner 1: latency 236µs, trace 3 moves / 2 turns / 3 gates
+}

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"slices"
 	"testing"
 
 	"repro/internal/fabric"
@@ -45,12 +44,9 @@ func TestRouteGraphReuseBitIdentical(t *testing.T) {
 			t.Fatalf("round %d: trace length differs", round)
 		}
 		for i := range a.Trace.Ops {
-			oa, ob := a.Trace.Ops[i], b.Trace.Ops[i]
-			if !slices.Equal(oa.Qubits, ob.Qubits) {
-				t.Fatalf("round %d: trace op %d qubits diverge", round, i)
-			}
-			if oa.Kind != ob.Kind || oa.Start != ob.Start || oa.End != ob.End ||
-				oa.Gate != ob.Gate || oa.Node != ob.Node || oa.Trap != ob.Trap || oa.Edge != ob.Edge {
+			// Ops hold their qubits inline, so one value comparison
+			// covers every field including the operand list.
+			if oa, ob := a.Trace.Ops[i], b.Trace.Ops[i]; oa != ob {
 				t.Fatalf("round %d: trace op %d diverges: %+v vs %+v", round, i, oa, ob)
 			}
 		}

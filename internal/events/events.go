@@ -5,48 +5,96 @@
 // two event classes are instruction completion and a qubit exiting a
 // channel. This package supplies the time-ordered queue those events
 // live in.
+//
+// Events are typed records (Kind plus three int payloads), not
+// closures: the simulator dispatches them with one monomorphic switch
+// and the queue allocates nothing in steady state — Reset rewinds a
+// queue for the next run while its heap storage stays warm. Events at
+// equal timestamps fire in scheduling order (FIFO via a sequence
+// stamp), which keeps simulation runs reproducible.
 package events
 
 import (
-	"container/heap"
+	"errors"
 	"fmt"
 
 	"repro/internal/gates"
+	"repro/internal/heapq"
 )
 
-// Handler is invoked when its event fires; now is the event time.
-type Handler func(now gates.Time)
+// Kind classifies an event. The payload fields A/B/C of Event are
+// kind-specific; the engine package documents its encoding next to
+// each scheduling site.
+type Kind uint8
 
-type event struct {
-	at  gates.Time
-	seq uint64
-	fn  Handler
-}
+// Event kinds of the mapping simulator.
+const (
+	// HopRelease fires when a qubit exits a channel or junction
+	// capacity group: A is the capacity-group ID to release.
+	HopRelease Kind = iota
+	// Arrival fires when a qubit's journey ends: A is the instruction
+	// waiting on it (-1 for an eviction relocation), B the qubit, C
+	// the destination trap.
+	Arrival
+	// GateComplete fires when a gate-level operation finishes: A is
+	// the instruction.
+	GateComplete
+	// IssueTick fires the initial issue sweep at time zero.
+	IssueTick
+)
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case HopRelease:
+		return "hop-release"
+	case Arrival:
+		return "arrival"
+	case GateComplete:
+		return "gate-complete"
+	case IssueTick:
+		return "issue-tick"
 	}
-	return h[i].seq < h[j].seq // FIFO among simultaneous events
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+	return "?"
 }
 
-// Queue is a deterministic discrete-event queue. Events at equal
-// timestamps fire in scheduling order (FIFO), which keeps simulation
-// runs reproducible.
+// Event is one typed, timed event record.
+type Event struct {
+	// At is the absolute firing time.
+	At gates.Time
+	// Kind selects the payload encoding (see the Kind constants).
+	Kind Kind
+	// A, B, C are the kind-specific int payloads.
+	A, B, C int
+}
+
+// event is the heap form: Event plus the FIFO sequence stamp.
+type event struct {
+	Event
+	seq uint64
+}
+
+// Before orders the heap by (time, scheduling sequence); the stamp
+// makes the order total, so any correct heap pops identically.
+func (e event) Before(o event) bool {
+	if e.At != o.At {
+		return e.At < o.At
+	}
+	return e.seq < o.seq
+}
+
+// ErrEventLimit is returned (wrapped) by Run when the maxEvents guard
+// fires while events are still pending. The queue state is intact:
+// Now, Len and the pending events are exactly as the last fired event
+// left them, so the caller can inspect — or even resume — the
+// simulation.
+var ErrEventLimit = errors.New("events: event limit exceeded")
+
+// Queue is a deterministic discrete-event queue. The zero value is
+// ready to use; Reset rewinds it to time zero for reuse, keeping the
+// heap storage allocated.
 type Queue struct {
-	h   eventHeap
+	h   []event
 	now gates.Time
 	seq uint64
 }
@@ -54,53 +102,71 @@ type Queue struct {
 // New returns an empty queue at time zero.
 func New() *Queue { return &Queue{} }
 
+// Reset rewinds the queue to an empty state at time zero, retaining
+// the heap's backing array for the next run.
+func (q *Queue) Reset() {
+	q.h = q.h[:0]
+	q.now = 0
+	q.seq = 0
+}
+
 // Now returns the current simulation time.
 func (q *Queue) Now() gates.Time { return q.now }
 
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.h) }
 
-// At schedules fn to run at absolute time at. Scheduling in the past
+// At schedules an event at absolute time at. Scheduling in the past
 // panics: it would silently reorder causality.
-func (q *Queue) At(at gates.Time, fn Handler) {
+func (q *Queue) At(at gates.Time, kind Kind, a, b, c int) {
 	if at < q.now {
 		panic(fmt.Sprintf("events: scheduling at %v before now %v", at, q.now))
 	}
-	heap.Push(&q.h, event{at: at, seq: q.seq, fn: fn})
+	q.h = heapq.Push(q.h, event{Event: Event{At: at, Kind: kind, A: a, B: b, C: c}, seq: q.seq})
 	q.seq++
 }
 
-// After schedules fn to run delay time units from now.
-func (q *Queue) After(delay gates.Time, fn Handler) {
+// After schedules an event delay time units from now.
+func (q *Queue) After(delay gates.Time, kind Kind, a, b, c int) {
 	if delay < 0 {
 		panic(fmt.Sprintf("events: negative delay %v", delay))
 	}
-	q.At(q.now+delay, fn)
+	q.At(q.now+delay, kind, a, b, c)
 }
 
-// Step fires the earliest pending event. It reports false when the
-// queue is empty.
-func (q *Queue) Step() bool {
+// Pop removes and returns the earliest pending event, advancing Now
+// to its time. It reports false when the queue is empty.
+func (q *Queue) Pop() (Event, bool) {
 	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	var ev event
+	q.h, ev = heapq.Pop(q.h)
+	q.now = ev.At
+	return ev.Event, true
+}
+
+// Step pops and fires the earliest pending event. It reports false
+// when the queue is empty.
+func (q *Queue) Step(fire func(Event)) bool {
+	ev, ok := q.Pop()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&q.h).(event)
-	q.now = ev.at
-	ev.fn(q.now)
+	fire(ev)
 	return true
 }
 
 // Run fires events until the queue drains and returns the final time.
 // maxEvents guards against runaway simulations (0 means no limit); if
-// the limit is hit an error is returned with the queue state intact.
-func (q *Queue) Run(maxEvents int) (gates.Time, error) {
+// the guard fires with events still pending, Run returns an error
+// wrapping ErrEventLimit with the queue state intact.
+func (q *Queue) Run(maxEvents int, fire func(Event)) (gates.Time, error) {
 	fired := 0
-	for q.Step() {
+	for q.Step(fire) {
 		fired++
-		if maxEvents > 0 && fired >= maxEvents {
-			if len(q.h) > 0 {
-				return q.now, fmt.Errorf("events: exceeded %d events with %d still pending", maxEvents, len(q.h))
-			}
+		if maxEvents > 0 && fired >= maxEvents && len(q.h) > 0 {
+			return q.now, fmt.Errorf("%w: %d events fired, %d still pending", ErrEventLimit, fired, len(q.h))
 		}
 	}
 	return q.now, nil

@@ -1,6 +1,7 @@
 package events
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/gates"
@@ -9,10 +10,10 @@ import (
 func TestFiresInTimeOrder(t *testing.T) {
 	q := New()
 	var got []int
-	q.At(30, func(gates.Time) { got = append(got, 3) })
-	q.At(10, func(gates.Time) { got = append(got, 1) })
-	q.At(20, func(gates.Time) { got = append(got, 2) })
-	if _, err := q.Run(0); err != nil {
+	q.At(30, IssueTick, 3, 0, 0)
+	q.At(10, IssueTick, 1, 0, 0)
+	q.At(20, IssueTick, 2, 0, 0)
+	if _, err := q.Run(0, func(ev Event) { got = append(got, ev.A) }); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
@@ -27,10 +28,9 @@ func TestSimultaneousEventsFIFO(t *testing.T) {
 	q := New()
 	var got []int
 	for i := 0; i < 10; i++ {
-		i := i
-		q.At(5, func(gates.Time) { got = append(got, i) })
+		q.At(5, Arrival, i, 0, 0)
 	}
-	if _, err := q.Run(0); err != nil {
+	if _, err := q.Run(0, func(ev Event) { got = append(got, ev.A) }); err != nil {
 		t.Fatal(err)
 	}
 	for i, v := range got {
@@ -40,16 +40,28 @@ func TestSimultaneousEventsFIFO(t *testing.T) {
 	}
 }
 
+func TestPayloadRoundTrip(t *testing.T) {
+	q := New()
+	q.At(4, Arrival, -1, 7, 42)
+	ev, ok := q.Pop()
+	if !ok {
+		t.Fatal("empty queue")
+	}
+	if ev.Kind != Arrival || ev.At != 4 || ev.A != -1 || ev.B != 7 || ev.C != 42 {
+		t.Errorf("payload mangled: %+v", ev)
+	}
+}
+
 func TestNestedScheduling(t *testing.T) {
 	q := New()
 	var fired []gates.Time
-	q.At(10, func(now gates.Time) {
-		fired = append(fired, now)
-		q.After(5, func(now gates.Time) {
-			fired = append(fired, now)
-		})
+	q.At(10, IssueTick, 0, 0, 0)
+	end, err := q.Run(0, func(ev Event) {
+		fired = append(fired, ev.At)
+		if ev.At == 10 {
+			q.After(5, GateComplete, 1, 0, 0)
+		}
 	})
-	end, err := q.Run(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,14 +72,14 @@ func TestNestedScheduling(t *testing.T) {
 
 func TestSchedulingInPastPanics(t *testing.T) {
 	q := New()
-	q.At(10, func(gates.Time) {})
-	q.Step()
+	q.At(10, IssueTick, 0, 0, 0)
+	q.Pop()
 	defer func() {
 		if recover() == nil {
 			t.Error("past scheduling did not panic")
 		}
 	}()
-	q.At(5, func(gates.Time) {})
+	q.At(5, IssueTick, 0, 0, 0)
 }
 
 func TestNegativeDelayPanics(t *testing.T) {
@@ -77,22 +89,64 @@ func TestNegativeDelayPanics(t *testing.T) {
 			t.Error("negative delay did not panic")
 		}
 	}()
-	q.After(-1, func(gates.Time) {})
+	q.After(-1, IssueTick, 0, 0, 0)
 }
 
-func TestRunLimit(t *testing.T) {
+// TestRunLimitSentinel: the runaway guard must return an error that
+// errors.Is-matches ErrEventLimit with the queue state intact — time
+// at the last fired event, pending events preserved — so the caller
+// can diagnose (or resume) the simulation.
+func TestRunLimitSentinel(t *testing.T) {
 	q := New()
-	var boom func(now gates.Time)
-	boom = func(now gates.Time) { q.After(1, boom) }
-	q.At(0, boom)
-	if _, err := q.Run(100); err == nil {
-		t.Error("runaway simulation not caught")
+	q.At(0, IssueTick, 0, 0, 0)
+	fired := 0
+	relight := func(ev Event) {
+		fired++
+		q.After(1, IssueTick, 0, 0, 0)
+	}
+	_, err := q.Run(100, relight)
+	if err == nil {
+		t.Fatal("runaway simulation not caught")
+	}
+	if !errors.Is(err, ErrEventLimit) {
+		t.Errorf("error %v does not match ErrEventLimit", err)
+	}
+	if fired != 100 {
+		t.Errorf("fired %d events before the guard, want 100", fired)
+	}
+	if q.Len() != 1 {
+		t.Errorf("queue state not intact: %d pending, want 1", q.Len())
+	}
+	if q.Now() != 99 {
+		t.Errorf("queue time %v, want 99 (the last fired event)", q.Now())
+	}
+	// The simulation is resumable: a second Run drains the survivor.
+	if _, err := q.Run(0, func(Event) {}); err != nil {
+		t.Fatalf("resume after limit: %v", err)
+	}
+	if q.Len() != 0 {
+		t.Error("resume did not drain the queue")
 	}
 }
 
-func TestStepOnEmpty(t *testing.T) {
+// TestRunLimitExactDrain: hitting the limit exactly as the queue
+// drains is not an error — the guard only fires with events pending.
+func TestRunLimitExactDrain(t *testing.T) {
 	q := New()
-	if q.Step() {
+	for i := 0; i < 5; i++ {
+		q.At(gates.Time(i), IssueTick, 0, 0, 0)
+	}
+	if _, err := q.Run(5, func(Event) {}); err != nil {
+		t.Errorf("exact drain flagged as runaway: %v", err)
+	}
+}
+
+func TestPopOnEmpty(t *testing.T) {
+	q := New()
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue returned true")
+	}
+	if q.Step(func(Event) {}) {
 		t.Error("Step on empty queue returned true")
 	}
 	if q.Len() != 0 {
@@ -102,14 +156,90 @@ func TestStepOnEmpty(t *testing.T) {
 
 func TestZeroDelayFiresAtNow(t *testing.T) {
 	q := New()
-	q.At(7, func(now gates.Time) {
-		q.After(0, func(now gates.Time) {
-			if now != 7 {
-				t.Errorf("zero-delay event at %v", now)
+	q.At(7, IssueTick, 0, 0, 0)
+	sawZeroDelay := false
+	if _, err := q.Run(0, func(ev Event) {
+		switch ev.Kind {
+		case IssueTick:
+			q.After(0, GateComplete, 0, 0, 0)
+		case GateComplete:
+			sawZeroDelay = true
+			if ev.At != 7 {
+				t.Errorf("zero-delay event at %v", ev.At)
 			}
-		})
-	})
-	if _, err := q.Run(0); err != nil {
+		}
+	}); err != nil {
 		t.Fatal(err)
+	}
+	if !sawZeroDelay {
+		t.Error("zero-delay event never fired")
+	}
+}
+
+// TestResetReuse: a Reset queue behaves exactly like a fresh one —
+// time zero, FIFO sequence restarted — across repeated cycles, and
+// allocates nothing once its heap storage is warm.
+func TestResetReuse(t *testing.T) {
+	q := New()
+	run := func() []int {
+		var got []int
+		q.At(5, Arrival, 1, 0, 0)
+		q.At(5, Arrival, 2, 0, 0)
+		q.At(3, HopRelease, 0, 0, 0)
+		if _, err := q.Run(0, func(ev Event) { got = append(got, ev.A) }); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	first := run()
+	for cycle := 0; cycle < 3; cycle++ {
+		q.Reset()
+		if q.Now() != 0 || q.Len() != 0 {
+			t.Fatalf("cycle %d: Reset left now=%v len=%d", cycle, q.Now(), q.Len())
+		}
+		got := run()
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("cycle %d: order %v, want %v", cycle, got, first)
+			}
+		}
+	}
+	// Steady state: schedule+drain on a warm queue is allocation-free.
+	if avg := testing.AllocsPerRun(100, func() {
+		q.Reset()
+		q.At(1, HopRelease, 0, 0, 0)
+		q.At(2, GateComplete, 0, 0, 0)
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
+		}
+	}); avg != 0 {
+		t.Errorf("warm queue allocates %.1f objects/cycle, want 0", avg)
+	}
+}
+
+// TestHeapOrderTotalUnderLoad drives an adversarial mix of times and
+// checks the (time, seq) order is honored for hundreds of events.
+func TestHeapOrderTotalUnderLoad(t *testing.T) {
+	q := New()
+	const n = 500
+	for i := 0; i < n; i++ {
+		q.At(gates.Time((i*7919)%97), IssueTick, i, 0, 0)
+	}
+	var lastAt gates.Time = -1
+	lastSeq := -1
+	for {
+		ev, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if ev.At < lastAt {
+			t.Fatalf("time order violated: %v after %v", ev.At, lastAt)
+		}
+		if ev.At == lastAt && ev.A < lastSeq {
+			t.Fatalf("FIFO violated at time %v: event %d after %d", ev.At, ev.A, lastSeq)
+		}
+		lastAt, lastSeq = ev.At, ev.A
 	}
 }

@@ -11,7 +11,12 @@
 // with a deterministic core.Map call and parallelizes *across* runs —
 // optionally also *within* each run (Spec.InnerParallel), the two
 // levels sharing one CPU budget — so the aggregated Report is
-// byte-identical for any combination of worker counts.
+// byte-identical for any combination of worker counts. Under the
+// hood every placement worker owns a reusable engine.Sim, and the
+// search placers run their candidate simulations traceless
+// (engine.Config.CollectTrace), re-running only each mapping's
+// winner with trace capture on — sweeps pay for exactly one captured
+// trace per run.
 //
 //	spec := experiment.Spec{
 //	    Circuits:   experiment.BuiltinCircuits(),

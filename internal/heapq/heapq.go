@@ -1,0 +1,68 @@
+// Package heapq provides the binary-heap sift primitives shared by
+// the repo's deterministic priority queues (the typed event queue of
+// internal/events, the instruction ready queue of internal/sched).
+//
+// The element type defines its own strict order via Before; the
+// queues that matter here all use a TOTAL order (a unique sequence
+// stamp or node ID breaks every tie), so any correct heap pops in
+// exactly the same sequence — replacing container/heap with these
+// sifts is observationally identical while avoiding the `any` boxing
+// allocation on every push. Instantiation is per concrete element
+// type, so the comparisons stay monomorphic method calls.
+package heapq
+
+// Ordered is implemented by heap element types: Before reports
+// whether the receiver sorts strictly ahead of o.
+type Ordered[T any] interface {
+	Before(o T) bool
+}
+
+// Push appends x to the heap and restores the heap invariant.
+func Push[T Ordered[T]](h []T, x T) []T {
+	h = append(h, x)
+	up(h, len(h)-1)
+	return h
+}
+
+// Pop removes and returns the minimum element (h must be non-empty),
+// returning the shrunken heap.
+func Pop[T Ordered[T]](h []T) ([]T, T) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	if last > 0 {
+		down(h, 0)
+	}
+	return h, top
+}
+
+func up[T Ordered[T]](h []T, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].Before(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func down[T Ordered[T]](h []T, i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		best := left
+		if right := left + 1; right < n && h[right].Before(h[left]) {
+			best = right
+		}
+		if !h[best].Before(h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}

@@ -1,0 +1,57 @@
+package heapq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+type item struct{ key, seq int }
+
+func (a item) Before(b item) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+// TestPopsTotalOrder drives a randomized push/pop mix and checks the
+// pop sequence is exactly the sorted order of the pushed elements —
+// the total (key, seq) order every queue in this repo relies on.
+func TestPopsTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h []item
+	var pushed []item
+	for seq := 0; seq < 500; seq++ {
+		it := item{key: rng.Intn(40), seq: seq}
+		h = Push(h, it)
+		pushed = append(pushed, it)
+	}
+	sort.Slice(pushed, func(i, j int) bool { return pushed[i].Before(pushed[j]) })
+	for i := range pushed {
+		var got item
+		h, got = Pop(h)
+		if got != pushed[i] {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, pushed[i])
+		}
+	}
+	if len(h) != 0 {
+		t.Fatalf("%d elements left after draining", len(h))
+	}
+}
+
+// TestPushPopNoAlloc: steady-state operation on a warm heap must not
+// allocate (the event and ready queues are reused across runs).
+func TestPushPopNoAlloc(t *testing.T) {
+	h := make([]item, 0, 16)
+	if avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 8; i++ {
+			h = Push(h, item{key: 7 - i, seq: i})
+		}
+		for len(h) > 0 {
+			h, _ = Pop(h)
+		}
+	}); avg != 0 {
+		t.Errorf("warm heap allocates %.1f objects/cycle, want 0", avg)
+	}
+}

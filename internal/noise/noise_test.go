@@ -10,10 +10,10 @@ import (
 
 func sampleTrace() *trace.Trace {
 	tr := &trace.Trace{}
-	tr.Add(trace.Op{Kind: trace.OpMove, Start: 0, End: 4, Qubits: []int{0}, Node: -1, Trap: -1, Edge: 0})
-	tr.Add(trace.Op{Kind: trace.OpTurn, Start: 4, End: 14, Qubits: []int{0}, Node: -1, Trap: -1, Edge: 0})
-	tr.Add(trace.Op{Kind: trace.OpGate, Start: 14, End: 114, Qubits: []int{0, 1}, Gate: gates.CX, Node: 0, Trap: 0, Edge: -1})
-	tr.Add(trace.Op{Kind: trace.OpGate, Start: 114, End: 124, Qubits: []int{0}, Gate: gates.H, Node: 1, Trap: 0, Edge: -1})
+	tr.Add(trace.Op{Kind: trace.OpMove, Start: 0, End: 4, Node: -1, Trap: -1, Edge: 0}.WithQubits(0))
+	tr.Add(trace.Op{Kind: trace.OpTurn, Start: 4, End: 14, Node: -1, Trap: -1, Edge: 0}.WithQubits(0))
+	tr.Add(trace.Op{Kind: trace.OpGate, Start: 14, End: 114, Gate: gates.CX, Node: 0, Trap: 0, Edge: -1}.WithQubits(0, 1))
+	tr.Add(trace.Op{Kind: trace.OpGate, Start: 114, End: 124, Gate: gates.H, Node: 1, Trap: 0, Edge: -1}.WithQubits(0))
 	return tr
 }
 
@@ -77,7 +77,7 @@ func TestLatencyMonotonicity(t *testing.T) {
 	// paper's core claim — lower latency, lower error.
 	short := sampleTrace()
 	long := sampleTrace()
-	long.Add(trace.Op{Kind: trace.OpGate, Start: 10000, End: 10010, Qubits: []int{1}, Gate: gates.H, Node: 2, Trap: 0, Edge: -1})
+	long.Add(trace.Op{Kind: trace.OpGate, Start: 10000, End: 10010, Gate: gates.H, Node: 2, Trap: 0, Edge: -1}.WithQubits(1))
 	rs, err := Analyze(short, 2, DefaultParams())
 	if err != nil {
 		t.Fatal(err)

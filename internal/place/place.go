@@ -28,6 +28,7 @@ package place
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -35,6 +36,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/gates"
 	"repro/internal/qidg"
+	"repro/internal/trace"
 )
 
 // Center returns the deterministic center placement: qubit i rests in
@@ -94,105 +96,142 @@ func MonteCarlo(g *qidg.Graph, cfg engine.Config, runs int, seed int64) (*Soluti
 // one stream — trial i's randomness is a pure function of (seed, i) —
 // and the winner is reduced by (latency, trial index), so the result
 // is bit-identical to the sequential placer for any worker count.
+//
+// Each worker owns one reusable engine.Sim (event queue, search
+// state, routing graph and trace storage warm across its trials) and
+// runs every trial traceless; only the winning trial is re-run with
+// capture on, which determinism makes byte-identical to a trace
+// recorded during the sweep.
 func MonteCarloParallel(g *qidg.Graph, cfg engine.Config, runs int, seed int64, workers int) (*Solution, error) {
+	out, err := monteCarloSearch(g, cfg, runs, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := captureWinner(g, out.rev, cfg, out.sol, out.forced, out.sim); err != nil {
+		return nil, err
+	}
+	return out.sol, nil
+}
+
+// searchOutcome is a traceless search result awaiting deferred
+// capture: the solution, the forced order its winning run was issued
+// with (nil for policy-scheduled runs), the reversed graph a backward
+// winner must replay on, and — for sequential searches — the warm Sim
+// to replay with.
+type searchOutcome struct {
+	sol    *Solution
+	forced []int
+	rev    *qidg.Graph
+	sim    *engine.Sim
+}
+
+// monteCarloSearch runs the Monte-Carlo trials traceless and returns
+// the winner WITHOUT its trace; MonteCarloParallel (and the portfolio,
+// which captures only the race winner) finish it with captureWinner.
+func monteCarloSearch(g *qidg.Graph, cfg engine.Config, runs int, seed int64, workers int) (searchOutcome, error) {
+	var out searchOutcome
 	if runs <= 0 {
-		return nil, fmt.Errorf("place: MonteCarlo needs at least 1 run, got %d", runs)
+		return out, fmt.Errorf("place: MonteCarlo needs at least 1 run, got %d", runs)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	placements := make([]engine.Placement, runs)
 	for i := range placements {
 		p, err := CenterPermutation(cfg.Fabric, g.NumQubits, rng)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		placements[i] = p
 	}
-	if workers <= 1 || runs == 1 {
-		// One routing graph for the whole sweep: engine.Run resets it
-		// per run (bit-identical to a fresh build) while its CSR
-		// arrays, search state and uncongested route cache stay warm.
-		if cfg.RouteGraph == nil {
-			cfg.RouteGraph = cfg.BuildRouteGraph()
-		}
-		var best *engine.Result
-		bestRun := 0
-		for i, p := range placements {
-			res, err := engine.Run(g, cfg, p)
-			if err != nil {
-				return nil, err
-			}
-			if best == nil || res.Latency < best.Latency {
-				best = res
-				bestRun = i
-			}
-		}
-		return &Solution{Result: best, Runs: runs, Seed: bestRun}, nil
-	}
-	if workers > runs {
-		workers = runs
-	}
-	// Each worker keeps only its own (latency, trial index)-minimal
-	// candidate; the final reduce across workers applies the same
-	// order, reproducing the sequential first-strict-minimum winner.
+	scfg := cfg
+	scfg.CollectTrace = false
 	type candidate struct {
 		result *engine.Result
 		trial  int
 	}
-	cands := make([]candidate, workers)
-	errs := make([]error, workers)
-	work := make(chan int)
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(self int) {
-			defer wg.Done()
-			// The routing graph is mutable, so each worker owns one,
-			// reset per run and kept warm across its trials.
-			wcfg := cfg
-			wcfg.RouteGraph = cfg.BuildRouteGraph()
-			best := candidate{trial: -1}
-			for i := range work {
-				// Once any worker failed the call returns an error;
-				// drain the channel without doing the doomed work.
-				if failed.Load() {
-					continue
-				}
-				res, err := engine.Run(g, wcfg, placements[i])
-				if err != nil {
-					errs[self] = err
-					failed.Store(true)
-					continue
-				}
-				if best.result == nil || res.Latency < best.result.Latency ||
-					(res.Latency == best.result.Latency && i < best.trial) {
-					best = candidate{result: res, trial: i}
-				}
-			}
-			cands[self] = best
-		}(w)
-	}
-	for i := range placements {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	better := func(a candidate, b candidate) bool {
+		return b.result == nil || a.result.Latency < b.result.Latency ||
+			(a.result.Latency == b.result.Latency && a.trial < b.trial)
 	}
 	best := candidate{trial: -1}
-	for _, c := range cands {
-		if c.result == nil {
-			continue
+	var seqSim *engine.Sim // sequential path's warm Sim, reused for the winner replay
+	if workers <= 1 || runs == 1 {
+		// One Sim for the whole sweep: its routing graph (CSR arrays,
+		// search state, uncongested route cache) and simulator pools
+		// stay warm across trials.
+		sim := engine.NewSim()
+		seqSim = sim
+		for i, p := range placements {
+			res, err := sim.Run(g, scfg, p)
+			if err != nil {
+				return out, err
+			}
+			if c := (candidate{result: res, trial: i}); better(c, best) {
+				best = c
+			}
 		}
-		if best.result == nil || c.result.Latency < best.result.Latency ||
-			(c.result.Latency == best.result.Latency && c.trial < best.trial) {
-			best = c
+	} else {
+		if workers > runs {
+			workers = runs
+		}
+		// Each worker keeps only its own (latency, trial index)-minimal
+		// candidate; the final reduce across workers applies the same
+		// order, reproducing the sequential first-strict-minimum winner.
+		cands := make([]candidate, workers)
+		errs := make([]error, workers)
+		work := make(chan int)
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(self int) {
+				defer wg.Done()
+				// The Sim (and its routing graph) is mutable, so each
+				// worker owns one, reused across its trials.
+				wcfg := scfg
+				wcfg.RouteGraph = nil
+				sim := engine.NewSim()
+				wbest := candidate{trial: -1}
+				for i := range work {
+					// Once any worker failed the call returns an error;
+					// drain the channel without doing the doomed work.
+					if failed.Load() {
+						continue
+					}
+					res, err := sim.Run(g, wcfg, placements[i])
+					if err != nil {
+						errs[self] = err
+						failed.Store(true)
+						continue
+					}
+					if c := (candidate{result: res, trial: i}); better(c, wbest) {
+						wbest = c
+					}
+				}
+				cands[self] = wbest
+			}(w)
+		}
+		for i := range placements {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return out, err
+			}
+		}
+		for _, c := range cands {
+			if c.result != nil && better(c, best) {
+				best = c
+			}
 		}
 	}
-	return &Solution{Result: best.result, Runs: runs, Seed: best.trial}, nil
+	out.sol = &Solution{Result: best.result, Runs: runs, Seed: best.trial}
+	// The trials ran under the caller's scheduling knobs, so the
+	// winner replays under exactly the caller's ForcedOrder (if any).
+	out.forced = cfg.ForcedOrder
+	out.sim = seqSim
+	return out, nil
 }
 
 // PatienceScope selects what a "non-improving run" is measured
@@ -257,8 +296,23 @@ func DefaultMVFBOptions(m int) MVFBOptions {
 // worker count; speculative runs past the replayed stopping point are
 // discarded and never reported.
 func MVFB(g *qidg.Graph, cfg engine.Config, opts MVFBOptions) (*Solution, error) {
+	out, err := mvfbSearch(g, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := captureWinner(g, out.rev, cfg, out.sol, out.forced, out.sim); err != nil {
+		return nil, err
+	}
+	return out.sol, nil
+}
+
+// mvfbSearch runs the whole MVFB search traceless and returns the
+// winner WITHOUT its trace; MVFB (and the portfolio, which captures
+// only the race winner) finish it with captureWinner.
+func mvfbSearch(g *qidg.Graph, cfg engine.Config, opts MVFBOptions) (searchOutcome, error) {
+	var out searchOutcome
 	if opts.Seeds <= 0 {
-		return nil, fmt.Errorf("place: MVFB needs at least 1 seed")
+		return out, fmt.Errorf("place: MVFB needs at least 1 seed")
 	}
 	if opts.Patience <= 0 {
 		opts.Patience = 3
@@ -281,21 +335,20 @@ func MVFB(g *qidg.Graph, cfg engine.Config, opts MVFBOptions) (*Solution, error)
 	for i := range starts {
 		p, err := CenterPermutation(cfg.Fabric, g.NumQubits, rng)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		starts[i] = p
 	}
 	rev := g.Reverse()
 
 	trajs := make([][]runRecord, opts.Seeds)
+	var seqSim *engine.Sim // sequential path's warm Sim, reused for the winner replay
 	if opts.Workers == 1 {
-		// Routing-graph reuse: engine.Run resets a supplied graph per
-		// run (bit-identical to building fresh) while its CSR arrays
-		// and uncongested route cache stay warm; one graph serves the
-		// whole sequential search.
-		if cfg.RouteGraph == nil {
-			cfg.RouteGraph = cfg.BuildRouteGraph()
-		}
+		// One reusable Sim serves the whole sequential search: its
+		// routing graph (CSR arrays, uncongested route cache), event
+		// queue and simulator pools stay warm across every run.
+		sim := engine.NewSim()
+		seqSim = sim
 		// Under ScopeGlobal the prior starts' best is threaded into
 		// each search as its improvement bound, so the sequential path
 		// runs exactly the paper protocol with no speculative runs.
@@ -305,9 +358,9 @@ func MVFB(g *qidg.Graph, cfg engine.Config, opts MVFBOptions) (*Solution, error)
 			hint = rb.get
 		}
 		for seed := range starts {
-			t, err := searchTrajectory(g, rev, cfg, starts[seed], opts, hint)
+			t, err := searchTrajectory(g, rev, cfg, starts[seed], opts, hint, sim)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			rb.record(seed, t, trajs)
 		}
@@ -335,17 +388,18 @@ func MVFB(g *qidg.Graph, cfg engine.Config, opts MVFBOptions) (*Solution, error)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				// The routing graph is mutable, so each worker owns
-				// one, reset per run and kept warm across its starts.
+				// The Sim (and its routing graph) is mutable, so each
+				// worker owns one, reused across its starts.
 				wcfg := cfg
-				wcfg.RouteGraph = cfg.BuildRouteGraph()
+				wcfg.RouteGraph = nil
+				sim := engine.NewSim()
 				for seed := range work {
 					// Once any start failed the call returns an error;
 					// drain the channel without searching the rest.
 					if failed.Load() {
 						continue
 					}
-					t, err := searchTrajectory(g, rev, wcfg, starts[seed], opts, hint)
+					t, err := searchTrajectory(g, rev, wcfg, starts[seed], opts, hint, sim)
 					if err != nil {
 						errs[seed] = err
 						failed.Store(true)
@@ -362,14 +416,69 @@ func MVFB(g *qidg.Graph, cfg engine.Config, opts MVFBOptions) (*Solution, error)
 		wg.Wait()
 		for _, err := range errs {
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 		}
 	}
+	var err error
 	if opts.PatienceScope == ScopeGlobal {
-		return replayGlobal(trajs, opts.Patience)
+		out.sol, out.forced, err = replayGlobal(trajs, opts.Patience)
+	} else {
+		out.sol, out.forced, err = reduceSeedScope(trajs)
 	}
-	return reduceSeedScope(trajs)
+	if err != nil {
+		return out, err
+	}
+	out.rev = rev
+	out.sim = seqSim
+	return out, nil
+}
+
+// captureWinner replaces a solution's traceless winning result with a
+// capture-enabled replay of the same run: forward from the winning
+// initial placement, or — for a backward (uncompute) winner — the
+// backward run from its recorded start placement, converted by
+// backwardSolution as the search would have. forced is the exact
+// ForcedOrder the winning run was issued with (nil for a policy-
+// scheduled run); sim, when non-nil, is a caller's warm simulator —
+// the sequential paths pass theirs so the replay reuses the built
+// route graph. Engine runs are deterministic, so the replay is
+// bit-identical to the discarded search run; the cross-check below
+// turns any violation of that contract into an error rather than a
+// silently wrong trace. No-op when the result already has a trace.
+func captureWinner(g, rev *qidg.Graph, cfg engine.Config, sol *Solution, forced []int, sim *engine.Sim) error {
+	if sol.Result == nil || sol.Result.Trace != nil {
+		return nil
+	}
+	ccfg := cfg
+	ccfg.CollectTrace = true
+	ccfg.ForcedOrder = forced
+	if sim == nil {
+		sim = engine.NewSim()
+	}
+	var res *engine.Result
+	var err error
+	if sol.Backward {
+		// The reported (converted) solution swapped Initial/Final, so
+		// the backward run started from the reported Final.
+		res, err = sim.Run(rev, ccfg, sol.Result.Final)
+		if err == nil {
+			res = backwardSolution(res)
+		}
+	} else {
+		res, err = sim.Run(g, ccfg, sol.Result.Initial)
+	}
+	if err != nil {
+		return err
+	}
+	if res.Latency != sol.Result.Latency || res.Stats != sol.Result.Stats ||
+		!slices.Equal(res.IssueOrder, sol.Result.IssueOrder) ||
+		!slices.Equal(res.Final, sol.Result.Final) {
+		return fmt.Errorf("place: internal: winner replay diverged from search run (latency %v vs %v)",
+			res.Latency, sol.Result.Latency)
+	}
+	sol.Result = res
+	return nil
 }
 
 // boundFunc supplies the current global improvement bound to a
@@ -423,11 +532,15 @@ func (rb *replayBound) record(seed int, traj []runRecord, trajs [][]runRecord) {
 // result is retained only for runs that improved the search's own
 // best at the time they ran — the only runs a replay can ever crown —
 // so a trajectory holds O(improvements) engine results, not O(runs).
+// Results are traceless (the search runs with CollectTrace off);
+// forced keeps a backward run's issue order so captureWinner can
+// replay it with capture on if it is crowned.
 type runRecord struct {
 	latency  gates.Time
 	backward bool
 	iter     int
 	result   *engine.Result
+	forced   []int
 }
 
 // searchTrajectory performs one start's variable-length
@@ -440,11 +553,8 @@ type runRecord struct {
 // one, so the trajectory stops at-or-after the replayed stopping
 // point and retains a result for every run the replay could crown.
 func searchTrajectory(g, rev *qidg.Graph, cfg engine.Config, p engine.Placement,
-	opts MVFBOptions, hint boundFunc) ([]runRecord, error) {
+	opts MVFBOptions, hint boundFunc, sim *engine.Sim) ([]runRecord, error) {
 
-	if cfg.RouteGraph == nil {
-		cfg.RouteGraph = cfg.BuildRouteGraph()
-	}
 	var localBest gates.Time
 	haveLocal := false
 	improves := func(latency gates.Time) bool {
@@ -470,11 +580,17 @@ func searchTrajectory(g, rev *qidg.Graph, cfg engine.Config, p engine.Placement,
 		traj = append(traj, rec)
 		return rec.result == nil && sinceImprove >= opts.Patience
 	}
+	// Candidate runs are traceless: trace writes are side-effect-free,
+	// so skipping capture changes no result bit, and captureWinner
+	// re-runs whichever run is eventually crowned with capture on.
 	fwdCfg := cfg
 	fwdCfg.ForcedOrder = nil
+	fwdCfg.CollectTrace = false
+	bwdCfg := cfg
+	bwdCfg.CollectTrace = false
 	for iter := 0; iter < opts.MaxRunsPerSeed; iter++ {
 		// Forward computation on the QIDG.
-		fres, err := engine.Run(g, fwdCfg, p)
+		fres, err := sim.Run(g, fwdCfg, p)
 		if err != nil {
 			return nil, err
 		}
@@ -487,15 +603,15 @@ func searchTrajectory(g, rev *qidg.Graph, cfg engine.Config, p engine.Placement,
 		}
 		// Backward computation on the UIDG in reverse issue order,
 		// starting from the forward run's final placement.
-		bwdCfg := cfg
 		bwdCfg.ForcedOrder = reverseOrder(fres.IssueOrder)
-		bres, err := engine.Run(rev, bwdCfg, fres.Final)
+		bres, err := sim.Run(rev, bwdCfg, fres.Final)
 		if err != nil {
 			return nil, err
 		}
 		rec = runRecord{latency: bres.Latency, backward: true, iter: iter}
 		if improves(bres.Latency) {
 			rec.result = backwardSolution(bres)
+			rec.forced = bwdCfg.ForcedOrder
 		}
 		if record(rec) {
 			break
@@ -515,18 +631,21 @@ func searchTrajectory(g, rev *qidg.Graph, cfg engine.Config, p engine.Placement,
 // global best implies improving the start's own prefix best, which is
 // what searchTrajectory records), so the winner — and the realized
 // run count — match the sequential search exactly.
-func replayGlobal(trajs [][]runRecord, patience int) (*Solution, error) {
+func replayGlobal(trajs [][]runRecord, patience int) (*Solution, []int, error) {
 	best := &Solution{}
+	var forced []int
 	totalRuns := 0
 	for seed, traj := range trajs {
 		sinceImprove := 0
-		for _, rec := range traj {
+		for i := range traj {
+			rec := &traj[i]
 			totalRuns++
 			if best.Result == nil || rec.latency < best.Result.Latency {
 				best.Result = rec.result
 				best.Backward = rec.backward
 				best.Seed = seed
 				best.Iteration = rec.iter
+				forced = rec.forced
 				sinceImprove = 0
 			} else if sinceImprove++; sinceImprove >= patience {
 				break
@@ -535,16 +654,17 @@ func replayGlobal(trajs [][]runRecord, patience int) (*Solution, error) {
 	}
 	best.Runs = totalRuns
 	if best.Result == nil {
-		return nil, fmt.Errorf("place: MVFB produced no solution")
+		return nil, nil, fmt.Errorf("place: MVFB produced no solution")
 	}
-	return best, nil
+	return best, forced, nil
 }
 
 // reduceSeedScope merges fully independent (ScopeSeed) trajectories:
 // every recorded run counts, each start's best is its last retained
 // improvement, and the winner is reduced by (latency, start index).
-func reduceSeedScope(trajs [][]runRecord) (*Solution, error) {
+func reduceSeedScope(trajs [][]runRecord) (*Solution, []int, error) {
 	best := &Solution{}
+	var forced []int
 	totalRuns := 0
 	for seed, traj := range trajs {
 		totalRuns += len(traj)
@@ -562,13 +682,14 @@ func reduceSeedScope(trajs [][]runRecord) (*Solution, error) {
 			best.Backward = sb.backward
 			best.Seed = seed
 			best.Iteration = sb.iter
+			forced = sb.forced
 		}
 	}
 	best.Runs = totalRuns
 	if best.Result == nil {
-		return nil, fmt.Errorf("place: MVFB produced no solution")
+		return nil, nil, fmt.Errorf("place: MVFB produced no solution")
 	}
-	return best, nil
+	return best, forced, nil
 }
 
 func reverseOrder(order []int) []int {
@@ -582,9 +703,14 @@ func reverseOrder(order []int) []int {
 // backwardSolution converts a winning backward (UIDG) run into the
 // reported forward solution: per §IV.A the initial placement is the
 // backward run's final placement P_{k+1}, the control trace is the
-// reverse of T'_k, and the latency is L'_k.
+// reverse of T'_k, and the latency is L'_k. A traceless backward run
+// (CollectTrace off during the search) converts with a nil trace;
+// captureWinner fills it in if the run is crowned.
 func backwardSolution(bres *engine.Result) *engine.Result {
-	rt := bres.Trace.Reverse()
+	var rt *trace.Trace
+	if bres.Trace != nil {
+		rt = bres.Trace.Reverse()
+	}
 	return &engine.Result{
 		Latency:    bres.Latency,
 		Trace:      rt,

@@ -352,3 +352,39 @@ func TestMVFBScopesBothValid(t *testing.T) {
 		}
 	}
 }
+
+// TestMonteCarloForcedOrderCaptures: deferred capture must replay the
+// Monte-Carlo winner under the caller's scheduling knobs — including
+// an explicit ForcedOrder — or the replay cross-check would reject a
+// perfectly valid sweep (regression: captureWinner once cleared the
+// forced order for forward winners unconditionally).
+func TestMonteCarloForcedOrderCaptures(t *testing.T) {
+	g := fig3Graph(t)
+	cfg := qsprConfig(fabric.Quale4585())
+	center, err := Center(cfg.Fabric, g.NumQubits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := engine.Run(g, cfg, center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse the realized order so the forced schedule genuinely
+	// differs from what the policy would produce — a replay that
+	// dropped ForcedOrder diverges instead of coincidentally matching.
+	forced := make([]int, len(base.IssueOrder))
+	for i, n := range base.IssueOrder {
+		forced[len(forced)-1-i] = n
+	}
+	cfg.ForcedOrder = forced
+	sol, err := MonteCarloParallel(g, cfg, 4, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Result.Trace == nil {
+		t.Fatal("winner trace not captured")
+	}
+	if err := sol.Result.Trace.Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -84,18 +84,23 @@ func Portfolio(g *qidg.Graph, cfg engine.Config, opts PortfolioOptions) (*Portfo
 		workers = 1
 	}
 
+	// Both search entrants run traceless (their searchOutcomes await
+	// deferred capture); Center's single run captures directly. Only
+	// the race winner is replayed with capture on, so a portfolio
+	// mapping pays for exactly one captured trace.
 	sols := make([]*Solution, 3)
+	outs := make([]searchOutcome, 3)
 	errs := make([]error, 3)
 	if workers == 1 {
 		// Sequential race: one shared routing graph stays warm across
-		// all entrants (engine.Run resets it per run).
+		// all entrants (every Sim resets it per run).
 		if cfg.RouteGraph == nil {
 			cfg.RouteGraph = cfg.BuildRouteGraph()
 		}
 		mvfbOpts := opts.MVFB
 		mvfbOpts.Workers = 1
-		sols[RankMVFB], errs[RankMVFB] = MVFB(g, cfg, mvfbOpts)
-		sols[RankMonteCarlo], errs[RankMonteCarlo] = MonteCarloParallel(g, cfg, mcRuns, mcSeed, 1)
+		outs[RankMVFB], errs[RankMVFB] = mvfbSearch(g, cfg, mvfbOpts)
+		outs[RankMonteCarlo], errs[RankMonteCarlo] = monteCarloSearch(g, cfg, mcRuns, mcSeed, 1)
 		sols[RankCenter], errs[RankCenter] = centerSolution(g, cfg)
 	} else {
 		// Concurrent race on exactly `workers` engine goroutines: the
@@ -117,11 +122,11 @@ func Portfolio(g *qidg.Graph, cfg engine.Config, opts PortfolioOptions) (*Portfo
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			sols[RankMVFB], errs[RankMVFB] = MVFB(g, ccfg, mvfbOpts)
+			outs[RankMVFB], errs[RankMVFB] = mvfbSearch(g, ccfg, mvfbOpts)
 		}()
 		go func() {
 			defer wg.Done()
-			sols[RankMonteCarlo], errs[RankMonteCarlo] = MonteCarloParallel(g, ccfg, mcRuns, mcSeed, mcW)
+			outs[RankMonteCarlo], errs[RankMonteCarlo] = monteCarloSearch(g, ccfg, mcRuns, mcSeed, mcW)
 			sols[RankCenter], errs[RankCenter] = centerSolution(g, ccfg)
 		}()
 		wg.Wait()
@@ -131,9 +136,20 @@ func Portfolio(g *qidg.Graph, cfg engine.Config, opts PortfolioOptions) (*Portfo
 			return nil, err
 		}
 	}
+	sols[RankMVFB] = outs[RankMVFB].sol
+	sols[RankMonteCarlo] = outs[RankMonteCarlo].sol
 	win := pickPortfolioWinner(sols)
 	if win < 0 {
 		return nil, fmt.Errorf("place: portfolio produced no solution")
+	}
+	// Deferred capture for the single winner; Center's result already
+	// carries its trace. The race above is a barrier, so the winning
+	// entrant's warm sequential Sim — when it has one — is free for
+	// the replay.
+	if win != RankCenter {
+		if err := captureWinner(g, outs[win].rev, cfg, sols[win], outs[win].forced, outs[win].sim); err != nil {
+			return nil, err
+		}
 	}
 	out := &PortfolioSolution{Solution: *sols[win], Rank: win, Placer: PlacerName(win)}
 	out.Runs = 0
@@ -145,7 +161,9 @@ func Portfolio(g *qidg.Graph, cfg engine.Config, opts PortfolioOptions) (*Portfo
 
 // centerSolution runs the deterministic Center placement once — the
 // portfolio's cheap fallback entrant (QUALE's placer under the
-// caller's engine configuration).
+// caller's engine configuration). A single run whose trace the
+// portfolio may report wins nothing from deferred capture, so it
+// uses engine.Run, which captures unconditionally.
 func centerSolution(g *qidg.Graph, cfg engine.Config) (*Solution, error) {
 	p, err := Center(cfg.Fabric, g.NumQubits)
 	if err != nil {

@@ -69,7 +69,10 @@ func Config(f *fabric.Fabric, v Variant) engine.Config {
 }
 
 // Map schedules, places and routes the program with the QPOS flow:
-// center placement plus one mapping run.
+// center placement plus one mapping run. QPOS is a one-shot mapper
+// whose trace is the deliverable, so it uses engine.Run — the
+// simulator wrapper with capture always on — rather than the
+// traceless-search protocol of the QSPR placers.
 func Map(g *qidg.Graph, f *fabric.Fabric, v Variant) (*engine.Result, error) {
 	p, err := place.Center(f, g.NumQubits)
 	if err != nil {

@@ -19,11 +19,11 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 	"math/bits"
 
 	"repro/internal/gates"
+	"repro/internal/heapq"
 	"repro/internal/qidg"
 )
 
@@ -146,35 +146,67 @@ func dependentDelayTotals(g *qidg.Graph, tech gates.Tech) []gates.Time {
 // ForcedPriorities converts an explicit total order (a slice of node
 // IDs, most-urgent first) into a priority vector.
 func ForcedPriorities(order []int, n int) ([]float64, error) {
-	if len(order) != n {
-		return nil, fmt.Errorf("sched: forced order has %d entries for %d nodes", len(order), n)
-	}
 	pr := make([]float64, n)
 	seen := make([]bool, n)
-	for rank, node := range order {
-		if node < 0 || node >= n {
-			return nil, fmt.Errorf("sched: forced order entry %d out of range", node)
-		}
-		if seen[node] {
-			return nil, fmt.Errorf("sched: node %d appears twice in forced order", node)
-		}
-		seen[node] = true
-		pr[node] = float64(n - rank)
+	if err := ForcedPrioritiesInto(pr, seen, order); err != nil {
+		return nil, err
 	}
 	return pr, nil
 }
 
+// ForcedPrioritiesInto is ForcedPriorities writing into caller-owned
+// storage, for hot loops (the engine's reusable Sim re-derives a
+// forced vector every MVFB backward run): pr receives the priorities
+// and seen is scratch, both of length len(order). No allocation.
+func ForcedPrioritiesInto(pr []float64, seen []bool, order []int) error {
+	n := len(pr)
+	if len(order) != n {
+		return fmt.Errorf("sched: forced order has %d entries for %d nodes", len(order), n)
+	}
+	clear(seen)
+	for rank, node := range order {
+		if node < 0 || node >= n {
+			return fmt.Errorf("sched: forced order entry %d out of range", node)
+		}
+		if seen[node] {
+			return fmt.Errorf("sched: node %d appears twice in forced order", node)
+		}
+		seen[node] = true
+		pr[node] = float64(n - rank)
+	}
+	return nil
+}
+
 // ReadyQueue is a max-priority queue of ready instructions. Ties
-// break on lower node ID for determinism.
+// break on lower node ID for determinism. A queue is reusable: Reset
+// rebinds it to a priority vector while its heap and membership
+// storage stay warm, and steady-state Push/Pop allocate nothing (the
+// heap is hand-sifted over the total (priority, node) order, so pop
+// order matches any correct heap implementation bit for bit).
 type ReadyQueue struct {
 	pr []float64
-	h  prioHeap
+	h  []prioItem
 	in []bool
 }
 
 // NewReadyQueue builds a queue over the given priorities.
 func NewReadyQueue(pr []float64) *ReadyQueue {
-	return &ReadyQueue{pr: pr, in: make([]bool, len(pr))}
+	q := &ReadyQueue{}
+	q.Reset(pr)
+	return q
+}
+
+// Reset empties the queue and rebinds it to a (possibly different)
+// priority vector, retaining internal storage for reuse.
+func (q *ReadyQueue) Reset(pr []float64) {
+	q.pr = pr
+	q.h = q.h[:0]
+	if cap(q.in) < len(pr) {
+		q.in = make([]bool, len(pr))
+	} else {
+		q.in = q.in[:len(pr)]
+		clear(q.in)
+	}
 }
 
 // Push marks node ready. Pushing a node twice panics: the engine must
@@ -184,22 +216,23 @@ func (q *ReadyQueue) Push(node int) {
 		panic(fmt.Sprintf("sched: node %d pushed twice", node))
 	}
 	q.in[node] = true
-	heap.Push(&q.h, prioItem{node: node, prio: q.pr[node]})
+	q.h = heapq.Push(q.h, prioItem{node: node, prio: q.pr[node]})
 }
 
 // Pop removes and returns the highest-priority ready node; ok is
 // false when empty.
 func (q *ReadyQueue) Pop() (node int, ok bool) {
-	if q.h.Len() == 0 {
+	if len(q.h) == 0 {
 		return 0, false
 	}
-	it := heap.Pop(&q.h).(prioItem)
+	var it prioItem
+	q.h, it = heapq.Pop(q.h)
 	q.in[it.node] = false
 	return it.node, true
 }
 
 // Len returns the number of ready nodes.
-func (q *ReadyQueue) Len() int { return q.h.Len() }
+func (q *ReadyQueue) Len() int { return len(q.h) }
 
 // Drain pops everything, returning nodes in priority order.
 func (q *ReadyQueue) Drain() []int {
@@ -218,21 +251,11 @@ type prioItem struct {
 	prio float64
 }
 
-type prioHeap []prioItem
-
-func (h prioHeap) Len() int { return len(h) }
-func (h prioHeap) Less(i, j int) bool {
-	if h[i].prio != h[j].prio {
-		return h[i].prio > h[j].prio
+// Before is the strict heap order: higher priority first, ties to the
+// lower node ID — total, because node IDs are unique.
+func (a prioItem) Before(b prioItem) bool {
+	if a.prio != b.prio {
+		return a.prio > b.prio
 	}
-	return h[i].node < h[j].node
-}
-func (h prioHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *prioHeap) Push(x any)   { *h = append(*h, x.(prioItem)) }
-func (h *prioHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+	return a.node < b.node
 }

@@ -250,3 +250,58 @@ func TestRandomGraphPriorityProperties(t *testing.T) {
 		}
 	}
 }
+
+// TestReadyQueueResetReuse: a Reset queue must behave exactly like a
+// fresh one — across priority-vector rebinds — and steady-state
+// Push/Pop on a warm queue must not allocate (the engine's reusable
+// Sim resets one ReadyQueue per run).
+func TestReadyQueueResetReuse(t *testing.T) {
+	prA := []float64{1, 9, 5, 7}
+	prB := []float64{2, 2, 8} // different length and ties
+	q := NewReadyQueue(prA)
+	drainAll := func(pr []float64) []int {
+		for n := range pr {
+			q.Push(n)
+		}
+		return q.Drain()
+	}
+	wantA := drainAll(prA)
+	for cycle := 0; cycle < 3; cycle++ {
+		q.Reset(prB)
+		gotB := drainAll(prB)
+		if len(gotB) != 3 || gotB[0] != 2 || gotB[1] != 0 || gotB[2] != 1 {
+			t.Fatalf("cycle %d: order %v after rebind, want [2 0 1]", cycle, gotB)
+		}
+		q.Reset(prA)
+		gotA := drainAll(prA)
+		for i := range wantA {
+			if gotA[i] != wantA[i] {
+				t.Fatalf("cycle %d: order %v, want %v", cycle, gotA, wantA)
+			}
+		}
+	}
+	// The double-push guard must survive Reset cycles.
+	q.Reset(prA)
+	q.Push(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double push after Reset did not panic")
+			}
+		}()
+		q.Push(1)
+	}()
+	q.Reset(prA)
+	if avg := testing.AllocsPerRun(100, func() {
+		for n := range prA {
+			q.Push(n)
+		}
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
+		}
+	}); avg != 0 {
+		t.Errorf("warm ReadyQueue allocates %.1f objects/cycle, want 0", avg)
+	}
+}

@@ -253,7 +253,7 @@ func RunProgram(t *Tableau, p *qasm.Program) error {
 // RunProgram's convention via InitFromProgram).
 func RunTrace(t *Tableau, tr *trace.Trace) error {
 	for _, op := range tr.GateOps() {
-		if err := t.Apply(op.Gate, op.Qubits...); err != nil {
+		if err := t.Apply(op.Gate, op.Qubits()...); err != nil {
 			return err
 		}
 	}

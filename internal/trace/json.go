@@ -29,10 +29,11 @@ type jsonTrace struct {
 // MarshalJSON encodes the trace with symbolic op and gate names.
 func (t *Trace) MarshalJSON() ([]byte, error) {
 	out := jsonTrace{LatencyUS: t.Latency, Ops: make([]jsonOp, len(t.Ops))}
-	for i, op := range t.Ops {
+	for i := range t.Ops {
+		op := &t.Ops[i]
 		jo := jsonOp{
 			Kind: op.Kind.String(), Start: op.Start, End: op.End,
-			Qubits: op.Qubits, Node: op.Node, Trap: op.Trap, Edge: op.Edge,
+			Qubits: op.Qubits(), Node: op.Node, Trap: op.Trap, Edge: op.Edge,
 		}
 		if op.Kind == OpGate {
 			jo.Gate = op.Gate.String()
@@ -51,10 +52,14 @@ func (t *Trace) UnmarshalJSON(data []byte) error {
 	t.Latency = in.LatencyUS
 	t.Ops = make([]Op, len(in.Ops))
 	for i, jo := range in.Ops {
+		if len(jo.Qubits) > MaxQubits {
+			return fmt.Errorf("trace: op %d names %d qubits, max %d", i, len(jo.Qubits), MaxQubits)
+		}
 		op := Op{
-			Start: jo.Start, End: jo.End, Qubits: jo.Qubits,
+			Start: jo.Start, End: jo.End,
 			Node: jo.Node, Trap: jo.Trap, Edge: jo.Edge,
 		}
+		op.SetQubits(jo.Qubits...)
 		switch jo.Kind {
 		case "move":
 			op.Kind = OpMove

@@ -9,6 +9,13 @@
 // executes the uncompute graph, and the paper reports "reverse of
 // T'_k" as the solution when a backward computation wins.
 //
+// Capture is allocation-free in steady state: an Op stores its one or
+// two qubits inline (no per-op slice) and a Trace reused via Reset
+// keeps its Op storage warm, so the engine's reusable Sim can record
+// thousands of candidate runs without garbage. Clone snapshots a
+// pooled trace into an independently-owned one for results that
+// outlive the simulator.
+//
 // Entry points: a Trace is built by the engine via Add and finished
 // with Sort; Reverse implements the MVFB backward-solution
 // conversion; Validate audits internal consistency (used by the
@@ -49,15 +56,25 @@ func (k OpKind) String() string {
 	return "?"
 }
 
-// Op is one timed micro-command.
+// MaxQubits is the most qubits one micro-command can involve (the
+// two operands of a two-qubit gate).
+const MaxQubits = 2
+
+// Op is one timed micro-command. The participating qubits are stored
+// inline (Qs/NumQubits), so an Op is a plain comparable value with no
+// heap references; use Qubits for a slice view and SetQubits (or the
+// chainable WithQubits) to assign.
 type Op struct {
 	Kind OpKind
 	// Start and End bound the command in simulated time, Start < End
 	// except for zero-duration bookkeeping ops.
 	Start, End gates.Time
-	// Qubits are the participating qubit indices (one for moves and
-	// turns; one or two for gates).
-	Qubits []int
+	// Qs holds the participating qubit indices inline; only the first
+	// NumQubits entries are valid (one for moves and turns; one or
+	// two for gates).
+	Qs [MaxQubits]int
+	// NumQubits is the number of valid entries in Qs.
+	NumQubits uint8
 	// Gate is the gate kind for OpGate commands.
 	Gate gates.Kind
 	// Node is the QIDG node ID for OpGate commands, -1 otherwise.
@@ -68,6 +85,27 @@ type Op struct {
 	Edge int
 }
 
+// Qubits returns the participating qubit indices as a slice view of
+// the inline storage. The view is read-only by convention; it aliases
+// the receiver's array.
+func (o *Op) Qubits() []int { return o.Qs[:o.NumQubits] }
+
+// SetQubits assigns the participating qubits. It panics beyond
+// MaxQubits — no micro-command involves more than two qubits.
+func (o *Op) SetQubits(qs ...int) {
+	if len(qs) > MaxQubits {
+		panic(fmt.Sprintf("trace: op with %d qubits", len(qs)))
+	}
+	o.NumQubits = uint8(copy(o.Qs[:], qs))
+}
+
+// WithQubits returns a copy of the op with the given qubits assigned;
+// it exists so op literals can be built in one expression.
+func (o Op) WithQubits(qs ...int) Op {
+	o.SetQubits(qs...)
+	return o
+}
+
 // Duration returns End-Start.
 func (o Op) Duration() gates.Time { return o.End - o.Start }
 
@@ -75,9 +113,9 @@ func (o Op) Duration() gates.Time { return o.End - o.Start }
 func (o Op) String() string {
 	switch o.Kind {
 	case OpGate:
-		return fmt.Sprintf("[%6d,%6d] %s q%v @trap%d", o.Start, o.End, o.Gate, o.Qubits, o.Trap)
+		return fmt.Sprintf("[%6d,%6d] %s q%v @trap%d", o.Start, o.End, o.Gate, o.Qubits(), o.Trap)
 	default:
-		return fmt.Sprintf("[%6d,%6d] %s q%v edge%d", o.Start, o.End, o.Kind, o.Qubits, o.Edge)
+		return fmt.Sprintf("[%6d,%6d] %s q%v edge%d", o.Start, o.End, o.Kind, o.Qubits(), o.Edge)
 	}
 }
 
@@ -94,6 +132,25 @@ func (t *Trace) Add(o Op) {
 	if o.End > t.Latency {
 		t.Latency = o.End
 	}
+}
+
+// Reset empties the trace for reuse, retaining the Op backing array
+// so steady-state capture does not allocate.
+func (t *Trace) Reset() {
+	t.Ops = t.Ops[:0]
+	t.Latency = 0
+}
+
+// Clone returns an independently-owned copy. The engine's pooled Sim
+// hands Clones to callers so a retained Result survives the pool's
+// next Reset.
+func (t *Trace) Clone() *Trace {
+	c := &Trace{Latency: t.Latency}
+	if len(t.Ops) > 0 {
+		c.Ops = make([]Op, len(t.Ops))
+		copy(c.Ops, t.Ops) // Ops hold no slices, so a flat copy owns everything
+	}
+	return c
 }
 
 // Sort orders ops by start time (stable on end time, then kind) so a
@@ -119,13 +176,12 @@ func (t *Trace) Reverse() *Trace {
 	r := &Trace{Latency: t.Latency}
 	r.Ops = make([]Op, len(t.Ops))
 	for i, o := range t.Ops {
-		ro := o
+		ro := o // value copy carries the inline qubits
 		ro.Start = t.Latency - o.End
 		ro.End = t.Latency - o.Start
 		if o.Kind == OpGate {
 			ro.Gate = o.Gate.Inverse()
 		}
-		ro.Qubits = append([]int(nil), o.Qubits...)
 		r.Ops[i] = ro
 	}
 	r.Sort()
@@ -167,14 +223,15 @@ func (t *Trace) Validate() error {
 		op   int
 	}
 	perQubit := map[int][]iv{}
-	for i, o := range t.Ops {
+	for i := range t.Ops {
+		o := &t.Ops[i]
 		if o.End < o.Start {
 			return fmt.Errorf("trace: op %d has negative duration", i)
 		}
 		if o.End > t.Latency {
 			return fmt.Errorf("trace: op %d ends after latency %v", i, t.Latency)
 		}
-		for _, q := range o.Qubits {
+		for _, q := range o.Qubits() {
 			perQubit[q] = append(perQubit[q], iv{o.Start, o.End, i})
 		}
 	}

@@ -9,11 +9,11 @@ import (
 
 func sampleTrace() *Trace {
 	t := &Trace{}
-	t.Add(Op{Kind: OpMove, Start: 0, End: 4, Qubits: []int{0}, Node: -1, Trap: -1, Edge: 3})
-	t.Add(Op{Kind: OpTurn, Start: 4, End: 14, Qubits: []int{0}, Node: -1, Trap: -1, Edge: 7})
-	t.Add(Op{Kind: OpMove, Start: 0, End: 6, Qubits: []int{1}, Node: -1, Trap: -1, Edge: 9})
-	t.Add(Op{Kind: OpGate, Start: 14, End: 114, Qubits: []int{0, 1}, Gate: gates.CX, Node: 5, Trap: 2, Edge: -1})
-	t.Add(Op{Kind: OpGate, Start: 114, End: 124, Qubits: []int{0}, Gate: gates.S, Node: 6, Trap: 2, Edge: -1})
+	t.Add(Op{Kind: OpMove, Start: 0, End: 4, Node: -1, Trap: -1, Edge: 3}.WithQubits(0))
+	t.Add(Op{Kind: OpTurn, Start: 4, End: 14, Node: -1, Trap: -1, Edge: 7}.WithQubits(0))
+	t.Add(Op{Kind: OpMove, Start: 0, End: 6, Node: -1, Trap: -1, Edge: 9}.WithQubits(1))
+	t.Add(Op{Kind: OpGate, Start: 14, End: 114, Gate: gates.CX, Node: 5, Trap: 2, Edge: -1}.WithQubits(0, 1))
+	t.Add(Op{Kind: OpGate, Start: 114, End: 124, Gate: gates.S, Node: 6, Trap: 2, Edge: -1}.WithQubits(0))
 	return t
 }
 
@@ -32,7 +32,7 @@ func TestValidateAcceptsSample(t *testing.T) {
 
 func TestValidateRejectsOverlap(t *testing.T) {
 	tr := sampleTrace()
-	tr.Add(Op{Kind: OpMove, Start: 10, End: 20, Qubits: []int{0}, Node: -1, Trap: -1, Edge: 1})
+	tr.Add(Op{Kind: OpMove, Start: 10, End: 20, Node: -1, Trap: -1, Edge: 1}.WithQubits(0))
 	if err := tr.Validate(); err == nil {
 		t.Error("overlapping qubit ops accepted")
 	}
@@ -40,7 +40,7 @@ func TestValidateRejectsOverlap(t *testing.T) {
 
 func TestValidateRejectsNegativeDuration(t *testing.T) {
 	tr := &Trace{Latency: 10}
-	tr.Ops = append(tr.Ops, Op{Kind: OpMove, Start: 5, End: 3, Qubits: []int{0}})
+	tr.Ops = append(tr.Ops, Op{Kind: OpMove, Start: 5, End: 3}.WithQubits(0))
 	if err := tr.Validate(); err == nil {
 		t.Error("negative duration accepted")
 	}
@@ -118,7 +118,7 @@ func TestStringRendering(t *testing.T) {
 
 func TestValidateRejectsEndAfterLatency(t *testing.T) {
 	tr := &Trace{Latency: 5}
-	tr.Ops = append(tr.Ops, Op{Kind: OpMove, Start: 0, End: 10, Qubits: []int{0}})
+	tr.Ops = append(tr.Ops, Op{Kind: OpMove, Start: 0, End: 10}.WithQubits(0))
 	if err := tr.Validate(); err == nil {
 		t.Error("op past latency accepted")
 	}
@@ -169,5 +169,72 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "\"latency_us\": 124") {
 		t.Errorf("JSON output:\n%s", buf.String())
+	}
+}
+
+func TestSetQubitsBounds(t *testing.T) {
+	var op Op
+	op.SetQubits(3)
+	if got := op.Qubits(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Qubits() = %v", got)
+	}
+	op.SetQubits(1, 2)
+	if got := op.Qubits(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Qubits() = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("3-qubit op accepted")
+		}
+	}()
+	op.SetQubits(1, 2, 3)
+}
+
+func TestJSONRejectsTooManyQubits(t *testing.T) {
+	var tr Trace
+	if err := tr.UnmarshalJSON([]byte(`{"ops":[{"kind":"move","qubits":[1,2,3]}]}`)); err == nil {
+		t.Error("3-qubit op accepted from JSON")
+	}
+}
+
+// TestResetRetainsStorage: a Reset trace reuses its Op backing array,
+// so steady-state capture allocates nothing once warm.
+func TestResetRetainsStorage(t *testing.T) {
+	tr := sampleTrace()
+	tr.Reset()
+	if len(tr.Ops) != 0 || tr.Latency != 0 {
+		t.Fatalf("Reset left ops=%d latency=%v", len(tr.Ops), tr.Latency)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		tr.Reset()
+		for i := 0; i < 5; i++ {
+			tr.Add(Op{Kind: OpMove, Start: gates.Time(i), End: gates.Time(i + 1), Edge: i}.WithQubits(0))
+		}
+	}); avg != 0 {
+		t.Errorf("warm capture allocates %.1f objects/cycle, want 0", avg)
+	}
+}
+
+// TestCloneIsIndependent: a Clone must survive the original's Reset
+// and further mutation (the pooled-Sim ownership transfer contract).
+func TestCloneIsIndependent(t *testing.T) {
+	tr := sampleTrace()
+	tr.Sort()
+	want, err := tr.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Clone()
+	tr.Reset()
+	tr.Add(Op{Kind: OpGate, Start: 0, End: 1, Gate: gates.H, Node: 0, Trap: 0, Edge: -1}.WithQubits(9))
+	got, err := c.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("clone mutated by original's reuse")
+	}
+	if empty := (&Trace{}).Clone(); empty.Ops != nil || empty.Latency != 0 {
+		t.Error("empty clone not empty")
 	}
 }

@@ -48,7 +48,7 @@ func Gantt(tr *trace.Trace, numQubits, width int) string {
 		if op.End > op.Start && bucket(op.End-1) < hi {
 			hi = bucket(op.End - 1)
 		}
-		for _, q := range op.Qubits {
+		for _, q := range op.Qubits() {
 			if q < 0 || q >= numQubits {
 				continue
 			}

@@ -74,7 +74,7 @@ func TestGanttDegenerate(t *testing.T) {
 		t.Error("empty trace should render empty")
 	}
 	tr := &trace.Trace{}
-	tr.Add(trace.Op{Kind: trace.OpGate, Start: 0, End: 10, Qubits: []int{0}, Gate: gates.H, Node: 0, Trap: 0, Edge: -1})
+	tr.Add(trace.Op{Kind: trace.OpGate, Start: 0, End: 10, Gate: gates.H, Node: 0, Trap: 0, Edge: -1}.WithQubits(0))
 	if Gantt(tr, 0, 40) != "" {
 		t.Error("zero qubits should render empty")
 	}

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Regenerates the "after" measurements tracked in BENCH_engine.json:
+# the engine-core microbenchmarks (one-shot compatibility Run, warm
+# Sim traceless/capture, the MVFB forward/backward shape) and one
+# end-to-end MVFB mapping. Run from the repository root. The "before"
+# numbers in BENCH_engine.json are frozen — they were measured on the
+# pre-refactor closure-based engine (PR 3) and cannot be regenerated
+# from this tree.
+set -e
+OUT="${OUT:-/tmp/qspr_bench_engine.txt}"
+{
+  echo "== Engine core ([[5,1,3]] / [[7,1,3]], 500 iterations/op) =="
+  go test -run '^$' -bench 'BenchmarkEngineRun|BenchmarkSimRun' -benchtime 500x -benchmem ./internal/engine
+  echo
+  echo "== MVFB mapping end-to-end, [[5,1,3]] (10 runs) =="
+  go test -run '^$' -bench 'BenchmarkTable1_MVFB/\[\[5,1,3\]\]' -benchtime 10x -benchmem .
+} | tee "$OUT"
+echo
+echo "raw output written to: $OUT (curate the 'after' side of BENCH_engine.json)"
