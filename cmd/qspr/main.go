@@ -7,21 +7,27 @@
 //	qspr -circuit '[[5,1,3]]'                 # built-in benchmark
 //	qspr -qasm prog.qasm -heuristic quale     # map a file with QUALE
 //	qspr -qasm prog.qasm -fabric fab.txt -m 100 -trace
+//	qspr -circuit 'rand(q=20,g=400,seed=7)'   # generator-backed family
 //	qspr -circuit '[[7,1,3]]' -inner-parallel 8     # parallel MVFB, same result
 //	qspr -circuit '[[9,1,3]]' -heuristic portfolio  # race MVFB vs MC vs Center
 //	qspr -circuit all -parallel 8 -format csv -out runs.csv
 //
-// Without -fabric the 45×85 fabric of Fig. 4 is used. -circuit also
-// accepts a comma-separated list of benchmarks or 'all'; multiple
-// circuits are swept concurrently by internal/experiment and reported
-// with -format/-out. Reports and single-run results are byte-identical
-// for any -parallel / -inner-parallel values (docs/CONCURRENCY.md).
+// Without -fabric the 45×85 fabric of Fig. 4 is used. -qasm accepts
+// both the paper's QUALE-style dialect and OpenQASM 2.0
+// (auto-detected). -circuit also accepts generator families
+// (-list shows them), a comma-separated list of sources, or 'all';
+// multiple circuits are swept concurrently by internal/experiment and
+// reported with -format/-out. Reports and single-run results are
+// byte-identical for any -parallel / -inner-parallel values
+// (docs/CONCURRENCY.md).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -34,72 +40,91 @@ import (
 	"repro/internal/viz"
 )
 
-func main() {
+// main is the only os.Exit in this command: run returns instead of
+// exiting so deferred flushes/closes of -out and -json writers always
+// execute (bare os.Exit would skip them and truncate the files).
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qspr", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		qasmPath  = flag.String("qasm", "", "QASM program file to map")
-		circuitN  = flag.String("circuit", "", "built-in benchmark name, e.g. '[[5,1,3]]' (see -list)")
-		list      = flag.Bool("list", false, "list built-in benchmark circuits and exit")
-		fabPath   = flag.String("fabric", "", "fabric description file (default: the 45x85 Fig. 4 fabric)")
-		heuristic = flag.String("heuristic", "qspr", "mapping heuristic: qspr, qspr-center, mc, quale, qpos, qpos-delay, portfolio")
-		m         = flag.Int("m", 25, "random seeds for the MVFB placer / runs for the MC placer")
-		seed      = flag.Int64("seed", 1, "random seed")
-		showTrace = flag.Bool("trace", false, "print the micro-command trace")
-		showStats = flag.Bool("stats", true, "print mapping statistics")
-		gantt     = flag.Bool("gantt", false, "print a per-qubit timeline of the trace")
-		heatmap   = flag.Bool("heatmap", false, "print a channel-utilization heatmap of the fabric")
-		jsonOut   = flag.String("json", "", "write the micro-command trace as JSON to this file ('-' = stdout)")
-		parallel  = flag.Int("parallel", 0, "CPU budget for a multi-circuit sweep (0 = all CPU cores); shared with -inner-parallel")
-		innerPar  = flag.Int("inner-parallel", 0, "workers within one mapping (MVFB starts / MC trials / portfolio placers); results are byte-identical for any value")
-		format    = flag.String("format", "markdown", "sweep report format: json, csv, markdown")
-		out       = flag.String("out", "", "write the sweep report to this file instead of stdout")
+		qasmPath  = fs.String("qasm", "", "QASM program file to map (QUALE dialect or OpenQASM 2.0)")
+		circuitN  = fs.String("circuit", "", "circuit source: built-in name, generator family, or a comma-separated list (see -list)")
+		list      = fs.Bool("list", false, "list built-in benchmark circuits and generator families, then exit")
+		fabPath   = fs.String("fabric", "", "fabric description file (default: the 45x85 Fig. 4 fabric)")
+		heuristic = fs.String("heuristic", "qspr", "mapping heuristic: qspr, qspr-center, mc, quale, qpos, qpos-delay, portfolio")
+		m         = fs.Int("m", 25, "random seeds for the MVFB placer / runs for the MC placer")
+		seed      = fs.Int64("seed", 1, "random seed")
+		showTrace = fs.Bool("trace", false, "print the micro-command trace")
+		showStats = fs.Bool("stats", true, "print mapping statistics")
+		gantt     = fs.Bool("gantt", false, "print a per-qubit timeline of the trace")
+		heatmap   = fs.Bool("heatmap", false, "print a channel-utilization heatmap of the fabric")
+		jsonOut   = fs.String("json", "", "write the micro-command trace as JSON to this file ('-' = stdout)")
+		parallel  = fs.Int("parallel", 0, "CPU budget for a multi-circuit sweep (0 = all CPU cores); shared with -inner-parallel")
+		innerPar  = fs.Int("inner-parallel", 0, "workers within one mapping (MVFB starts / MC trials / portfolio placers); results are byte-identical for any value")
+		format    = fs.String("format", "markdown", "sweep report format: json, csv, markdown")
+		out       = fs.String("out", "", "write the sweep report to this file instead of stdout")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 	if *list {
 		for _, b := range circuits.All() {
-			fmt.Printf("%-12s %2d qubits, %3d gates (%s)\n",
+			fmt.Fprintf(stdout, "%-12s %2d qubits, %3d gates (%s)\n",
 				b.Name, b.Program.NumQubits(), len(b.Program.Gates()), b.Source)
 		}
-		return
+		fmt.Fprintln(stdout, "\ngenerator families (usable anywhere a circuit name is):")
+		for _, f := range circuits.Families() {
+			fmt.Fprintf(stdout, "  %s\n", f)
+		}
+		return 0
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "qspr:", err)
+		return 1
 	}
 	setFlags := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	h, err := experiment.ParseHeuristic(*heuristic)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	fc, err := experiment.LoadFabric(*fabPath)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	fab := fc.Fabric
 	benches, isSweep, err := sweepCircuits(*qasmPath, *circuitN)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if isSweep {
 		// Single-run inspection flags have no meaning for a sweep;
 		// reject them rather than silently drop the requested output.
 		for _, name := range []string{"trace", "gantt", "heatmap", "json"} {
 			if setFlags[name] {
-				fatal(fmt.Errorf("-%s applies to a single run, not a multi-circuit sweep", name))
+				return fail(fmt.Errorf("-%s applies to a single run, not a multi-circuit sweep", name))
 			}
 		}
 		if err := experiment.ValidateFormat(*format); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		runSweep(benches, fc, h, *m, *seed, *parallel, *innerPar, *format, *out)
-		return
+		return runSweep(stdout, stderr, fail, benches, fc, h, *m, *seed, *parallel, *innerPar, *format, *out)
 	}
 	// Conversely, the sweep report flags are never consulted on the
 	// single-run path.
 	for _, name := range []string{"format", "out"} {
 		if setFlags[name] {
-			fatal(fmt.Errorf("-%s applies to a multi-circuit sweep (-circuit all or a comma-separated list)", name))
+			return fail(fmt.Errorf("-%s applies to a multi-circuit sweep (-circuit all or a comma-separated list)", name))
 		}
 	}
 	prog, err := loadProgram(*qasmPath, *circuitN)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	// On a single run -parallel doubles as the inner worker count (it
 	// was this command's only parallelism knob before -inner-parallel
@@ -110,57 +135,67 @@ func main() {
 	}
 	res, err := core.Map(prog, fab, core.Options{Heuristic: h, Seeds: *m, Seed: *seed, InnerParallel: inner})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("heuristic:        %s\n", res.Heuristic)
-	fmt.Printf("fabric:           %s\n", fab.Stats())
-	fmt.Printf("circuit:          %d qubits, %d gates\n", prog.NumQubits(), len(prog.Gates()))
-	fmt.Printf("ideal baseline:   %v\n", res.Ideal)
-	fmt.Printf("execution latency:%v\n", res.Latency)
-	fmt.Printf("overhead:         %v (T_routing + T_congestion)\n", res.Overhead())
-	fmt.Printf("placement runs:   %d\n", res.Runs)
+	fmt.Fprintf(stdout, "heuristic:        %s\n", res.Heuristic)
+	fmt.Fprintf(stdout, "fabric:           %s\n", fab.Stats())
+	fmt.Fprintf(stdout, "circuit:          %d qubits, %d gates\n", prog.NumQubits(), len(prog.Gates()))
+	fmt.Fprintf(stdout, "ideal baseline:   %v\n", res.Ideal)
+	fmt.Fprintf(stdout, "execution latency:%v\n", res.Latency)
+	fmt.Fprintf(stdout, "overhead:         %v (T_routing + T_congestion)\n", res.Overhead())
+	fmt.Fprintf(stdout, "placement runs:   %d\n", res.Runs)
 	if res.PortfolioWinner != "" {
-		fmt.Printf("portfolio winner: %s\n", res.PortfolioWinner)
+		fmt.Fprintf(stdout, "portfolio winner: %s\n", res.PortfolioWinner)
 	}
-	fmt.Printf("cpu runtime:      %v\n", res.Runtime)
+	fmt.Fprintf(stdout, "cpu runtime:      %v\n", res.Runtime)
 	if *showStats {
 		s := res.Mapping.Stats
-		fmt.Printf("moves/turns:      %d / %d\n", s.Moves, s.Turns)
-		fmt.Printf("qubit trips:      %d (blocked issues: %d)\n", s.RoutedQubitTrips, s.Blocked)
-		fmt.Printf("delay split:      gate %v, routing %v, congestion-wait %v\n",
+		fmt.Fprintf(stdout, "moves/turns:      %d / %d\n", s.Moves, s.Turns)
+		fmt.Fprintf(stdout, "qubit trips:      %d (blocked issues: %d)\n", s.RoutedQubitTrips, s.Blocked)
+		fmt.Fprintf(stdout, "delay split:      gate %v, routing %v, congestion-wait %v\n",
 			s.GateDelay, s.RoutingDelay, s.CongestionDelay)
 	}
 	if *gantt {
-		fmt.Println()
-		fmt.Print(viz.Gantt(res.Mapping.Trace, prog.NumQubits(), 100))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, viz.Gantt(res.Mapping.Trace, prog.NumQubits(), 100))
 	}
 	if *heatmap {
 		rg := routegraph.New(fab, gates.Default(), routegraph.Options{TurnAware: true})
-		fmt.Println()
-		fmt.Print(viz.Heatmap(res.Mapping.Trace, rg))
-		fmt.Println("busiest channels:")
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, viz.Heatmap(res.Mapping.Trace, rg))
+		fmt.Fprintln(stdout, "busiest channels:")
 		for _, tc := range viz.TopChannels(res.Mapping.Trace, rg, 5) {
 			ch := fab.Channels[tc.Channel]
-			fmt.Printf("  channel %d (%s at %v): %v\n", tc.Channel, ch.Orientation, ch.Cells[0], tc.Time)
+			fmt.Fprintf(stdout, "  channel %d (%s at %v): %v\n", tc.Channel, ch.Orientation, ch.Cells[0], tc.Time)
 		}
 	}
 	if *showTrace {
-		fmt.Print(res.Mapping.Trace.String())
+		fmt.Fprint(stdout, res.Mapping.Trace.String())
 	}
 	if *jsonOut != "" {
-		w := os.Stdout
-		if *jsonOut != "-" {
-			f, err := os.Create(*jsonOut)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			w = f
-		}
-		if err := res.Mapping.Trace.WriteJSON(w); err != nil {
-			fatal(err)
+		if err := writeTraceJSON(res, *jsonOut, stdout); err != nil {
+			return fail(err)
 		}
 	}
+	return 0
+}
+
+// writeTraceJSON writes the trace to path ('-' = stdout), flushing
+// and closing on every path — including write errors — so a failure
+// can never truncate the file silently.
+func writeTraceJSON(res *core.Result, path string, stdout io.Writer) error {
+	if path == "-" {
+		return res.Mapping.Trace.WriteJSON(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Mapping.Trace.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadProgram(path, name string) (*qasm.Program, error) {
@@ -170,7 +205,7 @@ func loadProgram(path, name string) (*qasm.Program, error) {
 	case path != "":
 		return qasm.ParseFile(path)
 	case name != "":
-		b, err := circuits.ByName(name)
+		b, err := circuits.Resolve(name)
 		if err != nil {
 			return nil, err
 		}
@@ -182,23 +217,30 @@ func loadProgram(path, name string) (*qasm.Program, error) {
 
 // sweepCircuits reports whether -circuit names more than one
 // benchmark ("all" or a comma-separated list) and resolves them.
-// Commas inside brackets are part of a single code label like
-// "[[5,1,3]]", so a lone "[[5,1,3]]" is not a sweep.
+// Commas inside brackets or parentheses are part of a single source
+// spec like "[[5,1,3]]" or "rand(q=8,g=40)", so a lone spec is not a
+// sweep.
 func sweepCircuits(qasmPath, name string) ([]circuits.Benchmark, bool, error) {
 	if qasmPath != "" || name == "" {
 		return nil, false, nil
 	}
-	if !strings.EqualFold(strings.TrimSpace(name), "all") &&
-		len(experiment.SplitCircuitList(name)) < 2 {
-		return nil, false, nil
+	if !strings.EqualFold(strings.TrimSpace(name), "all") {
+		parts, err := experiment.SplitCircuitList(name)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(parts) < 2 {
+			return nil, false, nil
+		}
 	}
 	benches, err := experiment.SelectCircuits(name)
 	return benches, true, err
 }
 
 // runSweep maps every named benchmark concurrently via
-// internal/experiment and writes the deterministic report.
-func runSweep(benches []circuits.Benchmark, fc experiment.FabricChoice, h core.Heuristic, m int, seed int64, workers, inner int, format, out string) {
+// internal/experiment and writes the deterministic report. fail is
+// run's error reporter (one definition of the exit protocol).
+func runSweep(stdout, stderr io.Writer, fail func(error) int, benches []circuits.Benchmark, fc experiment.FabricChoice, h core.Heuristic, m int, seed int64, workers, inner int, format, out string) int {
 	rep, err := experiment.Execute(context.Background(), experiment.Spec{
 		Circuits:      benches,
 		Fabrics:       []experiment.FabricChoice{fc},
@@ -208,25 +250,23 @@ func runSweep(benches []circuits.Benchmark, fc experiment.FabricChoice, h core.H
 		InnerParallel: inner,
 	}, experiment.Options{Workers: workers})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	if err := rep.WriteFile(format, out); err != nil {
-		fatal(err)
+	if out == "" {
+		err = rep.Write(stdout, format)
+	} else {
+		err = rep.WriteFile(format, out)
 	}
-	failed := false
+	if err != nil {
+		return fail(err)
+	}
+	code := 0
 	for _, rr := range rep.Results {
 		if rr.Err != "" {
-			fmt.Fprintf(os.Stderr, "qspr: %s × %s m=%d failed: %s\n",
+			fmt.Fprintf(stderr, "qspr: %s × %s m=%d failed: %s\n",
 				rr.Circuit.Name, rr.Heuristic, rr.Seeds, rr.Err)
-			failed = true
+			code = 1
 		}
 	}
-	if failed {
-		os.Exit(1)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "qspr:", err)
-	os.Exit(1)
+	return code
 }

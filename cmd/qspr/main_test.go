@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/circuits"
+)
+
+// TestRunReturnsInsteadOfExit: run must report failures through its
+// exit code, never os.Exit — otherwise deferred flushes are skipped
+// (the -out truncation bug this command shared with cmd/tables).
+func TestRunReturnsInsteadOfExit(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-circuit", "nosuch"}, &out, &errb); code != 1 {
+		t.Errorf("unknown circuit: code %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown benchmark") {
+		t.Errorf("stderr %q", errb.String())
+	}
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
+		t.Error("bad flag should return 2")
+	}
+	if code := run([]string{"-circuit", "[[5,1,3]]", "-format", "csv"}, &out, &errb); code != 1 {
+		t.Error("-format on a single run should be rejected")
+	}
+	if code := run([]string{"-circuit", "[[5,1,3]],[[7,1,3]]", "-trace"}, &out, &errb); code != 1 {
+		t.Error("-trace on a sweep should be rejected")
+	}
+}
+
+// TestSweepReportFlushedDespiteFailure is the regression test for
+// the os.Exit truncation bug: a sweep where one circuit fails must
+// exit non-zero AND still write the complete report (including the
+// failing row) to -out.
+func TestSweepReportFlushedDespiteFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.csv")
+	var out, errb bytes.Buffer
+	// ghz(q=9999) exceeds the 462 traps of the default fabric, so its
+	// run fails after the healthy run has produced partial output.
+	code := run([]string{
+		"-circuit", "ghz(q=4),ghz(q=9999)",
+		"-heuristic", "qspr-center",
+		"-format", "csv", "-out", path,
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("code %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 { // header + 2 runs
+		t.Fatalf("report has %d lines, want 3:\n%s", len(lines), data)
+	}
+	if !strings.Contains(lines[2], "exceed") {
+		t.Errorf("failing row not recorded: %q", lines[2])
+	}
+	if !strings.Contains(errb.String(), "failed") {
+		t.Errorf("failure not announced on stderr: %q", errb.String())
+	}
+}
+
+// TestSingleRunQASMFile: the -qasm path maps an external file
+// (written in the OpenQASM dialect) like any built-in circuit.
+func TestSingleRunQASMFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig3.qasm")
+	openqasm := `OPENQASM 2.0;
+qreg q[5];
+h q[0]; h q[1]; h q[2]; h q[4];
+cx q[3],q[2]; cz q[4],q[2];
+cy q[2],q[1]; cy q[3],q[1]; cx q[4],q[1];
+cz q[2],q[0]; cy q[3],q[0]; cz q[4],q[0];
+`
+	if err := os.WriteFile(path, []byte(openqasm), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ext, builtin, errb bytes.Buffer
+	if code := run([]string{"-qasm", path, "-heuristic", "qspr-center"}, &ext, &errb); code != 0 {
+		t.Fatalf("qasm run failed: %s", errb.String())
+	}
+	if code := run([]string{"-circuit", "[[5,1,3]]", "-heuristic", "qspr-center"}, &builtin, &errb); code != 0 {
+		t.Fatalf("builtin run failed: %s", errb.String())
+	}
+	latency := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "execution latency:") {
+				return line
+			}
+		}
+		return ""
+	}
+	if l := latency(ext.String()); l == "" || l != latency(builtin.String()) {
+		t.Errorf("external copy latency %q != builtin %q", l, latency(builtin.String()))
+	}
+}
+
+func TestListIncludesFamilies(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list failed: %s", errb.String())
+	}
+	for _, b := range circuits.All() {
+		if !strings.Contains(out.String(), b.Name) {
+			t.Errorf("-list missing %s", b.Name)
+		}
+	}
+	if !strings.Contains(out.String(), "rand(q=") {
+		t.Error("-list missing generator families")
+	}
+}

@@ -5,9 +5,18 @@
 //	qsprbench                                  # paper headline: all circuits, QUALE vs QSPR
 //	qsprbench -m 100 -format markdown          # Table 2 protocol, markdown output
 //	qsprbench -circuits '[[5,1,3]],[[9,1,3]]' -heuristics all -m 5,25
+//	qsprbench -circuits 'rand(q=20,g=400,seed=7),ghz(q=16)'   # generator families
 //	qsprbench -parallel 8 -format csv -out results.csv
 //	qsprbench -parallel 8 -inner-parallel 4 -m 100    # 2 runs × 4 MVFB workers
 //	qsprbench -fabric fab.txt -compare=false -format json
+//	qsprbench -shard 0/4 -checkpoint s0.jsonl  # one of four shard processes
+//	qsprbench -merge 's0.jsonl,s1.jsonl,s2.jsonl,s3.jsonl' -format csv
+//
+// A sweep can be split across processes or machines with -shard i/n
+// and checkpointed per-run with -checkpoint (JSONL; re-running the
+// same invocation resumes, mapping only what is missing). -merge
+// combines shard checkpoints into one report whose bytes are
+// identical to a single unsharded run.
 //
 // The emitted JSON/CSV/markdown bytes are identical for any -parallel
 // and -inner-parallel values: each run is mapped by a seeded,
@@ -26,6 +35,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/experiment"
 )
@@ -38,7 +48,7 @@ func main() { os.Exit(run()) }
 // writer flip a successful sweep to a failing exit.
 func run() (code int) {
 	var (
-		circuitsF  = flag.String("circuits", "all", "comma-separated built-in circuit names, or 'all'")
+		circuitsF  = flag.String("circuits", "all", "comma-separated circuit sources (built-in names, generator families like 'rand(q=20,g=400,seed=7)', 'qasm(path=f.qasm)'), or 'all'")
 		heuristics = flag.String("heuristics", "quale,qspr", "comma-separated heuristics (qspr, qspr-center, mc, quale, qpos, qpos-delay, portfolio) or 'all'")
 		mList      = flag.String("m", "25", "comma-separated MVFB seed counts to sweep")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -51,8 +61,34 @@ func run() (code int) {
 		progress   = flag.Bool("progress", false, "print per-run progress to stderr")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
+		shardF     = flag.String("shard", "", "run only shard i of n ('i/n') of the expanded sweep; merge the shards with -merge")
+		checkpoint = flag.String("checkpoint", "", "append completed runs to this JSONL file and resume from it (failed runs are retried)")
+		merge      = flag.String("merge", "", "merge comma-separated checkpoint JSONL files into one report and exit (no mapping)")
 	)
 	flag.Parse()
+
+	if *merge != "" {
+		rep, err := experiment.LoadCheckpoints(strings.Split(*merge, ",")...)
+		if err != nil {
+			return fail(err)
+		}
+		if err := experiment.ValidateFormat(*format); err != nil {
+			return fail(err)
+		}
+		if err := rep.WriteFile(*format, *out); err != nil {
+			return fail(err)
+		}
+		if *compare {
+			fmt.Fprintln(os.Stderr)
+			fmt.Fprintln(os.Stderr, "QSPR vs QUALE:")
+			if err := rep.WriteComparison(os.Stderr); err != nil {
+				return fail(err)
+			}
+		}
+		// Failed cells in the merged report flip the exit code, same
+		// as on the sweep path — a CI gate must not pass silently.
+		return reportFailures(rep)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -100,13 +136,29 @@ func run() (code int) {
 	}
 	spec.Fabrics = []experiment.FabricChoice{fc}
 
-	opts := experiment.Options{Workers: *parallel}
+	shard, err := experiment.ParseShard(*shardF)
+	if err != nil {
+		return fail(err)
+	}
+	opts := experiment.Options{Workers: *parallel, Shard: shard, Checkpoint: *checkpoint}
 	runs, err := spec.Runs()
 	if err != nil {
 		return fail(err)
 	}
+	// owned is the number of runs this invocation reports (its shard's
+	// slice) — the denominator for -progress and the interrupt notice.
+	owned := len(runs)
+	if shard.Count > 1 {
+		owned = 0
+		for _, r := range runs {
+			if r.Index%shard.Count == shard.Index {
+				owned++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "qsprbench: shard %s owns %d of %d runs\n", shard, owned, len(runs))
+	}
 	if *progress {
-		total := len(runs)
+		total := owned
 		n := 0
 		opts.OnResult = func(rr experiment.RunResult) {
 			n++
@@ -125,10 +177,15 @@ func run() (code int) {
 	defer stop()
 
 	rep, err := experiment.Execute(ctx, spec, opts)
+	if rep == nil {
+		// Nothing ran: an invalid option (bad shard, mismatched or
+		// unreadable checkpoint) was rejected before the sweep began.
+		return fail(err)
+	}
 	interrupted := err != nil
 	if interrupted {
 		fmt.Fprintf(os.Stderr, "qsprbench: sweep interrupted (%v); reporting %d/%d completed runs\n",
-			err, len(rep.Results), len(runs))
+			err, len(rep.Results), owned)
 	}
 
 	if err := rep.WriteFile(*format, *out); err != nil {
@@ -141,18 +198,25 @@ func run() (code int) {
 			return fail(err)
 		}
 	}
-	failed := false
+	if code := reportFailures(rep); code != 0 || interrupted {
+		return 1
+	}
+	return 0
+}
+
+// reportFailures announces every failed run on stderr and returns 1
+// if there was any — shared by the sweep and -merge paths so failed
+// cells always flip the exit code.
+func reportFailures(rep *experiment.Report) int {
+	code := 0
 	for _, rr := range rep.Results {
 		if rr.Err != "" {
 			fmt.Fprintf(os.Stderr, "qsprbench: %s × %s m=%d failed: %s\n",
 				rr.Circuit.Name, rr.Heuristic, rr.Seeds, rr.Err)
-			failed = true
+			code = 1
 		}
 	}
-	if interrupted || failed {
-		return 1
-	}
-	return 0
+	return code
 }
 
 func fail(err error) int {

@@ -18,8 +18,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"text/tabwriter"
@@ -55,97 +57,130 @@ var paperTable1MVFB = map[string][2]int{
 	"[[23,1,7]]": {2066, 2061},
 }
 
-func main() {
+// main is the only os.Exit in this command: run returns an exit code
+// so that writers opened for -out are always flushed and closed even
+// when a later table fails (a bare os.Exit would skip the deferred
+// cleanup and truncate the report).
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		table    = flag.String("table", "2", "which table to regenerate: 1, 2, m, ablation, all")
-		mList    = flag.String("m", "25,100", "comma-separated seed counts for Table 1")
-		seeds    = flag.Int("seeds", 100, "MVFB seeds (m) for QSPR in Table 2")
-		quick    = flag.Bool("quick", false, "fast pass with small m")
-		parallel = flag.Int("parallel", 0, "worker-pool size for the table 2 / m sweeps (0 = all CPU cores)")
-		format   = flag.String("format", "table", "output format, only with -table 2 or m: table, json, csv, markdown")
-		out      = flag.String("out", "", "write the report to this file instead of stdout (only with -table 2 or m)")
+		table    = fs.String("table", "2", "which table to regenerate: 1, 2, m, ablation, all")
+		mList    = fs.String("m", "25,100", "comma-separated seed counts for Table 1")
+		seeds    = fs.Int("seeds", 100, "MVFB seeds (m) for QSPR in Table 2")
+		quick    = fs.Bool("quick", false, "fast pass with small m")
+		parallel = fs.Int("parallel", 0, "worker-pool size for the table 2 / m sweeps (0 = all CPU cores)")
+		format   = fs.String("format", "table", "output format, only with -table 2 or m: table, json, csv, markdown")
+		out      = fs.String("out", "", "write the report to this file instead of stdout (only with -table 2 or m)")
 	)
-	flag.Parse()
-	if *quick {
-		*mList = "5,10"
-		*seeds = 5
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
-	if *format != "table" && *format != "" {
-		must(experiment.ValidateFormat(*format))
+	if err := runTables(stdout, *table, *mList, *seeds, *quick, *parallel, *format, *out); err != nil {
+		fmt.Fprintln(stderr, "tables:", err)
+		return 1
+	}
+	return 0
+}
+
+func runTables(stdout io.Writer, table, mList string, seeds int, quick bool, parallel int, format, out string) error {
+	if quick {
+		mList = "5,10"
+		seeds = 5
+	}
+	if format != "table" && format != "" {
+		if err := experiment.ValidateFormat(format); err != nil {
+			return err
+		}
 		// Raw reports are per-sweep; tables 1/ablation (and "all",
 		// which would overwrite one report with the next) only render
 		// the human tables.
-		if *table != "2" && *table != "m" {
-			must(fmt.Errorf("-format %s requires -table 2 or -table m", *format))
+		if table != "2" && table != "m" {
+			return fmt.Errorf("-format %s requires -table 2 or -table m", format)
 		}
-	} else if *out != "" {
+	} else if out != "" {
 		// The human "table" format always prints to stdout; reject
 		// -out rather than silently never writing the file.
-		must(fmt.Errorf("-out requires -format json, csv or markdown"))
+		return fmt.Errorf("-out requires -format json, csv or markdown")
+	}
+	ms, err := experiment.ParseSeedCounts(mList)
+	if err != nil {
+		return err
 	}
 	fab := fabric.Quale4585()
-	switch *table {
+	switch table {
 	case "1":
-		table1(fab, parseInts(*mList))
+		return table1(stdout, fab, ms)
 	case "2":
-		table2(fab, *seeds, *parallel, *format, *out)
+		return table2(stdout, fab, seeds, parallel, format, out)
 	case "m":
-		mSweep(fab, *parallel, *format, *out)
+		return mSweep(stdout, fab, parallel, format, out)
 	case "ablation":
-		ablation(fab)
+		return ablation(stdout, fab)
 	case "all":
-		table2(fab, *seeds, *parallel, *format, *out)
-		table1(fab, parseInts(*mList))
-		mSweep(fab, *parallel, *format, *out)
-		ablation(fab)
+		if err := table2(stdout, fab, seeds, parallel, format, out); err != nil {
+			return err
+		}
+		if err := table1(stdout, fab, ms); err != nil {
+			return err
+		}
+		if err := mSweep(stdout, fab, parallel, format, out); err != nil {
+			return err
+		}
+		return ablation(stdout, fab)
 	default:
-		fmt.Fprintf(os.Stderr, "tables: unknown table %q\n", *table)
-		os.Exit(1)
+		return fmt.Errorf("unknown table %q", table)
 	}
-}
-
-func parseInts(s string) []int {
-	out, err := experiment.ParseSeedCounts(s)
-	must(err)
-	return out
 }
 
 // sweep runs a spec through the experiment worker pool and aborts on
 // any per-run failure (the paper tables need every cell).
-func sweep(spec experiment.Spec, workers int) *experiment.Report {
+func sweep(spec experiment.Spec, workers int) (*experiment.Report, error) {
 	rep, err := experiment.Execute(context.Background(), spec, experiment.Options{Workers: workers})
-	must(err)
+	if err != nil {
+		return nil, err
+	}
 	for _, rr := range rep.Results {
 		if rr.Err != "" {
-			must(fmt.Errorf("%s × %s m=%d: %s", rr.Circuit.Name, rr.Heuristic, rr.Seeds, rr.Err))
+			return nil, fmt.Errorf("%s × %s m=%d: %s", rr.Circuit.Name, rr.Heuristic, rr.Seeds, rr.Err)
 		}
 	}
-	return rep
+	return rep, nil
 }
 
 // emit writes the raw per-run report in the requested format, either
 // to stdout or to -out. Returns false for the human "table" format,
 // which the caller renders itself.
-func emit(rep *experiment.Report, format, out string) bool {
+func emit(stdout io.Writer, rep *experiment.Report, format, out string) (bool, error) {
 	if format == "table" || format == "" {
-		return false
+		return false, nil
 	}
-	must(rep.WriteFile(format, out))
-	return true
+	if out == "" {
+		return true, rep.Write(stdout, format)
+	}
+	return true, rep.WriteFile(format, out)
 }
 
-func table2(fab *fabric.Fabric, seeds, workers int, format, out string) {
-	rep := sweep(experiment.Spec{
+func table2(stdout io.Writer, fab *fabric.Fabric, seeds, workers int, format, out string) error {
+	rep, err := sweep(experiment.Spec{
 		Circuits:   circuits.All(),
 		Fabrics:    []experiment.FabricChoice{{Name: "quale45x85", Fabric: fab}},
 		Heuristics: []core.Heuristic{core.QUALE, core.QSPR},
 		SeedCounts: []int{seeds},
 	}, workers)
-	if emit(rep, format, out) {
-		return
+	if err != nil {
+		return err
 	}
-	fmt.Printf("Table 2: execution latency of mapped QECC circuits (QSPR m=%d)\n", seeds)
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if done, err := emit(stdout, rep, format, out); done || err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Table 2: execution latency of mapped QECC circuits (QSPR m=%d)\n", seeds)
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "circuit\tbaseline\tQUALE\tQSPR\timprove%\tpaper-baseline\tpaper-QUALE\tpaper-QSPR\tpaper-improve%")
 	for _, r := range rep.Comparison() {
 		p := paperTable2[r.Circuit]
@@ -153,24 +188,31 @@ func table2(fab *fabric.Fabric, seeds, workers int, format, out string) {
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\t%d\t%d\t%d\t%.1f\n",
 			r.Circuit, r.IdealUS, r.QualeUS, r.QsprUS, r.ImprovePct, p[0], p[1], p[2], pImp)
 	}
-	must(w.Flush())
-	fmt.Println()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout)
+	return nil
 }
 
-func table1(fab *fabric.Fabric, ms []int) {
+func table1(stdout io.Writer, fab *fabric.Fabric, ms []int) error {
 	for mi, m := range ms {
-		fmt.Printf("Table 1 (m=%d): MVFB vs Monte-Carlo placer\n", m)
-		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(stdout, "Table 1 (m=%d): MVFB vs Monte-Carlo placer\n", m)
+		w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "circuit\tplacer\tlatency(µs)\truntime(ms)\truns\tpaper-latency(µs)")
 		for _, b := range circuits.All() {
 			mvfb, err := core.Map(b.Program, fab, core.Options{Heuristic: core.QSPR, Seeds: m})
-			must(err)
+			if err != nil {
+				return err
+			}
 			// Table 1 protocol: the MC placer gets exactly twice the
 			// number of MVFB *iterations* (forward+backward pairs),
 			// i.e. the same number of placement runs MVFB performed,
 			// which is why the paper reports near-equal CPU runtimes.
 			mc, err := core.MonteCarloRuns(b.Program, fab, mvfb.Runs, 1, nil)
-			must(err)
+			if err != nil {
+				return err
+			}
 			paper := ""
 			if mi < 2 {
 				paper = strconv.Itoa(paperTable1MVFB[b.Name][mi])
@@ -180,41 +222,52 @@ func table1(fab *fabric.Fabric, ms []int) {
 			fmt.Fprintf(w, "\tMC\t%d\t%d\t%d\t\n",
 				mc.Latency, mc.Runtime.Milliseconds(), mc.Runs)
 		}
-		must(w.Flush())
-		fmt.Println()
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
 	}
+	return nil
 }
 
-func mSweep(fab *fabric.Fabric, workers int, format, out string) {
+func mSweep(stdout io.Writer, fab *fabric.Fabric, workers int, format, out string) error {
 	b, err := circuits.ByName("[[9,1,3]]")
-	must(err)
-	rep := sweep(experiment.Spec{
+	if err != nil {
+		return err
+	}
+	rep, err := sweep(experiment.Spec{
 		Circuits:   []circuits.Benchmark{b},
 		Fabrics:    []experiment.FabricChoice{{Name: "quale45x85", Fabric: fab}},
 		Heuristics: []core.Heuristic{core.QSPR},
 		SeedCounts: []int{1, 5, 10, 25, 50, 100},
 	}, workers)
-	if emit(rep, format, out) {
-		return
+	if err != nil {
+		return err
 	}
-	fmt.Println("Sensitivity to m (§IV.A): MVFB best latency on [[9,1,3]]")
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if done, err := emit(stdout, rep, format, out); done || err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "Sensitivity to m (§IV.A): MVFB best latency on [[9,1,3]]")
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "m\tlatency(µs)\truns\twall(ms)")
 	for _, rr := range rep.Results {
 		fmt.Fprintf(w, "%d\t%d\t%d\t%d\n",
 			rr.Seeds, rr.Metrics.LatencyUS, rr.Metrics.PlacementRuns, rr.Wall.Milliseconds())
 	}
-	must(w.Flush())
-	if workers != 1 {
-		fmt.Println("(wall time per run is measured under concurrent execution; use -parallel 1 for the paper's uncontended CPU-runtime scaling)")
+	if err := w.Flush(); err != nil {
+		return err
 	}
-	fmt.Println()
+	if workers != 1 {
+		fmt.Fprintln(stdout, "(wall time per run is measured under concurrent execution; use -parallel 1 for the paper's uncontended CPU-runtime scaling)")
+	}
+	fmt.Fprintln(stdout)
+	return nil
 }
 
 // ablation measures each QSPR design choice in isolation on two
 // circuits (see DESIGN.md §5).
-func ablation(fab *fabric.Fabric) {
-	fmt.Println("Ablations: QSPR with single design choices reverted (MVFB m=10)")
+func ablation(stdout io.Writer, fab *fabric.Fabric) error {
+	fmt.Fprintln(stdout, "Ablations: QSPR with single design choices reverted (MVFB m=10)")
 	configs := []struct {
 		name string
 		mod  func(*engine.Config)
@@ -227,15 +280,19 @@ func ablation(fab *fabric.Fabric) {
 		{"priority: dependents only", func(c *engine.Config) { c.Weights = sched.Weights{Dependents: 1} }},
 		{"priority: path delay only", func(c *engine.Config) { c.Weights = sched.Weights{PathDelay: 1} }},
 	}
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "variant\t[[9,1,3]](µs)\t[[23,1,7]](µs)")
 	for _, cfgDesc := range configs {
 		var cells []string
 		for _, name := range []string{"[[9,1,3]]", "[[23,1,7]]"} {
 			b, err := circuits.ByName(name)
-			must(err)
+			if err != nil {
+				return err
+			}
 			g, err := qidg.Build(b.Program)
-			must(err)
+			if err != nil {
+				return err
+			}
 			cfg := engine.Config{
 				Fabric: fab, Tech: gates.Default(),
 				Policy: sched.QSPR, Weights: sched.DefaultWeights(),
@@ -243,18 +300,16 @@ func ablation(fab *fabric.Fabric) {
 			}
 			cfgDesc.mod(&cfg)
 			sol, err := place.MVFB(g, cfg, place.DefaultMVFBOptions(10))
-			must(err)
+			if err != nil {
+				return err
+			}
 			cells = append(cells, strconv.FormatInt(int64(sol.Result.Latency), 10))
 		}
 		fmt.Fprintf(w, "%s\t%s\t%s\n", cfgDesc.name, cells[0], cells[1])
 	}
-	must(w.Flush())
-	fmt.Println()
-}
-
-func must(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tables:", err)
-		os.Exit(1)
+	if err := w.Flush(); err != nil {
+		return err
 	}
+	fmt.Fprintln(stdout)
+	return nil
 }

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunReturnsInsteadOfExit: every failure path must surface as an
+// exit code from run, not a bare os.Exit that would skip deferred
+// flushes of -out writers (the same truncation bug cmd/qsprbench
+// fixed with this pattern).
+func TestRunReturnsInsteadOfExit(t *testing.T) {
+	var out, errb bytes.Buffer
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{[]string{"-table", "bogus"}, 1},
+		{[]string{"-format", "yaml"}, 1},
+		{[]string{"-format", "csv", "-table", "1"}, 1},
+		{[]string{"-out", "x.csv"}, 1}, // -out without a machine format
+		{[]string{"-m", "5,5"}, 1},     // duplicate seed counts
+		{[]string{"-not-a-flag"}, 2},
+	}
+	for _, tc := range cases {
+		out.Reset()
+		errb.Reset()
+		if code := run(tc.args, &out, &errb); code != tc.want {
+			t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.want, errb.String())
+		}
+		if tc.want == 1 && errb.Len() == 0 {
+			t.Errorf("run(%v) failed silently", tc.args)
+		}
+	}
+}

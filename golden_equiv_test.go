@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"os"
+	"path/filepath"
 	"slices"
 	"testing"
 
@@ -8,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/gates"
+	"repro/internal/qasm"
 )
 
 // table2Golden pins, for every Table 2 circuit, the exact latencies
@@ -32,6 +35,80 @@ var table2Goldens = map[string]table2Golden{
 	"[[14,8,3]]": {quale: 3293, qspr: 2798, qsprMoves: 240, qsprTurns: 84, qualeMoves: 408},
 	"[[19,1,7]]": {quale: 8948, qspr: 8156, qsprMoves: 1400, qsprTurns: 482, qualeMoves: 1630},
 	"[[23,1,7]]": {quale: 3781, qspr: 3008, qsprMoves: 1050, qsprTurns: 364, qualeMoves: 1514},
+}
+
+// TestGoldenQASMIngestionEquivalence wires the external-file path
+// into the Table-2 goldens: a benchmark circuit written out as QASM
+// text, re-ingested exactly the way `qspr -qasm <file>` ingests it
+// (qasm.ParseFile), must reproduce the same pinned QSPR latency as
+// the built-in circuit — and so must an OpenQASM 2.0 transcription,
+// which exercises the whole foreign-dialect front end.
+func TestGoldenQASMIngestionEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	fab := fabric.Quale4585()
+	dir := t.TempDir()
+	for _, name := range []string{"[[5,1,3]]", "[[9,1,3]]"} {
+		b, err := circuits.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "ext.qasm")
+		if err := os.WriteFile(path, []byte(b.Program.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		prog, err := qasm.ParseFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.Map(prog, fab, core.Options{Heuristic: core.QSPR, Seeds: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := table2Goldens[name]
+		if s.Latency != want.qspr || s.Mapping.Stats.Moves != want.qsprMoves {
+			t.Errorf("%s via -qasm file: latency %v moves %d, want golden %v / %d",
+				name, s.Latency, s.Mapping.Stats.Moves, want.qspr, want.qsprMoves)
+		}
+	}
+	// The same circuit through the OpenQASM 2.0 dialect.
+	openqasm := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+h q[0]; h q[1]; h q[2]; h q[4];
+cx q[3],q[2]; cz q[4],q[2];
+cy q[2],q[1]; cy q[3],q[1]; cx q[4],q[1];
+cz q[2],q[0]; cy q[3],q[0]; cz q[4],q[0];
+`
+	path := filepath.Join(dir, "fig3_openqasm.qasm")
+	if err := os.WriteFile(path, []byte(openqasm), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := qasm.ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Map(prog, fab, core.Options{Heuristic: core.QSPR, Seeds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := table2Goldens["[[5,1,3]]"]; s.Latency != want.qspr {
+		t.Errorf("[[5,1,3]] via OpenQASM: latency %v, want golden %v", s.Latency, want.qspr)
+	}
+	// And on a second fabric: external ingestion is fabric-agnostic
+	// (same program, different substrate, still deterministic).
+	small, err := core.Map(prog, fabric.Small(), core.Options{Heuristic: core.QSPR, Seeds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin, err := core.Map(circuits.Fig3(), fabric.Small(), core.Options{Heuristic: core.QSPR, Seeds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Latency != builtin.Latency {
+		t.Errorf("OpenQASM copy on Small fabric: latency %v, builtin %v", small.Latency, builtin.Latency)
+	}
 }
 
 func TestGoldenTable2Equivalence(t *testing.T) {

@@ -115,3 +115,35 @@ func TestBenchmarkGrowthMatchesTableOrdering(t *testing.T) {
 		t.Errorf("[[23,1,7]] (%d 2q gates) not larger than [[5,1,3]] (%d)", large, small)
 	}
 }
+
+// TestInverseRoundTripOnCorpus: for every QECC encoder benchmark,
+// parse→Inverse→parse must round-trip — the serialized uncompute
+// program re-parses to itself, and a double inverse reproduces the
+// original program exactly (the reversibility property MVFB's
+// backward runs rely on).
+func TestInverseRoundTripOnCorpus(t *testing.T) {
+	for _, b := range All() {
+		reparsed, err := qasm.ParseString(b.Program.String())
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", b.Name, err)
+		}
+		inv, err := reparsed.Inverse()
+		if err != nil {
+			t.Fatalf("%s: inverse: %v", b.Name, err)
+		}
+		invReparsed, err := qasm.ParseString(inv.String())
+		if err != nil {
+			t.Fatalf("%s: inverse text does not re-parse: %v", b.Name, err)
+		}
+		if invReparsed.String() != inv.String() {
+			t.Errorf("%s: inverse text is not a fixed point of parse→print", b.Name)
+		}
+		back, err := invReparsed.Inverse()
+		if err != nil {
+			t.Fatalf("%s: double inverse: %v", b.Name, err)
+		}
+		if back.String() != b.Program.String() {
+			t.Errorf("%s: double inverse does not reproduce the original", b.Name)
+		}
+	}
+}

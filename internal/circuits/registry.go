@@ -1,0 +1,315 @@
+// Circuit-source registry: circuits become a first-class, open-ended
+// input rather than a hard-coded list. A source spec is either the
+// table label of a built-in QECC benchmark ("[[7,1,3]]"), the name of
+// a parameterized generator family ("rand(q=20,g=400,seed=7)"), or an
+// external QASM file ("qasm(path=bench.qasm)", either dialect). All
+// families are deterministic in their parameters, so a spec string
+// identifies the exact same circuit in every process — the property
+// sharded and resumed sweeps rely on.
+
+package circuits
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/qasm"
+	"repro/internal/qasmgen"
+)
+
+// family describes one generator-backed benchmark family.
+type family struct {
+	// params lists accepted keys in canonical order; required keys
+	// have no default.
+	params []paramSpec
+	// build constructs the program from resolved parameters.
+	build func(p map[string]string) (*qasm.Program, error)
+	// usage is the one-line signature shown in errors and -list.
+	usage string
+	// doc is a short description of the family.
+	doc string
+}
+
+type paramSpec struct {
+	key string
+	// def is the default value; "" means required.
+	def string
+}
+
+// families is the registry of generator-backed circuit sources, in
+// the order Families lists them.
+var familyOrder = []string{"rand", "ghz", "brickwork", "ring", "star", "grid", "steane-syndrome", "qasm"}
+
+var families = map[string]family{
+	"rand": {
+		params: []paramSpec{{"q", ""}, {"g", ""}, {"frac", "0.5"}, {"seed", "1"}},
+		usage:  "rand(q=<qubits>,g=<gates>,frac=0.5,seed=1)",
+		doc:    "seeded random Clifford circuit (frac = one-qubit-gate fraction)",
+		build: func(p map[string]string) (*qasm.Program, error) {
+			q, err := intParam(p, "q")
+			if err != nil {
+				return nil, err
+			}
+			g, err := intParam(p, "g")
+			if err != nil {
+				return nil, err
+			}
+			frac, err := strconv.ParseFloat(p["frac"], 64)
+			if err != nil {
+				return nil, fmt.Errorf("frac=%q is not a number", p["frac"])
+			}
+			seed, err := strconv.ParseInt(p["seed"], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("seed=%q is not an integer", p["seed"])
+			}
+			return qasmgen.RandomClifford(q, g, frac, seed)
+		},
+	},
+	"ghz": {
+		params: []paramSpec{{"q", ""}},
+		usage:  "ghz(q=<qubits>)",
+		doc:    "GHZ preparation: H + CNOT chain (maximal depth, minimal parallelism)",
+		build: func(p map[string]string) (*qasm.Program, error) {
+			q, err := intParam(p, "q")
+			if err != nil {
+				return nil, err
+			}
+			return qasmgen.GHZ(q)
+		},
+	},
+	"brickwork": {
+		params: []paramSpec{{"q", ""}, {"layers", "1"}},
+		usage:  "brickwork(q=<qubits>,layers=1)",
+		doc:    "alternating layers of disjoint two-qubit gates (maximal parallelism)",
+		build: func(p map[string]string) (*qasm.Program, error) {
+			q, err := intParam(p, "q")
+			if err != nil {
+				return nil, err
+			}
+			layers, err := intParam(p, "layers")
+			if err != nil {
+				return nil, err
+			}
+			return qasmgen.BrickworkLayers(q, layers)
+		},
+	},
+	"ring": {
+		params: []paramSpec{{"q", ""}, {"layers", "1"}},
+		usage:  "ring(q=<qubits>,layers=1)",
+		doc:    "interaction graph is the q-cycle",
+		build: func(p map[string]string) (*qasm.Program, error) {
+			q, err := intParam(p, "q")
+			if err != nil {
+				return nil, err
+			}
+			layers, err := intParam(p, "layers")
+			if err != nil {
+				return nil, err
+			}
+			return qasmgen.Ring(q, layers)
+		},
+	},
+	"star": {
+		params: []paramSpec{{"q", ""}, {"layers", "1"}},
+		usage:  "star(q=<qubits>,layers=1)",
+		doc:    "interaction graph is the q-star (hub qubit 0)",
+		build: func(p map[string]string) (*qasm.Program, error) {
+			q, err := intParam(p, "q")
+			if err != nil {
+				return nil, err
+			}
+			layers, err := intParam(p, "layers")
+			if err != nil {
+				return nil, err
+			}
+			return qasmgen.Star(q, layers)
+		},
+	},
+	"grid": {
+		params: []paramSpec{{"rows", ""}, {"cols", ""}, {"layers", "1"}},
+		usage:  "grid(rows=<r>,cols=<c>,layers=1)",
+		doc:    "interaction graph is the rows×cols nearest-neighbor grid",
+		build: func(p map[string]string) (*qasm.Program, error) {
+			rows, err := intParam(p, "rows")
+			if err != nil {
+				return nil, err
+			}
+			cols, err := intParam(p, "cols")
+			if err != nil {
+				return nil, err
+			}
+			layers, err := intParam(p, "layers")
+			if err != nil {
+				return nil, err
+			}
+			return qasmgen.Grid(rows, cols, layers)
+		},
+	},
+	"steane-syndrome": {
+		params: []paramSpec{},
+		usage:  "steane-syndrome",
+		doc:    "one syndrome-extraction round of the Steane code (7 data + 6 ancilla)",
+		build: func(map[string]string) (*qasm.Program, error) {
+			return qasmgen.SteaneSyndrome()
+		},
+	},
+	"qasm": {
+		params: []paramSpec{{"path", ""}},
+		usage:  "qasm(path=<file>)",
+		doc:    "external QASM file (QUALE-style or OpenQASM 2.0, auto-detected)",
+		build: func(p map[string]string) (*qasm.Program, error) {
+			return qasm.ParseFile(p["path"])
+		},
+	},
+}
+
+func intParam(p map[string]string, key string) (int, error) {
+	v, err := strconv.Atoi(p[key])
+	if err != nil {
+		return 0, fmt.Errorf("%s=%q is not an integer", key, p[key])
+	}
+	return v, nil
+}
+
+// Families lists the generator family signatures with their
+// one-line descriptions, for -list style help output.
+func Families() []string {
+	out := make([]string, 0, len(familyOrder))
+	for _, name := range familyOrder {
+		f := families[name]
+		out = append(out, fmt.Sprintf("%s — %s", f.usage, f.doc))
+	}
+	return out
+}
+
+// Resolve turns a circuit-source spec into a Benchmark. A spec is
+// either a built-in benchmark label (see All), a bare family name
+// with no required parameters ("steane-syndrome"), or a family call
+// "name(k=v,...)" such as "rand(q=20,g=400,seed=7)". The returned
+// benchmark is named by the canonicalized spec (defaults filled in,
+// parameters in declaration order), so the same circuit gets the
+// same name in every report.
+func Resolve(spec string) (Benchmark, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return Benchmark{}, fmt.Errorf("circuits: empty circuit spec")
+	}
+	if b, err := ByName(spec); err == nil {
+		return b, nil
+	}
+	name, params, hasCall, err := splitCall(spec)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("circuits: %w", err)
+	}
+	fam, ok := families[strings.ToLower(name)]
+	if !ok {
+		return Benchmark{}, fmt.Errorf("circuits: unknown benchmark or family %q (built-ins: %s; families: %s)",
+			spec, strings.Join(Names(), ", "), strings.Join(familyOrder, ", "))
+	}
+	if !hasCall && requiredParams(fam) > 0 {
+		return Benchmark{}, fmt.Errorf("circuits: family %q needs parameters: %s", name, fam.usage)
+	}
+	resolved, err := resolveParams(fam, params)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("circuits: %s: %w (usage: %s)", name, err, fam.usage)
+	}
+	prog, err := fam.build(resolved)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("circuits: %s: %w", name, err)
+	}
+	return Benchmark{
+		Name:    canonicalSpec(strings.ToLower(name), fam, resolved),
+		Program: prog,
+		Source:  "generator:" + strings.ToLower(name),
+	}, nil
+}
+
+// splitCall splits "name(k=v,...)" into name and parameter map.
+// hasCall is false for a bare name with no parentheses.
+func splitCall(spec string) (name string, params map[string]string, hasCall bool, err error) {
+	open := strings.IndexByte(spec, '(')
+	if open < 0 {
+		if strings.ContainsAny(spec, ")=,") {
+			return "", nil, false, fmt.Errorf("malformed circuit spec %q", spec)
+		}
+		return spec, nil, false, nil
+	}
+	if !strings.HasSuffix(spec, ")") {
+		return "", nil, false, fmt.Errorf("unbalanced parentheses in circuit spec %q", spec)
+	}
+	name = strings.TrimSpace(spec[:open])
+	params = map[string]string{}
+	body := spec[open+1 : len(spec)-1]
+	if strings.TrimSpace(body) == "" {
+		return name, params, true, nil
+	}
+	for _, kv := range strings.Split(body, ",") {
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			return "", nil, false, fmt.Errorf("parameter %q is not k=v in spec %q", strings.TrimSpace(kv), spec)
+		}
+		k := strings.TrimSpace(kv[:eq])
+		v := strings.TrimSpace(kv[eq+1:])
+		if k == "" || v == "" {
+			return "", nil, false, fmt.Errorf("empty parameter in spec %q", spec)
+		}
+		if _, dup := params[k]; dup {
+			return "", nil, false, fmt.Errorf("duplicate parameter %q in spec %q", k, spec)
+		}
+		params[k] = v
+	}
+	return name, params, true, nil
+}
+
+func requiredParams(f family) int {
+	n := 0
+	for _, ps := range f.params {
+		if ps.def == "" {
+			n++
+		}
+	}
+	return n
+}
+
+// resolveParams validates given against the family's parameter specs
+// and fills defaults. Unknown and missing-required keys are errors.
+func resolveParams(f family, given map[string]string) (map[string]string, error) {
+	out := map[string]string{}
+	known := map[string]bool{}
+	for _, ps := range f.params {
+		known[ps.key] = true
+		if v, ok := given[ps.key]; ok {
+			out[ps.key] = v
+		} else if ps.def != "" {
+			out[ps.key] = ps.def
+		} else {
+			return nil, fmt.Errorf("missing required parameter %q", ps.key)
+		}
+	}
+	var unknown []string
+	for k := range given {
+		if !known[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown parameter(s) %s", strings.Join(unknown, ", "))
+	}
+	return out, nil
+}
+
+// canonicalSpec renders the resolved call with parameters in
+// declaration order, e.g. "rand(q=20,g=400,frac=0.5,seed=7)".
+func canonicalSpec(name string, f family, params map[string]string) string {
+	if len(f.params) == 0 {
+		return name
+	}
+	parts := make([]string, 0, len(f.params))
+	for _, ps := range f.params {
+		parts = append(parts, ps.key+"="+params[ps.key])
+	}
+	return name + "(" + strings.Join(parts, ",") + ")"
+}

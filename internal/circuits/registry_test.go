@@ -1,0 +1,162 @@
+package circuits
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/qidg"
+)
+
+func TestResolveBuiltin(t *testing.T) {
+	b, err := Resolve("[[7,1,3]]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "[[7,1,3]]" || b.Source != "synthesized" {
+		t.Errorf("got %q/%q", b.Name, b.Source)
+	}
+}
+
+func TestResolveRandCanonicalAndDeterministic(t *testing.T) {
+	a, err := Resolve("rand(q=8,g=40,seed=7)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "rand(q=8,g=40,frac=0.5,seed=7)"; a.Name != want {
+		t.Errorf("canonical name %q, want %q", a.Name, want)
+	}
+	if a.Source != "generator:rand" {
+		t.Errorf("source %q", a.Source)
+	}
+	// Same spec (even spelled differently) → identical circuit: the
+	// contract sharded/resumed sweeps rely on.
+	b, err := Resolve(" rand( seed=7, g=40 , q=8 ) ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Program.String() != b.Program.String() || a.Name != b.Name {
+		t.Error("same parameters resolved to different circuits")
+	}
+	c, err := Resolve("rand(q=8,g=40,seed=8)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Program.String() == c.Program.String() {
+		t.Error("different seeds produced identical circuits")
+	}
+}
+
+func TestResolveTopologyFamilies(t *testing.T) {
+	ring, err := Resolve("ring(q=5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := qidg.Build(ring.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.InteractionEdges(), [][2]int{{0, 1}, {0, 4}, {1, 2}, {2, 3}, {3, 4}}; len(got) != len(want) {
+		t.Fatalf("ring(q=5) interaction edges %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ring(q=5) interaction edges %v, want %v", got, want)
+			}
+		}
+	}
+	star, err := Resolve("star(q=4,layers=2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := qidg.Build(star.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range gs.InteractionEdges() {
+		if e[0] != 0 {
+			t.Errorf("star edge %v does not touch the hub", e)
+		}
+	}
+	grid, err := Resolve("grid(rows=2,cols=3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := qidg.Build(grid.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x3 grid: 2*2 horizontal + 3 vertical = 7 edges.
+	if got := len(gg.InteractionEdges()); got != 7 {
+		t.Errorf("grid(2,3) has %d interaction edges, want 7", got)
+	}
+}
+
+func TestResolveQASMFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig3.qasm")
+	if err := os.WriteFile(path, []byte(Fig3QASM), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Resolve("qasm(path=" + path + ")")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Program.String() != Fig3().String() {
+		t.Error("external file did not reproduce the built-in circuit")
+	}
+	if b.Source != "generator:qasm" {
+		t.Errorf("source %q", b.Source)
+	}
+}
+
+func TestResolveBareFamilyWithoutParams(t *testing.T) {
+	b, err := Resolve("steane-syndrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Program.NumQubits() != 13 {
+		t.Errorf("steane-syndrome has %d qubits, want 13", b.Program.NumQubits())
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	cases := []struct {
+		spec, wantSub string
+	}{
+		{"", "empty circuit spec"},
+		{"nosuch", "unknown benchmark or family"},
+		{"nosuch(q=3)", "unknown benchmark or family"},
+		{"rand", "needs parameters"},
+		{"rand(q=8)", `missing required parameter "g"`},
+		{"rand(q=8,g=10,bogus=1)", "unknown parameter(s) bogus"},
+		{"rand(q=8,g=ten)", "not an integer"},
+		{"rand(q=8,g=10,q=9)", "duplicate parameter"},
+		{"rand(q=8,g=10", "unbalanced parentheses"},
+		{"rand(q)", "not k=v"},
+		{"ghz(q=1)", "at least 2 qubits"},
+	}
+	for _, tc := range cases {
+		_, err := Resolve(tc.spec)
+		if err == nil {
+			t.Errorf("Resolve(%q): no error", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Resolve(%q) = %q, want mention of %q", tc.spec, err, tc.wantSub)
+		}
+	}
+}
+
+func TestFamiliesListed(t *testing.T) {
+	fams := Families()
+	if len(fams) != len(familyOrder) {
+		t.Fatalf("Families() lists %d entries, registry has %d", len(fams), len(familyOrder))
+	}
+	for _, f := range fams {
+		if !strings.Contains(f, "—") {
+			t.Errorf("family line %q has no description", f)
+		}
+	}
+}

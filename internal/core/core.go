@@ -83,11 +83,18 @@ type Options struct {
 	// Tech overrides the technology parameters (nil = paper §V.A).
 	Tech *gates.Tech
 	// Seeds is m, the number of random starts for QSPR's MVFB placer
-	// or the number of runs for the MonteCarlo placer. Default 25.
+	// or the number of runs for the MonteCarlo placer. 0 means the
+	// paper default of 25; negative values are rejected.
 	Seeds int
-	// Seed feeds the random permutations (default 1).
+	// Seed feeds the random permutations. 0 is deliberately coerced
+	// to 1 by Normalize so that the zero value of Options reproduces
+	// the documented deterministic defaults (every seed in this repo
+	// — goldens, reports, docs — is pinned against seed 1). To sweep
+	// seeds, use values >= 1; negative seeds are rejected so a typo'd
+	// sign cannot silently select an undocumented stream.
 	Seed int64
-	// Patience is MVFB's non-improving-run stop count (default 3).
+	// Patience is MVFB's non-improving-run stop count. 0 means the
+	// paper default of 3; negative values are rejected.
 	Patience int
 	// InnerParallel is the worker count *within* one mapping: MVFB
 	// starts, Monte-Carlo trials and the portfolio's racing placers
@@ -96,14 +103,35 @@ type Options struct {
 	// is sequential. Sweeps (internal/experiment) share one CPU
 	// budget between this level and across-run parallelism.
 	InnerParallel int
-	// Workers is the old name of InnerParallel, consulted only when
-	// InnerParallel is 0.
+	// Workers is the old name of InnerParallel. Precedence when both
+	// are set: a non-zero InnerParallel wins; otherwise Workers
+	// forwards into InnerParallel. Normalize applies this rule in one
+	// place (the values never silently disagree downstream: every
+	// consumer sees the resolved InnerParallel only).
 	//
 	// Deprecated: set InnerParallel.
 	Workers int
 }
 
-func (o Options) withDefaults() Options {
+// Normalize validates o and resolves its documented defaults: Seeds 0
+// → 25, Seed 0 → 1, Patience 0 → 3, and the Workers→InnerParallel
+// precedence (non-zero InnerParallel wins; Workers, the deprecated
+// old name, forwards into it otherwise). Negative values are errors
+// rather than silent coercions. Map normalizes internally; callers
+// only need Normalize to inspect the resolved options.
+func (o Options) Normalize() (Options, error) {
+	switch {
+	case o.Seeds < 0:
+		return o, fmt.Errorf("core: Seeds %d < 0 (0 means the default of 25)", o.Seeds)
+	case o.Seed < 0:
+		return o, fmt.Errorf("core: Seed %d < 0 (seeds are positive; 0 means the default of 1)", o.Seed)
+	case o.Patience < 0:
+		return o, fmt.Errorf("core: Patience %d < 0 (0 means the default of 3)", o.Patience)
+	case o.InnerParallel < 0:
+		return o, fmt.Errorf("core: InnerParallel %d < 0 (0 or 1 means sequential)", o.InnerParallel)
+	case o.Workers < 0:
+		return o, fmt.Errorf("core: Workers %d < 0 (0 or 1 means sequential)", o.Workers)
+	}
 	if o.Seeds == 0 {
 		o.Seeds = 25
 	}
@@ -119,7 +147,7 @@ func (o Options) withDefaults() Options {
 	if o.InnerParallel < 1 {
 		o.InnerParallel = 1
 	}
-	return o
+	return o, nil
 }
 
 // Result is the outcome of one mapping.
@@ -152,7 +180,10 @@ func (r *Result) Overhead() gates.Time { return r.Latency - r.Ideal }
 
 // Map schedules, places and routes prog onto fab.
 func Map(prog *qasm.Program, fab *fabric.Fabric, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	g, err := qidg.Build(prog)
 	if err != nil {
 		return nil, err

@@ -122,8 +122,52 @@ func TestUnknownHeuristic(t *testing.T) {
 }
 
 func TestDefaultsApplied(t *testing.T) {
-	o := Options{}.withDefaults()
-	if o.Seeds != 25 || o.Seed != 1 || o.Patience != 3 {
+	o, err := Options{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed 0 → 1 is the documented coercion: the zero Options value
+	// must reproduce the pinned deterministic defaults.
+	if o.Seeds != 25 || o.Seed != 1 || o.Patience != 3 || o.InnerParallel != 1 {
 		t.Errorf("defaults = %+v", o)
+	}
+}
+
+// TestWorkersInnerParallelPrecedence pins the resolution of the
+// deprecated Workers knob: non-zero InnerParallel wins; Workers
+// forwards into it otherwise. The two can never silently disagree —
+// consumers only ever see the resolved InnerParallel.
+func TestWorkersInnerParallelPrecedence(t *testing.T) {
+	o, err := Options{Workers: 4}.Normalize()
+	if err != nil || o.InnerParallel != 4 {
+		t.Errorf("Workers alone: InnerParallel = %d (err %v), want 4", o.InnerParallel, err)
+	}
+	o, err = Options{Workers: 4, InnerParallel: 2}.Normalize()
+	if err != nil || o.InnerParallel != 2 {
+		t.Errorf("both set: InnerParallel = %d (err %v), want 2 (InnerParallel wins)", o.InnerParallel, err)
+	}
+	o, err = Options{InnerParallel: 8}.Normalize()
+	if err != nil || o.InnerParallel != 8 {
+		t.Errorf("InnerParallel alone: got %d (err %v)", o.InnerParallel, err)
+	}
+}
+
+// TestNormalizeRejectsNegatives: negative knobs fail loudly instead
+// of being silently coerced.
+func TestNormalizeRejectsNegatives(t *testing.T) {
+	cases := []Options{
+		{Seeds: -1},
+		{Seed: -1},
+		{Patience: -2},
+		{InnerParallel: -1},
+		{Workers: -3},
+	}
+	for _, o := range cases {
+		if _, err := o.Normalize(); err == nil {
+			t.Errorf("Normalize(%+v): expected error", o)
+		}
+		if _, err := Map(circuits.Fig3(), fabric.Quale4585(), o); err == nil {
+			t.Errorf("Map with %+v: expected error", o)
+		}
 	}
 }

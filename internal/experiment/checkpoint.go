@@ -1,0 +1,211 @@
+package experiment
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/circuits"
+)
+
+// circuitStub is a name-only benchmark for merged reports: rendering
+// a report needs only the names, never the program.
+func circuitStub(name string) circuits.Benchmark { return circuits.Benchmark{Name: name} }
+
+// Checkpointing makes sweeps resumable: Execute appends one JSON line
+// per completed run (the runRecord shape of the reports) to
+// Options.Checkpoint, and on the next Execute with the same Spec the
+// completed runs are slotted straight into the report without being
+// re-mapped. Failed runs are re-executed on resume (the record with
+// the highest file position wins), so a transient failure does not
+// poison the checkpoint. Because every metric is a deterministic
+// function of the run's inputs, a report assembled from cached
+// records is byte-identical to one computed fresh — and shard
+// checkpoints merged with LoadCheckpoints are byte-identical to a
+// single unsharded sweep.
+
+// checkpointWriter appends run records to a JSONL file, serialized
+// by a mutex (worker goroutines finish runs concurrently).
+type checkpointWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error
+}
+
+func openCheckpointWriter(path string) (*checkpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	return &checkpointWriter{f: f}, nil
+}
+
+// append writes one completed run; the first error sticks and is
+// reported by close (losing checkpoint lines silently would break
+// the resume guarantee).
+func (c *checkpointWriter) append(rr *RunResult) {
+	line, err := json.Marshal(rr.record())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	if err == nil {
+		_, err = c.f.Write(append(line, '\n'))
+	}
+	if err != nil {
+		c.err = fmt.Errorf("experiment: checkpoint append: %w", err)
+	}
+}
+
+func (c *checkpointWriter) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.f.Close(); c.err == nil && err != nil {
+		c.err = fmt.Errorf("experiment: checkpoint close: %w", err)
+	}
+	return c.err
+}
+
+// readCheckpointRecords parses one JSONL checkpoint stream. A corrupt
+// final line is tolerated (a crash mid-append leaves one); corruption
+// anywhere else is an error. Later records override earlier ones with
+// the same index (a failed run re-executed on resume).
+func readCheckpointRecords(r io.Reader, name string) (map[int]runRecord, error) {
+	recs := map[int]runRecord{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec runRecord
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			// Only fatal if any further line follows.
+			pendingErr = fmt.Errorf("experiment: checkpoint %s: line %d: %w", name, line, err)
+			continue
+		}
+		if rec.Index < 0 {
+			return nil, fmt.Errorf("experiment: checkpoint %s: line %d: negative run index %d", name, line, rec.Index)
+		}
+		recs[rec.Index] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint %s: %w", name, err)
+	}
+	return recs, nil
+}
+
+// matchRun verifies a checkpoint record against the run the spec
+// expands to at that index; a mismatch means the checkpoint belongs
+// to a different spec and resuming would silently mix sweeps.
+func matchRun(rec runRecord, runs []Run) (Run, error) {
+	if rec.Index >= len(runs) {
+		return Run{}, fmt.Errorf("experiment: checkpoint holds run index %d but the spec expands to %d runs (different spec?)",
+			rec.Index, len(runs))
+	}
+	r := runs[rec.Index]
+	if rec.Circuit != r.Circuit.Name || rec.Fabric != r.Fabric.Name ||
+		rec.Heuristic != r.Heuristic.String() || rec.M != r.Seeds || rec.Seed != r.Seed {
+		return Run{}, fmt.Errorf("experiment: checkpoint run %d is %s×%s×%s m=%d seed=%d but the spec expands to %s×%s×%s m=%d seed=%d (different spec?)",
+			rec.Index, rec.Circuit, rec.Fabric, rec.Heuristic, rec.M, rec.Seed,
+			r.Circuit.Name, r.Fabric.Name, r.Heuristic.String(), r.Seeds, r.Seed)
+	}
+	return r, nil
+}
+
+// loadCheckpoint reads a checkpoint file into cached results keyed by
+// run index, validated against the expanded spec. A missing file is
+// an empty checkpoint.
+func loadCheckpoint(path string, runs []Run) (map[int]*RunResult, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return map[int]*RunResult{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	defer f.Close()
+	recs, err := readCheckpointRecords(f, path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]*RunResult, len(recs))
+	for _, rec := range recs {
+		run, err := matchRun(rec, runs)
+		if err != nil {
+			return nil, err
+		}
+		out[rec.Index] = &RunResult{Run: run, Metrics: rec.Metrics, Err: rec.Error}
+	}
+	return out, nil
+}
+
+// LoadCheckpoints merges one or more checkpoint files (typically one
+// per shard) into a single Report, sorted by run index. Within one
+// file later records override earlier ones; across files the last
+// named file wins. The merged report's WriteJSON/WriteCSV/
+// WriteMarkdown bytes are identical to those of the single unsharded
+// sweep, because every serialized field lives in the checkpoint
+// records themselves. Runs absent from every checkpoint (an
+// unfinished shard) are simply missing rows; callers that need
+// completeness should compare len(Report.Results) against
+// Spec.Runs().
+func LoadCheckpoints(paths ...string) (*Report, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("experiment: no checkpoint files to merge")
+	}
+	merged := map[int]runRecord{}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: checkpoint: %w", err)
+		}
+		recs, err := readCheckpointRecords(f, path)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		for idx, rec := range recs {
+			merged[idx] = rec
+		}
+	}
+	indices := make([]int, 0, len(merged))
+	for idx := range merged {
+		indices = append(indices, idx)
+	}
+	sort.Ints(indices)
+	rep := &Report{Results: make([]RunResult, 0, len(indices))}
+	for _, idx := range indices {
+		rec := merged[idx]
+		h, err := ParseHeuristic(rec.Heuristic)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: checkpoint run %d: %w", idx, err)
+		}
+		rep.Results = append(rep.Results, RunResult{
+			Run: Run{
+				Index:     rec.Index,
+				Circuit:   circuitStub(rec.Circuit),
+				Fabric:    FabricChoice{Name: rec.Fabric},
+				Heuristic: h,
+				Seeds:     rec.M,
+				Seed:      rec.Seed,
+			},
+			Metrics: rec.Metrics,
+			Err:     rec.Error,
+		})
+	}
+	return rep, nil
+}

@@ -239,33 +239,60 @@ func runMapper(r Run) (*Metrics, error) {
 // (circuits.All) ready for a Spec.
 func BuiltinCircuits() []circuits.Benchmark { return circuits.All() }
 
-// SelectCircuits resolves a comma-separated list of built-in
-// benchmark names; "all" selects every benchmark. Commas inside
-// brackets are part of a single code label like "[[5,1,3]]".
+// SelectCircuits resolves a comma-separated list of circuit sources:
+// built-in benchmark names, generator family calls like
+// "rand(q=20,g=400,seed=7)" or external files "qasm(path=f.qasm)"
+// (see circuits.Resolve); "all" selects every built-in benchmark.
+// Commas inside brackets or parentheses belong to a single source
+// spec. Empty and duplicate entries are errors — a typo'd list must
+// fail loudly rather than silently shrink the sweep.
 func SelectCircuits(s string) ([]circuits.Benchmark, error) {
 	if strings.EqualFold(strings.TrimSpace(s), "all") {
 		return circuits.All(), nil
 	}
+	names, err := SplitCircuitList(s)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
 	var out []circuits.Benchmark
-	for _, name := range SplitCircuitList(s) {
-		b, err := circuits.ByName(strings.TrimSpace(name))
+	for _, name := range names {
+		if strings.TrimSpace(name) == "" {
+			return nil, fmt.Errorf("experiment: empty circuit entry in list %q", s)
+		}
+		b, err := circuits.Resolve(name)
 		if err != nil {
 			return nil, err
 		}
+		if seen[b.Name] {
+			return nil, fmt.Errorf("experiment: duplicate circuit %q in list %q (it would run — and be reported — twice)", b.Name, s)
+		}
+		seen[b.Name] = true
 		out = append(out, b)
 	}
 	return out, nil
 }
 
 // ParseSeedCounts parses a comma-separated list of positive m values
-// (MVFB seed counts), e.g. "5,25,100".
+// (MVFB seed counts), e.g. "5,25,100". Empty and duplicate entries
+// are errors: a stray comma or a repeated m would silently pad the
+// sweep with empty or doubled run cells.
 func ParseSeedCounts(s string) ([]int, error) {
 	var out []int
+	seen := map[int]bool{}
 	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("experiment: bad seed count %q", f)
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return nil, fmt.Errorf("experiment: empty seed count entry in %q", s)
 		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("experiment: bad seed count %q (want a positive integer)", f)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("experiment: duplicate seed count %d in %q", v, s)
+		}
+		seen[v] = true
 		out = append(out, v)
 	}
 	return out, nil
@@ -290,26 +317,42 @@ func LoadFabric(path string) (FabricChoice, error) {
 	return FabricChoice{Name: path, Fabric: fab}, nil
 }
 
-// SplitCircuitList splits a comma-separated list of circuit names,
-// keeping commas inside brackets (benchmark names are code labels
-// like "[[5,1,3]]") as part of the name.
-func SplitCircuitList(s string) []string {
+// SplitCircuitList splits a comma-separated list of circuit source
+// specs, keeping commas inside brackets (code labels like
+// "[[5,1,3]]") and parentheses (generator calls like
+// "rand(q=20,g=400,seed=7)") as part of one spec. Unbalanced
+// brackets or parentheses are an error — they would otherwise glue
+// the rest of the list into one garbled name.
+func SplitCircuitList(s string) ([]string, error) {
 	var out []string
-	depth, start := 0, 0
+	brackets, parens, start := 0, 0, 0
 	for i, r := range s {
 		switch r {
 		case '[':
-			depth++
+			brackets++
 		case ']':
-			depth--
+			brackets--
+			if brackets < 0 {
+				return nil, fmt.Errorf("experiment: unbalanced ']' in circuit list %q", s)
+			}
+		case '(':
+			parens++
+		case ')':
+			parens--
+			if parens < 0 {
+				return nil, fmt.Errorf("experiment: unbalanced ')' in circuit list %q", s)
+			}
 		case ',':
-			if depth == 0 {
+			if brackets == 0 && parens == 0 {
 				out = append(out, s[start:i])
 				start = i + 1
 			}
 		}
 	}
-	return append(out, s[start:])
+	if brackets != 0 || parens != 0 {
+		return nil, fmt.Errorf("experiment: unbalanced brackets in circuit list %q", s)
+	}
+	return append(out, s[start:]), nil
 }
 
 // ParseHeuristics parses a comma-separated heuristic list such as

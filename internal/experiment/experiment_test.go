@@ -286,8 +286,30 @@ func TestSelectCircuits(t *testing.T) {
 	if _, err := SelectCircuits("bogus"); err == nil {
 		t.Error("expected error for unknown benchmark")
 	}
-	if got := SplitCircuitList("[[5,1,3]]"); len(got) != 1 {
-		t.Errorf("single name split into %d parts: %q", len(got), got)
+	if got, err := SplitCircuitList("[[5,1,3]]"); err != nil || len(got) != 1 {
+		t.Errorf("single name split into %d parts (err %v): %q", len(got), err, got)
+	}
+	if got, err := SplitCircuitList("rand(q=8,g=40,seed=7),ghz(q=5)"); err != nil || len(got) != 2 {
+		t.Errorf("generator list split into %d parts (err %v): %q", len(got), err, got)
+	}
+	// Silent-coercion fixes: empty, duplicate and unbalanced entries
+	// fail loudly instead of shrinking or garbling the sweep.
+	for _, bad := range []string{"[[5,1,3]],", ",[[5,1,3]]", "[[5,1,3]],[[5,1,3]]", "[[5,1,3]", "rand(q=8", "ghz(q=5))"} {
+		if _, err := SelectCircuits(bad); err == nil {
+			t.Errorf("SelectCircuits(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseSeedCountsValidation(t *testing.T) {
+	got, err := ParseSeedCounts("5, 25,100")
+	if err != nil || len(got) != 3 || got[0] != 5 || got[2] != 100 {
+		t.Fatalf("got %v, err %v", got, err)
+	}
+	for _, bad := range []string{"", "5,", ",5", "5,5", "0", "-3", "five"} {
+		if _, err := ParseSeedCounts(bad); err == nil {
+			t.Errorf("ParseSeedCounts(%q): expected error", bad)
+		}
 	}
 }
 

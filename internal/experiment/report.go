@@ -74,19 +74,26 @@ type runRecord struct {
 	Metrics   *Metrics `json:"metrics,omitempty"`
 }
 
+// record serializes one result; the same shape is a report row and a
+// checkpoint line (checkpoint.go), so merged checkpoints reproduce
+// report bytes exactly.
+func (rr RunResult) record() runRecord {
+	return runRecord{
+		Index:     rr.Index,
+		Circuit:   rr.Circuit.Name,
+		Fabric:    rr.Fabric.Name,
+		Heuristic: rr.Heuristic.String(),
+		M:         rr.Seeds,
+		Seed:      rr.Seed,
+		Error:     rr.Err,
+		Metrics:   rr.Metrics,
+	}
+}
+
 func (rep *Report) records() []runRecord {
 	recs := make([]runRecord, 0, len(rep.Results))
 	for _, rr := range rep.Results {
-		recs = append(recs, runRecord{
-			Index:     rr.Index,
-			Circuit:   rr.Circuit.Name,
-			Fabric:    rr.Fabric.Name,
-			Heuristic: rr.Heuristic.String(),
-			M:         rr.Seeds,
-			Seed:      rr.Seed,
-			Error:     rr.Err,
-			Metrics:   rr.Metrics,
-		})
+		recs = append(recs, rr.record())
 	}
 	return recs
 }

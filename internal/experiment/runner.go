@@ -26,8 +26,23 @@ type Options struct {
 	RunFunc RunFunc
 	// OnResult, if non-nil, is called as each run completes, in
 	// completion order (not index order), serialized by a mutex. Use
-	// it for progress reporting.
+	// it for progress reporting. Runs served from a checkpoint are
+	// announced up front (with zero Wall time, before any fresh run),
+	// so a progress counter over the shard's runs always reaches its
+	// total.
 	OnResult func(RunResult)
+	// Shard restricts this Execute to one slice of the expanded run
+	// list (shard i of n owns indices ≡ i mod n); the zero value runs
+	// everything. Reports from the n shards, checkpointed and merged
+	// with LoadCheckpoints, are byte-identical to one unsharded sweep.
+	Shard Shard
+	// Checkpoint, when non-empty, is a JSONL file: every completed
+	// run is appended as it finishes, and runs already recorded there
+	// (from an interrupted previous Execute with the same Spec) are
+	// served from the file instead of being re-mapped. Failed runs
+	// are retried. A checkpoint written by a different Spec is
+	// rejected.
+	Checkpoint string
 }
 
 // Execute expands spec and maps every run across a work-stealing
@@ -54,6 +69,43 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := opts.Shard.validate(); err != nil {
+		return nil, err
+	}
+	results := make([]*RunResult, len(runs))
+	var ckw *checkpointWriter
+	if opts.Checkpoint != "" {
+		cached, err := loadCheckpoint(opts.Checkpoint, runs)
+		if err != nil {
+			return nil, err
+		}
+		// Successful cached runs are served from the file; failed ones
+		// are retried (their newer record wins on the next resume).
+		for idx, rr := range cached {
+			if rr.Err == "" {
+				results[idx] = rr
+			}
+		}
+		if opts.OnResult != nil {
+			// Announce the served runs in index order so progress
+			// counters account for them.
+			for idx, rr := range results {
+				if rr != nil && opts.Shard.owns(idx) {
+					opts.OnResult(*rr)
+				}
+			}
+		}
+		if ckw, err = openCheckpointWriter(opts.Checkpoint); err != nil {
+			return nil, err
+		}
+	}
+	// This shard's still-unmapped slice of the sweep.
+	var pending []Run
+	for _, r := range runs {
+		if opts.Shard.owns(r.Index) && results[r.Index] == nil {
+			pending = append(pending, r)
+		}
+	}
 	// One CPU budget covers both parallelism levels: with inner
 	// workers inside every mapping, the across-run pool shrinks so
 	// outer × inner stays within the budget. Results are unaffected —
@@ -71,16 +123,16 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 		// even a single run; clamp it (results are identical at any
 		// inner worker count, so this only changes scheduling).
 		inner = budget
-		for i := range runs {
-			runs[i].InnerParallel = inner
+		for i := range pending {
+			pending[i].InnerParallel = inner
 		}
 	}
 	workers := budget / inner
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(runs) {
-		workers = len(runs)
+	if workers > len(pending) {
+		workers = len(pending)
 	}
 	fn := opts.RunFunc
 	if fn == nil {
@@ -94,11 +146,10 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 	for w := range queues {
 		queues[w] = &deque{}
 	}
-	for i, r := range runs {
+	for i, r := range pending {
 		queues[i%workers].push(r)
 	}
 
-	results := make([]*RunResult, len(runs))
 	var cbMu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -118,6 +169,9 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 				}
 				rr := executeRun(ctx, r, fn)
 				results[r.Index] = rr
+				if ckw != nil {
+					ckw.append(rr)
+				}
 				if opts.OnResult != nil {
 					cbMu.Lock()
 					opts.OnResult(*rr)
@@ -129,9 +183,14 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 	wg.Wait()
 
 	rep := &Report{}
-	for _, rr := range results {
-		if rr != nil {
+	for i, rr := range results {
+		if rr != nil && opts.Shard.owns(i) {
 			rep.Results = append(rep.Results, *rr)
+		}
+	}
+	if ckw != nil {
+		if err := ckw.close(); err != nil {
+			return rep, err
 		}
 	}
 	return rep, ctx.Err()

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard restricts a sweep to one slice of the expanded run list so a
+// big sweep can be split across processes or machines: shard i of n
+// owns the runs whose Index ≡ i (mod n). Because run indices are a
+// pure function of the Spec, the n shards partition the sweep exactly,
+// and a report merged from all shards (LoadCheckpoints) is
+// byte-identical to the report of a single unsharded Execute.
+//
+// The zero value (Count 0) disables sharding; Count 1 is equivalent.
+// Round-robin assignment balances load the same way the worker-pool
+// pre-distribution does: adjacent runs tend to share a circuit and
+// hence a cost profile.
+type Shard struct {
+	// Index is this shard's number, 0 ≤ Index < Count.
+	Index int
+	// Count is the total number of shards.
+	Count int
+}
+
+// ParseShard parses the CLI form "i/n" (e.g. "0/4"); the empty
+// string means no sharding.
+func ParseShard(s string) (Shard, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Shard{}, nil
+	}
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Shard{}, fmt.Errorf("experiment: shard %q is not of the form i/n", s)
+	}
+	i, err1 := strconv.Atoi(strings.TrimSpace(s[:slash]))
+	n, err2 := strconv.Atoi(strings.TrimSpace(s[slash+1:]))
+	if err1 != nil || err2 != nil {
+		return Shard{}, fmt.Errorf("experiment: shard %q is not of the form i/n", s)
+	}
+	sh := Shard{Index: i, Count: n}
+	if err := sh.validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}
+
+// String renders the shard in its CLI form; "" when disabled.
+func (s Shard) String() string {
+	if s.Count == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+func (s Shard) validate() error {
+	if s.Count == 0 && s.Index == 0 {
+		return nil
+	}
+	if s.Count < 1 {
+		return fmt.Errorf("experiment: shard count %d < 1", s.Count)
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("experiment: shard index %d outside [0,%d)", s.Index, s.Count)
+	}
+	return nil
+}
+
+// owns reports whether this shard executes the run at index.
+func (s Shard) owns(index int) bool {
+	return s.Count <= 1 || index%s.Count == s.Index
+}

@@ -1,0 +1,371 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+)
+
+// fakeSpec is a small sweep whose fake mapper is a pure function of
+// the run, so report bytes depend only on the reporting machinery.
+func fakeSpec(t *testing.T) Spec {
+	t.Helper()
+	bs, err := SelectCircuits("[[5,1,3]],[[7,1,3]],[[9,1,3]]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{
+		Circuits:   bs,
+		Fabrics:    []FabricChoice{{Name: "small", Fabric: fabric.Small()}},
+		Heuristics: []core.Heuristic{core.QUALE, core.QSPR},
+		SeedCounts: []int{1, 2},
+	}
+}
+
+func fakeMapper(_ context.Context, r Run) (*Metrics, error) {
+	return &Metrics{
+		LatencyUS: int64(100*r.Index + r.Seeds),
+		IdealUS:   int64(r.Index),
+		Placement: []int{r.Index, r.Seeds},
+	}, nil
+}
+
+func reportBytes(t *testing.T, rep *Report) (js, csv, md []byte) {
+	t.Helper()
+	var a, b, c bytes.Buffer
+	if err := rep.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteMarkdown(&c); err != nil {
+		t.Fatal(err)
+	}
+	return a.Bytes(), b.Bytes(), c.Bytes()
+}
+
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Shard
+		wantErr bool
+	}{
+		{"", Shard{}, false},
+		{"0/1", Shard{0, 1}, false},
+		{"2/4", Shard{2, 4}, false},
+		{" 1 / 3 ", Shard{1, 3}, false},
+		{"3/3", Shard{}, true},
+		{"-1/3", Shard{}, true},
+		{"1/0", Shard{}, true},
+		{"1", Shard{}, true},
+		{"a/b", Shard{}, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseShard(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParseShard(%q) error = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseShard(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+	if (Shard{1, 3}).String() != "1/3" || (Shard{}).String() != "" {
+		t.Error("Shard.String round-trip broken")
+	}
+}
+
+// TestShardedCheckpointMergeByteIdentical pins the headline contract:
+// a sweep split across n shards, each checkpointed to JSONL, merges
+// into reports byte-identical to a single unsharded Execute — for
+// every output format.
+func TestShardedCheckpointMergeByteIdentical(t *testing.T) {
+	spec := fakeSpec(t)
+	full, err := Execute(context.Background(), spec, Options{RunFunc: fakeMapper, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJS, wantCSV, wantMD := reportBytes(t, full)
+
+	dir := t.TempDir()
+	const n = 3
+	var paths []string
+	for i := 0; i < n; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", i))
+		paths = append(paths, path)
+		rep, err := Execute(context.Background(), spec, Options{
+			RunFunc:    fakeMapper,
+			Workers:    2,
+			Shard:      Shard{Index: i, Count: n},
+			Checkpoint: path,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rr := range rep.Results {
+			if rr.Index%n != i {
+				t.Fatalf("shard %d reported run %d", i, rr.Index)
+			}
+		}
+	}
+	merged, err := LoadCheckpoints(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Results) != len(full.Results) {
+		t.Fatalf("merged %d runs, unsharded %d", len(merged.Results), len(full.Results))
+	}
+	gotJS, gotCSV, gotMD := reportBytes(t, merged)
+	if !bytes.Equal(gotJS, wantJS) {
+		t.Errorf("merged JSON differs from unsharded:\n got: %s\nwant: %s", gotJS, wantJS)
+	}
+	if !bytes.Equal(gotCSV, wantCSV) {
+		t.Error("merged CSV differs from unsharded")
+	}
+	if !bytes.Equal(gotMD, wantMD) {
+		t.Error("merged markdown differs from unsharded")
+	}
+}
+
+// TestResumeServesCachedRuns: a second Execute over a complete
+// checkpoint maps nothing and reproduces the report byte-for-byte; an
+// interrupted (partial) checkpoint re-runs only what is missing.
+func TestResumeServesCachedRuns(t *testing.T) {
+	spec := fakeSpec(t)
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	var calls atomic.Int64
+	counting := func(ctx context.Context, r Run) (*Metrics, error) {
+		calls.Add(1)
+		return fakeMapper(ctx, r)
+	}
+	first, err := Execute(context.Background(), spec, Options{RunFunc: counting, Checkpoint: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRuns := int64(len(first.Results))
+	if calls.Load() != wantRuns {
+		t.Fatalf("first pass mapped %d runs, want %d", calls.Load(), wantRuns)
+	}
+	second, err := Execute(context.Background(), spec, Options{RunFunc: counting, Checkpoint: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != wantRuns {
+		t.Errorf("resume re-mapped runs: %d calls total, want %d", calls.Load(), wantRuns)
+	}
+	aJS, _, _ := reportBytes(t, first)
+	bJS, _, _ := reportBytes(t, second)
+	if !bytes.Equal(aJS, bJS) {
+		t.Error("resumed report differs from original")
+	}
+
+	// Truncate the checkpoint to simulate an interrupted sweep: only
+	// the missing runs are re-mapped.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	keep := 4
+	if err := os.WriteFile(path, bytes.Join(lines[:keep], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	calls.Store(0)
+	third, err := Execute(context.Background(), spec, Options{RunFunc: counting, Checkpoint: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != wantRuns-int64(keep) {
+		t.Errorf("partial resume mapped %d runs, want %d", calls.Load(), wantRuns-int64(keep))
+	}
+	cJS, _, _ := reportBytes(t, third)
+	if !bytes.Equal(aJS, cJS) {
+		t.Error("partially resumed report differs from original")
+	}
+}
+
+// TestResumeRetriesFailedRuns: failure records do not poison the
+// checkpoint — the run is retried on resume and the newer record
+// wins.
+func TestResumeRetriesFailedRuns(t *testing.T) {
+	spec := fakeSpec(t)
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	failOnce := func(ctx context.Context, r Run) (*Metrics, error) {
+		if r.Index == 2 {
+			return nil, fmt.Errorf("transient failure")
+		}
+		return fakeMapper(ctx, r)
+	}
+	rep, err := Execute(context.Background(), spec, Options{RunFunc: failOnce, Checkpoint: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[2].Err == "" {
+		t.Fatal("expected run 2 to fail on the first pass")
+	}
+	var retried atomic.Int64
+	repaired := func(ctx context.Context, r Run) (*Metrics, error) {
+		retried.Add(1)
+		if r.Index != 2 {
+			t.Errorf("resume re-mapped healthy run %d", r.Index)
+		}
+		return fakeMapper(ctx, r)
+	}
+	rep2, err := Execute(context.Background(), spec, Options{RunFunc: repaired, Checkpoint: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retried.Load() != 1 {
+		t.Errorf("resume mapped %d runs, want 1", retried.Load())
+	}
+	if rep2.Results[2].Err != "" || rep2.Results[2].Metrics == nil {
+		t.Error("retried run still failed in the resumed report")
+	}
+	// And a third pass serves everything, including the repaired run,
+	// from the checkpoint (the newer record wins).
+	rep3, err := Execute(context.Background(), spec, Options{
+		RunFunc: func(context.Context, Run) (*Metrics, error) {
+			t.Error("third pass should map nothing")
+			return nil, nil
+		},
+		Checkpoint: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, _ := reportBytes(t, rep2)
+	b3, _, _ := reportBytes(t, rep3)
+	if !bytes.Equal(b2, b3) {
+		t.Error("checkpointed retry not served on the next resume")
+	}
+}
+
+// TestCheckpointSpecMismatch: resuming with a different spec must be
+// rejected, not silently mixed.
+func TestCheckpointSpecMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	spec := fakeSpec(t)
+	if _, err := Execute(context.Background(), spec, Options{RunFunc: fakeMapper, Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+	other := spec
+	other.SeedCounts = []int{7, 9}
+	_, err := Execute(context.Background(), other, Options{RunFunc: fakeMapper, Checkpoint: path})
+	if err == nil {
+		t.Fatal("mismatched checkpoint accepted")
+	}
+	// A shrunken spec (fewer runs than the checkpoint holds) is also
+	// a mismatch.
+	shrunk := spec
+	shrunk.Heuristics = []core.Heuristic{core.QUALE}
+	if _, err := Execute(context.Background(), shrunk, Options{RunFunc: fakeMapper, Checkpoint: path}); err == nil {
+		t.Fatal("shrunken spec accepted against a larger checkpoint")
+	}
+}
+
+// TestCheckpointToleratesTornTail: a crash mid-append leaves a
+// truncated final line; resume must absorb it and re-run that run.
+func TestCheckpointToleratesTornTail(t *testing.T) {
+	spec := fakeSpec(t)
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	if _, err := Execute(context.Background(), spec, Options{RunFunc: fakeMapper, Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil { // tear the last record
+		t.Fatal(err)
+	}
+	rep, err := Execute(context.Background(), spec, Options{RunFunc: fakeMapper, Checkpoint: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := spec.Runs(); len(rep.Results) != len(want) {
+		t.Errorf("torn-tail resume reported %d runs, want %d", len(rep.Results), len(want))
+	}
+	// Corruption in the middle is NOT tolerated.
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	lines[1] = []byte("{corrupt\n")
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(context.Background(), spec, Options{RunFunc: fakeMapper, Checkpoint: path}); err == nil {
+		t.Error("mid-file corruption accepted")
+	}
+}
+
+// TestShardedRealSweepMatchesUnsharded runs the real mapping stack on
+// the small fabric: two shards, merged, against one unsharded sweep —
+// byte-identical reports end to end.
+func TestShardedRealSweepMatchesUnsharded(t *testing.T) {
+	bs, err := SelectCircuits("ghz(q=4),ring(q=4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Circuits:   bs,
+		Fabrics:    []FabricChoice{{Name: "small", Fabric: fabric.Small()}},
+		Heuristics: []core.Heuristic{core.QSPRCenter, core.QUALE},
+		SeedCounts: []int{1},
+	}
+	full, err := Execute(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range full.Results {
+		if rr.Err != "" {
+			t.Fatalf("run %d failed: %s", rr.Index, rr.Err)
+		}
+	}
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 2; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("s%d.jsonl", i))
+		paths = append(paths, path)
+		if _, err := Execute(context.Background(), spec, Options{
+			Shard: Shard{Index: i, Count: 2}, Checkpoint: path,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := LoadCheckpoints(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJS, _, _ := reportBytes(t, full)
+	gotJS, _, _ := reportBytes(t, merged)
+	if !bytes.Equal(gotJS, wantJS) {
+		t.Errorf("real sharded sweep differs from unsharded:\n got: %s\nwant: %s", gotJS, wantJS)
+	}
+}
+
+// TestSelectCircuitsGeneratorFamilies: generator-backed families are
+// selectable by name next to the built-ins.
+func TestSelectCircuitsGeneratorFamilies(t *testing.T) {
+	bs, err := SelectCircuits("[[5,1,3]],rand(q=6,g=20,seed=3),ghz(q=5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 3 {
+		t.Fatalf("got %d circuits, want 3", len(bs))
+	}
+	if bs[1].Name != "rand(q=6,g=20,frac=0.5,seed=3)" {
+		t.Errorf("canonical generator name %q", bs[1].Name)
+	}
+	if bs[2].Program.NumQubits() != 5 {
+		t.Errorf("ghz(q=5) has %d qubits", bs[2].Program.NumQubits())
+	}
+	if _, err := SelectCircuits("rand(q=6)"); err == nil {
+		t.Error("invalid family parameters accepted")
+	}
+}

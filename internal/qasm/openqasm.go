@@ -1,0 +1,430 @@
+package qasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/gates"
+)
+
+// This file ingests the OpenQASM 2.0 dialect, so externally produced
+// circuits (Qiskit dumps, published benchmark suites) can be mapped
+// without hand-translation into the paper's QUALE-style dialect.
+// Parse sniffs the dialect (see looksLikeOpenQASM) and routes here.
+//
+// Supported subset: the OPENQASM 2.0 header, include directives
+// (ignored), qreg/creg declarations, applications of the gates in
+// openQASMGates (plus register broadcasting), measure with a creg
+// target, and barrier (a scheduling no-op in this latency model).
+// Parameterized gates (u1/u2/u3/rx/...), user gate definitions,
+// opaque, reset and if() are rejected with positioned errors: they
+// have no counterpart in the paper's gate set and silently dropping
+// them would change the circuit being measured.
+
+// openQASMGates maps OpenQASM gate names to the IR gate set.
+var openQASMGates = map[string]gates.Kind{
+	"id": gates.I, "h": gates.H, "x": gates.X, "y": gates.Y, "z": gates.Z,
+	"s": gates.S, "sdg": gates.Sdg, "t": gates.T, "tdg": gates.Tdg,
+	"cx": gates.CX, "cnot": gates.CX, "cy": gates.CY, "cz": gates.CZ,
+	"swap": gates.Swap,
+}
+
+// oqStmt is one ';'-terminated OpenQASM statement with the 1-based
+// line its first token appears on.
+type oqStmt struct {
+	text string
+	line int
+}
+
+// looksLikeOpenQASM sniffs the dialect: the first significant token
+// of an OpenQASM file is one of its keywords, none of which is a
+// statement of the QUALE-style dialect (whose lines start with QUBIT
+// or a gate mnemonic). Both // line and /* */ block comments are
+// skipped — Qiskit dumps routinely open with a block-comment banner.
+func looksLikeOpenQASM(src string) bool {
+	tok, ok := firstSignificantToken(src)
+	if !ok {
+		return false
+	}
+	switch strings.ToLower(tok) {
+	case "openqasm", "include", "qreg", "creg", "gate", "opaque":
+		return true
+	}
+	return false
+}
+
+// firstSignificantToken returns the first token of src outside
+// comments and whitespace.
+func firstSignificantToken(src string) (string, bool) {
+	for i := 0; i < len(src); i++ {
+		switch c := src[i]; {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i++; i < len(src) && src[i] != '\n'; i++ {
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return "", false
+			}
+			i += 2 + end + 1
+		case c == '#':
+			// QUALE-dialect comment; no OpenQASM construct starts here.
+			return "", false
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\r\n(;", rune(src[j])) {
+				j++
+			}
+			return src[i:j], true
+		}
+	}
+	return "", false
+}
+
+// splitOpenQASMStatements strips // and /* */ comments and splits the
+// source into ';'-terminated statements, tracking source lines.
+func splitOpenQASMStatements(src string) ([]oqStmt, error) {
+	var stmts []oqStmt
+	var b strings.Builder
+	line, stmtLine := 1, 0
+	inLine, inBlock, inString := false, false, false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c == '\n' {
+			line++
+			inLine = false
+			b.WriteByte(' ')
+			continue
+		}
+		switch {
+		case inLine:
+			continue
+		case inBlock:
+			if c == '*' && i+1 < len(src) && src[i+1] == '/' {
+				inBlock = false
+				i++
+			}
+			continue
+		case inString:
+			b.WriteByte(c)
+			if c == '"' {
+				inString = false
+			}
+			continue
+		case c == '"':
+			inString = true
+			b.WriteByte(c)
+			continue
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			inLine = true
+			i++
+			continue
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			inBlock = true
+			i++
+			continue
+		case c == ';':
+			stmts = append(stmts, oqStmt{text: strings.TrimSpace(b.String()), line: stmtLine})
+			b.Reset()
+			stmtLine = 0
+			continue
+		case c == '{':
+			// Braces only appear in gate/opaque definition bodies,
+			// which are not supported (their bodies contain ';' and
+			// would confuse statement splitting).
+			at := stmtLine
+			if at == 0 {
+				at = line
+			}
+			return nil, errf(at, "user gate definitions are not supported; inline the body")
+		}
+		if stmtLine == 0 && c != ' ' && c != '\t' && c != '\r' {
+			stmtLine = line
+		}
+		b.WriteByte(c)
+	}
+	if inBlock {
+		return nil, errf(line, "unterminated /* comment")
+	}
+	if rest := strings.TrimSpace(b.String()); rest != "" {
+		return nil, errf(stmtLine, "statement %q is missing its ';'", rest)
+	}
+	return stmts, nil
+}
+
+// oqRegs tracks declared quantum and classical registers.
+type oqRegs struct {
+	// qubits[name] lists the program qubit indices of qreg name.
+	qubits map[string][]int
+	// cregs[name] is the size of creg name.
+	cregs map[string]int
+}
+
+// parseOpenQASM parses an OpenQASM 2.0 program into the shared IR.
+func parseOpenQASM(src string) (*Program, error) {
+	stmts, err := splitOpenQASMStatements(src)
+	if err != nil {
+		return nil, err
+	}
+	p := NewProgram()
+	regs := &oqRegs{qubits: map[string][]int{}, cregs: map[string]int{}}
+	for idx, st := range stmts {
+		if st.text == "" {
+			continue
+		}
+		fields := strings.FieldsFunc(st.text, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == '\r'
+		})
+		keyword := strings.ToLower(fields[0])
+		// The keyword can be glued to its operand ("measure q[0]->c[0]").
+		switch {
+		case keyword == "openqasm" || strings.HasPrefix(keyword, "openqasm"):
+			version := strings.TrimSpace(strings.TrimPrefix(st.text, fields[0]))
+			if strings.EqualFold(fields[0], "openqasm") && idx == 0 {
+				if version != "2.0" && version != "2" {
+					return nil, errf(st.line, "unsupported OPENQASM version %q (only 2.0)", version)
+				}
+				continue
+			}
+			if strings.EqualFold(fields[0], "openqasm") {
+				return nil, errf(st.line, "OPENQASM header must be the first statement")
+			}
+			return nil, errf(st.line, "unknown statement %q", fields[0])
+		case keyword == "include":
+			// Headers like qelib1.inc only define the standard gates,
+			// which are built in here.
+			continue
+		case keyword == "qreg", keyword == "creg":
+			if err := parseOpenQASMReg(p, regs, keyword, st); err != nil {
+				return nil, err
+			}
+		case keyword == "barrier":
+			// Barriers constrain compiler reordering; the QIDG already
+			// encodes all data dependencies, so they are no-ops here.
+			continue
+		case keyword == "measure":
+			if err := parseOpenQASMMeasure(p, regs, st); err != nil {
+				return nil, err
+			}
+		case keyword == "gate", keyword == "opaque":
+			return nil, errf(st.line, "user gate definitions (%s) are not supported; inline the body", keyword)
+		case keyword == "reset":
+			return nil, errf(st.line, "reset is not supported (the latency model has no reset operation)")
+		case strings.HasPrefix(keyword, "if"):
+			return nil, errf(st.line, "classically controlled gates (if) are not supported")
+		default:
+			if err := parseOpenQASMGate(p, regs, st); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseOpenQASMReg handles "qreg q[5]" / "creg c[5]".
+func parseOpenQASMReg(p *Program, regs *oqRegs, keyword string, st oqStmt) error {
+	arg := strings.TrimSpace(st.text[len(keyword):])
+	name, size, err := parseRegDecl(arg, st.line)
+	if err != nil {
+		return err
+	}
+	if keyword == "creg" {
+		if _, dup := regs.cregs[name]; dup {
+			return errf(st.line, "creg %q redeclared", name)
+		}
+		regs.cregs[name] = size
+		return nil
+	}
+	if _, dup := regs.qubits[name]; dup {
+		return errf(st.line, "qreg %q redeclared", name)
+	}
+	ids := make([]int, size)
+	for i := 0; i < size; i++ {
+		// OpenQASM qubits start in |0⟩; q[i] becomes qubit "q<i>" so
+		// the canonical QUALE-dialect rendering round-trips.
+		id, err := p.DeclareQubit(fmt.Sprintf("%s%d", name, i), 0, st.line)
+		if err != nil {
+			return errf(st.line, "qreg %s[%d]: %v (colliding register names?)", name, size, err)
+		}
+		ids[i] = id
+	}
+	regs.qubits[name] = ids
+	return nil
+}
+
+// parseRegDecl parses "name[n]" with n >= 1.
+func parseRegDecl(s string, line int) (string, int, error) {
+	open := strings.IndexByte(s, '[')
+	if open < 0 || !strings.HasSuffix(s, "]") {
+		return "", 0, errf(line, "malformed register declaration %q (want name[size])", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if !validName(name) {
+		return "", 0, errf(line, "invalid register name %q", name)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil || n < 1 {
+		return "", 0, errf(line, "register %q has invalid size %q", name, s[open+1:len(s)-1])
+	}
+	return name, n, nil
+}
+
+// oqOperand is one gate operand: a whole register or one element.
+type oqOperand struct {
+	reg   string
+	index int // -1 for a whole register
+}
+
+func parseOperand(s string, line int) (oqOperand, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '[')
+	if open < 0 {
+		if !validName(s) {
+			return oqOperand{}, errf(line, "invalid operand %q", s)
+		}
+		return oqOperand{reg: s, index: -1}, nil
+	}
+	if !strings.HasSuffix(s, "]") {
+		return oqOperand{}, errf(line, "malformed operand %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if !validName(name) {
+		return oqOperand{}, errf(line, "invalid operand register %q", name)
+	}
+	i, err := strconv.Atoi(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil || i < 0 {
+		return oqOperand{}, errf(line, "operand %q has invalid index", s)
+	}
+	return oqOperand{reg: name, index: i}, nil
+}
+
+// resolve expands an operand to program qubit indices, bounds-checked.
+func (o oqOperand) resolve(regs *oqRegs, line int) ([]int, error) {
+	ids, ok := regs.qubits[o.reg]
+	if !ok {
+		return nil, errf(line, "unknown quantum register %q", o.reg)
+	}
+	if o.index < 0 {
+		return ids, nil
+	}
+	if o.index >= len(ids) {
+		return nil, errf(line, "index %s[%d] out of range (size %d)", o.reg, o.index, len(ids))
+	}
+	return []int{ids[o.index]}, nil
+}
+
+// parseOpenQASMGate handles a gate application statement, including
+// OpenQASM register broadcasting: every whole-register operand must
+// have the same size n and the statement expands to n applications;
+// indexed operands are repeated.
+func parseOpenQASMGate(p *Program, regs *oqRegs, st oqStmt) error {
+	name := st.text
+	if i := strings.IndexAny(name, " \t"); i >= 0 {
+		name = name[:i]
+	}
+	if i := strings.IndexByte(name, '('); i >= 0 {
+		base := strings.ToLower(name[:i])
+		if _, known := openQASMGates[base]; known {
+			return errf(st.line, "gate %q takes no parameters", base)
+		}
+		return errf(st.line, "parameterized gate %q is not in the paper's discrete gate set", base)
+	}
+	kind, ok := openQASMGates[strings.ToLower(name)]
+	if !ok {
+		return errf(st.line, "unknown gate %q", name)
+	}
+	argText := strings.TrimSpace(st.text[len(name):])
+	if argText == "" {
+		return errf(st.line, "%s expects %d operand(s), got 0", name, kind.Arity())
+	}
+	parts := strings.Split(argText, ",")
+	if len(parts) != kind.Arity() {
+		return errf(st.line, "%s expects %d operand(s), got %d", name, kind.Arity(), len(parts))
+	}
+	operands := make([][]int, len(parts))
+	span := 1
+	for i, part := range parts {
+		op, err := parseOperand(part, st.line)
+		if err != nil {
+			return err
+		}
+		ids, err := op.resolve(regs, st.line)
+		if err != nil {
+			return err
+		}
+		operands[i] = ids
+		if op.index < 0 {
+			if span != 1 && span != len(ids) {
+				return errf(st.line, "mismatched register sizes in %s broadcast", name)
+			}
+			span = len(ids)
+		}
+	}
+	for j := 0; j < span; j++ {
+		args := make([]int, len(operands))
+		for i, ids := range operands {
+			if len(ids) == 1 {
+				args[i] = ids[0]
+			} else {
+				args[i] = ids[j]
+			}
+		}
+		if len(args) == 2 && args[0] == args[1] {
+			return errf(st.line, "%s uses the same qubit twice", name)
+		}
+		if err := p.AddGateByIndex(kind, args...); err != nil {
+			return errf(st.line, "%s: %v", name, err)
+		}
+		// Record the source line for diagnostics (AddGateByIndex has
+		// no line parameter).
+		p.Instrs[len(p.Instrs)-1].Line = st.line
+	}
+	return nil
+}
+
+// parseOpenQASMMeasure handles "measure q[i] -> c[i]" (and the
+// whole-register broadcast form). The classical target is validated
+// and discarded: the latency model keeps measurement outcomes
+// implicit.
+func parseOpenQASMMeasure(p *Program, regs *oqRegs, st oqStmt) error {
+	body := strings.TrimSpace(st.text[len("measure"):])
+	parts := strings.Split(body, "->")
+	if len(parts) != 2 {
+		return errf(st.line, "measure expects 'qubit -> creg', got %q", body)
+	}
+	src, err := parseOperand(parts[0], st.line)
+	if err != nil {
+		return err
+	}
+	dst, err := parseOperand(parts[1], st.line)
+	if err != nil {
+		return err
+	}
+	size, ok := regs.cregs[dst.reg]
+	if !ok {
+		return errf(st.line, "unknown classical register %q", dst.reg)
+	}
+	if dst.index >= size {
+		return errf(st.line, "index %s[%d] out of range (size %d)", dst.reg, dst.index, size)
+	}
+	ids, err := src.resolve(regs, st.line)
+	if err != nil {
+		return err
+	}
+	if src.index < 0 && dst.index < 0 && len(ids) > size {
+		return errf(st.line, "measure broadcast: qreg %q (size %d) wider than creg %q (size %d)",
+			src.reg, len(ids), dst.reg, size)
+	}
+	for _, q := range ids {
+		if err := p.AddGateByIndex(gates.Measure, q); err != nil {
+			return errf(st.line, "measure: %v", err)
+		}
+		p.Instrs[len(p.Instrs)-1].Line = st.line
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package qasm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/gates"
+)
+
+// fig3OpenQASM is the paper's Fig. 3 circuit transcribed into
+// OpenQASM 2.0 (qubit q3 starts unspecified in the paper; OpenQASM
+// has no such notion, and the mapper ignores initial values anyway).
+const fig3OpenQASM = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+h q[0];
+h q[1];
+h q[2];
+h q[4];
+cx q[3],q[2];
+cz q[4],q[2];
+cy q[2],q[1];
+cy q[3],q[1];
+cx q[4],q[1];
+cz q[2],q[0];
+cy q[3],q[0];
+cz q[4],q[0];
+`
+
+func TestOpenQASMFig3MatchesQUALEDialect(t *testing.T) {
+	p, err := ParseString(fig3OpenQASM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumQubits() != 5 {
+		t.Fatalf("got %d qubits, want 5", p.NumQubits())
+	}
+	g := p.Gates()
+	if len(g) != 12 {
+		t.Fatalf("got %d gates, want 12", len(g))
+	}
+	// Same gate sequence as the paper's own dialect.
+	quale := `QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3,0
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+`
+	if p.String() != quale {
+		t.Errorf("canonical form mismatch:\n got:\n%s want:\n%s", p.String(), quale)
+	}
+}
+
+func TestOpenQASMRoundTripThroughCanonicalForm(t *testing.T) {
+	p, err := ParseString(fig3OpenQASM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The canonical rendering is QUALE-dialect; re-parsing it must
+	// reproduce the same program.
+	q, err := ParseString(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != q.String() {
+		t.Error("canonical form does not round-trip")
+	}
+}
+
+func TestOpenQASMBroadcast(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg a[3];
+qreg b[3];
+creg c[3];
+h a;
+cx a,b;
+cx a[0],b;
+measure b -> c;
+`
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Gates()
+	// 3 h + 3 cx + 3 cx + 3 measure
+	if len(g) != 12 {
+		t.Fatalf("got %d gates, want 12", len(g))
+	}
+	if g[3].Kind != gates.CX || g[3].Qubits[0] != 0 || g[3].Qubits[1] != 3 {
+		t.Errorf("cx a,b expanded wrong: %+v", g[3])
+	}
+	// Indexed control broadcast against a whole register.
+	if g[6].Qubits[0] != 0 || g[7].Qubits[0] != 0 || g[8].Qubits[0] != 0 {
+		t.Errorf("cx a[0],b should keep control a[0]: %+v %+v %+v", g[6], g[7], g[8])
+	}
+}
+
+func TestOpenQASMCommentsAndWhitespace(t *testing.T) {
+	src := "OPENQASM 2.0; // header\n/* block\ncomment */ qreg q[2];\nh q[0]; cx q[0],q[1];"
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Gates()); got != 2 {
+		t.Errorf("got %d gates, want 2", got)
+	}
+}
+
+// TestOpenQASMErrors pins positioned errors on the malformed-input
+// paths: every rejection must carry the offending source line.
+func TestOpenQASMErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+		wantLine           int
+	}{
+		{"bad version", "OPENQASM 3.0;\nqreg q[1];", "unsupported OPENQASM version", 1},
+		{"late header", "qreg q[2];\nOPENQASM 2.0;", "must be the first statement", 2},
+		{"missing semicolon", "OPENQASM 2.0;\nqreg q[2]", "missing its ';'", 2},
+		{"bad qreg decl", "OPENQASM 2.0;\nqreg q;", "malformed register declaration", 2},
+		{"zero-size qreg", "OPENQASM 2.0;\nqreg q[0];", "invalid size", 2},
+		{"unknown gate", "OPENQASM 2.0;\nqreg q[2];\nccx q[0],q[1];", `unknown gate "ccx"`, 3},
+		{"parameterized gate", "OPENQASM 2.0;\nqreg q[1];\nu3(0.1,0.2,0.3) q[0];", "parameterized gate", 3},
+		{"out of range", "OPENQASM 2.0;\nqreg q[2];\nh q[2];", "out of range", 3},
+		{"unknown register", "OPENQASM 2.0;\nqreg q[2];\nh r[0];", `unknown quantum register "r"`, 3},
+		{"arity", "OPENQASM 2.0;\nqreg q[2];\ncx q[0];", "expects 2 operand(s)", 3},
+		{"same qubit twice", "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];", "same qubit twice", 3},
+		{"broadcast size mismatch", "OPENQASM 2.0;\nqreg a[2];\nqreg b[3];\ncx a,b;", "mismatched register sizes", 4},
+		{"measure no creg", "OPENQASM 2.0;\nqreg q[1];\nmeasure q[0] -> c[0];", `unknown classical register "c"`, 3},
+		{"measure creg overflow", "OPENQASM 2.0;\nqreg q[3];\ncreg c[2];\nmeasure q -> c;", "wider than creg", 4},
+		{"gate definition", "OPENQASM 2.0;\ngate foo a { h a; }", "not supported", 2},
+		{"reset", "OPENQASM 2.0;\nqreg q[1];\nreset q[0];", "reset is not supported", 3},
+		{"if", "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nif(c==1) x q[0];", "not supported", 4},
+		{"unterminated comment", "OPENQASM 2.0;\nqreg q[1]; /* oops", "unterminated", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.src)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %q is not a *ParseError", err)
+			}
+			if pe.Line != tc.wantLine {
+				t.Errorf("error on line %d, want %d: %v", pe.Line, tc.wantLine, err)
+			}
+		})
+	}
+}
+
+func TestOpenQASMDetection(t *testing.T) {
+	if !looksLikeOpenQASM("// c\n  OPENQASM 2.0;\n") {
+		t.Error("OPENQASM header not detected")
+	}
+	if !looksLikeOpenQASM("/* generated\nby qiskit */\nOPENQASM 2.0;\n") {
+		t.Error("leading block comment defeated detection")
+	}
+	if looksLikeOpenQASM("/* unterminated") {
+		t.Error("unterminated block comment misdetected")
+	}
+	if !looksLikeOpenQASM("qreg q[4];") {
+		t.Error("qreg not detected")
+	}
+	if looksLikeOpenQASM("QUBIT q0,0\nH q0\n") {
+		t.Error("QUALE dialect misdetected as OpenQASM")
+	}
+	if looksLikeOpenQASM("# comment\nH q0\n") {
+		t.Error("gate line misdetected as OpenQASM")
+	}
+}

@@ -25,8 +25,11 @@ func errf(line int, format string, args ...any) error {
 	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
 }
 
-// Parse reads a QASM program from r. The accepted grammar, one
-// statement per line:
+// Parse reads a QASM program from r, auto-detecting the dialect: the
+// paper's line-oriented QUALE-style QASM (below) or OpenQASM 2.0
+// (see openqasm.go; detection sniffs the first significant token, so
+// files starting with OPENQASM/include/qreg route to the OpenQASM
+// parser). The QUALE-style grammar, one statement per line:
 //
 //	line     := ws stmt? ws comment?
 //	comment  := ('#' | "//") .*
@@ -37,8 +40,21 @@ func errf(line int, format string, args ...any) error {
 // Mnemonics are those of gates.ParseKind. Blank lines and comments are
 // skipped. Operands may be separated by a comma and/or whitespace.
 func Parse(r io.Reader) (*Program, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("qasm: read: %w", err)
+	}
+	return ParseString(string(src))
+}
+
+// ParseString parses a QASM program held in a string (either
+// dialect; see Parse).
+func ParseString(s string) (*Program, error) {
+	if looksLikeOpenQASM(s) {
+		return parseOpenQASM(s)
+	}
 	p := NewProgram()
-	sc := bufio.NewScanner(r)
+	sc := bufio.NewScanner(strings.NewReader(s))
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
 	for sc.Scan() {
@@ -55,9 +71,6 @@ func Parse(r io.Reader) (*Program, error) {
 	}
 	return p, nil
 }
-
-// ParseString parses a QASM program held in a string.
-func ParseString(s string) (*Program, error) { return Parse(strings.NewReader(s)) }
 
 // ParseFile parses the QASM program stored at path.
 func ParseFile(path string) (*Program, error) {

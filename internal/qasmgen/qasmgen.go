@@ -97,6 +97,80 @@ func RandomClifford(n, numGates int, oneQubitFrac float64, seed int64) (*qasm.Pr
 	return p, nil
 }
 
+// interactionLayers builds a circuit whose qubit-interaction graph is
+// exactly the given edge set: each layer applies one two-qubit gate
+// per edge (kinds cycling CX/CZ/CY so consecutive layers differ),
+// preceded by an H on every qubit in layer 0 to make the circuit
+// non-trivial. Used by the named topology families below, which exist
+// so sweeps can control the interaction graph (the structure qidg
+// exposes and placement quality depends on) independently of size.
+func interactionLayers(n, layers int, edges [][2]int) (*qasm.Program, error) {
+	if n < 2 || layers < 1 {
+		return nil, fmt.Errorf("qasmgen: need >=2 qubits and >=1 layer")
+	}
+	p := declare(n)
+	for i := 0; i < n; i++ {
+		if err := p.AddGateByIndex(gates.H, i); err != nil {
+			return nil, err
+		}
+	}
+	kinds := []gates.Kind{gates.CX, gates.CZ, gates.CY}
+	for l := 0; l < layers; l++ {
+		for _, e := range edges {
+			if err := p.AddGateByIndex(kinds[l%len(kinds)], e[0], e[1]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// Ring returns a circuit whose interaction graph is the n-cycle:
+// every qubit interacts with its two ring neighbors, layers times.
+func Ring(n, layers int) (*qasm.Program, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("qasmgen: ring needs at least 3 qubits")
+	}
+	edges := make([][2]int, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	return interactionLayers(n, layers, edges)
+}
+
+// Star returns a circuit whose interaction graph is the n-star:
+// qubit 0 interacts with every other qubit, layers times. The hub
+// serializes all two-qubit gates — worst case for placement spread.
+func Star(n, layers int) (*qasm.Program, error) {
+	edges := make([][2]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	return interactionLayers(n, layers, edges)
+}
+
+// Grid returns a circuit whose interaction graph is the rows×cols
+// nearest-neighbor grid — the topology that matches the fabric's own
+// 2-D structure, so a good placer should realize it with short routes.
+func Grid(rows, cols, layers int) (*qasm.Program, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("qasmgen: grid needs at least 2 qubits")
+	}
+	var edges [][2]int
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, [2]int{at(r, c), at(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int{at(r, c), at(r+1, c)})
+			}
+		}
+	}
+	return interactionLayers(rows*cols, layers, edges)
+}
+
 // SteaneSyndrome returns a flag-style syndrome-extraction round for
 // the Steane code: one ancilla interacts with a weight-4 stabilizer
 // support, repeated for all six generators. This is the circuit shape

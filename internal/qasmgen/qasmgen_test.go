@@ -134,3 +134,37 @@ func TestSteaneSyndrome(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestInteractionTopologies(t *testing.T) {
+	ring, err := Ring(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 H + 2 layers * 6 ring edges.
+	if got := len(ring.Gates()); got != 6+12 {
+		t.Errorf("ring(6,2) has %d gates, want 18", got)
+	}
+	star, err := Star(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range star.Gates() {
+		if in.Kind.TwoQubit() && in.Qubits[0] != 0 {
+			t.Errorf("star gate %v not anchored at hub", in)
+		}
+	}
+	grid, err := Grid(3, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 H + 12 grid edges.
+	if got := len(grid.Gates()); got != 9+12 {
+		t.Errorf("grid(3,3,1) has %d gates, want 21", got)
+	}
+	if _, err := Ring(2, 1); err == nil {
+		t.Error("Ring(2) should fail")
+	}
+	if _, err := Grid(1, 1, 1); err == nil {
+		t.Error("Grid(1,1) should fail")
+	}
+}

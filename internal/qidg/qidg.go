@@ -12,6 +12,7 @@ package qidg
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"repro/internal/gates"
 	"repro/internal/qasm"
@@ -345,4 +346,36 @@ func (g *Graph) EdgeCount() int {
 		n += len(s)
 	}
 	return n
+}
+
+// InteractionEdges returns the circuit's qubit-interaction graph: the
+// deduplicated, undirected edges {a,b} (a < b) of every two-qubit
+// gate, sorted lexicographically. This is the graph the placement
+// heuristics implicitly optimize (qubits that interact should sit
+// near each other), and the contract the qasmgen topology families
+// (ring/star/grid) are tested against.
+func (g *Graph) InteractionEdges() [][2]int {
+	seen := map[[2]int]bool{}
+	var out [][2]int
+	for _, n := range g.Nodes {
+		if !n.Kind.TwoQubit() {
+			continue
+		}
+		a, b := n.Qubits[0], n.Qubits[1]
+		if a > b {
+			a, b = b, a
+		}
+		e := [2]int{a, b}
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
 }

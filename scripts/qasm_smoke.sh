@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# QASM-corpus smoke: generate circuits with the corpus tools, re-ingest
+# them through the external-file path (`qspr -qasm`), and check that
+# the mapped latency matches the built-in / generator-backed run of the
+# same circuit. Also builds every example so sample code cannot rot.
+# Run from anywhere; CI runs it on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+latency() { # args... -> the "execution latency" line of a qspr run
+  go run ./cmd/qspr "$@" -heuristic qspr-center -stats=false |
+    awk -F: '/^execution latency/{gsub(/ /,"",$2); print $2}'
+}
+
+echo "== QECC encoder corpus: qecc -> file -> qspr -qasm =="
+for code in '[[5,1,3]]' '[[9,1,3]]'; do
+  go run ./cmd/qecc -code "$code" > "$tmp/qecc.qasm"
+  ext=$(latency -qasm "$tmp/qecc.qasm")
+  builtin=$(latency -circuit "$code")
+  echo "  $code: external=$ext builtin=$builtin"
+  if [ -z "$ext" ] || [ "$ext" != "$builtin" ]; then
+    echo "FAIL: external copy of $code maps to $ext, builtin to $builtin" >&2
+    exit 1
+  fi
+done
+
+echo "== generator corpus: seeded registry family maps =="
+gen=$(latency -circuit 'rand(q=8,g=60,seed=7)')
+if [ -z "$gen" ]; then
+  echo "FAIL: generator family did not map" >&2
+  exit 1
+fi
+echo "  rand(q=8,g=60,seed=7): latency=$gen"
+
+echo "== sharded sweep: 2 shards + merge == unsharded =="
+common=(-circuits 'ghz(q=4),ring(q=4)' -heuristics quale -compare=false -format csv)
+go run ./cmd/qsprbench "${common[@]}" -out "$tmp/full.csv"
+go run ./cmd/qsprbench "${common[@]}" -shard 0/2 -checkpoint "$tmp/s0.jsonl" -out /dev/null
+go run ./cmd/qsprbench "${common[@]}" -shard 1/2 -checkpoint "$tmp/s1.jsonl" -out /dev/null
+go run ./cmd/qsprbench -merge "$tmp/s0.jsonl,$tmp/s1.jsonl" -compare=false -format csv -out "$tmp/merged.csv"
+if ! cmp -s "$tmp/full.csv" "$tmp/merged.csv"; then
+  echo "FAIL: merged shard report differs from the unsharded sweep" >&2
+  diff "$tmp/full.csv" "$tmp/merged.csv" >&2 || true
+  exit 1
+fi
+echo "  merged report byte-identical to the unsharded sweep"
+
+echo "== examples build =="
+go build ./examples/...
+
+echo "qasm smoke OK"
