@@ -68,11 +68,25 @@ func run() (code int) {
 	flag.Parse()
 
 	if *merge != "" {
-		rep, err := experiment.LoadCheckpoints(strings.Split(*merge, ",")...)
-		if err != nil {
-			return fail(err)
+		// -merge only reads its checkpoint files: a sweep flag next to
+		// it (-checkpoint especially, which looks like another input
+		// file) would be silently ignored, so the mix is rejected.
+		var conflict []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "merge", "format", "out", "compare":
+			default:
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fail(fmt.Errorf("-merge reads only its checkpoint files and conflicts with %s", strings.Join(conflict, ", ")))
 		}
 		if err := experiment.ValidateFormat(*format); err != nil {
+			return fail(err)
+		}
+		rep, err := experiment.LoadCheckpoints(strings.Split(*merge, ",")...)
+		if err != nil {
 			return fail(err)
 		}
 		if err := rep.WriteFile(*format, *out); err != nil {
@@ -87,7 +101,16 @@ func run() (code int) {
 		}
 		// Failed cells in the merged report flip the exit code, same
 		// as on the sweep path — a CI gate must not pass silently.
-		return reportFailures(rep)
+		// So does a provably incomplete merge (an unfinished shard's
+		// runs interleave round-robin, so they show up as index gaps);
+		// the report is still written for inspection.
+		code := reportFailures(rep)
+		if missing := rep.MissingRuns(); len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "qsprbench: merged checkpoints are missing %d runs (first gap: index %d) — unfinished shard?\n",
+				len(missing), missing[0])
+			code = 1
+		}
+		return code
 	}
 
 	if *cpuProfile != "" {
@@ -151,7 +174,7 @@ func run() (code int) {
 	if shard.Count > 1 {
 		owned = 0
 		for _, r := range runs {
-			if r.Index%shard.Count == shard.Index {
+			if shard.Owns(r.Index) {
 				owned++
 			}
 		}
@@ -184,8 +207,15 @@ func run() (code int) {
 	}
 	interrupted := err != nil
 	if interrupted {
-		fmt.Fprintf(os.Stderr, "qsprbench: sweep interrupted (%v); reporting %d/%d completed runs\n",
-			err, len(rep.Results), owned)
+		// Execute errors for exactly two reasons: cancellation, or a
+		// checkpoint write failure — name the right one so a disk-full
+		// sweep does not read like a Ctrl-C.
+		kind := "sweep interrupted"
+		if ctx.Err() == nil {
+			kind = "checkpoint error"
+		}
+		fmt.Fprintf(os.Stderr, "qsprbench: %s (%v); reporting %d/%d completed runs\n",
+			kind, err, len(rep.Results), owned)
 	}
 
 	if err := rep.WriteFile(*format, *out); err != nil {

@@ -87,19 +87,21 @@ func build() {
 
 // ByName returns the benchmark with the given table label.
 func ByName(name string) (Benchmark, error) {
-	for _, b := range All() {
+	once.Do(build)
+	for _, b := range all {
 		if b.Name == name {
-			return b, nil
+			return Benchmark{Name: b.Name, Program: b.Program.Clone(), Source: b.Source}, nil
 		}
 	}
 	return Benchmark{}, fmt.Errorf("circuits: unknown benchmark %q", name)
 }
 
-// Names lists the benchmark labels in table order.
+// Names lists the benchmark labels in table order. No programs are
+// cloned — this is the cheap lookup Resolve probes with.
 func Names() []string {
-	bs := All()
-	out := make([]string, len(bs))
-	for i, b := range bs {
+	once.Do(build)
+	out := make([]string, len(all))
+	for i, b := range all {
 		out[i] = b.Name
 	}
 	return out

@@ -3,14 +3,20 @@
 // table label of a built-in QECC benchmark ("[[7,1,3]]"), the name of
 // a parameterized generator family ("rand(q=20,g=400,seed=7)"), or an
 // external QASM file ("qasm(path=bench.qasm)", either dialect). All
-// families are deterministic in their parameters, so a spec string
-// identifies the exact same circuit in every process — the property
-// sharded and resumed sweeps rely on.
+// generator families are deterministic in their parameters, so a spec
+// string identifies the exact same circuit in every process — the
+// property sharded and resumed sweeps rely on. File-backed sources
+// uphold the same property by stamping the file's content digest into
+// the canonical name: a resume or merge against an edited file is a
+// name mismatch, not a silently mixed report.
 
 package circuits
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -24,7 +30,10 @@ type family struct {
 	// params lists accepted keys in canonical order; required keys
 	// have no default.
 	params []paramSpec
-	// build constructs the program from resolved parameters.
+	// build constructs the program from resolved parameters. It runs
+	// before the canonical name is rendered and may rewrite the params
+	// (the qasm family stamps the file's content digest, hashed from
+	// the same bytes it parses).
 	build func(p map[string]string) (*qasm.Program, error)
 	// usage is the one-line signature shown in errors and -list.
 	usage string
@@ -156,13 +165,59 @@ var families = map[string]family{
 		},
 	},
 	"qasm": {
-		params: []paramSpec{{"path", ""}},
-		usage:  "qasm(path=<file>)",
-		doc:    "external QASM file (QUALE-style or OpenQASM 2.0, auto-detected)",
+		params: []paramSpec{{"path", ""}, {"sha256", "auto"}},
+		usage:  "qasm(path=<file>,sha256=auto)",
+		doc:    "external QASM file (QUALE-style or OpenQASM 2.0, auto-detected; sha256 pins the contents)",
 		build: func(p map[string]string) (*qasm.Program, error) {
-			return qasm.ParseFile(p["path"])
+			data, err := os.ReadFile(p["path"])
+			if err != nil {
+				return nil, fmt.Errorf("qasm: %w", err)
+			}
+			if err := stampDigest(p, data); err != nil {
+				return nil, err
+			}
+			prog, err := qasm.ParseString(string(data))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p["path"], err)
+			}
+			return prog, nil
 		},
 	},
+}
+
+// stampDigest replaces the sha256 parameter with the content digest
+// (first 12 hex chars) of the bytes the program is built from, so the
+// canonical spec — and hence checkpoint/resume run identity — tracks
+// the file's contents, not just its path. A user-supplied sha256
+// pins the expected contents and is verified against the bytes.
+func stampDigest(p map[string]string, data []byte) error {
+	sum := sha256.Sum256(data)
+	full := hex.EncodeToString(sum[:])
+	digest := full[:12]
+	if want := p["sha256"]; want != "auto" {
+		// A pin that verifies almost nothing (one hex char matches
+		// 1/16 of all files) or is a typo'd keyword must not pass
+		// silently as if it checked the contents.
+		w := strings.ToLower(want)
+		if len(w) < 8 || len(w) > len(full) || !isHex(w) {
+			return fmt.Errorf("sha256=%q must be 8-%d hex digits (or the default \"auto\")", want, len(full))
+		}
+		if !strings.HasPrefix(full, w) {
+			return fmt.Errorf("file %s has sha256 %s… but the spec pins sha256=%s (file changed?)",
+				p["path"], digest, want)
+		}
+	}
+	p["sha256"] = digest
+	return nil
+}
+
+func isHex(s string) bool {
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 func intParam(p map[string]string, key string) (int, error) {
@@ -231,9 +286,9 @@ func Resolve(spec string) (Benchmark, error) {
 func splitCall(spec string) (name string, params map[string]string, hasCall bool, err error) {
 	open := strings.IndexByte(spec, '(')
 	if open < 0 {
-		if strings.ContainsAny(spec, ")=,") {
-			return "", nil, false, fmt.Errorf("malformed circuit spec %q", spec)
-		}
+		// A bare name may contain any characters (e.g. a typo'd QECC
+		// label like "[[4,1,3]]"); the family lookup rejects it with
+		// the name-listing diagnostic, which beats a syntax error.
 		return spec, nil, false, nil
 	}
 	if !strings.HasSuffix(spec, ")") {

@@ -109,6 +109,36 @@ func TestResolveQASMFile(t *testing.T) {
 	if b.Source != "generator:qasm" {
 		t.Errorf("source %q", b.Source)
 	}
+	// The canonical name embeds the content digest so checkpoint
+	// identity tracks contents, not just the path: editing the file
+	// must change the name, and a pinned digest must be verified.
+	if !strings.Contains(b.Name, "sha256=") {
+		t.Fatalf("canonical name %q lacks a content digest", b.Name)
+	}
+	if err := os.WriteFile(path, []byte(Fig3QASM+"\n// edited\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited, err := Resolve("qasm(path=" + path + ")")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edited.Name == b.Name {
+		t.Error("edited file resolved to the same canonical name")
+	}
+	if _, err := Resolve("qasm(path=" + path + ",sha256=ffffffffffff)"); err == nil {
+		t.Error("mismatched pinned sha256 accepted")
+	}
+	// A matching pin (the digest from the canonical name) is accepted;
+	// pins too short to verify anything, or typo'd keywords, are not.
+	digest := edited.Name[strings.Index(edited.Name, "sha256=")+len("sha256=") : len(edited.Name)-1]
+	if _, err := Resolve("qasm(path=" + path + ",sha256=" + digest + ")"); err != nil {
+		t.Errorf("matching pinned sha256 rejected: %v", err)
+	}
+	for _, pin := range []string{"a", "AUTO", "nothexdigits"} {
+		if _, err := Resolve("qasm(path=" + path + ",sha256=" + pin + ")"); err == nil {
+			t.Errorf("invalid pin sha256=%s accepted", pin)
+		}
+	}
 }
 
 func TestResolveBareFamilyWithoutParams(t *testing.T) {
@@ -128,6 +158,7 @@ func TestResolveErrors(t *testing.T) {
 		{"", "empty circuit spec"},
 		{"nosuch", "unknown benchmark or family"},
 		{"nosuch(q=3)", "unknown benchmark or family"},
+		{"[[4,1,3]]", "unknown benchmark or family"},
 		{"rand", "needs parameters"},
 		{"rand(q=8)", `missing required parameter "g"`},
 		{"rand(q=8,g=10,bogus=1)", "unknown parameter(s) bogus"},
@@ -136,6 +167,8 @@ func TestResolveErrors(t *testing.T) {
 		{"rand(q=8,g=10", "unbalanced parentheses"},
 		{"rand(q)", "not k=v"},
 		{"ghz(q=1)", "at least 2 qubits"},
+		{"star(q=0)", "at least 2 qubits"},
+		{"star(q=-3)", "at least 2 qubits"},
 	}
 	for _, tc := range cases {
 		_, err := Resolve(tc.spec)

@@ -2,11 +2,13 @@ package experiment
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -37,12 +39,99 @@ type checkpointWriter struct {
 	err error
 }
 
-func openCheckpointWriter(path string) (*checkpointWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// openCheckpoint opens (creating if missing) the checkpoint at path,
+// validates its contents against the expanded spec, repairs a torn
+// tail, and returns the append writer plus the cached results keyed
+// by run index. Validation comes BEFORE repair: a -checkpoint flag
+// mistyped onto a file that is not a checkpoint must error with the
+// file intact, never be truncated over. Repair comes before the
+// records are used: a crash mid-append leaves a final record with no
+// trailing newline (partial JSON, or complete JSON whose newline
+// never hit the disk), and if it were served while later appends
+// glued onto or truncated past it, resumes and merges would corrupt
+// or silently lose runs. The torn record is discarded — its run
+// simply re-executes and re-appends.
+func openCheckpoint(path string, runs []Run, shard Shard) (*checkpointWriter, map[int]*RunResult, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("experiment: checkpoint: %w", err)
+		return nil, nil, fmt.Errorf("experiment: checkpoint: %w", err)
 	}
-	return &checkpointWriter{f: f}, nil
+	fail := func(err error) (*checkpointWriter, map[int]*RunResult, error) {
+		f.Close()
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return fail(fmt.Errorf("experiment: checkpoint %s: %w", path, err))
+	}
+	// Everything after the last newline is the torn tail. A real torn
+	// record always starts with '{' (a marshalled runRecord) and
+	// follows at least one complete, spec-validated record; anything
+	// else — including a '{'-leading single line, which could equally
+	// be a foreign JSON file — is not repairable, and neither is a
+	// file whose complete lines don't parse as records.
+	boundary := bytes.LastIndexByte(data, '\n') + 1
+	if torn := data[boundary:]; len(torn) > 0 && torn[0] != '{' {
+		return fail(errNotRepairable(path))
+	}
+	recs, err := readCheckpointRecords(bytes.NewReader(data[:boundary]), path)
+	if err != nil {
+		return fail(err)
+	}
+	if boundary < len(data) && len(recs) == 0 {
+		return fail(errNotRepairable(path))
+	}
+	out := make(map[int]*RunResult, len(recs))
+	for _, rec := range recs {
+		run, err := matchRun(rec, runs)
+		if err != nil {
+			return fail(err)
+		}
+		out[rec.Index] = &RunResult{Run: run, Metrics: rec.Metrics, Err: rec.Error}
+	}
+	if boundary < len(data) {
+		// Truncating the torn record is only safe when this invocation
+		// re-executes its run; a shard that does not own it would drop
+		// the record with nobody to re-append it, and a later merge
+		// would silently miss the row.
+		if idx, ok := tornRunIndex(data[boundary:]); ok {
+			if !shard.Owns(idx) {
+				return fail(fmt.Errorf("experiment: checkpoint %s: torn final record is run %d, which shard %s does not own — resume with the owning shard so the run is re-executed", path, idx, shard))
+			}
+		} else if shard.Count > 1 {
+			return fail(fmt.Errorf("experiment: checkpoint %s: torn final record's run index is unreadable; resume unsharded so no run is silently lost", path))
+		}
+		if err := f.Truncate(int64(boundary)); err != nil {
+			return fail(fmt.Errorf("experiment: checkpoint %s: %w", path, err))
+		}
+	}
+	return &checkpointWriter{f: f}, out, nil
+}
+
+func errNotRepairable(path string) error {
+	return fmt.Errorf("experiment: checkpoint %s: not a repairable checkpoint file (if it is a checkpoint torn before its first record completed, delete it and restart)", path)
+}
+
+// tornRunIndex best-effort parses the run index from a torn record's
+// leading bytes; "index" is runRecord's first marshalled field, so
+// any tear past the first few bytes leaves it readable. The digit run
+// must be terminated by the next field's comma — a tear mid-number
+// ("{\"index\":4" of run 41) must read as unreadable, not as run 4.
+func tornRunIndex(torn []byte) (int, bool) {
+	const prefix = `{"index":`
+	if !bytes.HasPrefix(torn, []byte(prefix)) {
+		return 0, false
+	}
+	rest := torn[len(prefix):]
+	end := 0
+	for end < len(rest) && rest[end] >= '0' && rest[end] <= '9' {
+		end++
+	}
+	if end == 0 || end == len(rest) || rest[end] != ',' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(string(rest[:end]))
+	return n, err == nil
 }
 
 // append writes one completed run; the first error sticks and is
@@ -72,30 +161,27 @@ func (c *checkpointWriter) close() error {
 	return c.err
 }
 
-// readCheckpointRecords parses one JSONL checkpoint stream. A corrupt
-// final line is tolerated (a crash mid-append leaves one); corruption
-// anywhere else is an error. Later records override earlier ones with
-// the same index (a failed run re-executed on resume).
+// readCheckpointRecords parses one JSONL checkpoint stream; every
+// line must be a valid record. Torn tails are handled (and repaired)
+// by openCheckpoint before this runs on the resume path, so a bad
+// line here is real corruption or a foreign file — including a torn
+// tail handed to -merge, which an incomplete report must not absorb
+// silently. Later records override earlier ones with the same index
+// (a failed run re-executed on resume).
 func readCheckpointRecords(r io.Reader, name string) (map[int]runRecord, error) {
 	recs := map[int]runRecord{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
-	var pendingErr error
 	line := 0
 	for sc.Scan() {
 		line++
-		if pendingErr != nil {
-			return nil, pendingErr
-		}
 		text := strings.TrimSpace(sc.Text())
 		if text == "" {
 			continue
 		}
 		var rec runRecord
 		if err := json.Unmarshal([]byte(text), &rec); err != nil {
-			// Only fatal if any further line follows.
-			pendingErr = fmt.Errorf("experiment: checkpoint %s: line %d: %w", name, line, err)
-			continue
+			return nil, fmt.Errorf("experiment: checkpoint %s: line %d: %w", name, line, err)
 		}
 		if rec.Index < 0 {
 			return nil, fmt.Errorf("experiment: checkpoint %s: line %d: negative run index %d", name, line, rec.Index)
@@ -126,48 +212,55 @@ func matchRun(rec runRecord, runs []Run) (Run, error) {
 	return r, nil
 }
 
-// loadCheckpoint reads a checkpoint file into cached results keyed by
-// run index, validated against the expanded spec. A missing file is
-// an empty checkpoint.
-func loadCheckpoint(path string, runs []Run) (map[int]*RunResult, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return map[int]*RunResult{}, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("experiment: checkpoint: %w", err)
-	}
-	defer f.Close()
-	recs, err := readCheckpointRecords(f, path)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[int]*RunResult, len(recs))
-	for _, rec := range recs {
-		run, err := matchRun(rec, runs)
-		if err != nil {
-			return nil, err
+// MissingRuns returns the run indices absent from rep within
+// [0, highest-present-index], sorted. Shard assignment is round-robin,
+// so an unfinished shard merged with finished ones shows up as index
+// gaps; absence beyond the highest index is undetectable without the
+// spec (compare len(Results) against Spec.Runs() when it is at hand).
+func (rep *Report) MissingRuns() []int {
+	seen := map[int]bool{}
+	max := -1
+	for _, rr := range rep.Results {
+		seen[rr.Index] = true
+		if rr.Index > max {
+			max = rr.Index
 		}
-		out[rec.Index] = &RunResult{Run: run, Metrics: rec.Metrics, Err: rec.Error}
 	}
-	return out, nil
+	var missing []int
+	for i := 0; i <= max; i++ {
+		if !seen[i] {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
+
+// sameRunIdentity reports whether two records describe the same run
+// (metrics aside — those are deterministic given identical identity).
+func sameRunIdentity(a, b runRecord) bool {
+	return a.Circuit == b.Circuit && a.Fabric == b.Fabric &&
+		a.Heuristic == b.Heuristic && a.M == b.M && a.Seed == b.Seed
 }
 
 // LoadCheckpoints merges one or more checkpoint files (typically one
 // per shard) into a single Report, sorted by run index. Within one
-// file later records override earlier ones; across files the last
-// named file wins. The merged report's WriteJSON/WriteCSV/
-// WriteMarkdown bytes are identical to those of the single unsharded
-// sweep, because every serialized field lives in the checkpoint
-// records themselves. Runs absent from every checkpoint (an
-// unfinished shard) are simply missing rows; callers that need
-// completeness should compare len(Report.Results) against
+// file later records override earlier ones; across files a record may
+// only be repeated with identical run identity (circuit, fabric,
+// heuristic, m, seed) — a conflicting duplicate means the files come
+// from different sweeps, and merging them is rejected rather than
+// producing a plausible-looking mixed report. The merged report's
+// WriteJSON/WriteCSV/WriteMarkdown bytes are identical to those of
+// the single unsharded sweep, because every serialized field lives in
+// the checkpoint records themselves. Runs absent from every
+// checkpoint (an unfinished shard) are simply missing rows; callers
+// that need completeness should compare len(Report.Results) against
 // Spec.Runs().
 func LoadCheckpoints(paths ...string) (*Report, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("experiment: no checkpoint files to merge")
 	}
 	merged := map[int]runRecord{}
+	source := map[int]string{}
 	for _, path := range paths {
 		f, err := os.Open(path)
 		if err != nil {
@@ -176,10 +269,26 @@ func LoadCheckpoints(paths ...string) (*Report, error) {
 		recs, err := readCheckpointRecords(f, path)
 		f.Close()
 		if err != nil {
-			return nil, err
+			// Merge cannot repair a torn tail (it doesn't know the
+			// spec); only a resume can.
+			return nil, fmt.Errorf("%w (crashed shard? resume it with -checkpoint to repair a torn tail)", err)
 		}
 		for idx, rec := range recs {
+			if prev, ok := merged[idx]; ok {
+				if !sameRunIdentity(prev, rec) {
+					return nil, fmt.Errorf("experiment: checkpoint merge: run %d is %s×%s×%s m=%d seed=%d in %s but %s×%s×%s m=%d seed=%d in %s (checkpoints from different sweeps?)",
+						idx, prev.Circuit, prev.Fabric, prev.Heuristic, prev.M, prev.Seed, source[idx],
+						rec.Circuit, rec.Fabric, rec.Heuristic, rec.M, rec.Seed, path)
+				}
+				// A stale failure record (an interrupted shard merged
+				// next to its retry) must not override a completed run,
+				// whatever the file order.
+				if prev.Error == "" && rec.Error != "" {
+					continue
+				}
+			}
 			merged[idx] = rec
+			source[idx] = path
 		}
 	}
 	indices := make([]int, 0, len(merged))

@@ -62,8 +62,10 @@ type Options struct {
 //
 // Failure isolation: a run that returns an error or panics records
 // the failure in its RunResult.Err and the sweep continues; Execute
-// itself returns a non-nil error only when ctx is canceled, in which
-// case the report holds the runs completed before cancellation.
+// itself returns a non-nil error only when ctx is canceled or the
+// checkpoint file cannot be written, in which case the report holds
+// the runs completed so far (some possibly missing from the
+// checkpoint — they re-execute on resume).
 func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 	runs, err := spec.Runs()
 	if err != nil {
@@ -75,8 +77,12 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 	results := make([]*RunResult, len(runs))
 	var ckw *checkpointWriter
 	if opts.Checkpoint != "" {
-		cached, err := loadCheckpoint(opts.Checkpoint, runs)
-		if err != nil {
+		var cached map[int]*RunResult
+		var err error
+		// Validates the file against the spec and repairs any torn
+		// tail (whose run then re-executes) in one step, so reader and
+		// writer agree on where the last valid record ends.
+		if ckw, cached, err = openCheckpoint(opts.Checkpoint, runs, opts.Shard); err != nil {
 			return nil, err
 		}
 		// Successful cached runs are served from the file; failed ones
@@ -90,19 +96,16 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 			// Announce the served runs in index order so progress
 			// counters account for them.
 			for idx, rr := range results {
-				if rr != nil && opts.Shard.owns(idx) {
+				if rr != nil && opts.Shard.Owns(idx) {
 					opts.OnResult(*rr)
 				}
 			}
-		}
-		if ckw, err = openCheckpointWriter(opts.Checkpoint); err != nil {
-			return nil, err
 		}
 	}
 	// This shard's still-unmapped slice of the sweep.
 	var pending []Run
 	for _, r := range runs {
-		if opts.Shard.owns(r.Index) && results[r.Index] == nil {
+		if opts.Shard.Owns(r.Index) && results[r.Index] == nil {
 			pending = append(pending, r)
 		}
 	}
@@ -184,7 +187,7 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 
 	rep := &Report{}
 	for i, rr := range results {
-		if rr != nil && opts.Shard.owns(i) {
+		if rr != nil && opts.Shard.Owns(i) {
 			rep.Results = append(rep.Results, *rr)
 		}
 	}

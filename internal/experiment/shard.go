@@ -40,6 +40,12 @@ func ParseShard(s string) (Shard, error) {
 	if err1 != nil || err2 != nil {
 		return Shard{}, fmt.Errorf("experiment: shard %q is not of the form i/n", s)
 	}
+	// The zero value means "no sharding" programmatically, but a CLI
+	// "0/0" is a malformed request (an unset $n in a script), not a
+	// request to run everything — only the empty string disables.
+	if n < 1 {
+		return Shard{}, fmt.Errorf("experiment: shard count %d < 1 (omit the flag to disable sharding)", n)
+	}
 	sh := Shard{Index: i, Count: n}
 	if err := sh.validate(); err != nil {
 		return Shard{}, err
@@ -68,7 +74,9 @@ func (s Shard) validate() error {
 	return nil
 }
 
-// owns reports whether this shard executes the run at index.
-func (s Shard) owns(index int) bool {
+// Owns reports whether this shard executes (and reports) the run at
+// index. Exported so callers sizing progress or interrupt notices use
+// the same assignment scheme Execute does.
+func (s Shard) Owns(index int) bool {
 	return s.Count <= 1 || index%s.Count == s.Index
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -65,6 +66,7 @@ func TestParseShard(t *testing.T) {
 		{"3/3", Shard{}, true},
 		{"-1/3", Shard{}, true},
 		{"1/0", Shard{}, true},
+		{"0/0", Shard{}, true},
 		{"1", Shard{}, true},
 		{"a/b", Shard{}, true},
 	}
@@ -301,6 +303,314 @@ func TestCheckpointToleratesTornTail(t *testing.T) {
 	}
 	if _, err := Execute(context.Background(), spec, Options{RunFunc: fakeMapper, Checkpoint: path}); err == nil {
 		t.Error("mid-file corruption accepted")
+	}
+}
+
+// TestTornTailResumeTwiceThenMerge pins the crash-resume guarantee in
+// the exact scenario checkpoints exist for: after a crash mid-append
+// the file ends in a partial record, and the first resume must truncate
+// it back to a record boundary before appending — otherwise the re-run's
+// record is glued onto the partial bytes, and once anything follows the
+// glued line (a second resume), every later load fails mid-file.
+func TestTornTailResumeTwiceThenMerge(t *testing.T) {
+	spec := fakeSpec(t)
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	first, err := Execute(context.Background(), spec, Options{RunFunc: fakeMapper, Checkpoint: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil { // tear the last record
+		t.Fatal(err)
+	}
+	if _, err := Execute(context.Background(), spec, Options{RunFunc: fakeMapper, Checkpoint: path}); err != nil {
+		t.Fatalf("first resume after torn tail: %v", err)
+	}
+	// The first resume must have repaired the file: the second resume
+	// serves everything from cache and maps nothing.
+	var calls atomic.Int64
+	counting := func(ctx context.Context, r Run) (*Metrics, error) {
+		calls.Add(1)
+		return fakeMapper(ctx, r)
+	}
+	if _, err := Execute(context.Background(), spec, Options{RunFunc: counting, Checkpoint: path}); err != nil {
+		t.Fatalf("second resume after torn tail: %v", err)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("second resume re-mapped %d runs, want 0 (torn tail not repaired)", calls.Load())
+	}
+	merged, err := LoadCheckpoints(path)
+	if err != nil {
+		t.Fatalf("merge after torn-tail resumes: %v", err)
+	}
+	wantJS, _, _ := reportBytes(t, first)
+	gotJS, _, _ := reportBytes(t, merged)
+	if !bytes.Equal(gotJS, wantJS) {
+		t.Errorf("merged report differs from original:\n got: %s\nwant: %s", gotJS, wantJS)
+	}
+}
+
+// TestCheckpointNewlinelessTailReRunAndReappended: a crash can flush a
+// record's JSON bytes without its trailing newline. Reader and writer
+// must agree that such a record is torn: it is re-run and re-appended,
+// never served in memory while being truncated out of the file (which
+// would silently drop the row from any later merge).
+func TestCheckpointNewlinelessTailReRunAndReappended(t *testing.T) {
+	spec := fakeSpec(t)
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	if _, err := Execute(context.Background(), spec, Options{RunFunc: fakeMapper, Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip only the final newline: the last record's JSON is intact.
+	if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	counting := func(ctx context.Context, r Run) (*Metrics, error) {
+		calls.Add(1)
+		return fakeMapper(ctx, r)
+	}
+	resumed, err := Execute(context.Background(), spec, Options{RunFunc: counting, Checkpoint: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("newline-less tail: re-ran %d runs, want exactly 1", calls.Load())
+	}
+	merged, err := LoadCheckpoints(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Results) != len(resumed.Results) {
+		t.Fatalf("checkpoint lost rows: merge has %d runs, report has %d", len(merged.Results), len(resumed.Results))
+	}
+	wantJS, _, _ := reportBytes(t, resumed)
+	gotJS, _, _ := reportBytes(t, merged)
+	if !bytes.Equal(gotJS, wantJS) {
+		t.Error("merged checkpoint differs from the resumed report")
+	}
+}
+
+// TestCheckpointRefusesForeignFile: a -checkpoint flag mistyped onto
+// an existing file that is not a checkpoint must error with the file
+// byte-for-byte intact — never be truncated, repaired, or appended to.
+func TestCheckpointRefusesForeignFile(t *testing.T) {
+	spec := fakeSpec(t)
+	path := filepath.Join(t.TempDir(), "notes.txt")
+	for _, content := range [][]byte{
+		[]byte("important notes with no trailing newline"),
+		[]byte("line one\nline two\n"),
+		[]byte("{\"looks\":\"jsonish\"}\nbut then prose"),
+		[]byte(`{"key": 1}`),        // single JSON line, no trailing newline
+		[]byte("\n{not json, torn"), // blank line then a '{'-leading tail
+	} {
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Execute(context.Background(), spec, Options{RunFunc: fakeMapper, Checkpoint: path}); err == nil {
+			t.Errorf("non-checkpoint file %q accepted as a checkpoint", content)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Errorf("non-checkpoint file %q was modified to %q", content, got)
+		}
+	}
+}
+
+// TestTornTailRepairRespectsShardOwnership: truncating a torn record
+// is only safe when the resuming invocation re-executes its run. A
+// shard that does not own the torn run (wrong file, stale shard index)
+// must refuse, or the record would vanish with nobody re-appending it.
+func TestTornTailRepairRespectsShardOwnership(t *testing.T) {
+	spec := fakeSpec(t)
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	if _, err := Execute(context.Background(), spec, Options{RunFunc: fakeMapper, Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record (records append in completion order, so
+	// read its index back) keeping its leading {"index":N readable.
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tornIdx, ok := tornRunIndex(torn[bytes.LastIndexByte(torn, '\n')+1:])
+	if !ok {
+		t.Fatal("test setup: torn record's index unreadable")
+	}
+	if _, err := Execute(context.Background(), spec, Options{
+		RunFunc: fakeMapper, Checkpoint: path, Shard: Shard{Index: (tornIdx + 1) % 2, Count: 2},
+	}); err == nil {
+		t.Error("non-owning shard repaired (and lost) another shard's torn record")
+	}
+	if _, err := Execute(context.Background(), spec, Options{
+		RunFunc: fakeMapper, Checkpoint: path, Shard: Shard{Index: tornIdx % 2, Count: 2},
+	}); err != nil {
+		t.Fatalf("owning shard failed to repair its own torn record: %v", err)
+	}
+	merged, err := LoadCheckpoints(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := spec.Runs(); len(merged.Results) != len(want) {
+		t.Errorf("after owning-shard repair the file holds %d runs, want %d", len(merged.Results), len(want))
+	}
+	// An unreadable index cannot be attributed to a shard: only an
+	// unsharded resume (which owns everything) may repair it. A tear
+	// mid-number is the treacherous shape — `{"index":1` could be run
+	// 1, 10 or 11, so it must count as unreadable, not as run 1.
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	short := append(bytes.Join(lines[:len(lines)-2], nil), []byte(`{"index":1`)...)
+	if err := os.WriteFile(path, short, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(context.Background(), spec, Options{
+		RunFunc: fakeMapper, Checkpoint: path, Shard: Shard{Index: 1, Count: 2},
+	}); err == nil {
+		t.Error("sharded resume repaired a torn record with an unreadable index")
+	}
+	if _, err := Execute(context.Background(), spec, Options{RunFunc: fakeMapper, Checkpoint: path}); err != nil {
+		t.Fatalf("unsharded resume failed to repair: %v", err)
+	}
+}
+
+// TestLoadCheckpointsErrorsOnTornFile: -merge of a crashed shard's
+// still-torn checkpoint must error (pointing at the repair path), not
+// silently produce a report missing the torn run.
+func TestLoadCheckpointsErrorsOnTornFile(t *testing.T) {
+	spec := fakeSpec(t)
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	if _, err := Execute(context.Background(), spec, Options{RunFunc: fakeMapper, Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoints(path); err == nil {
+		t.Error("merge of a torn checkpoint produced a report instead of an error")
+	} else if !strings.Contains(err.Error(), "resume it with -checkpoint") {
+		t.Errorf("torn-merge error %q does not point at the repair path", err)
+	}
+}
+
+// TestLoadCheckpointsRejectsConflictingFiles: merging checkpoints from
+// different sweeps (same run index, different run identity) must be an
+// error, not a plausible-looking mixed report. Passing the same shard
+// twice stays fine — identical records are not a conflict.
+func TestLoadCheckpointsRejectsConflictingFiles(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	spec := fakeSpec(t)
+	if _, err := Execute(context.Background(), spec, Options{RunFunc: fakeMapper, Checkpoint: a}); err != nil {
+		t.Fatal(err)
+	}
+	other := spec
+	other.SeedCounts = []int{7, 9}
+	if _, err := Execute(context.Background(), other, Options{RunFunc: fakeMapper, Checkpoint: b}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoints(a, b); err == nil {
+		t.Error("merge of checkpoints from different sweeps accepted")
+	}
+	if _, err := LoadCheckpoints(a, a); err != nil {
+		t.Errorf("merging the same checkpoint twice rejected: %v", err)
+	}
+}
+
+// TestLoadCheckpointsPrefersSuccessOverStaleFailure: an interrupted
+// shard's failure record merged next to its successful retry must not
+// flip the run back to failed, regardless of file order.
+func TestLoadCheckpointsPrefersSuccessOverStaleFailure(t *testing.T) {
+	dir := t.TempDir()
+	fail := filepath.Join(dir, "fail.jsonl")
+	good := filepath.Join(dir, "good.jsonl")
+	spec := fakeSpec(t)
+	failOnce := func(ctx context.Context, r Run) (*Metrics, error) {
+		if r.Index == 2 {
+			return nil, fmt.Errorf("transient failure")
+		}
+		return fakeMapper(ctx, r)
+	}
+	if _, err := Execute(context.Background(), spec, Options{RunFunc: failOnce, Checkpoint: fail}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Execute(context.Background(), spec, Options{RunFunc: fakeMapper, Checkpoint: good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJS, _, _ := reportBytes(t, want)
+	for _, paths := range [][]string{{good, fail}, {fail, good}} {
+		merged, err := LoadCheckpoints(paths...)
+		if err != nil {
+			t.Fatalf("merge %v: %v", paths, err)
+		}
+		if merged.Results[2].Err != "" {
+			t.Errorf("merge %v: stale failure overrode the successful run", paths)
+		}
+		gotJS, _, _ := reportBytes(t, merged)
+		if !bytes.Equal(gotJS, wantJS) {
+			t.Errorf("merge %v differs from the all-success report", paths)
+		}
+	}
+}
+
+// TestMissingRunsFlagsIncompleteMerge: a merge missing one shard's
+// checkpoint (or holding an unfinished shard) has index gaps that
+// MissingRuns reports, so -merge can refuse to pass a CI gate on
+// silently truncated data; a complete merge reports none.
+func TestMissingRunsFlagsIncompleteMerge(t *testing.T) {
+	spec := fakeSpec(t)
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 2; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("s%d.jsonl", i))
+		paths = append(paths, path)
+		if _, err := Execute(context.Background(), spec, Options{
+			RunFunc: fakeMapper, Shard: Shard{Index: i, Count: 2}, Checkpoint: path,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := LoadCheckpoints(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing := full.MissingRuns(); len(missing) != 0 {
+		t.Errorf("complete merge reports missing runs %v", missing)
+	}
+	partial, err := LoadCheckpoints(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := partial.MissingRuns()
+	if len(missing) == 0 {
+		t.Fatal("merge of one of two shards reports no missing runs")
+	}
+	for _, idx := range missing {
+		if idx%2 != 1 {
+			t.Errorf("missing run %d should belong to the absent shard 1/2", idx)
+		}
 	}
 }
 

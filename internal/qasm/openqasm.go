@@ -180,7 +180,7 @@ func parseOpenQASM(src string) (*Program, error) {
 		keyword := strings.ToLower(fields[0])
 		// The keyword can be glued to its operand ("measure q[0]->c[0]").
 		switch {
-		case keyword == "openqasm" || strings.HasPrefix(keyword, "openqasm"):
+		case strings.HasPrefix(keyword, "openqasm"):
 			version := strings.TrimSpace(strings.TrimPrefix(st.text, fields[0]))
 			if strings.EqualFold(fields[0], "openqasm") && idx == 0 {
 				if version != "2.0" && version != "2" {
@@ -202,7 +202,11 @@ func parseOpenQASM(src string) (*Program, error) {
 			}
 		case keyword == "barrier":
 			// Barriers constrain compiler reordering; the QIDG already
-			// encodes all data dependencies, so they are no-ops here.
+			// encodes all data dependencies, so they emit nothing —
+			// but their operands are validated like any statement's.
+			if err := parseOpenQASMBarrier(regs, st); err != nil {
+				return nil, err
+			}
 			continue
 		case keyword == "measure":
 			if err := parseOpenQASMMeasure(p, regs, st); err != nil {
@@ -359,10 +363,14 @@ func parseOpenQASMGate(p *Program, regs *oqRegs, st oqStmt) error {
 		}
 		operands[i] = ids
 		if op.index < 0 {
-			if span != 1 && span != len(ids) {
+			// A size-1 register broadcasts against any span, in either
+			// operand order; larger registers must agree exactly.
+			if len(ids) != 1 && span != 1 && span != len(ids) {
 				return errf(st.line, "mismatched register sizes in %s broadcast", name)
 			}
-			span = len(ids)
+			if len(ids) > span {
+				span = len(ids)
+			}
 		}
 	}
 	for j := 0; j < span; j++ {
@@ -383,6 +391,25 @@ func parseOpenQASMGate(p *Program, regs *oqRegs, st oqStmt) error {
 		// Record the source line for diagnostics (AddGateByIndex has
 		// no line parameter).
 		p.Instrs[len(p.Instrs)-1].Line = st.line
+	}
+	return nil
+}
+
+// parseOpenQASMBarrier validates a barrier's operands (registers must
+// exist, indices must be in range) without emitting anything.
+func parseOpenQASMBarrier(regs *oqRegs, st oqStmt) error {
+	body := strings.TrimSpace(st.text[len("barrier"):])
+	if body == "" {
+		return errf(st.line, "barrier expects at least one operand")
+	}
+	for _, raw := range strings.Split(body, ",") {
+		op, err := parseOperand(raw, st.line)
+		if err != nil {
+			return err
+		}
+		if _, err := op.resolve(regs, st.line); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -416,8 +443,16 @@ func parseOpenQASMMeasure(p *Program, regs *oqRegs, st oqStmt) error {
 	if err != nil {
 		return err
 	}
-	if src.index < 0 && dst.index < 0 && len(ids) > size {
-		return errf(st.line, "measure broadcast: qreg %q (size %d) wider than creg %q (size %d)",
+	if src.index < 0 && dst.index >= 0 && len(ids) > 1 {
+		return errf(st.line, "measure: qreg %q (size %d) cannot target single bit %s[%d]",
+			src.reg, len(ids), dst.reg, dst.index)
+	}
+	if src.index >= 0 && dst.index < 0 && size > 1 {
+		return errf(st.line, "measure: single qubit %s[%d] cannot target whole creg %q (size %d)",
+			src.reg, src.index, dst.reg, size)
+	}
+	if src.index < 0 && dst.index < 0 && len(ids) != size {
+		return errf(st.line, "measure broadcast: qreg %q (size %d) does not match creg %q (size %d)",
 			src.reg, len(ids), dst.reg, size)
 	}
 	for _, q := range ids {

@@ -84,10 +84,14 @@ func TestOpenQASMBroadcast(t *testing.T) {
 	src := `OPENQASM 2.0;
 qreg a[3];
 qreg b[3];
+qreg anc[1];
 creg c[3];
 h a;
 cx a,b;
 cx a[0],b;
+cx a,anc;
+cx anc,a;
+barrier a, b[0];
 measure b -> c;
 `
 	p, err := ParseString(src)
@@ -95,9 +99,9 @@ measure b -> c;
 		t.Fatal(err)
 	}
 	g := p.Gates()
-	// 3 h + 3 cx + 3 cx + 3 measure
-	if len(g) != 12 {
-		t.Fatalf("got %d gates, want 12", len(g))
+	// 3 h + 3 cx + 3 cx + 3 cx + 3 cx + 3 measure
+	if len(g) != 18 {
+		t.Fatalf("got %d gates, want 18", len(g))
 	}
 	if g[3].Kind != gates.CX || g[3].Qubits[0] != 0 || g[3].Qubits[1] != 3 {
 		t.Errorf("cx a,b expanded wrong: %+v", g[3])
@@ -105,6 +109,14 @@ measure b -> c;
 	// Indexed control broadcast against a whole register.
 	if g[6].Qubits[0] != 0 || g[7].Qubits[0] != 0 || g[8].Qubits[0] != 0 {
 		t.Errorf("cx a[0],b should keep control a[0]: %+v %+v %+v", g[6], g[7], g[8])
+	}
+	// A size-1 whole register broadcasts in either operand order
+	// (anc is qubit 6).
+	if g[9].Qubits[1] != 6 || g[10].Qubits[1] != 6 || g[11].Qubits[1] != 6 {
+		t.Errorf("cx a,anc should keep target anc: %+v %+v %+v", g[9], g[10], g[11])
+	}
+	if g[12].Qubits[0] != 6 || g[13].Qubits[0] != 6 || g[14].Qubits[0] != 6 {
+		t.Errorf("cx anc,a should keep control anc: %+v %+v %+v", g[12], g[13], g[14])
 	}
 }
 
@@ -139,7 +151,13 @@ func TestOpenQASMErrors(t *testing.T) {
 		{"same qubit twice", "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];", "same qubit twice", 3},
 		{"broadcast size mismatch", "OPENQASM 2.0;\nqreg a[2];\nqreg b[3];\ncx a,b;", "mismatched register sizes", 4},
 		{"measure no creg", "OPENQASM 2.0;\nqreg q[1];\nmeasure q[0] -> c[0];", `unknown classical register "c"`, 3},
-		{"measure creg overflow", "OPENQASM 2.0;\nqreg q[3];\ncreg c[2];\nmeasure q -> c;", "wider than creg", 4},
+		{"measure creg overflow", "OPENQASM 2.0;\nqreg q[3];\ncreg c[2];\nmeasure q -> c;", "does not match creg", 4},
+		{"measure creg underflow", "OPENQASM 2.0;\nqreg q[2];\ncreg c[3];\nmeasure q -> c;", "does not match creg", 4},
+		{"measure mixed arity", "OPENQASM 2.0;\nqreg q[3];\ncreg c[3];\nmeasure q -> c[0];", "cannot target single bit", 4},
+		{"measure mixed arity mirror", "OPENQASM 2.0;\nqreg q[3];\ncreg c[3];\nmeasure q[0] -> c;", "cannot target whole creg", 4},
+		{"barrier unknown register", "OPENQASM 2.0;\nqreg q[2];\nbarrier qq;", `unknown quantum register "qq"`, 3},
+		{"barrier out of range", "OPENQASM 2.0;\nqreg q[2];\nbarrier q[9];", "out of range", 3},
+		{"barrier no operands", "OPENQASM 2.0;\nqreg q[2];\nbarrier;", "at least one operand", 3},
 		{"gate definition", "OPENQASM 2.0;\ngate foo a { h a; }", "not supported", 2},
 		{"reset", "OPENQASM 2.0;\nqreg q[1];\nreset q[0];", "reset is not supported", 3},
 		{"if", "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nif(c==1) x q[0];", "not supported", 4},

@@ -142,6 +142,9 @@ func Ring(n, layers int) (*qasm.Program, error) {
 // qubit 0 interacts with every other qubit, layers times. The hub
 // serializes all two-qubit gates — worst case for placement spread.
 func Star(n, layers int) (*qasm.Program, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("qasmgen: star needs at least 2 qubits")
+	}
 	edges := make([][2]int, 0, n-1)
 	for i := 1; i < n; i++ {
 		edges = append(edges, [2]int{0, i})
