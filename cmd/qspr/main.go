@@ -37,6 +37,7 @@ import (
 	"repro/internal/gates"
 	"repro/internal/qasm"
 	"repro/internal/routegraph"
+	"repro/internal/serve"
 	"repro/internal/viz"
 )
 
@@ -61,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		gantt     = fs.Bool("gantt", false, "print a per-qubit timeline of the trace")
 		heatmap   = fs.Bool("heatmap", false, "print a channel-utilization heatmap of the fabric")
 		jsonOut   = fs.String("json", "", "write the micro-command trace as JSON to this file ('-' = stdout)")
+		report    = fs.String("report", "", "write the deterministic mapping report (the qsprd /map response bytes) to this file; '-' writes it to stdout instead of the human-readable output")
 		parallel  = fs.Int("parallel", 0, "CPU budget for a multi-circuit sweep (0 = all CPU cores); shared with -inner-parallel")
 		innerPar  = fs.Int("inner-parallel", 0, "workers within one mapping (MVFB starts / MC trials / portfolio placers); results are byte-identical for any value")
 		format    = fs.String("format", "markdown", "sweep report format: json, csv, markdown")
@@ -105,7 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if isSweep {
 		// Single-run inspection flags have no meaning for a sweep;
 		// reject them rather than silently drop the requested output.
-		for _, name := range []string{"trace", "gantt", "heatmap", "json"} {
+		for _, name := range []string{"trace", "gantt", "heatmap", "json", "report"} {
 			if setFlags[name] {
 				return fail(fmt.Errorf("-%s applies to a single run, not a multi-circuit sweep", name))
 			}
@@ -122,7 +124,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(fmt.Errorf("-%s applies to a multi-circuit sweep (-circuit all or a comma-separated list)", name))
 		}
 	}
-	prog, err := loadProgram(*qasmPath, *circuitN)
+	prog, circuit, err := loadProgram(*qasmPath, *circuitN)
 	if err != nil {
 		return fail(err)
 	}
@@ -133,9 +135,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if inner == 0 {
 		inner = *parallel
 	}
-	res, err := core.Map(prog, fab, core.Options{Heuristic: h, Seeds: *m, Seed: *seed, InnerParallel: inner})
+	opts := core.Options{Heuristic: h, Seeds: *m, Seed: *seed, InnerParallel: inner}
+	res, err := core.Map(prog, fab, opts)
 	if err != nil {
 		return fail(err)
+	}
+	if *report != "" {
+		// The deterministic report: byte-identical to the qsprd /map
+		// response for the same circuit × fabric × options. With
+		// '-report -' it IS the output — the human-readable lines
+		// below (which include wall-clock runtime) are suppressed so
+		// stdout can be diffed against the service.
+		if err := writeReport(res, circuit, fc.Name, opts, *showTrace, *report, stdout); err != nil {
+			return fail(err)
+		}
+		if *report == "-" {
+			return 0
+		}
 	}
 	fmt.Fprintf(stdout, "heuristic:        %s\n", res.Heuristic)
 	fmt.Fprintf(stdout, "fabric:           %s\n", fab.Stats())
@@ -198,21 +214,55 @@ func writeTraceJSON(res *core.Result, path string, stdout io.Writer) error {
 	return f.Close()
 }
 
-func loadProgram(path, name string) (*qasm.Program, error) {
+// loadProgram resolves the single-run program plus its canonical
+// report name: the registry's canonical spec for -circuit, the
+// content-addressed inline name for -qasm — the same identity the
+// qsprd service derives, so CLI and served reports agree on the
+// circuit field (and on cache keys) for identical inputs.
+func loadProgram(path, name string) (*qasm.Program, string, error) {
 	switch {
 	case path != "" && name != "":
-		return nil, fmt.Errorf("use either -qasm or -circuit, not both")
+		return nil, "", fmt.Errorf("use either -qasm or -circuit, not both")
 	case path != "":
-		return qasm.ParseFile(path)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, "", err
+		}
+		prog, err := qasm.ParseString(string(src))
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: %w", path, err)
+		}
+		return prog, serve.InlineName(src), nil
 	case name != "":
 		b, err := circuits.Resolve(name)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return b.Program, nil
+		return b.Program, b.Name, nil
 	default:
-		return nil, fmt.Errorf("one of -qasm or -circuit is required (try -list)")
+		return nil, "", fmt.Errorf("one of -qasm or -circuit is required (try -list)")
 	}
+}
+
+// writeReport renders the deterministic serve.Report to path ('-' =
+// stdout), mirroring writeTraceJSON's no-silent-truncation rules.
+func writeReport(res *core.Result, circuit, fabricName string, opts core.Options, withTrace bool, path string, stdout io.Writer) error {
+	rep, err := serve.NewReport(circuit, fabricName, opts, res, withTrace)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return rep.Encode(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // sweepCircuits reports whether -circuit names more than one

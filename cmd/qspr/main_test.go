@@ -2,12 +2,16 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/circuits"
+	"repro/internal/serve"
 )
 
 // TestRunReturnsInsteadOfExit: run must report failures through its
@@ -104,6 +108,146 @@ cz q[2],q[0]; cy q[3],q[0]; cz q[4],q[0];
 	}
 	if l := latency(ext.String()); l == "" || l != latency(builtin.String()) {
 		t.Errorf("external copy latency %q != builtin %q", l, latency(builtin.String()))
+	}
+}
+
+// postServe drives a serve.Server's full handler path with one JSON
+// body and returns the recorder.
+func postServe(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/map", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// cliReport runs `qspr -report -` and returns the report bytes.
+func cliReport(t *testing.T, args ...string) []byte {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if code := run(append(args, "-report", "-"), &out, &errb); code != 0 {
+		t.Fatalf("qspr %v: code %d: %s", args, code, errb.String())
+	}
+	return out.Bytes()
+}
+
+// TestReportMatchesService is the service's headline correctness
+// pin: for both built-in fabrics × three registry specs (including an
+// OpenQASM 2.0 source resolved through the qasm() family), the POST
+// /map response bytes equal the `qspr -report -` bytes for the same
+// inputs — and a cached hit re-serves exactly the cold-miss bytes.
+func TestReportMatchesService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	qasmPath := filepath.Join(t.TempDir(), "fig3.qasm")
+	openqasm := `OPENQASM 2.0;
+qreg q[5];
+h q[0]; h q[1]; h q[2]; h q[4];
+cx q[3],q[2]; cz q[4],q[2];
+cy q[2],q[1]; cy q[3],q[1]; cx q[4],q[1];
+cz q[2],q[0]; cy q[3],q[0]; cz q[4],q[0];
+`
+	if err := os.WriteFile(qasmPath, []byte(openqasm), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specs := []struct {
+		spec, heuristic string
+		m               int
+	}{
+		{"[[5,1,3]]", "qspr", 2},
+		{"ghz(q=4)", "qspr-center", 25},
+		{fmt.Sprintf("qasm(path=%s)", qasmPath), "mc", 2},
+	}
+	srv := serve.New(serve.Config{Workers: 2, QueueDepth: 8})
+	h := srv.Handler()
+	for _, fab := range []string{"quale45x85", "small"} {
+		for _, sp := range specs {
+			name := fab + "/" + sp.spec
+			want := cliReport(t,
+				"-circuit", sp.spec, "-fabric", fab,
+				"-heuristic", sp.heuristic, "-m", fmt.Sprint(sp.m))
+			body := fmt.Sprintf(`{"circuit":%q,"fabric":%q,"heuristic":%q,"m":%d}`,
+				sp.spec, fab, sp.heuristic, sp.m)
+			miss := postServe(t, h, body)
+			if miss.Code != http.StatusOK {
+				t.Fatalf("%s: served status %d: %s", name, miss.Code, miss.Body.String())
+			}
+			if !bytes.Equal(miss.Body.Bytes(), want) {
+				t.Errorf("%s: served bytes != CLI report:\n got %s\nwant %s",
+					name, miss.Body.Bytes(), want)
+			}
+			hit := postServe(t, h, body)
+			if got := hit.Header().Get("X-Cache"); got != "hit" {
+				t.Errorf("%s: repeat X-Cache %q, want hit", name, got)
+			}
+			if !bytes.Equal(hit.Body.Bytes(), miss.Body.Bytes()) {
+				t.Errorf("%s: cached hit differs from cold miss", name)
+			}
+		}
+	}
+}
+
+// TestReportMatchesServiceInline: an inline program POSTed verbatim
+// gets the same content-addressed identity — and the same bytes — as
+// `qspr -qasm <file> -report -`, with and without the trace.
+func TestReportMatchesServiceInline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	qasmPath := filepath.Join(t.TempDir(), "inline.qasm")
+	src := "OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n"
+	if err := os.WriteFile(qasmPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(serve.Config{Workers: 1, QueueDepth: 4})
+	h := srv.Handler()
+
+	want := cliReport(t, "-qasm", qasmPath, "-fabric", "small", "-heuristic", "qspr-center")
+	got := postServe(t, h, fmt.Sprintf(`{"qasm":%q,"fabric":"small","heuristic":"qspr-center"}`, src))
+	if got.Code != http.StatusOK {
+		t.Fatalf("inline: %d: %s", got.Code, got.Body.String())
+	}
+	if !bytes.Equal(got.Body.Bytes(), want) {
+		t.Errorf("inline served bytes != CLI -qasm report:\n got %s\nwant %s", got.Body.Bytes(), want)
+	}
+
+	wantTr := cliReport(t, "-qasm", qasmPath, "-fabric", "small", "-heuristic", "qspr-center", "-trace")
+	gotTr := postServe(t, h, fmt.Sprintf(`{"qasm":%q,"fabric":"small","heuristic":"qspr-center","trace":true}`, src))
+	if gotTr.Code != http.StatusOK {
+		t.Fatalf("inline trace: %d: %s", gotTr.Code, gotTr.Body.String())
+	}
+	if !bytes.Equal(gotTr.Body.Bytes(), wantTr) {
+		t.Errorf("traced inline served bytes != CLI report")
+	}
+	if bytes.Equal(gotTr.Body.Bytes(), want) {
+		t.Error("traced report unexpectedly equals untraced report")
+	}
+}
+
+// TestReportFileWritten: -report <path> writes the report file and
+// keeps the human-readable output on stdout.
+func TestReportFileWritten(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-circuit", "ghz(q=4)", "-fabric", "small",
+		"-heuristic", "qspr-center", "-report", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("code %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	want := cliReport(t, "-circuit", "ghz(q=4)", "-fabric", "small", "-heuristic", "qspr-center")
+	if !bytes.Equal(data, want) {
+		t.Errorf("-report file differs from -report -:\n%s\n%s", data, want)
+	}
+	if !strings.Contains(out.String(), "execution latency:") {
+		t.Error("-report <path> suppressed the human-readable output")
 	}
 }
 

@@ -1,0 +1,93 @@
+// Command qsprd is the long-running QSPR mapping service: an HTTP
+// facade over the mapper with per-worker warm simulator state and a
+// content-addressed result cache.
+//
+// Usage:
+//
+//	qsprd -listen :8080
+//	curl -s -d '{"circuit":"[[5,1,3]]"}' localhost:8080/map
+//	curl -s localhost:8080/metrics
+//
+// POST /map takes a JSON request naming a circuit (a registry spec in
+// "circuit", or an inline QUALE/OpenQASM 2.0 program in "qasm"), an
+// optional "fabric" (quale45x85, small) and the qspr knobs
+// (heuristic, m, seed, patience, inner_parallel, trace). The response
+// is the deterministic mapping report — byte-identical to
+// `qspr -report -` for the same inputs. Repeated requests are served
+// from the cache (X-Cache: hit); a full queue answers 429 with
+// Retry-After. GET /metrics exposes counters, cache hit rate, queue
+// depth and latency quantiles; GET /healthz is the liveness probe.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qsprd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen  = fs.String("listen", ":8080", "address to serve HTTP on")
+		workers = fs.Int("workers", 2, "warm mapper pool size (concurrent mappings)")
+		queue   = fs.Int("queue", 64, "requests that may wait for a mapper before 429")
+		entries = fs.Int("cache", 1024, "result cache entries per tier (FIFO eviction)")
+		budget  = fs.Int("budget", 0, "total CPU budget shared by all workers (0 = workers, i.e. sequential mappings)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	srv := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *entries,
+		Budget:       *budget,
+	})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(stderr, "qsprd:", err)
+		return 1
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	// The listener is up before the address is announced, so scripts
+	// may treat this line as "ready".
+	fmt.Fprintf(stdout, "qsprd: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "qsprd:", err)
+			return 1
+		}
+	case <-ctx.Done():
+		stop()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			fmt.Fprintln(stderr, "qsprd: shutdown:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "qsprd: drained, bye")
+	}
+	return 0
+}

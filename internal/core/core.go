@@ -178,8 +178,61 @@ type Result struct {
 // cost (the "Difference wrt Baseline" column of Table 2).
 func (r *Result) Overhead() gates.Time { return r.Latency - r.Ideal }
 
+// ResultKey renders the result-relevant normalized options as a
+// canonical string: two Options with equal keys are guaranteed to
+// produce bit-identical mapping results for the same (program,
+// fabric) — the property the qsprd result cache is keyed on.
+// InnerParallel and Workers are deliberately absent: parallelism
+// knobs never change result bytes (docs/CONCURRENCY.md). A Tech
+// override is rejected — it changes results but has no canonical
+// rendering, so it must not silently collapse into one key.
+func (o Options) ResultKey() (string, error) {
+	n, err := o.Normalize()
+	if err != nil {
+		return "", err
+	}
+	if n.Tech != nil {
+		return "", fmt.Errorf("core: ResultKey does not cover Tech overrides")
+	}
+	return fmt.Sprintf("h=%s;m=%d;seed=%d;patience=%d", n.Heuristic, n.Seeds, n.Seed, n.Patience), nil
+}
+
+// Mapper owns warm, reusable mapping state: one engine.Sim whose
+// event queue, simulator pools and routing graph (CSR arrays plus the
+// uncongested route cache, rebuilt transparently when the fabric or
+// routing options change) persist across Map calls. A Mapper is
+// single-threaded mutable state under the Sim ownership rules of
+// docs/CONCURRENCY.md — one goroutine at a time; long-lived callers
+// (the qsprd service) keep one Mapper per worker. Results are
+// bit-identical to the package-level Map.
+//
+// The warm Sim serves the sequential paths: QSPR's MVFB search and
+// winner replay, the Monte-Carlo trial loop, and the QSPR-center
+// single run. The parallel search paths (InnerParallel > 1) and the
+// portfolio's racing entrants own private per-worker Sims as always,
+// and the QUALE/QPOS baselines build their own engines.
+type Mapper struct {
+	sim *engine.Sim
+}
+
+// NewMapper returns a Mapper with a cold Sim; the first Map call
+// warms it.
+func NewMapper() *Mapper { return &Mapper{sim: engine.NewSim()} }
+
+// Map is the warm-state equivalent of the package-level Map; results
+// are bit-identical.
+func (mp *Mapper) Map(prog *qasm.Program, fab *fabric.Fabric, opts Options) (*Result, error) {
+	return mapWith(prog, fab, opts, mp.sim)
+}
+
 // Map schedules, places and routes prog onto fab.
 func Map(prog *qasm.Program, fab *fabric.Fabric, opts Options) (*Result, error) {
+	return mapWith(prog, fab, opts, nil)
+}
+
+// mapWith is the shared mapping flow; sim, when non-nil, is a warm
+// caller-owned simulator threaded into the sequential paths.
+func mapWith(prog *qasm.Program, fab *fabric.Fabric, opts Options, sim *engine.Sim) (*Result, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return nil, err
@@ -205,6 +258,7 @@ func Map(prog *qasm.Program, fab *fabric.Fabric, opts Options) (*Result, error) 
 		sol, err := place.MVFB(g, cfg, place.MVFBOptions{
 			Seeds: opts.Seeds, Patience: opts.Patience,
 			MaxRunsPerSeed: 50, Seed: opts.Seed, Workers: opts.InnerParallel,
+			Sim: sim,
 		})
 		if err != nil {
 			return nil, err
@@ -220,7 +274,16 @@ func Map(prog *qasm.Program, fab *fabric.Fabric, opts Options) (*Result, error) 
 		if err != nil {
 			return nil, err
 		}
-		r, err := engine.Run(g, cfg, p)
+		var r *engine.Result
+		if sim != nil {
+			// Same run on the warm Sim; capture on makes it
+			// byte-identical to the one-shot engine.Run.
+			ccfg := cfg
+			ccfg.CollectTrace = true
+			r, err = sim.Run(g, ccfg, p)
+		} else {
+			r, err = engine.Run(g, cfg, p)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -228,7 +291,7 @@ func Map(prog *qasm.Program, fab *fabric.Fabric, opts Options) (*Result, error) 
 		res.Runs = 1
 	case MonteCarlo:
 		cfg := qsprConfig(fab, tech)
-		sol, err := place.MonteCarloParallel(g, cfg, opts.Seeds, opts.Seed, opts.InnerParallel)
+		sol, err := place.MonteCarloWarm(g, cfg, opts.Seeds, opts.Seed, opts.InnerParallel, sim)
 		if err != nil {
 			return nil, err
 		}

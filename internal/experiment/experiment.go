@@ -216,6 +216,14 @@ func runMapper(r Run) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
+	return MetricsFrom(res), nil
+}
+
+// MetricsFrom extracts the deterministic per-run metrics from a
+// mapping result. The sweep runner and the qsprd mapping service both
+// report through this one extraction, so their serialized metrics
+// agree byte-for-byte for the same run.
+func MetricsFrom(res *core.Result) *Metrics {
 	s := res.Mapping.Stats
 	return &Metrics{
 		LatencyUS:         int64(res.Latency),
@@ -232,7 +240,7 @@ func runMapper(r Run) (*Metrics, error) {
 		BackwardWinner:    res.BackwardWinner,
 		PortfolioWinner:   res.PortfolioWinner,
 		Placement:         append([]int(nil), res.Mapping.Initial...),
-	}, nil
+	}
 }
 
 // BuiltinCircuits returns the paper's six QECC encoder benchmarks
@@ -298,12 +306,18 @@ func ParseSeedCounts(s string) ([]int, error) {
 	return out, nil
 }
 
-// LoadFabric reads a fabric description file for a sweep; an empty
-// path selects the paper's 45×85 Fig. 4 fabric, named "quale45x85".
-// A file-backed fabric is named by its path.
+// LoadFabric resolves a fabric for a sweep: the built-in names
+// "quale45x85" (the paper's 45×85 Fig. 4 fabric, also the default for
+// an empty path) and "small" (the compact 9×9 test fabric), or a
+// fabric description file named by its path. Built-in names win over
+// a file of the same name, so the two names the qsprd service accepts
+// mean the same fabric everywhere.
 func LoadFabric(path string) (FabricChoice, error) {
-	if path == "" {
+	switch strings.ToLower(path) {
+	case "", "quale45x85":
 		return FabricChoice{Name: "quale45x85", Fabric: fabric.Quale4585()}, nil
+	case "small":
+		return FabricChoice{Name: "small", Fabric: fabric.Small()}, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {

@@ -679,3 +679,68 @@ func TestSelectCircuitsGeneratorFamilies(t *testing.T) {
 		t.Error("invalid family parameters accepted")
 	}
 }
+
+// TestResumeDegenerateCheckpointFiles: crash-at-birth artifacts — a
+// checkpoint file created but never appended to (zero bytes), or one
+// holding nothing but newlines (blank JSONL padding) — must resume as
+// a fresh sweep: no repair error, no file treated as foreign, every
+// run mapped, and the final report byte-identical to an
+// un-checkpointed Execute.
+func TestResumeDegenerateCheckpointFiles(t *testing.T) {
+	spec := fakeSpec(t)
+	want, err := Execute(context.Background(), spec, Options{RunFunc: fakeMapper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJS, _, _ := reportBytes(t, want)
+	cases := []struct {
+		name    string
+		content []byte
+	}{
+		{"zero-byte", nil},
+		{"one-newline", []byte("\n")},
+		{"newlines-only", []byte("\n\n\n")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "ck.jsonl")
+			if err := os.WriteFile(path, tc.content, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var calls atomic.Int64
+			counting := func(ctx context.Context, r Run) (*Metrics, error) {
+				calls.Add(1)
+				return fakeMapper(ctx, r)
+			}
+			rep, err := Execute(context.Background(), spec, Options{RunFunc: counting, Checkpoint: path})
+			if err != nil {
+				t.Fatalf("%s checkpoint rejected: %v", tc.name, err)
+			}
+			if calls.Load() != int64(len(rep.Results)) {
+				t.Errorf("%s checkpoint served %d cached runs from nothing",
+					tc.name, int64(len(rep.Results))-calls.Load())
+			}
+			gotJS, _, _ := reportBytes(t, rep)
+			if !bytes.Equal(gotJS, wantJS) {
+				t.Errorf("report after %s checkpoint differs from fresh sweep:\n got: %s\nwant: %s",
+					tc.name, gotJS, wantJS)
+			}
+			// The file is now a complete checkpoint: a second pass must
+			// serve every run from it, leftover blank lines included.
+			resumed, err := Execute(context.Background(), spec, Options{
+				RunFunc: func(_ context.Context, r Run) (*Metrics, error) {
+					t.Errorf("resume after %s repair re-mapped run %d", tc.name, r.Index)
+					return fakeMapper(context.Background(), r)
+				},
+				Checkpoint: path,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumedJS, _, _ := reportBytes(t, resumed)
+			if !bytes.Equal(resumedJS, wantJS) {
+				t.Errorf("resumed report differs after %s repair", tc.name)
+			}
+		})
+	}
+}

@@ -103,7 +103,18 @@ func MonteCarlo(g *qidg.Graph, cfg engine.Config, runs int, seed int64) (*Soluti
 // capture on, which determinism makes byte-identical to a trace
 // recorded during the sweep.
 func MonteCarloParallel(g *qidg.Graph, cfg engine.Config, runs int, seed int64, workers int) (*Solution, error) {
-	out, err := monteCarloSearch(g, cfg, runs, seed, workers)
+	return MonteCarloWarm(g, cfg, runs, seed, workers, nil)
+}
+
+// MonteCarloWarm is MonteCarloParallel with a caller-owned warm
+// simulator serving the sequential trial loop (workers <= 1) and the
+// winner replay, so long-lived callers (core.Mapper, the qsprd
+// service workers) keep one Sim — route graph included — warm across
+// whole mappings. The Sim ownership rules of docs/CONCURRENCY.md
+// apply; results are bit-identical to a fresh Sim. A nil sim is
+// exactly MonteCarloParallel.
+func MonteCarloWarm(g *qidg.Graph, cfg engine.Config, runs int, seed int64, workers int, sim *engine.Sim) (*Solution, error) {
+	out, err := monteCarloSearch(g, cfg, runs, seed, workers, sim)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +139,7 @@ type searchOutcome struct {
 // monteCarloSearch runs the Monte-Carlo trials traceless and returns
 // the winner WITHOUT its trace; MonteCarloParallel (and the portfolio,
 // which captures only the race winner) finish it with captureWinner.
-func monteCarloSearch(g *qidg.Graph, cfg engine.Config, runs int, seed int64, workers int) (searchOutcome, error) {
+func monteCarloSearch(g *qidg.Graph, cfg engine.Config, runs int, seed int64, workers int, warm *engine.Sim) (searchOutcome, error) {
 	var out searchOutcome
 	if runs <= 0 {
 		return out, fmt.Errorf("place: MonteCarlo needs at least 1 run, got %d", runs)
@@ -157,8 +168,12 @@ func monteCarloSearch(g *qidg.Graph, cfg engine.Config, runs int, seed int64, wo
 	if workers <= 1 || runs == 1 {
 		// One Sim for the whole sweep: its routing graph (CSR arrays,
 		// search state, uncongested route cache) and simulator pools
-		// stay warm across trials.
-		sim := engine.NewSim()
+		// stay warm across trials. A caller-owned warm Sim extends
+		// that reuse across whole mappings.
+		sim := warm
+		if sim == nil {
+			sim = engine.NewSim()
+		}
 		seqSim = sim
 		for i, p := range placements {
 			res, err := sim.Run(g, scfg, p)
@@ -231,6 +246,9 @@ func monteCarloSearch(g *qidg.Graph, cfg engine.Config, runs int, seed int64, wo
 	// winner replays under exactly the caller's ForcedOrder (if any).
 	out.forced = cfg.ForcedOrder
 	out.sim = seqSim
+	if out.sim == nil {
+		out.sim = warm
+	}
 	return out, nil
 }
 
@@ -273,6 +291,16 @@ type MVFBOptions struct {
 	// docs/CONCURRENCY.md for the speculative-trajectory mechanism
 	// that makes this true even for ScopeGlobal.
 	Workers int
+	// Sim optionally supplies a caller-owned warm simulator for the
+	// sequential search path (Workers <= 1) and the winner replay, so
+	// long-lived callers (core.Mapper, the qsprd service workers) keep
+	// one Sim — and its route graph, rebuilt transparently on
+	// routing-config change — warm across whole mappings. Per the Sim
+	// ownership rules in docs/CONCURRENCY.md it must not be touched by
+	// anything else while the search runs; results are bit-identical
+	// to a fresh Sim. With Workers > 1 the search workers own private
+	// Sims as always and this one serves only the winner replay.
+	Sim *engine.Sim
 }
 
 // DefaultMVFBOptions mirrors the paper's setup with m seeds.
@@ -346,8 +374,13 @@ func mvfbSearch(g *qidg.Graph, cfg engine.Config, opts MVFBOptions) (searchOutco
 	if opts.Workers == 1 {
 		// One reusable Sim serves the whole sequential search: its
 		// routing graph (CSR arrays, uncongested route cache), event
-		// queue and simulator pools stay warm across every run.
-		sim := engine.NewSim()
+		// queue and simulator pools stay warm across every run. A
+		// caller-owned warm Sim (opts.Sim) extends that reuse across
+		// whole mappings.
+		sim := opts.Sim
+		if sim == nil {
+			sim = engine.NewSim()
+		}
 		seqSim = sim
 		// Under ScopeGlobal the prior starts' best is threaded into
 		// each search as its improvement bound, so the sequential path
@@ -431,6 +464,11 @@ func mvfbSearch(g *qidg.Graph, cfg engine.Config, opts MVFBOptions) (searchOutco
 	}
 	out.rev = rev
 	out.sim = seqSim
+	if out.sim == nil {
+		// Parallel search: the workers' Sims are gone, but a caller's
+		// warm Sim can still serve the winner replay.
+		out.sim = opts.Sim
+	}
 	return out, nil
 }
 

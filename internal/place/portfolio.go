@@ -100,7 +100,7 @@ func Portfolio(g *qidg.Graph, cfg engine.Config, opts PortfolioOptions) (*Portfo
 		mvfbOpts := opts.MVFB
 		mvfbOpts.Workers = 1
 		outs[RankMVFB], errs[RankMVFB] = mvfbSearch(g, cfg, mvfbOpts)
-		outs[RankMonteCarlo], errs[RankMonteCarlo] = monteCarloSearch(g, cfg, mcRuns, mcSeed, 1)
+		outs[RankMonteCarlo], errs[RankMonteCarlo] = monteCarloSearch(g, cfg, mcRuns, mcSeed, 1, nil)
 		sols[RankCenter], errs[RankCenter] = centerSolution(g, cfg)
 	} else {
 		// Concurrent race on exactly `workers` engine goroutines: the
@@ -126,7 +126,7 @@ func Portfolio(g *qidg.Graph, cfg engine.Config, opts PortfolioOptions) (*Portfo
 		}()
 		go func() {
 			defer wg.Done()
-			outs[RankMonteCarlo], errs[RankMonteCarlo] = monteCarloSearch(g, ccfg, mcRuns, mcSeed, mcW)
+			outs[RankMonteCarlo], errs[RankMonteCarlo] = monteCarloSearch(g, ccfg, mcRuns, mcSeed, mcW, nil)
 			sols[RankCenter], errs[RankCenter] = centerSolution(g, ccfg)
 		}()
 		wg.Wait()

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkCachedResponse is the raw-tier probe alone — the
+// steady-state serve-path cost of a repeated request after decoding:
+// one stack-buffer sha256 plus one map lookup, zero allocations
+// (pinned by TestCachedHitAllocs).
+func BenchmarkCachedResponse(b *testing.B) {
+	s := testServerB(b)
+	var rq Request
+	if err := json.Unmarshal([]byte(cheap), &rq); err != nil {
+		b.Fatal(err)
+	}
+	if _, ok := s.cachedResponse(&rq); !ok {
+		b.Fatal("warm-up missed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.cachedResponse(&rq); !ok {
+			b.Fatal("cache entry vanished")
+		}
+	}
+}
+
+// BenchmarkCachedHitHandler is a full cached hit through the handler:
+// mux routing, JSON decode, raw-tier probe, response write. The
+// recorder and request construction are part of the measured loop, as
+// they would be for any in-process client.
+func BenchmarkCachedHitHandler(b *testing.B) {
+	s := testServerB(b)
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/map", strings.NewReader(cheap))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
+
+// BenchmarkCachedHitSustained is the sustained concurrent hit rate:
+// GOMAXPROCS goroutines hammering the handler with one hot request —
+// the service's req/s ceiling once the cache is warm.
+func BenchmarkCachedHitSustained(b *testing.B) {
+	s := testServerB(b)
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/map", strings.NewReader(cheap))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+}
+
+// BenchmarkMissMapping is the cold path: every iteration presents a
+// never-seen request (distinct seed), so the full admission → resolve
+// → warm-Mapper mapping → render pipeline runs each time.
+func BenchmarkMissMapping(b *testing.B) {
+	s := testServerB(b)
+	h := s.Handler()
+	var seed atomic.Int64
+	seed.Store(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := `{"circuit":"ghz(q=4)","fabric":"small","heuristic":"qspr-center","seed":` +
+			itoa(seed.Add(1)) + `}`
+		req := httptest.NewRequest(http.MethodPost, "/map", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+		if w.Header().Get("X-Cache") != "miss" {
+			b.Fatal("expected a miss")
+		}
+	}
+}
+
+func itoa(n int64) string {
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func testServerB(b *testing.B) *Server {
+	b.Helper()
+	s := New(Config{Workers: 2, QueueDepth: 64, CacheEntries: 1 << 16})
+	req := httptest.NewRequest(http.MethodPost, "/map", strings.NewReader(cheap))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("warm-up: %s", w.Body.String())
+	}
+	return s
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"strconv"
+	"sync"
+)
+
+// cacheKey is a sha256 digest. Keys are fixed-size arrays so a map
+// lookup is comparison-only: the steady-state cached-hit path does
+// zero allocations (pinned by TestCachedHitAllocs).
+type cacheKey = [sha256.Size]byte
+
+// cache is a bounded content-addressed response cache: digest →
+// rendered report bytes, FIFO eviction at cap. Stored bytes are
+// immutable by convention — writers insert freshly rendered reports
+// and readers only ever hand them to ResponseWriter.Write.
+type cache struct {
+	mu   sync.RWMutex
+	m    map[cacheKey][]byte
+	fifo []cacheKey
+	head int // next eviction slot once the ring is full
+	cap  int
+}
+
+func newCache(entries int) *cache {
+	return &cache{
+		m:    make(map[cacheKey][]byte, entries),
+		fifo: make([]cacheKey, 0, entries),
+		cap:  entries,
+	}
+}
+
+// get returns the cached response bytes for k. Zero allocations.
+func (c *cache) get(k cacheKey) ([]byte, bool) {
+	c.mu.RLock()
+	b, ok := c.m[k]
+	c.mu.RUnlock()
+	return b, ok
+}
+
+// put inserts k → body, evicting the oldest entry when the cache is
+// full. Re-inserting an existing key refreshes nothing (first write
+// wins): renders are deterministic, so the bodies are identical.
+func (c *cache) put(k cacheKey, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[k]; ok {
+		return
+	}
+	if len(c.fifo) < c.cap {
+		c.fifo = append(c.fifo, k)
+	} else {
+		delete(c.m, c.fifo[c.head])
+		c.fifo[c.head] = k
+		c.head = (c.head + 1) % c.cap
+	}
+	c.m[k] = body
+}
+
+// len returns the live entry count.
+func (c *cache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// rawKey digests the raw request shape — every field that can change
+// the response bytes, verbatim, before any parsing or resolution.
+// This is the first cache tier: a repeated request becomes one stack
+// hash plus one map probe, with no JSON round-trips, registry
+// resolution or admission. InnerParallel is deliberately excluded:
+// parallelism never changes response bytes (docs/CONCURRENCY.md), so
+// requests differing only in worker count share an entry.
+//
+// The scratch array keeps the digest input on the stack for typical
+// registry-spec requests; an oversized inline program spills to the
+// heap, which only costs the one miss-path allocation.
+func rawKey(rq *Request) cacheKey {
+	var scratch [256]byte
+	buf := append(scratch[:0], "qsprd.raw\x00"...)
+	buf = append(buf, rq.Circuit...)
+	buf = append(buf, 0)
+	buf = append(buf, rq.QASM...)
+	buf = append(buf, 0)
+	buf = append(buf, rq.Fabric...)
+	buf = append(buf, 0)
+	buf = append(buf, rq.Heuristic...)
+	buf = append(buf, 0)
+	buf = strconv.AppendInt(buf, int64(rq.M), 10)
+	buf = append(buf, 0)
+	buf = strconv.AppendInt(buf, rq.Seed, 10)
+	buf = append(buf, 0)
+	buf = strconv.AppendInt(buf, int64(rq.Patience), 10)
+	buf = append(buf, 0)
+	if rq.Trace {
+		buf = append(buf, 1)
+	}
+	return sha256.Sum256(buf)
+}
+
+// canonicalKey digests the resolved identity of a mapping: canonical
+// content-addressed circuit name × fabric name × the result-relevant
+// normalized options (core.Options.ResultKey) × the trace flag. Two
+// requests with one canonical key get byte-identical responses, so
+// this tier deduplicates across spellings — a registry spec and an
+// alias, defaults spelled out or omitted — that the raw tier keeps
+// apart.
+func canonicalKey(circuit, fabricName, resultKey string, withTrace bool) cacheKey {
+	var scratch [256]byte
+	buf := append(scratch[:0], "qsprd.canon\x00"...)
+	buf = append(buf, circuit...)
+	buf = append(buf, 0)
+	buf = append(buf, fabricName...)
+	buf = append(buf, 0)
+	buf = append(buf, resultKey...)
+	buf = append(buf, 0)
+	if withTrace {
+		buf = append(buf, 1)
+	}
+	return sha256.Sum256(buf)
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// latencyRing is the sample window for the latency quantiles: the
+// last latencyRing served requests (hits and misses alike).
+const latencyRing = 1024
+
+// metrics is the service's observability state: monotone counters,
+// an in-flight gauge and a fixed ring of recent request latencies.
+// Everything is atomics — the request path never takes a lock for
+// accounting, and the cached-hit path stays allocation-free.
+type metrics struct {
+	requests atomic.Int64 // POST /map requests admitted to handling
+	hits     atomic.Int64 // responses served from either cache tier
+	misses   atomic.Int64 // responses that ran a mapping
+	rejected atomic.Int64 // 429 backpressure rejections
+	errors   atomic.Int64 // 4xx/5xx non-backpressure failures
+	latIdx   atomic.Int64
+	latNS    [latencyRing]atomic.Int64
+}
+
+// observe records one served-request latency.
+func (m *metrics) observe(ns int64) {
+	i := m.latIdx.Add(1) - 1
+	m.latNS[i%latencyRing].Store(ns)
+}
+
+// quantiles returns the p50 and p99 of the current latency window in
+// nanoseconds, or zeros when nothing has been served yet.
+func (m *metrics) quantiles() (p50, p99 int64) {
+	n := m.latIdx.Load()
+	if n == 0 {
+		return 0, 0
+	}
+	if n > latencyRing {
+		n = latencyRing
+	}
+	samples := make([]int64, n)
+	for i := range samples {
+		samples[i] = m.latNS[i].Load()
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	rank := func(q float64) int64 {
+		i := int(q * float64(len(samples)-1))
+		return samples[i]
+	}
+	return rank(0.50), rank(0.99)
+}
+
+// write renders the metrics in a flat text exposition format;
+// inflight and queued come from the server's admission state.
+func (m *metrics) write(w io.Writer, inflight, queued int) error {
+	req := m.requests.Load()
+	hits := m.hits.Load()
+	misses := m.misses.Load()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	p50, p99 := m.quantiles()
+	_, err := fmt.Fprintf(w,
+		"qsprd_requests_total %d\n"+
+			"qsprd_cache_hits_total %d\n"+
+			"qsprd_cache_misses_total %d\n"+
+			"qsprd_cache_hit_ratio %.4f\n"+
+			"qsprd_rejected_total %d\n"+
+			"qsprd_errors_total %d\n"+
+			"qsprd_inflight %d\n"+
+			"qsprd_queue_depth %d\n"+
+			"qsprd_latency_p50_us %d\n"+
+			"qsprd_latency_p99_us %d\n",
+		req, hits, misses, ratio,
+		m.rejected.Load(), m.errors.Load(),
+		inflight, queued,
+		p50/1000, p99/1000)
+	return err
+}

@@ -1,0 +1,338 @@
+// Package serve implements qsprd, the long-running mapping service:
+// an HTTP facade over internal/core with per-worker warm Sim state
+// and a content-addressed result cache.
+//
+// Determinism is the design anchor. A /map response is a pure
+// function of (canonical circuit, fabric, normalized options, trace
+// flag) — the exact bytes `qspr -report` writes for the same inputs —
+// so caching is sound by construction and correctness is testable
+// byte-for-byte against the CLI.
+//
+// Request lifecycle:
+//
+//	decode → raw-tier cache probe → admission (429 on overflow)
+//	       → resolve (canonical circuit, fabric, options)
+//	       → canonical-tier cache probe → warm Mapper → render
+//	       → insert both tiers → respond
+//
+// The raw tier keys on the unparsed request shape and makes repeated
+// requests allocation-free; the canonical tier keys on resolved
+// content identity and deduplicates across spellings. Mappers (one
+// warm engine.Sim each, per docs/CONCURRENCY.md single-goroutine
+// ownership) live in a channel pool: a request owns at most one
+// Mapper from resolve to render, so Sims never migrate mid-run.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/fabric"
+	"repro/internal/qasm"
+)
+
+// maxRequestBytes bounds a /map body; inline programs beyond this are
+// rejected with 400 before any parsing.
+const maxRequestBytes = 4 << 20
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the warm Mapper pool size — the number of mappings
+	// that run concurrently. Default 2.
+	Workers int
+	// QueueDepth is how many requests may wait for a Mapper beyond
+	// the ones holding one; the next request gets 429. Default 64.
+	QueueDepth int
+	// CacheEntries bounds each cache tier (FIFO eviction).
+	// Default 1024.
+	CacheEntries int
+	// Budget is the total CPU budget shared by all workers, the way
+	// experiment.Spec splits across-run × inner parallelism: each
+	// mapping's InnerParallel is clamped to max(1, Budget/Workers).
+	// Default Workers (inner stays sequential).
+	Budget int
+}
+
+func (c Config) normalized() Config {
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries < 1 {
+		c.CacheEntries = 1024
+	}
+	if c.Budget < 1 {
+		c.Budget = c.Workers
+	}
+	return c
+}
+
+// Server is the qsprd mapping service. Construct with New, mount
+// Handler on an http.Server.
+type Server struct {
+	cfg Config
+	// fabrics interns the built-in fabrics once: Sims reuse a warm
+	// route graph only when the *fabric.Fabric pointer is stable
+	// across runs, and fabric.Quale4585()/Small() build fresh ones
+	// per call.
+	fabrics map[string]experiment.FabricChoice
+	pool    chan *core.Mapper
+	// tickets is the admission semaphore: capacity Workers+QueueDepth.
+	// A request holds a ticket from admission to response, so at most
+	// QueueDepth requests ever block on the Mapper pool and the rest
+	// are rejected with 429 + Retry-After.
+	tickets chan struct{}
+	raw     *cache
+	canon   *cache
+	met     metrics
+}
+
+// New builds a Server: interns the built-in fabrics and fills the
+// warm Mapper pool.
+func New(cfg Config) *Server {
+	cfg = cfg.normalized()
+	s := &Server{
+		cfg:     cfg,
+		fabrics: make(map[string]experiment.FabricChoice, 2),
+		pool:    make(chan *core.Mapper, cfg.Workers),
+		tickets: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		raw:     newCache(cfg.CacheEntries),
+		canon:   newCache(cfg.CacheEntries),
+	}
+	for _, name := range []string{"quale45x85", "small"} {
+		fc, err := experiment.LoadFabric(name)
+		if err != nil {
+			// Built-in names cannot fail to load.
+			panic(fmt.Sprintf("serve: built-in fabric %s: %v", name, err))
+		}
+		s.fabrics[name] = fc
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.pool <- core.NewMapper()
+	}
+	return s
+}
+
+// Handler returns the service's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/map", s.handleMap)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// cachedResponse is the raw-tier probe: the steady-state path for a
+// repeated request. Zero allocations (pinned by TestCachedHitAllocs).
+func (s *Server) cachedResponse(rq *Request) ([]byte, bool) {
+	return s.raw.get(rawKey(rq))
+}
+
+// resolved is a request after canonicalization: everything the
+// mapping and the report need.
+type resolved struct {
+	circuit string // canonical content-addressed circuit name
+	prog    *qasm.Program
+	fab     experiment.FabricChoice
+	opts    core.Options
+	key     cacheKey // canonical-tier cache key
+}
+
+// errBadRequest marks resolution failures that are the client's
+// fault (unknown spec, bad options) rather than the server's.
+var errBadRequest = errors.New("bad request")
+
+// resolve canonicalizes a request. All failures here are 400s: the
+// inputs, not the service, are wrong.
+func (s *Server) resolve(rq *Request) (*resolved, error) {
+	var r resolved
+	switch {
+	case rq.Circuit != "" && rq.QASM != "":
+		return nil, fmt.Errorf("%w: circuit and qasm are mutually exclusive", errBadRequest)
+	case rq.Circuit != "":
+		b, err := circuits.Resolve(rq.Circuit)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		r.circuit, r.prog = b.Name, b.Program
+	case rq.QASM != "":
+		prog, err := qasm.ParseString(rq.QASM)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		r.circuit, r.prog = InlineName([]byte(rq.QASM)), prog
+	default:
+		return nil, fmt.Errorf("%w: one of circuit or qasm is required", errBadRequest)
+	}
+
+	fname := strings.ToLower(strings.TrimSpace(rq.Fabric))
+	if fname == "" {
+		fname = "quale45x85"
+	}
+	fc, ok := s.fabrics[fname]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown fabric %q (quale45x85, small)", errBadRequest, rq.Fabric)
+	}
+	r.fab = fc
+
+	h := core.QSPR
+	if rq.Heuristic != "" {
+		var err error
+		h, err = experiment.ParseHeuristic(rq.Heuristic)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+	}
+	r.opts = core.Options{Heuristic: h, Seeds: rq.M, Seed: rq.Seed, Patience: rq.Patience}
+	resultKey, err := r.opts.ResultKey()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	r.key = canonicalKey(r.circuit, r.fab.Name, resultKey, rq.Trace)
+	return &r, nil
+}
+
+// innerParallel clamps a request's worker wish to the per-mapping
+// share of the server's CPU budget. Parallelism never changes
+// response bytes, so the clamp is invisible in results.
+func (s *Server) innerParallel(wish int) int {
+	share := s.cfg.Budget / s.cfg.Workers
+	if share < 1 {
+		share = 1
+	}
+	if wish < 1 {
+		wish = 1
+	}
+	if wish > share {
+		wish = share
+	}
+	return wish
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	start := time.Now()
+	s.met.requests.Add(1)
+
+	var rq Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rq); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return
+	}
+
+	// Tier 1: raw request shape. Repeats of an exact request never
+	// touch admission, resolution or a Mapper.
+	if body, ok := s.cachedResponse(&rq); ok {
+		s.respond(w, body, true, start)
+		return
+	}
+
+	// Admission: the ticket is held until the response is written, so
+	// at most Workers+QueueDepth requests are in flight past here.
+	select {
+	case s.tickets <- struct{}{}:
+		defer func() { <-s.tickets }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		s.met.rejected.Add(1)
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return
+	}
+
+	rs, err := s.resolve(&rq)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Tier 2: canonical content identity. A hit here is a different
+	// spelling of a mapping already served — alias the raw shape so
+	// its repeats hit tier 1.
+	if body, ok := s.canon.get(rs.key); ok {
+		s.raw.put(rawKey(&rq), body)
+		s.respond(w, body, true, start)
+		return
+	}
+
+	mp := <-s.pool
+	opts := rs.opts
+	opts.InnerParallel = s.innerParallel(rq.InnerParallel)
+	res, err := mp.Map(rs.prog, rs.fab.Fabric, opts)
+	s.pool <- mp
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, fmt.Sprintf("map: %v", err))
+		return
+	}
+
+	rep, err := NewReport(rs.circuit, rs.fab.Name, rs.opts, res, rq.Trace)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, fmt.Sprintf("report: %v", err))
+		return
+	}
+	body, err := rep.MarshalBytes()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, fmt.Sprintf("encode report: %v", err))
+		return
+	}
+	s.canon.put(rs.key, body)
+	s.raw.put(rawKey(&rq), body)
+	s.respond(w, body, false, start)
+}
+
+// respond writes a report body with cache disposition and records
+// the request in the metrics.
+func (s *Server) respond(w http.ResponseWriter, body []byte, hit bool, start time.Time) {
+	if hit {
+		s.met.hits.Add(1)
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		s.met.misses.Add(1)
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	w.Write(body)
+	s.met.observe(time.Since(start).Nanoseconds())
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	s.met.errors.Add(1)
+	http.Error(w, msg, code)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	inflight := len(s.tickets)
+	queued := inflight - s.cfg.Workers
+	if queued < 0 {
+		queued = 0
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.met.write(w, inflight, queued)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// Fabric returns an interned built-in fabric, for tests that need
+// the exact *fabric.Fabric the service maps on.
+func (s *Server) Fabric(name string) (*fabric.Fabric, bool) {
+	fc, ok := s.fabrics[strings.ToLower(name)]
+	return fc.Fabric, ok
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Regenerates the measurements tracked in BENCH_serve.json: the qsprd
+# serve-path microbenchmarks — raw-tier cache probe, full cached-hit
+# handler pass (single-client and sustained parallel), and the cold
+# miss that runs a warm-Mapper mapping end-to-end. Run from the
+# repository root.
+set -e
+OUT="${OUT:-/tmp/qspr_bench_serve.txt}"
+{
+  echo "== qsprd serve path (ghz(q=4) x small x qspr-center, 5000 iterations/op) =="
+  go test -run '^$' -bench 'BenchmarkCached|BenchmarkMiss' -benchtime 5000x -benchmem ./internal/serve
+} | tee "$OUT"
+echo
+echo "raw output written to: $OUT (curate BENCH_serve.json from it)"

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# qsprd service smoke: boot the daemon on an ephemeral port, map a
+# circuit twice (cold miss + cached hit), check both response bodies
+# are byte-identical to the `qspr -report -` CLI bytes for the same
+# inputs, and scrape /metrics for the request/hit counters. Run from
+# anywhere; CI runs it on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+qsprd_pid=""
+cleanup() {
+  [ -n "$qsprd_pid" ] && kill "$qsprd_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/qsprd" ./cmd/qsprd
+go build -o "$tmp/qspr" ./cmd/qspr
+
+echo "== boot qsprd on an ephemeral port =="
+"$tmp/qsprd" -listen 127.0.0.1:0 -workers 2 >"$tmp/qsprd.log" 2>&1 &
+qsprd_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+  addr=$(awk '/listening on/{print $NF}' "$tmp/qsprd.log")
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "FAIL: qsprd never announced its address" >&2
+  cat "$tmp/qsprd.log" >&2
+  exit 1
+fi
+echo "  qsprd at $addr"
+curl -sf "http://$addr/healthz" >/dev/null
+
+echo "== served report is byte-identical to the CLI report =="
+req='{"circuit":"ghz(q=4)","fabric":"small","heuristic":"qspr-center"}'
+"$tmp/qspr" -circuit 'ghz(q=4)' -fabric small -heuristic qspr-center -report - >"$tmp/cli.json"
+curl -sf -D "$tmp/h1.txt" -d "$req" "http://$addr/map" -o "$tmp/miss.json"
+curl -sf -D "$tmp/h2.txt" -d "$req" "http://$addr/map" -o "$tmp/hit.json"
+if ! cmp -s "$tmp/miss.json" "$tmp/cli.json"; then
+  echo "FAIL: served report differs from qspr -report -" >&2
+  diff "$tmp/miss.json" "$tmp/cli.json" >&2 || true
+  exit 1
+fi
+if ! cmp -s "$tmp/hit.json" "$tmp/miss.json"; then
+  echo "FAIL: cached hit differs from cold miss" >&2
+  exit 1
+fi
+grep -qi '^x-cache: miss' "$tmp/h1.txt" || { echo "FAIL: first response not a miss" >&2; exit 1; }
+grep -qi '^x-cache: hit' "$tmp/h2.txt" || { echo "FAIL: second response not a hit" >&2; exit 1; }
+echo "  miss == hit == CLI bytes, cache headers correct"
+
+echo "== /metrics =="
+curl -sf "http://$addr/metrics" | tee "$tmp/metrics.txt"
+grep -q '^qsprd_requests_total 2$' "$tmp/metrics.txt" || { echo "FAIL: request counter" >&2; exit 1; }
+grep -q '^qsprd_cache_hits_total 1$' "$tmp/metrics.txt" || { echo "FAIL: hit counter" >&2; exit 1; }
+grep -q '^qsprd_cache_misses_total 1$' "$tmp/metrics.txt" || { echo "FAIL: miss counter" >&2; exit 1; }
+grep -q '^qsprd_cache_hit_ratio 0.5000$' "$tmp/metrics.txt" || { echo "FAIL: hit ratio" >&2; exit 1; }
+
+echo "== graceful shutdown =="
+kill -TERM "$qsprd_pid"
+wait "$qsprd_pid"
+qsprd_pid=""
+grep -q 'drained, bye' "$tmp/qsprd.log" || { echo "FAIL: no graceful drain" >&2; cat "$tmp/qsprd.log" >&2; exit 1; }
+
+echo "serve smoke OK"
