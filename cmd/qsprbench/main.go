@@ -11,12 +11,23 @@
 //	qsprbench -fabric fab.txt -compare=false -format json
 //	qsprbench -shard 0/4 -checkpoint s0.jsonl  # one of four shard processes
 //	qsprbench -merge 's0.jsonl,s1.jsonl,s2.jsonl,s3.jsonl' -format csv
+//	qsprbench -coordinate :9650 -checkpoint-dir sweep/   # hand out dynamic shards
+//	qsprbench -worker coord-host:9650                    # execute leases from there
 //
 // A sweep can be split across processes or machines with -shard i/n
 // and checkpointed per-run with -checkpoint (JSONL; re-running the
 // same invocation resumes, mapping only what is missing). -merge
 // combines shard checkpoints into one report whose bytes are
 // identical to a single unsharded run.
+//
+// -coordinate replaces static shards with dynamic ones: the
+// coordinator listens on TCP, leases small run-index chunks to
+// -worker processes (which need no spec flags — the spec travels over
+// the wire and is fingerprint-checked), streams their records into
+// <checkpoint-dir>/coord.jsonl, reassigns the leases of workers that
+// die or go silent past -lease-ttl, and splits straggler tails for
+// idle workers. The final report is byte-identical to the unsharded
+// run (see docs/ARCHITECTURE.md, "Distributed sweeps").
 //
 // The emitted JSON/CSV/markdown bytes are identical for any -parallel
 // and -inner-parallel values: each run is mapped by a seeded,
@@ -33,10 +44,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"time"
 
+	"repro/internal/coord"
 	"repro/internal/experiment"
 )
 
@@ -64,8 +79,51 @@ func run() (code int) {
 		shardF     = flag.String("shard", "", "run only shard i of n ('i/n') of the expanded sweep; merge the shards with -merge")
 		checkpoint = flag.String("checkpoint", "", "append completed runs to this JSONL file and resume from it (failed runs are retried)")
 		merge      = flag.String("merge", "", "merge comma-separated checkpoint JSONL files into one report and exit (no mapping)")
+		coordinate = flag.String("coordinate", "", "coordinate a distributed sweep: listen on this host:port and lease dynamic shards to -worker processes")
+		workerAddr = flag.String("worker", "", "run as a worker for the coordinator at this host:port (the sweep spec comes from the coordinator)")
+		chunkSize  = flag.Int("chunk", 0, "runs per dynamic shard lease (with -coordinate; default 16)")
+		leaseTTL   = flag.Duration("lease-ttl", 0, "worker silence tolerated before its leases are reassigned (with -coordinate; default 10s)")
+		ckptDir    = flag.String("checkpoint-dir", "", "coordinator checkpoint directory: records append to <dir>/coord.jsonl and a restarted coordinator resumes from it (with -coordinate)")
+		workerName = flag.String("worker-name", "", "name reported to the coordinator (with -worker; default <hostname>:<pid>)")
 	)
 	flag.Parse()
+
+	if *coordinate != "" && *workerAddr != "" {
+		return fail(fmt.Errorf("-coordinate and -worker are different processes: pick one"))
+	}
+	if *coordinate != "" {
+		// The coordinator never maps runs itself, so the single-process
+		// execution flags would be silently dead weight next to it.
+		if conflict := visitedFlags("shard", "checkpoint", "merge", "parallel", "worker-name", "cpuprofile", "memprofile"); len(conflict) > 0 {
+			return fail(fmt.Errorf("-coordinate hands runs to -worker processes and conflicts with %s", strings.Join(conflict, ", ")))
+		}
+		desc := coord.SpecDesc{
+			Circuits: *circuitsF, Heuristics: *heuristics, M: *mList,
+			Seed: *seed, Fabric: *fabPath, InnerParallel: *innerPar,
+		}
+		return runCoordinator(*coordinate, desc, *chunkSize, *leaseTTL, *ckptDir, *format, *out, *compare, *progress)
+	}
+	if *workerAddr != "" {
+		// A worker takes its spec from the coordinator; spec flags here
+		// would describe a sweep that is never consulted.
+		if conflict := visitedFlags("circuits", "heuristics", "m", "seed", "fabric", "inner-parallel",
+			"shard", "checkpoint", "merge", "format", "out", "compare", "chunk", "lease-ttl", "checkpoint-dir"); len(conflict) > 0 {
+			return fail(fmt.Errorf("-worker receives the sweep spec from the coordinator and conflicts with %s", strings.Join(conflict, ", ")))
+		}
+		return runWorker(*workerAddr, *workerName, *parallel, *progress)
+	}
+	// The coordinator-family flags mean nothing on the single-process
+	// paths; silently ignoring them would hide a typo'd deployment.
+	var coordOnly []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "chunk", "lease-ttl", "checkpoint-dir", "worker-name":
+			coordOnly = append(coordOnly, "-"+f.Name)
+		}
+	})
+	if len(coordOnly) > 0 {
+		return fail(fmt.Errorf("%s require -coordinate or -worker", strings.Join(coordOnly, ", ")))
+	}
 
 	if *merge != "" {
 		// -merge only reads its checkpoint files: a sweep flag next to
@@ -247,6 +305,129 @@ func reportFailures(rep *experiment.Report) int {
 		}
 	}
 	return code
+}
+
+// visitedFlags returns which of the named flags were explicitly set
+// on the command line.
+func visitedFlags(names ...string) []string {
+	bad := map[string]bool{}
+	for _, n := range names {
+		bad[n] = true
+	}
+	var hit []string
+	flag.Visit(func(f *flag.Flag) {
+		if bad[f.Name] {
+			hit = append(hit, "-"+f.Name)
+		}
+	})
+	return hit
+}
+
+// runCoordinator serves a distributed sweep: it owns the spec, leases
+// dynamic shards to workers, ingests their records, and writes the
+// final report exactly like a single-process sweep would.
+func runCoordinator(addr string, desc coord.SpecDesc, chunk int, ttl time.Duration, dir, format, out string, compare, progress bool) int {
+	if err := experiment.ValidateFormat(format); err != nil {
+		return fail(err)
+	}
+	ckpt := ""
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fail(err)
+		}
+		ckpt = filepath.Join(dir, "coord.jsonl")
+	}
+	c, err := coord.New(coord.Config{
+		Addr: addr, Desc: desc, ChunkSize: chunk, LeaseTTL: ttl,
+		Checkpoint: ckpt, OnEvent: coordProgress(progress),
+	})
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "qsprbench: coordinating %d runs on %s\n", c.Runs(), c.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := c.Run(ctx)
+	interrupted := err != nil
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "qsprbench: coordinated sweep stopped (%v); reporting %d/%d recorded runs\n",
+			err, len(rep.Results), c.Runs())
+	}
+	if err := rep.WriteFile(format, out); err != nil {
+		return fail(err)
+	}
+	if compare {
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprintln(os.Stderr, "QSPR vs QUALE:")
+		if err := rep.WriteComparison(os.Stderr); err != nil {
+			return fail(err)
+		}
+	}
+	if code := reportFailures(rep); code != 0 || interrupted {
+		return 1
+	}
+	return 0
+}
+
+// coordProgress renders coordinator events on stderr: membership and
+// recovery events always (they are rare and are the operator's only
+// view of fleet health), per-record lines only with -progress, and an
+// aggregate done/total line at most once a second otherwise.
+func coordProgress(verbose bool) func(coord.Event) {
+	var mu sync.Mutex
+	var lastAggregate time.Time
+	return func(ev coord.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch ev.Kind {
+		case coord.EventResume:
+			if ev.Done > 0 {
+				fmt.Fprintf(os.Stderr, "qsprbench: resumed %d/%d runs from checkpoint\n", ev.Done, ev.Total)
+			}
+		case coord.EventWorkerJoin:
+			fmt.Fprintf(os.Stderr, "qsprbench: worker %s joined [%d/%d]\n", ev.Worker, ev.Done, ev.Total)
+		case coord.EventWorkerLeave:
+			fmt.Fprintf(os.Stderr, "qsprbench: worker %s left (%s) [%d/%d]\n", ev.Worker, ev.Detail, ev.Done, ev.Total)
+		case coord.EventLeaseSteal:
+			fmt.Fprintf(os.Stderr, "qsprbench: %s took %d runs, %s [%d/%d]\n",
+				ev.Worker, len(ev.Indices), ev.Detail, ev.Done, ev.Total)
+		case coord.EventRequeue:
+			fmt.Fprintf(os.Stderr, "qsprbench: requeued %d runs from %s (%s) [%d/%d]\n",
+				len(ev.Indices), ev.Worker, ev.Detail, ev.Done, ev.Total)
+		case coord.EventLeaseGrant:
+			if verbose {
+				fmt.Fprintf(os.Stderr, "qsprbench: leased %d runs to %s [%d/%d]\n",
+					len(ev.Indices), ev.Worker, ev.Done, ev.Total)
+			}
+		case coord.EventRecord:
+			if verbose {
+				fmt.Fprintf(os.Stderr, "[%d/%d] run %d done (%s)\n", ev.Done, ev.Total, ev.Index, ev.Worker)
+			} else if time.Since(lastAggregate) >= time.Second || ev.Done == ev.Total {
+				lastAggregate = time.Now()
+				fmt.Fprintf(os.Stderr, "qsprbench: %d/%d runs recorded\n", ev.Done, ev.Total)
+			}
+		case coord.EventDone:
+			fmt.Fprintf(os.Stderr, "qsprbench: sweep complete: %d/%d runs\n", ev.Done, ev.Total)
+		}
+	}
+}
+
+// runWorker executes leases for a coordinator until the sweep is done.
+func runWorker(addr, name string, parallel int, progress bool) int {
+	w := &coord.Worker{Addr: addr, Name: name, Parallel: parallel}
+	if progress {
+		w.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "qsprbench: "+format+"\n", args...)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := w.Run(ctx); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "qsprbench: worker done")
+	return 0
 }
 
 func fail(err error) int {

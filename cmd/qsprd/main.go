@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		queue   = fs.Int("queue", 64, "requests that may wait for a mapper before 429")
 		entries = fs.Int("cache", 1024, "result cache entries per tier (FIFO eviction)")
 		budget  = fs.Int("budget", 0, "total CPU budget shared by all workers (0 = workers, i.e. sequential mappings)")
+		mapTO   = fs.Duration("map-timeout", 0, "per-request mapping deadline; past it the request answers 504 (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -58,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		QueueDepth:   *queue,
 		CacheEntries: *entries,
 		Budget:       *budget,
+		MapTimeout:   *mapTO,
 	})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

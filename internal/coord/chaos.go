@@ -1,0 +1,58 @@
+package coord
+
+import (
+	"errors"
+	"time"
+)
+
+// The chaos hook is the package's fault-injection harness: tests (and
+// only tests) install a ChaosFunc on a Worker to kill, stall, mute or
+// partition it at precise protocol points, then assert that the
+// coordinator's merged report stays byte-identical to an unsharded
+// run. Production code paths never consult the hook when it is nil.
+
+// ChaosPoint names a place in the worker's lifecycle where the hook
+// fires.
+type ChaosPoint string
+
+const (
+	// PointRecord fires before each completed run's record is sent;
+	// detail is the run index.
+	PointRecord ChaosPoint = "record"
+	// PointLease fires after a lease is received, before any run
+	// executes; detail is the number of leased indices.
+	PointLease ChaosPoint = "lease"
+)
+
+// ChaosAction is what the hook asks the worker to do at a point.
+// Fields compose: Stall then Kill simulates a worker that freezes and
+// is later lost; MuteHeartbeat with a long Stall simulates a hung
+// (SIGSTOP-like) process whose lease must expire.
+type ChaosAction struct {
+	// Kill aborts the worker abruptly: the connection drops without a
+	// clean shutdown and Worker.Run returns ErrChaosKilled — the
+	// in-process equivalent of kill -9.
+	Kill bool
+	// Stall sleeps before proceeding (a straggling worker; its
+	// heartbeats keep flowing unless muted).
+	Stall time.Duration
+	// MuteHeartbeat stops the session's heartbeats from this point on,
+	// so the coordinator's lease deadline lapses even though the
+	// process is alive — a hung or partitioned worker.
+	MuteHeartbeat bool
+	// Drop swallows this record instead of sending it (a lost packet /
+	// partition): the coordinator must re-assign the run when the
+	// lease completes or expires without it.
+	Drop bool
+	// Duplicate sends this record twice (delivery after reassignment):
+	// the coordinator must treat the copy as idempotent.
+	Duplicate bool
+}
+
+// ChaosFunc decides the action at a chaos point. A nil hook and a
+// zero action both mean "proceed normally".
+type ChaosFunc func(point ChaosPoint, detail int) ChaosAction
+
+// ErrChaosKilled is returned by Worker.Run when a chaos hook killed
+// the worker, so tests distinguish an injected crash from a real one.
+var ErrChaosKilled = errors.New("coord: worker killed by chaos hook")

@@ -1,0 +1,164 @@
+package coord
+
+import "sort"
+
+// A lease is one dynamic shard: an explicit set of run indices handed
+// to one worker session. remaining shrinks as records arrive; what is
+// left when the session dies or the lease completes without records
+// goes back to the pending pool. Leases are identified per sweep, so
+// a record for an expired lease is still just a record — validation
+// and dedup key on the run index, never on the lease.
+type lease struct {
+	id        int64
+	worker    string
+	sess      *session
+	remaining map[int]bool
+}
+
+// sortedRemaining returns the lease's unfinished indices in ascending
+// order — the "tail" a steal splits.
+func (l *lease) sortedRemaining() []int {
+	out := make([]int, 0, len(l.remaining))
+	for i := range l.remaining {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// table is the coordinator's assignment state: the pending pool of
+// unassigned run indices plus every outstanding lease. All methods
+// are called under the coordinator's mutex.
+type table struct {
+	pending map[int]bool
+	leases  map[int64]*lease
+	nextID  int64
+}
+
+func newTable(pending []int) *table {
+	t := &table{pending: make(map[int]bool, len(pending)), leases: map[int64]*lease{}}
+	for _, i := range pending {
+		t.pending[i] = true
+	}
+	return t
+}
+
+// grant carves a new lease of up to chunk indices out of the pending
+// pool (lowest indices first, so adjacent runs — which tend to share
+// a circuit — stay together). Returns nil when nothing is pending.
+func (t *table) grant(sess *session, worker string, chunk int) *lease {
+	if len(t.pending) == 0 {
+		return nil
+	}
+	idxs := make([]int, 0, len(t.pending))
+	for i := range t.pending {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	if len(idxs) > chunk {
+		idxs = idxs[:chunk]
+	}
+	t.nextID++
+	l := &lease{id: t.nextID, worker: worker, sess: sess, remaining: make(map[int]bool, len(idxs))}
+	for _, i := range idxs {
+		delete(t.pending, i)
+		l.remaining[i] = true
+	}
+	t.leases[l.id] = l
+	return l
+}
+
+// steal splits the straggler with the most unfinished runs: the tail
+// half of its remaining index range becomes a new lease for the
+// requesting session. The victim's worker is not notified — it will
+// run the stolen indices anyway, and the duplicate records it sends
+// are idempotent (deterministic runs yield byte-identical records).
+// Leases held by the requesting session itself and leases with fewer
+// than two unfinished runs are never split (a single in-flight run
+// cannot be subdivided — it is recovered by lease expiry instead).
+// Returns the new lease and the victim, or nils when nothing is
+// stealable.
+func (t *table) steal(sess *session, worker string, chunk int) (*lease, *lease) {
+	var victim *lease
+	for _, l := range t.leases {
+		if l.sess == sess || len(l.remaining) < 2 {
+			continue
+		}
+		if victim == nil || len(l.remaining) > len(victim.remaining) ||
+			(len(l.remaining) == len(victim.remaining) && l.id < victim.id) {
+			victim = l
+		}
+	}
+	if victim == nil {
+		return nil, nil
+	}
+	rem := victim.sortedRemaining()
+	take := rem[len(rem)-len(rem)/2:]
+	if len(take) > chunk {
+		take = take[:chunk]
+	}
+	t.nextID++
+	nl := &lease{id: t.nextID, worker: worker, sess: sess, remaining: make(map[int]bool, len(take))}
+	for _, i := range take {
+		delete(victim.remaining, i)
+		nl.remaining[i] = true
+	}
+	t.leases[nl.id] = nl
+	return nl, victim
+}
+
+// complete marks one run recorded: it stops being pending and leaves
+// every lease still tracking it (normally one; after a steal or an
+// expiry race, possibly several or none).
+func (t *table) complete(idx int) {
+	delete(t.pending, idx)
+	for _, l := range t.leases {
+		delete(l.remaining, idx)
+	}
+}
+
+// releaseSession returns every unfinished index of the session's
+// leases to the pending pool — the reassignment step when a worker
+// disconnects or its lease deadline expires.
+func (t *table) releaseSession(sess *session) (returned []int, ids []int64) {
+	for id, l := range t.leases {
+		if l.sess != sess {
+			continue
+		}
+		for i := range l.remaining {
+			t.pending[i] = true
+			returned = append(returned, i)
+		}
+		delete(t.leases, id)
+		ids = append(ids, id)
+	}
+	sort.Ints(returned)
+	return returned, ids
+}
+
+// releaseLease retires one lease on lease-complete. Any indices still
+// unrecorded (their records were lost in flight) go back to pending —
+// a worker's claim of completion is trusted only run-by-run, through
+// the records that actually arrived.
+func (t *table) releaseLease(id int64) (leftover []int) {
+	l, ok := t.leases[id]
+	if !ok {
+		return nil
+	}
+	for i := range l.remaining {
+		t.pending[i] = true
+		leftover = append(leftover, i)
+	}
+	delete(t.leases, id)
+	sort.Ints(leftover)
+	return leftover
+}
+
+// outstanding counts runs currently out on leases.
+func (t *table) outstanding() int {
+	n := 0
+	for _, l := range t.leases {
+		n += len(l.remaining)
+	}
+	return n
+}

@@ -1,0 +1,187 @@
+// Package coord turns the manual shard/checkpoint/merge primitives of
+// internal/experiment into a fault-tolerant distributed sweep: one
+// coordinator process owns a sweep spec and hands out dynamic shard
+// leases — arbitrary run-index sets — to worker processes over plain
+// TCP, detects dead and hung workers, reassigns their unfinished
+// runs, and steals the tails of stragglers.
+//
+// The entire correctness story is the PR 5 invariant: every run's
+// metrics are a deterministic function of the run's identity, so a
+// run may be executed once, twice, or by three different machines and
+// the record that reaches the report is byte-identical in every case.
+// Reassignment, work stealing and duplicate delivery therefore never
+// need distributed consensus — the coordinator keeps the first record
+// per run, verifies that any duplicate agrees byte-for-byte (a
+// disagreement is a determinism violation and fails the sweep loudly),
+// and the final merged report is byte-identical to an unsharded
+// single-process Execute. See docs/ARCHITECTURE.md ("distributed
+// sweeps") and docs/CONCURRENCY.md for the full argument.
+//
+// Wire protocol: newline-delimited JSON messages over one TCP
+// connection per worker session.
+//
+//	worker → hello{worker, proto}
+//	coord  → spec{spec, fingerprint, runs, lease_ttl_ms}
+//	worker → lease-request
+//	coord  → lease{lease, indices} | wait | done | error{error}
+//	worker → record{lease, record}     (one per completed run)
+//	worker → heartbeat{lease}
+//	worker → lease-complete{lease}
+//
+// Records and heartbeats are fire-and-forget; only hello and
+// lease-request have responses. Any message renews the session's
+// lease deadline (the coordinator's read deadline), so a worker that
+// falls silent for a full lease TTL — hung, partitioned, or dead —
+// expires and its unfinished indices return to the pending pool.
+package coord
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// ProtoVersion is bumped on incompatible wire changes; a mismatched
+// worker is rejected at hello rather than misbehaving mid-sweep.
+const ProtoVersion = 1
+
+// Message types.
+const (
+	msgHello         = "hello"
+	msgSpec          = "spec"
+	msgLeaseRequest  = "lease-request"
+	msgLease         = "lease"
+	msgWait          = "wait"
+	msgDone          = "done"
+	msgRecord        = "record"
+	msgHeartbeat     = "heartbeat"
+	msgLeaseComplete = "lease-complete"
+	msgError         = "error"
+)
+
+// SpecDesc is the serializable description of a sweep spec: the same
+// source strings the qsprbench CLI accepts, resolved independently by
+// the coordinator and by every worker. Agreement is proven by
+// comparing experiment.Spec.Fingerprint over the expanded run list —
+// circuit names are canonical content-addressed registry names, so a
+// qasm(path=...) source whose file differs between machines fails the
+// handshake instead of corrupting the sweep.
+type SpecDesc struct {
+	// Circuits is the -circuits source list (experiment.SelectCircuits).
+	Circuits string `json:"circuits"`
+	// Heuristics is the -heuristics list (experiment.ParseHeuristics).
+	Heuristics string `json:"heuristics"`
+	// M is the -m seed-count list (experiment.ParseSeedCounts).
+	M string `json:"m"`
+	// Seed is the sweep RNG seed.
+	Seed int64 `json:"seed"`
+	// Fabric is a built-in fabric name or a fabric file path present
+	// on every machine (experiment.LoadFabric).
+	Fabric string `json:"fabric"`
+	// InnerParallel is the per-mapping worker count (never changes
+	// result bytes).
+	InnerParallel int `json:"inner_parallel,omitempty"`
+}
+
+// Spec resolves the description into an executable sweep spec.
+func (d SpecDesc) Spec() (experiment.Spec, error) {
+	spec := experiment.Spec{Seed: d.Seed, InnerParallel: d.InnerParallel}
+	var err error
+	if spec.Circuits, err = experiment.SelectCircuits(d.Circuits); err != nil {
+		return experiment.Spec{}, err
+	}
+	if spec.Heuristics, err = experiment.ParseHeuristics(d.Heuristics); err != nil {
+		return experiment.Spec{}, err
+	}
+	if spec.SeedCounts, err = experiment.ParseSeedCounts(d.M); err != nil {
+		return experiment.Spec{}, err
+	}
+	fc, err := experiment.LoadFabric(d.Fabric)
+	if err != nil {
+		return experiment.Spec{}, err
+	}
+	spec.Fabrics = []experiment.FabricChoice{fc}
+	return spec, nil
+}
+
+// message is the single wire envelope; Type selects which fields are
+// meaningful.
+type message struct {
+	Type   string `json:"type"`
+	Worker string `json:"worker,omitempty"`
+	Proto  int    `json:"proto,omitempty"`
+
+	Spec        *SpecDesc `json:"spec,omitempty"`
+	Fingerprint string    `json:"fingerprint,omitempty"`
+	Runs        int       `json:"runs,omitempty"`
+	LeaseTTLMS  int64     `json:"lease_ttl_ms,omitempty"`
+
+	// Lease ids start at 1 so omitempty never swallows one.
+	Lease   int64 `json:"lease,omitempty"`
+	Indices []int `json:"indices,omitempty"`
+
+	Record *experiment.RunRecord `json:"record,omitempty"`
+	Error  string                `json:"error,omitempty"`
+}
+
+// maxLine bounds one wire message; a RunRecord with a big placement
+// vector fits in a fraction of this.
+const maxLine = 1 << 24
+
+// wire frames newline-delimited JSON messages over a net.Conn. Writes
+// are mutex-serialized: a worker's heartbeat goroutine and its
+// record-sending result callback share one connection.
+type wire struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func newWire(conn net.Conn) *wire {
+	return &wire{conn: conn, r: bufio.NewReaderSize(conn, 64*1024)}
+}
+
+func (w *wire) send(m message) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("coord: encode %s: %w", m.Type, err)
+	}
+	b = append(b, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err = w.conn.Write(b)
+	return err
+}
+
+// recv reads one message, failing after deadline (zero = no deadline).
+func (w *wire) recv(deadline time.Time) (message, error) {
+	if err := w.conn.SetReadDeadline(deadline); err != nil {
+		return message{}, err
+	}
+	var line []byte
+	for {
+		frag, err := w.r.ReadSlice('\n')
+		line = append(line, frag...)
+		if err == nil {
+			break
+		}
+		if err != bufio.ErrBufferFull {
+			return message{}, err
+		}
+		if len(line) > maxLine {
+			return message{}, fmt.Errorf("coord: wire message over %d bytes", maxLine)
+		}
+	}
+	var m message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return message{}, fmt.Errorf("coord: decode wire message: %w", err)
+	}
+	return m, nil
+}
+
+func (w *wire) close() error { return w.conn.Close() }

@@ -1,0 +1,386 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// errDone signals a clean sweep-complete exit from a session.
+var errDone = errors.New("coord: sweep done")
+
+// permanentError marks failures no amount of reconnecting fixes — a
+// spec the worker cannot resolve, a fingerprint mismatch, a protocol
+// rejection.
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+func (e permanentError) Unwrap() error { return e.err }
+
+// Worker is the qsprbench -worker client: it connects to a
+// coordinator, resolves and fingerprint-checks the sweep spec, then
+// loops requesting leases and executing them through
+// experiment.Execute restricted to the leased index set, streaming
+// one record per completed run and heartbeating at a third of the
+// lease TTL. A lost connection aborts the lease in flight (the
+// coordinator reassigns whatever it did not receive) and the worker
+// reconnects with jittered exponential backoff.
+type Worker struct {
+	// Addr is the coordinator's host:port.
+	Addr string
+	// Name labels this worker in coordinator logs; default
+	// "<hostname>:<pid>".
+	Name string
+	// Parallel is this machine's CPU budget for lease execution
+	// (experiment.Options.Workers); 0 = all cores.
+	Parallel int
+	// RunFunc overrides the per-run mapper (nil = the real stack);
+	// tests inject deterministic fakes and failures here.
+	RunFunc experiment.RunFunc
+	// Chaos, if non-nil, is the fault-injection hook (tests only).
+	Chaos ChaosFunc
+	// MaxAttempts is the consecutive-failure budget before Run gives
+	// up (default 8). Each failed connect or broken session counts;
+	// any granted lease response resets it.
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff shape the reconnect delay: base×2^n
+	// capped at max, each delay jittered ±50% so a fleet of workers
+	// whose coordinator restarts does not reconnect in lockstep.
+	// Defaults 100ms and 3s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Logf, if non-nil, receives worker progress lines.
+	Logf func(format string, args ...any)
+
+	rngOnce sync.Once
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+func (w *Worker) name() string {
+	if w.Name != "" {
+		return w.Name
+	}
+	host, err := os.Hostname()
+	if err != nil {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s:%d", host, os.Getpid())
+}
+
+// backoff returns the jittered delay before reconnect attempt n
+// (1-based).
+func (w *Worker) backoff(n int) time.Duration {
+	base := w.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := w.MaxBackoff
+	if max <= 0 {
+		max = 3 * time.Second
+	}
+	d := base
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	w.rngOnce.Do(func() { w.rng = rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(os.Getpid()))) })
+	w.rngMu.Lock()
+	jitter := 0.5 + w.rng.Float64() // [0.5, 1.5)
+	w.rngMu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// Run connects and serves leases until the coordinator reports the
+// sweep done (nil), the context is canceled, the failure budget is
+// exhausted, or a permanent error (unresolvable or mismatched spec)
+// occurs.
+func (w *Worker) Run(ctx context.Context) error {
+	attempts := 0
+	fail := func(err error) (bool, error) {
+		attempts++
+		max := w.MaxAttempts
+		if max <= 0 {
+			max = 8
+		}
+		if attempts >= max {
+			return true, fmt.Errorf("coord: worker giving up after %d attempts: %w", attempts, err)
+		}
+		select {
+		case <-ctx.Done():
+			return true, ctx.Err()
+		case <-time.After(w.backoff(attempts)):
+		}
+		return false, nil
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		d := net.Dialer{Timeout: 5 * time.Second}
+		conn, err := d.DialContext(ctx, "tcp", w.Addr)
+		if err != nil {
+			w.logf("connect %s: %v", w.Addr, err)
+			if stop, ferr := fail(err); stop {
+				return ferr
+			}
+			continue
+		}
+		err = w.session(ctx, newWire(conn), &attempts)
+		conn.Close()
+		switch {
+		case errors.Is(err, errDone):
+			return nil
+		case errors.Is(err, ErrChaosKilled):
+			return err
+		case ctx.Err() != nil:
+			return ctx.Err()
+		}
+		var perm permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		w.logf("session ended: %v", err)
+		if stop, ferr := fail(err); stop {
+			return ferr
+		}
+	}
+}
+
+// session runs one connection: handshake, then the lease loop.
+// attempts is reset whenever a lease is granted, so a long healthy
+// session never inches toward the failure budget.
+func (w *Worker) session(ctx context.Context, wr *wire, attempts *int) error {
+	if err := wr.send(message{Type: msgHello, Worker: w.name(), Proto: ProtoVersion}); err != nil {
+		return err
+	}
+	m, err := wr.recv(time.Now().Add(10 * time.Second))
+	if err != nil {
+		return err
+	}
+	switch m.Type {
+	case msgSpec:
+	case msgError:
+		return permanentError{errors.New(m.Error)}
+	default:
+		return fmt.Errorf("coord: unexpected handshake response %q", m.Type)
+	}
+	if m.Spec == nil {
+		return permanentError{errors.New("coord: spec message without a spec")}
+	}
+	spec, err := m.Spec.Spec()
+	if err != nil {
+		return permanentError{fmt.Errorf("coord: resolving coordinator spec: %w", err)}
+	}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		return permanentError{err}
+	}
+	if fp != m.Fingerprint {
+		return permanentError{fmt.Errorf("coord: spec fingerprint mismatch (worker %s, coordinator %s): the two machines resolve the sweep differently — check circuit/fabric files", fp, m.Fingerprint)}
+	}
+	runs, err := spec.Runs()
+	if err != nil {
+		return permanentError{err}
+	}
+	if len(runs) != m.Runs {
+		return permanentError{fmt.Errorf("coord: spec expands to %d runs here but %d at the coordinator", len(runs), m.Runs)}
+	}
+	ttl := time.Duration(m.LeaseTTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	w.logf("connected to %s: %d runs, lease TTL %v", w.Addr, m.Runs, ttl)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := wr.send(message{Type: msgLeaseRequest}); err != nil {
+			return err
+		}
+		m, err := wr.recv(time.Now().Add(ttl + 5*time.Second))
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case msgDone:
+			w.logf("sweep done")
+			return errDone
+		case msgWait:
+			// Nothing assignable right now (stragglers hold lone
+			// runs); poll again well inside the TTL so the session
+			// never looks dead.
+			wait := ttl / 4
+			if wait > 250*time.Millisecond {
+				wait = 250 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+		case msgLease:
+			*attempts = 0
+			if err := w.execLease(ctx, wr, spec, ttl, m); err != nil {
+				return err
+			}
+		case msgError:
+			return permanentError{errors.New(m.Error)}
+		default:
+			return fmt.Errorf("coord: unexpected lease response %q", m.Type)
+		}
+	}
+}
+
+// execLease executes one lease: experiment.Execute restricted to the
+// leased index set, records streamed as runs complete, heartbeats at
+// TTL/3 from a side goroutine. Any send failure cancels the execution
+// context so the pool winds down between runs.
+func (w *Worker) execLease(ctx context.Context, wr *wire, spec experiment.Spec, ttl time.Duration, m message) error {
+	w.logf("lease %d: %d runs", m.Lease, len(m.Indices))
+	if w.Chaos != nil {
+		act := w.Chaos(PointLease, len(m.Indices))
+		if err := w.applyPreSend(ctx, wr, act); err != nil {
+			return err
+		}
+	}
+
+	execCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var errMu sync.Mutex
+	var sendErr error
+	var killed, muted atomic.Bool
+	abort := func(err error) {
+		if err != nil {
+			errMu.Lock()
+			if sendErr == nil {
+				sendErr = err
+			}
+			errMu.Unlock()
+		}
+		cancel()
+	}
+
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-execCtx.Done():
+				return
+			case <-tick.C:
+				if muted.Load() {
+					continue
+				}
+				if err := wr.send(message{Type: msgHeartbeat, Lease: m.Lease}); err != nil {
+					abort(err)
+					return
+				}
+			}
+		}
+	}()
+
+	opts := experiment.Options{
+		Workers: w.Parallel,
+		Indices: m.Indices,
+		RunFunc: w.RunFunc,
+		OnResult: func(rr experiment.RunResult) {
+			if execCtx.Err() != nil {
+				return
+			}
+			var act ChaosAction
+			if w.Chaos != nil {
+				act = w.Chaos(PointRecord, rr.Index)
+			}
+			if act.MuteHeartbeat {
+				muted.Store(true)
+			}
+			if act.Stall > 0 {
+				select {
+				case <-time.After(act.Stall):
+				case <-ctx.Done():
+				}
+			}
+			if act.Kill {
+				killed.Store(true)
+				cancel()
+				return
+			}
+			if act.Drop {
+				return
+			}
+			rec := rr.Record()
+			msg := message{Type: msgRecord, Lease: m.Lease, Record: &rec}
+			if err := wr.send(msg); err != nil {
+				abort(err)
+				return
+			}
+			if act.Duplicate {
+				if err := wr.send(msg); err != nil {
+					abort(err)
+				}
+			}
+		},
+	}
+	_, execErr := experiment.Execute(execCtx, spec, opts)
+	cancel()
+	hb.Wait()
+
+	if killed.Load() {
+		// Simulated kill -9: drop the connection without ceremony.
+		wr.close()
+		return ErrChaosKilled
+	}
+	errMu.Lock()
+	err := sendErr
+	errMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if execErr != nil && execCtx.Err() == nil {
+		// A genuine Execute failure (not our own cancellation):
+		// surface it — the lease's unfinished runs will be
+		// reassigned when the coordinator notices.
+		return execErr
+	}
+	return wr.send(message{Type: msgLeaseComplete, Lease: m.Lease})
+}
+
+// applyPreSend handles a chaos action fired outside the record path.
+func (w *Worker) applyPreSend(ctx context.Context, wr *wire, act ChaosAction) error {
+	if act.Stall > 0 {
+		select {
+		case <-time.After(act.Stall):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if act.Kill {
+		wr.close()
+		return ErrChaosKilled
+	}
+	return nil
+}

@@ -20,7 +20,7 @@ import (
 func circuitStub(name string) circuits.Benchmark { return circuits.Benchmark{Name: name} }
 
 // Checkpointing makes sweeps resumable: Execute appends one JSON line
-// per completed run (the runRecord shape of the reports) to
+// per completed run (the RunRecord shape of the reports) to
 // Options.Checkpoint, and on the next Execute with the same Spec the
 // completed runs are slotted straight into the report without being
 // re-mapped. Failed runs are re-executed on resume (the record with
@@ -31,12 +31,63 @@ func circuitStub(name string) circuits.Benchmark { return circuits.Benchmark{Nam
 // checkpoints merged with LoadCheckpoints are byte-identical to a
 // single unsharded sweep.
 
-// checkpointWriter appends run records to a JSONL file, serialized
-// by a mutex (worker goroutines finish runs concurrently).
-type checkpointWriter struct {
+// CheckpointWriter appends run records to a JSONL file, serialized
+// by a mutex (worker goroutines finish runs concurrently). The sweep
+// runner and the coordinator (internal/coord) both persist through
+// this one writer, so their files resume and merge identically.
+type CheckpointWriter struct {
 	mu  sync.Mutex
 	f   *os.File
 	err error
+}
+
+// ownership describes which run indices an invocation executes, for
+// checkpoint torn-tail repair: only the owner of the torn record's
+// run may truncate it (it re-executes the run), and an unreadable
+// index may only be repaired by an invocation that owns everything.
+type ownership struct {
+	owns func(int) bool
+	// restricted is true when owns is not "everything" — a sharded or
+	// index-set-limited invocation.
+	restricted bool
+	// desc names the restriction in errors, e.g. `shard "1/4"`.
+	desc string
+}
+
+func (o Options) ownership() ownership {
+	set := o.indexSet()
+	return ownership{
+		owns: func(i int) bool {
+			return o.Shard.Owns(i) && (set == nil || set[i])
+		},
+		restricted: o.Shard.Count > 1 || set != nil,
+		desc:       o.ownerDesc(),
+	}
+}
+
+func (o Options) ownerDesc() string {
+	switch {
+	case o.Shard.Count > 1 && o.Indices != nil:
+		return fmt.Sprintf("shard %s ∩ %d explicit indices", o.Shard, len(o.Indices))
+	case o.Shard.Count > 1:
+		return fmt.Sprintf("shard %s", o.Shard)
+	case o.Indices != nil:
+		return fmt.Sprintf("%d explicit indices", len(o.Indices))
+	}
+	return "unsharded"
+}
+
+// indexSet materializes Options.Indices as a set; nil when the option
+// is unset (no restriction).
+func (o Options) indexSet() map[int]bool {
+	if o.Indices == nil {
+		return nil
+	}
+	set := make(map[int]bool, len(o.Indices))
+	for _, i := range o.Indices {
+		set[i] = true
+	}
+	return set
 }
 
 // openCheckpoint opens (creating if missing) the checkpoint at path,
@@ -51,12 +102,12 @@ type checkpointWriter struct {
 // glued onto or truncated past it, resumes and merges would corrupt
 // or silently lose runs. The torn record is discarded — its run
 // simply re-executes and re-appends.
-func openCheckpoint(path string, runs []Run, shard Shard) (*checkpointWriter, map[int]*RunResult, error) {
+func openCheckpoint(path string, runs []Run, owner ownership) (*CheckpointWriter, map[int]*RunResult, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiment: checkpoint: %w", err)
 	}
-	fail := func(err error) (*checkpointWriter, map[int]*RunResult, error) {
+	fail := func(err error) (*CheckpointWriter, map[int]*RunResult, error) {
 		f.Close()
 		return nil, nil, err
 	}
@@ -65,7 +116,7 @@ func openCheckpoint(path string, runs []Run, shard Shard) (*checkpointWriter, ma
 		return fail(fmt.Errorf("experiment: checkpoint %s: %w", path, err))
 	}
 	// Everything after the last newline is the torn tail. A real torn
-	// record always starts with '{' (a marshalled runRecord) and
+	// record always starts with '{' (a marshalled RunRecord) and
 	// follows at least one complete, spec-validated record; anything
 	// else — including a '{'-leading single line, which could equally
 	// be a foreign JSON file — is not repairable, and neither is a
@@ -91,21 +142,34 @@ func openCheckpoint(path string, runs []Run, shard Shard) (*checkpointWriter, ma
 	}
 	if boundary < len(data) {
 		// Truncating the torn record is only safe when this invocation
-		// re-executes its run; a shard that does not own it would drop
-		// the record with nobody to re-append it, and a later merge
-		// would silently miss the row.
+		// re-executes its run; an invocation that does not own it would
+		// drop the record with nobody to re-append it, and a later
+		// merge would silently miss the row.
 		if idx, ok := tornRunIndex(data[boundary:]); ok {
-			if !shard.Owns(idx) {
-				return fail(fmt.Errorf("experiment: checkpoint %s: torn final record is run %d, which shard %s does not own — resume with the owning shard so the run is re-executed", path, idx, shard))
+			if !owner.owns(idx) {
+				return fail(fmt.Errorf("experiment: checkpoint %s: torn final record is run %d, which this invocation (%s) does not own — resume with the owning invocation so the run is re-executed", path, idx, owner.desc))
 			}
-		} else if shard.Count > 1 {
+		} else if owner.restricted {
 			return fail(fmt.Errorf("experiment: checkpoint %s: torn final record's run index is unreadable; resume unsharded so no run is silently lost", path))
 		}
 		if err := f.Truncate(int64(boundary)); err != nil {
 			return fail(fmt.Errorf("experiment: checkpoint %s: %w", path, err))
 		}
 	}
-	return &checkpointWriter{f: f}, out, nil
+	return &CheckpointWriter{f: f}, out, nil
+}
+
+// OpenCoordinatorCheckpoint opens, validates, repairs and loads a
+// checkpoint on behalf of a sweep coordinator, which owns every run
+// of the spec: any torn tail is repairable (its run is simply
+// reassigned), and the returned cache holds every record already
+// persisted — successes to be served as-is and failures to be retried
+// (the resume semantics of Execute). Streamed records are persisted
+// through the returned writer.
+func OpenCoordinatorCheckpoint(path string, runs []Run) (*CheckpointWriter, map[int]*RunResult, error) {
+	return openCheckpoint(path, runs, ownership{
+		owns: func(int) bool { return true }, desc: "coordinator",
+	})
 }
 
 func errNotRepairable(path string) error {
@@ -113,7 +177,7 @@ func errNotRepairable(path string) error {
 }
 
 // tornRunIndex best-effort parses the run index from a torn record's
-// leading bytes; "index" is runRecord's first marshalled field, so
+// leading bytes; "index" is RunRecord's first marshalled field, so
 // any tear past the first few bytes leaves it readable. The digit run
 // must be terminated by the next field's comma — a tear mid-number
 // ("{\"index\":4" of run 41) must read as unreadable, not as run 4.
@@ -134,11 +198,11 @@ func tornRunIndex(torn []byte) (int, bool) {
 	return n, err == nil
 }
 
-// append writes one completed run; the first error sticks and is
-// reported by close (losing checkpoint lines silently would break
+// Append writes one completed run; the first error sticks and is
+// reported by Close (losing checkpoint lines silently would break
 // the resume guarantee).
-func (c *checkpointWriter) append(rr *RunResult) {
-	line, err := json.Marshal(rr.record())
+func (c *CheckpointWriter) Append(rr *RunResult) {
+	line, err := json.Marshal(rr.Record())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
@@ -152,7 +216,9 @@ func (c *checkpointWriter) append(rr *RunResult) {
 	}
 }
 
-func (c *checkpointWriter) close() error {
+// Close closes the underlying file and returns the first append or
+// close error.
+func (c *CheckpointWriter) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.f.Close(); c.err == nil && err != nil {
@@ -168,8 +234,8 @@ func (c *checkpointWriter) close() error {
 // tail handed to -merge, which an incomplete report must not absorb
 // silently. Later records override earlier ones with the same index
 // (a failed run re-executed on resume).
-func readCheckpointRecords(r io.Reader, name string) (map[int]runRecord, error) {
-	recs := map[int]runRecord{}
+func readCheckpointRecords(r io.Reader, name string) (map[int]RunRecord, error) {
+	recs := map[int]RunRecord{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
 	line := 0
@@ -179,7 +245,7 @@ func readCheckpointRecords(r io.Reader, name string) (map[int]runRecord, error) 
 		if text == "" {
 			continue
 		}
-		var rec runRecord
+		var rec RunRecord
 		if err := json.Unmarshal([]byte(text), &rec); err != nil {
 			return nil, fmt.Errorf("experiment: checkpoint %s: line %d: %w", name, line, err)
 		}
@@ -197,7 +263,7 @@ func readCheckpointRecords(r io.Reader, name string) (map[int]runRecord, error) 
 // matchRun verifies a checkpoint record against the run the spec
 // expands to at that index; a mismatch means the checkpoint belongs
 // to a different spec and resuming would silently mix sweeps.
-func matchRun(rec runRecord, runs []Run) (Run, error) {
+func matchRun(rec RunRecord, runs []Run) (Run, error) {
 	if rec.Index >= len(runs) {
 		return Run{}, fmt.Errorf("experiment: checkpoint holds run index %d but the spec expands to %d runs (different spec?)",
 			rec.Index, len(runs))
@@ -210,6 +276,21 @@ func matchRun(rec runRecord, runs []Run) (Run, error) {
 			r.Circuit.Name, r.Fabric.Name, r.Heuristic.String(), r.Seeds, r.Seed)
 	}
 	return r, nil
+}
+
+// ResultFromRecord validates a record (a checkpoint line or a
+// coordinator wire record) against the spec's expanded run list and
+// converts it into the RunResult the report machinery consumes. The
+// returned result reports byte-identically to the RunResult the run
+// would have produced in-process: RunRecord is the serialized report
+// row itself, and all metric fields survive a JSON round-trip
+// losslessly.
+func ResultFromRecord(rec RunRecord, runs []Run) (*RunResult, error) {
+	run, err := matchRun(rec, runs)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Run: run, Metrics: rec.Metrics, Err: rec.Error}, nil
 }
 
 // MissingRuns returns the run indices absent from rep within
@@ -237,9 +318,24 @@ func (rep *Report) MissingRuns() []int {
 
 // sameRunIdentity reports whether two records describe the same run
 // (metrics aside — those are deterministic given identical identity).
-func sameRunIdentity(a, b runRecord) bool {
+func sameRunIdentity(a, b RunRecord) bool {
 	return a.Circuit == b.Circuit && a.Fabric == b.Fabric &&
 		a.Heuristic == b.Heuristic && a.M == b.M && a.Seed == b.Seed
+}
+
+// SameOutcome reports whether two records for the same run carry the
+// same result bytes — the condition under which a duplicate is
+// idempotent rather than a conflict (a checkpoint merge and the sweep
+// coordinator apply the same test). Metrics are compared through
+// their canonical JSON marshalling, the exact bytes that would reach
+// a report.
+func (a RunRecord) SameOutcome(b RunRecord) bool {
+	if a.Error != b.Error {
+		return false
+	}
+	aj, errA := json.Marshal(a.Metrics)
+	bj, errB := json.Marshal(b.Metrics)
+	return errA == nil && errB == nil && bytes.Equal(aj, bj)
 }
 
 // LoadCheckpoints merges one or more checkpoint files (typically one
@@ -248,18 +344,23 @@ func sameRunIdentity(a, b runRecord) bool {
 // only be repeated with identical run identity (circuit, fabric,
 // heuristic, m, seed) — a conflicting duplicate means the files come
 // from different sweeps, and merging them is rejected rather than
-// producing a plausible-looking mixed report. The merged report's
-// WriteJSON/WriteCSV/WriteMarkdown bytes are identical to those of
-// the single unsharded sweep, because every serialized field lives in
-// the checkpoint records themselves. Runs absent from every
-// checkpoint (an unfinished shard) are simply missing rows; callers
-// that need completeness should compare len(Report.Results) against
-// Spec.Runs().
+// producing a plausible-looking mixed report. Two *successful*
+// records for one run must also agree on their metrics: every metric
+// is a deterministic function of the run, so a disagreement means the
+// files were produced by different code, machines with diverging
+// inputs, or hand-editing — the merge errors with both file names and
+// the run index instead of silently preferring whichever file came
+// first. The merged report's WriteJSON/WriteCSV/WriteMarkdown bytes
+// are identical to those of the single unsharded sweep, because every
+// serialized field lives in the checkpoint records themselves. Runs
+// absent from every checkpoint (an unfinished shard) are simply
+// missing rows; callers that need completeness should compare
+// len(Report.Results) against Spec.Runs().
 func LoadCheckpoints(paths ...string) (*Report, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("experiment: no checkpoint files to merge")
 	}
-	merged := map[int]runRecord{}
+	merged := map[int]RunRecord{}
 	source := map[int]string{}
 	for _, path := range paths {
 		f, err := os.Open(path)
@@ -279,6 +380,16 @@ func LoadCheckpoints(paths ...string) (*Report, error) {
 					return nil, fmt.Errorf("experiment: checkpoint merge: run %d is %s×%s×%s m=%d seed=%d in %s but %s×%s×%s m=%d seed=%d in %s (checkpoints from different sweeps?)",
 						idx, prev.Circuit, prev.Fabric, prev.Heuristic, prev.M, prev.Seed, source[idx],
 						rec.Circuit, rec.Fabric, rec.Heuristic, rec.M, rec.Seed, path)
+				}
+				// Two successful records must agree: metrics are a
+				// deterministic function of the run, so a conflict can
+				// only mean the files don't describe the same sweep.
+				// Silently preferring file order would make the merged
+				// report depend on argument order — and hide the
+				// corruption.
+				if prev.Error == "" && rec.Error == "" && !prev.SameOutcome(rec) {
+					return nil, fmt.Errorf("experiment: checkpoint merge: run %d has conflicting successful records in %s and %s — the metrics disagree, so the files cannot come from the same sweep",
+						idx, source[idx], path)
 				}
 				// A stale failure record (an interrupted shard merged
 				// next to its retry) must not override a completed run,

@@ -29,6 +29,8 @@
 package experiment
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 	"strconv"
@@ -146,6 +148,29 @@ func (s Spec) Runs() ([]Run, error) {
 		}
 	}
 	return runs, nil
+}
+
+// Fingerprint returns a stable hex digest of the spec's expanded run
+// identities (index, circuit, fabric, heuristic, m, seed). Two specs
+// with equal fingerprints expand to the same run list, so records
+// produced for one slot losslessly into reports of the other — the
+// handshake check that lets a sweep coordinator and its workers
+// resolve a spec independently (possibly on different machines) and
+// prove they agree before any lease is granted. Circuit names are
+// canonical content-addressed registry names, so e.g. a
+// qasm(path=...) source whose file differs between machines changes
+// the fingerprint.
+func (s Spec) Fingerprint() (string, error) {
+	runs, err := s.Runs()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	for _, r := range runs {
+		fmt.Fprintf(h, "%d\x00%s\x00%s\x00%s\x00%d\x00%d\n",
+			r.Index, r.Circuit.Name, r.Fabric.Name, r.Heuristic, r.Seeds, r.Seed)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // Metrics are the deterministic per-run measurements. All time-like

@@ -60,10 +60,13 @@ func (rep *Report) WriteFile(format, path string) error {
 	return f.Close()
 }
 
-// runRecord is the serialized shape of one run. Wall-clock time is
-// deliberately absent: every field is a function of the run's inputs,
-// so report bytes are reproducible across machines and worker counts.
-type runRecord struct {
+// RunRecord is the serialized shape of one run: a report row, a
+// checkpoint line, and the coordinator wire record are all this one
+// shape, so reports assembled from any of the three agree
+// byte-for-byte. Wall-clock time is deliberately absent: every field
+// is a function of the run's inputs, so report bytes are reproducible
+// across machines and worker counts.
+type RunRecord struct {
 	Index     int      `json:"index"`
 	Circuit   string   `json:"circuit"`
 	Fabric    string   `json:"fabric"`
@@ -74,11 +77,11 @@ type runRecord struct {
 	Metrics   *Metrics `json:"metrics,omitempty"`
 }
 
-// record serializes one result; the same shape is a report row and a
+// Record serializes one result; the same shape is a report row and a
 // checkpoint line (checkpoint.go), so merged checkpoints reproduce
 // report bytes exactly.
-func (rr RunResult) record() runRecord {
-	return runRecord{
+func (rr RunResult) Record() RunRecord {
+	return RunRecord{
 		Index:     rr.Index,
 		Circuit:   rr.Circuit.Name,
 		Fabric:    rr.Fabric.Name,
@@ -90,10 +93,10 @@ func (rr RunResult) record() runRecord {
 	}
 }
 
-func (rep *Report) records() []runRecord {
-	recs := make([]runRecord, 0, len(rep.Results))
+func (rep *Report) records() []RunRecord {
+	recs := make([]RunRecord, 0, len(rep.Results))
 	for _, rr := range rep.Results {
-		recs = append(recs, rr.record())
+		recs = append(recs, rr.Record())
 	}
 	return recs
 }
@@ -104,7 +107,7 @@ func (rep *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
-		Runs []runRecord `json:"runs"`
+		Runs []RunRecord `json:"runs"`
 	}{rep.records()})
 }
 

@@ -36,6 +36,15 @@ type Options struct {
 	// everything. Reports from the n shards, checkpointed and merged
 	// with LoadCheckpoints, are byte-identical to one unsharded sweep.
 	Shard Shard
+	// Indices restricts this Execute to an arbitrary explicit set of
+	// run indices — the generalization of Shard's i-mod-n slices that
+	// dynamic shard assignment needs (a coordinator lease is exactly
+	// such a set; see internal/coord). nil means no restriction; a
+	// non-nil set intersects with Shard. Every index must be within
+	// the expanded run list; duplicates are harmless. As with Shard,
+	// records from any partition of the sweep into index sets merge
+	// byte-identically to one unrestricted Execute.
+	Indices []int
 	// Checkpoint, when non-empty, is a JSONL file: every completed
 	// run is appended as it finishes, and runs already recorded there
 	// (from an interrupted previous Execute with the same Spec) are
@@ -74,15 +83,21 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 	if err := opts.Shard.validate(); err != nil {
 		return nil, err
 	}
+	for _, idx := range opts.Indices {
+		if idx < 0 || idx >= len(runs) {
+			return nil, fmt.Errorf("experiment: run index %d outside the spec's %d runs", idx, len(runs))
+		}
+	}
+	owner := opts.ownership()
 	results := make([]*RunResult, len(runs))
-	var ckw *checkpointWriter
+	var ckw *CheckpointWriter
 	if opts.Checkpoint != "" {
 		var cached map[int]*RunResult
 		var err error
 		// Validates the file against the spec and repairs any torn
 		// tail (whose run then re-executes) in one step, so reader and
 		// writer agree on where the last valid record ends.
-		if ckw, cached, err = openCheckpoint(opts.Checkpoint, runs, opts.Shard); err != nil {
+		if ckw, cached, err = openCheckpoint(opts.Checkpoint, runs, owner); err != nil {
 			return nil, err
 		}
 		// Successful cached runs are served from the file; failed ones
@@ -96,16 +111,16 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 			// Announce the served runs in index order so progress
 			// counters account for them.
 			for idx, rr := range results {
-				if rr != nil && opts.Shard.Owns(idx) {
+				if rr != nil && owner.owns(idx) {
 					opts.OnResult(*rr)
 				}
 			}
 		}
 	}
-	// This shard's still-unmapped slice of the sweep.
+	// This invocation's still-unmapped slice of the sweep.
 	var pending []Run
 	for _, r := range runs {
-		if opts.Shard.Owns(r.Index) && results[r.Index] == nil {
+		if owner.owns(r.Index) && results[r.Index] == nil {
 			pending = append(pending, r)
 		}
 	}
@@ -173,7 +188,7 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 				rr := executeRun(ctx, r, fn)
 				results[r.Index] = rr
 				if ckw != nil {
-					ckw.append(rr)
+					ckw.Append(rr)
 				}
 				if opts.OnResult != nil {
 					cbMu.Lock()
@@ -187,12 +202,12 @@ func Execute(ctx context.Context, spec Spec, opts Options) (*Report, error) {
 
 	rep := &Report{}
 	for i, rr := range results {
-		if rr != nil && opts.Shard.Owns(i) {
+		if rr != nil && owner.owns(i) {
 			rep.Results = append(rep.Results, *rr)
 		}
 	}
 	if ckw != nil {
-		if err := ckw.close(); err != nil {
+		if err := ckw.Close(); err != nil {
 			return rep, err
 		}
 	}

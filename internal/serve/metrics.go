@@ -21,6 +21,8 @@ type metrics struct {
 	misses   atomic.Int64 // responses that ran a mapping
 	rejected atomic.Int64 // 429 backpressure rejections
 	errors   atomic.Int64 // 4xx/5xx non-backpressure failures
+	panics   atomic.Int64 // mappings that panicked (Mapper replaced)
+	timeouts atomic.Int64 // mappings abandoned at the 504 deadline
 	latIdx   atomic.Int64
 	latNS    [latencyRing]atomic.Int64
 }
@@ -71,12 +73,15 @@ func (m *metrics) write(w io.Writer, inflight, queued int) error {
 			"qsprd_cache_hit_ratio %.4f\n"+
 			"qsprd_rejected_total %d\n"+
 			"qsprd_errors_total %d\n"+
+			"qsprd_panics_total %d\n"+
+			"qsprd_timeouts_total %d\n"+
 			"qsprd_inflight %d\n"+
 			"qsprd_queue_depth %d\n"+
 			"qsprd_latency_p50_us %d\n"+
 			"qsprd_latency_p99_us %d\n",
 		req, hits, misses, ratio,
 		m.rejected.Load(), m.errors.Load(),
+		m.panics.Load(), m.timeouts.Load(),
 		inflight, queued,
 		p50/1000, p99/1000)
 	return err

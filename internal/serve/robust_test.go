@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/qasm"
+)
+
+// uniqueReq returns a request that cannot be a cache hit: each mapping
+// has to reach the mapFn seam.
+func uniqueReq(n int) string {
+	return fmt.Sprintf(`{"circuit":"ghz(q=%d)","fabric":"small","heuristic":"qspr-center"}`, n+3)
+}
+
+// TestPanicRecovery: a panicking mapping answers 500, increments
+// qsprd_panics_total, and leaks neither pool capacity nor admission
+// tickets — the very next requests map normally.
+func TestPanicRecovery(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: 64})
+	realMap := s.mapFn
+	boom := true
+	s.mapFn = func(mp *core.Mapper, prog *qasm.Program, fab *fabric.Fabric, opts core.Options) (*core.Result, error) {
+		if boom {
+			boom = false
+			panic("sim state corrupted")
+		}
+		return realMap(mp, prog, fab, opts)
+	}
+	h := s.Handler()
+
+	w := postMap(t, h, uniqueReq(0))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking mapping: status %d, want 500", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "panicked") {
+		t.Errorf("500 body %q does not mention the panic", w.Body.String())
+	}
+
+	// With Workers=1, a leaked pool slot or ticket would hang or 429
+	// every later request. Run several to prove full recovery.
+	for i := 1; i <= 3; i++ {
+		w := postMap(t, h, uniqueReq(i))
+		if w.Code != http.StatusOK {
+			t.Fatalf("request %d after panic: status %d: %s", i, w.Code, w.Body.String())
+		}
+	}
+	if got := s.met.panics.Load(); got != 1 {
+		t.Errorf("panics_total = %d, want 1", got)
+	}
+	if got := len(s.tickets); got != 0 {
+		t.Errorf("%d admission tickets leaked", got)
+	}
+	if got := len(s.pool); got != 1 {
+		t.Errorf("pool holds %d mappers, want 1", got)
+	}
+
+	var metBody strings.Builder
+	s.met.write(&metBody, 0, 0)
+	if !strings.Contains(metBody.String(), "qsprd_panics_total 1") {
+		t.Errorf("metrics missing panic counter:\n%s", metBody.String())
+	}
+}
+
+// TestMapTimeout: a mapping past Config.MapTimeout answers 504 and
+// counts in qsprd_timeouts_total; the Mapper rejoins the pool when the
+// stuck mapping finally returns, so the service recovers.
+func TestMapTimeout(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: 64, MapTimeout: 50 * time.Millisecond})
+	realMap := s.mapFn
+	release := make(chan struct{})
+	stuck := true
+	s.mapFn = func(mp *core.Mapper, prog *qasm.Program, fab *fabric.Fabric, opts core.Options) (*core.Result, error) {
+		if stuck {
+			stuck = false
+			<-release
+		}
+		return realMap(mp, prog, fab, opts)
+	}
+	h := s.Handler()
+
+	w := postMap(t, h, uniqueReq(0))
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("stuck mapping: status %d, want 504: %s", w.Code, w.Body.String())
+	}
+	if got := s.met.timeouts.Load(); got != 1 {
+		t.Errorf("timeouts_total = %d, want 1", got)
+	}
+	if got := len(s.tickets); got != 0 {
+		t.Errorf("%d admission tickets leaked", got)
+	}
+
+	// Unstick the runaway mapping; its Mapper must come home and serve
+	// the next request within the deadline.
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w := postMap(t, h, uniqueReq(1))
+		if w.Code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service never recovered after timeout: status %d: %s", w.Code, w.Body.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var metBody strings.Builder
+	s.met.write(&metBody, 0, 0)
+	if !strings.Contains(metBody.String(), "qsprd_timeouts_total 1") {
+		t.Errorf("metrics missing timeout counter:\n%s", metBody.String())
+	}
+}
+
+// TestClientDisconnectAbandonsMapping: a canceled request context
+// abandons the mapping as a 500-class failure without counting a
+// deadline timeout, and the Mapper still comes back.
+func TestClientDisconnectAbandonsMapping(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, CacheEntries: 64})
+	realMap := s.mapFn
+	started := make(chan struct{})
+	release := make(chan struct{})
+	stuck := true
+	s.mapFn = func(mp *core.Mapper, prog *qasm.Program, fab *fabric.Fabric, opts core.Options) (*core.Result, error) {
+		if stuck {
+			stuck = false
+			close(started)
+			<-release
+		}
+		return realMap(mp, prog, fab, opts)
+	}
+	h := s.Handler()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/map", strings.NewReader(uniqueReq(0))).WithContext(ctx)
+	w := httptest.NewRecorder()
+	go func() {
+		<-started
+		cancel()
+	}()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("abandoned mapping: status %d, want 500: %s", w.Code, w.Body.String())
+	}
+	if got := s.met.timeouts.Load(); got != 0 {
+		t.Errorf("client disconnect counted as timeout (%d)", got)
+	}
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w := postMap(t, h, uniqueReq(1))
+		if w.Code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service never recovered after disconnect: status %d", w.Code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -24,6 +24,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -58,6 +59,10 @@ type Config struct {
 	// mapping's InnerParallel is clamped to max(1, Budget/Workers).
 	// Default Workers (inner stays sequential).
 	Budget int
+	// MapTimeout bounds one mapping's wall-clock time; a mapping past
+	// the deadline answers 504 and its Mapper rejoins the pool when it
+	// eventually finishes. 0 disables the deadline.
+	MapTimeout time.Duration
 }
 
 func (c Config) normalized() Config {
@@ -94,6 +99,9 @@ type Server struct {
 	raw     *cache
 	canon   *cache
 	met     metrics
+	// mapFn performs one mapping on a pooled Mapper. Production is
+	// Mapper.Map; tests inject panics and hangs here.
+	mapFn func(*core.Mapper, *qasm.Program, *fabric.Fabric, core.Options) (*core.Result, error)
 }
 
 // New builds a Server: interns the built-in fabrics and fills the
@@ -107,6 +115,9 @@ func New(cfg Config) *Server {
 		tickets: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		raw:     newCache(cfg.CacheEntries),
 		canon:   newCache(cfg.CacheEntries),
+	}
+	s.mapFn = func(mp *core.Mapper, prog *qasm.Program, fab *fabric.Fabric, opts core.Options) (*core.Result, error) {
+		return mp.Map(prog, fab, opts)
 	}
 	for _, name := range []string{"quale45x85", "small"} {
 		fc, err := experiment.LoadFabric(name)
@@ -269,13 +280,15 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	mp := <-s.pool
 	opts := rs.opts
 	opts.InnerParallel = s.innerParallel(rq.InnerParallel)
-	res, err := mp.Map(rs.prog, rs.fab.Fabric, opts)
-	s.pool <- mp
+	res, err := s.runMapping(r.Context(), rs.prog, rs.fab.Fabric, opts)
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, fmt.Sprintf("map: %v", err))
+		if errors.Is(err, errMapTimeout) {
+			s.fail(w, http.StatusGatewayTimeout, fmt.Sprintf("map: deadline of %v exceeded", s.cfg.MapTimeout))
+		} else {
+			s.fail(w, http.StatusInternalServerError, fmt.Sprintf("map: %v", err))
+		}
 		return
 	}
 
@@ -292,6 +305,60 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	s.canon.put(rs.key, body)
 	s.raw.put(rawKey(&rq), body)
 	s.respond(w, body, false, start)
+}
+
+// errMapTimeout marks a mapping abandoned at its deadline — the one
+// mapping failure that is 504, not 500.
+var errMapTimeout = errors.New("mapping deadline exceeded")
+
+// runMapping executes one mapping on a pooled Mapper with the
+// server's two robustness guarantees:
+//
+//   - A panicking mapping never takes the service down or leaks pool
+//     capacity: the panic is recovered in the mapping goroutine, the
+//     (possibly corrupted) Mapper is discarded and a fresh one takes
+//     its pool slot, and the request answers 500.
+//   - A mapping past Config.MapTimeout (or whose client went away)
+//     is abandoned, answering 504 without blocking the handler; the
+//     Mapper is not lost — it rejoins the pool when the mapping
+//     eventually finishes. Until then the pool is one Mapper short,
+//     which is exactly the capacity that runaway mapping is consuming.
+func (s *Server) runMapping(ctx context.Context, prog *qasm.Program, fab *fabric.Fabric, opts core.Options) (*core.Result, error) {
+	if s.cfg.MapTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.MapTimeout)
+		defer cancel()
+	}
+	mp := <-s.pool
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				// The Mapper's warm Sim may be mid-mutation: poisoned.
+				// Replace it so the pool keeps its full capacity.
+				s.met.panics.Add(1)
+				s.pool <- core.NewMapper()
+				ch <- outcome{nil, fmt.Errorf("mapping panicked: %v", p)}
+			}
+		}()
+		res, err := s.mapFn(mp, prog, fab, opts)
+		s.pool <- mp
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.met.timeouts.Add(1)
+			return nil, errMapTimeout
+		}
+		return nil, fmt.Errorf("mapping abandoned: %w", ctx.Err())
+	}
 }
 
 // respond writes a report body with cache disposition and records

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Coordinated-sweep smoke: run a real 2-worker distributed sweep with
+# a mid-flight kill -9, and require the coordinator's merged report —
+# and its checkpoint re-merged through -merge — to be byte-identical
+# to the unsharded run in every format. Run from anywhere; CI runs it
+# on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/qsprbench" ./cmd/qsprbench
+
+# 24 runs: big enough to kill a worker mid-sweep, small enough for CI.
+spec=(-circuits '[[5,1,3]],[[7,1,3]],[[9,1,3]]' -heuristics quale,qspr -m 1,2,3,25 -seed 1)
+
+echo "== unsharded goldens =="
+for fmt in json csv markdown; do
+  "$tmp/qsprbench" "${spec[@]}" -compare=false -format "$fmt" -out "$tmp/golden.$fmt"
+done
+
+echo "== coordinator + worker A =="
+port=$(( (RANDOM % 20000) + 20650 ))
+"$tmp/qsprbench" -coordinate "127.0.0.1:$port" "${spec[@]}" \
+  -chunk 2 -lease-ttl 5s -checkpoint-dir "$tmp/ck" \
+  -compare=false -format json -out "$tmp/coord.json" 2>"$tmp/coord.log" &
+coord_pid=$!
+pids+=("$coord_pid")
+for _ in $(seq 1 50); do
+  grep -q 'coordinating' "$tmp/coord.log" && break
+  sleep 0.1
+done
+grep -q 'coordinating' "$tmp/coord.log" || { echo "FAIL: coordinator never started" >&2; cat "$tmp/coord.log" >&2; exit 1; }
+
+"$tmp/qsprbench" -worker "127.0.0.1:$port" -worker-name A -parallel 1 2>"$tmp/workerA.log" &
+a_pid=$!
+pids+=("$a_pid")
+
+echo "== kill -9 worker A mid-flight =="
+for _ in $(seq 1 100); do
+  grep -q 'runs recorded' "$tmp/coord.log" && break
+  sleep 0.1
+done
+grep -q 'runs recorded' "$tmp/coord.log" || { echo "FAIL: worker A never recorded a run" >&2; cat "$tmp/coord.log" "$tmp/workerA.log" >&2; exit 1; }
+{ kill -9 "$a_pid" && wait "$a_pid"; } 2>/dev/null || true
+echo "  worker A killed after its first records"
+
+echo "== worker B finishes the sweep =="
+"$tmp/qsprbench" -worker "127.0.0.1:$port" -worker-name B -parallel 2 2>"$tmp/workerB.log" &
+b_pid=$!
+pids+=("$b_pid")
+wait "$b_pid" || { echo "FAIL: worker B" >&2; cat "$tmp/workerB.log" >&2; exit 1; }
+wait "$coord_pid" || { echo "FAIL: coordinator" >&2; cat "$tmp/coord.log" >&2; exit 1; }
+pids=()
+
+grep -q 'worker A left' "$tmp/coord.log" || { echo "FAIL: coordinator never noticed A dying" >&2; cat "$tmp/coord.log" >&2; exit 1; }
+grep -q 'requeued' "$tmp/coord.log" || { echo "FAIL: A's runs were never reassigned" >&2; cat "$tmp/coord.log" >&2; exit 1; }
+
+echo "== coordinated report is byte-identical to the unsharded run =="
+cmp "$tmp/coord.json" "$tmp/golden.json" || { echo "FAIL: json differs" >&2; exit 1; }
+for fmt in csv markdown; do
+  "$tmp/qsprbench" -merge "$tmp/ck/coord.jsonl" -compare=false -format "$fmt" -out "$tmp/merged.$fmt"
+  cmp "$tmp/merged.$fmt" "$tmp/golden.$fmt" || { echo "FAIL: merged $fmt differs" >&2; exit 1; }
+done
+echo "  json direct + csv/markdown via -merge all byte-identical"
+
+echo "coord smoke OK"
