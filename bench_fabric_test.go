@@ -1,0 +1,67 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/gates"
+	"repro/internal/routegraph"
+)
+
+// BenchmarkRouteScale measures per-route cost on the generated
+// giant-fabric ladder (≈1k, 10k and 100k traps), with the ALT
+// goal-directed searcher against the plain Dijkstra reference. One
+// standing occupancy defeats the route cache, so every iteration is
+// a full search over seeded random trap pairs. Regenerate the
+// numbers tracked in BENCH_fabric.json with scripts/bench_fabric.sh.
+func BenchmarkRouteScale(b *testing.B) {
+	ladder := []struct{ name, spec string }{
+		{"grid1k", "grid(rows=89,cols=89,pitch=4)"},     // 968 traps
+		{"grid10k", "grid(rows=283,cols=283,pitch=4)"},  // 9800 traps
+		{"grid100k", "grid(rows=893,cols=893,pitch=4)"}, // 99458 traps
+	}
+	modes := []struct {
+		name      string
+		landmarks int
+	}{
+		{"alt", 16},      // forced: grid1k sits below the auto threshold
+		{"dijkstra", -1}, // reference oracle path at any size
+	}
+	for _, rung := range ladder {
+		f, _, err := fabric.Resolve(rung.spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(rung.name, func(b *testing.B) {
+			for _, mode := range modes {
+				b.Run(mode.name, func(b *testing.B) {
+					g := routegraph.New(f, gates.Default(), routegraph.Options{
+						TurnAware: true, Landmarks: mode.landmarks,
+					})
+					// Standing occupancy: totalOcc > 0 disables the
+					// route cache, making every iteration a cold search.
+					g.Occupy(0)
+					n := len(f.Traps)
+					rng := rand.New(rand.NewSource(4585))
+					pairs := make([][2]int, 256)
+					for i := range pairs {
+						a, c := rng.Intn(n), rng.Intn(n)
+						for c == a {
+							c = rng.Intn(n)
+						}
+						pairs[i] = [2]int{a, c}
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						p := pairs[i%len(pairs)]
+						if _, ok := g.FindRoute(p[0], p[1]); !ok {
+							b.Fatalf("no route %d->%d", p[0], p[1])
+						}
+					}
+				})
+			}
+		})
+	}
+}

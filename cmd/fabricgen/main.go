@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	fabricgen                      # the paper's 45x85 fabric
-//	fabricgen -rows 9 -cols 9      # a small fabric
-//	fabricgen -stats               # counts only, no grid
-//	fabricgen -check fab.txt       # parse and validate a fabric file
+//	fabricgen                                  # the paper's 45x85 fabric
+//	fabricgen -rows 9 -cols 9                  # a small fabric
+//	fabricgen -family 'htree(depth=4,arm=4)'   # a generator family spec
+//	fabricgen -families                        # list family grammars
+//	fabricgen -stats                           # counts only, no grid
+//	fabricgen -check fab.txt                   # parse and validate a fabric file
 package main
 
 import (
@@ -19,25 +21,40 @@ import (
 
 func main() {
 	var (
-		rows  = flag.Int("rows", 45, "grid rows")
-		cols  = flag.Int("cols", 85, "grid columns")
-		pitch = flag.Int("pitch", 4, "junction pitch")
-		stats = flag.Bool("stats", false, "print statistics only")
-		check = flag.String("check", "", "parse and validate a fabric file instead of generating")
+		rows     = flag.Int("rows", 45, "grid rows")
+		cols     = flag.Int("cols", 85, "grid columns")
+		pitch    = flag.Int("pitch", 4, "junction pitch")
+		family   = flag.String("family", "", "generator family spec, e.g. 'grid(rows=89,cols=89,pitch=4)' (overrides -rows/-cols/-pitch)")
+		families = flag.Bool("families", false, "list the generator family grammars and exit")
+		stats    = flag.Bool("stats", false, "print statistics only")
+		check    = flag.String("check", "", "parse and validate a fabric file instead of generating")
 	)
 	flag.Parse()
+	if *families {
+		for _, g := range fabric.Families() {
+			fmt.Println(g)
+		}
+		return
+	}
 	var (
 		f   *fabric.Fabric
 		err error
 	)
-	if *check != "" {
+	switch {
+	case *check != "":
 		var file *os.File
 		file, err = os.Open(*check)
 		if err == nil {
 			defer file.Close()
 			f, err = fabric.ParseText(file)
 		}
-	} else {
+	case *family != "":
+		var name string
+		f, name, err = fabric.Resolve(*family)
+		if err == nil {
+			fmt.Fprintln(os.Stderr, name)
+		}
+	default:
 		f, err = fabric.Generate(fabric.GenSpec{Rows: *rows, Cols: *cols, Pitch: *pitch})
 	}
 	if err != nil {

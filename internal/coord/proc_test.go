@@ -280,6 +280,69 @@ func TestProcessWorkerSIGSTOP(t *testing.T) {
 	}
 }
 
+// TestProcessLoneSingleRunLease is the degenerate sharding case: with
+// -chunk 1 every lease covers exactly one run, so when the only
+// worker freezes mid-run there is nothing to split and no partial
+// progress to steal — the single in-flight run can be recovered ONLY
+// by lease expiry. The survivor is started only after the expiry is
+// observed, so the recovery path is provably expiry, not a second
+// worker racing the frozen one. Output must stay byte-identical to
+// the unsharded run.
+func TestProcessLoneSingleRunLease(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level chaos test")
+	}
+	bin := benchBinary(t)
+	want := goldenRun(t, bin, "json")
+	addr := freeAddr(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "coord.json")
+
+	args := append([]string{"-coordinate", addr, "-chunk", "1", "-lease-ttl", "2s",
+		"-checkpoint-dir", dir, "-compare=false", "-format", "json", "-out", out}, sweepArgs()...)
+	coordCmd := exec.Command(bin, args...)
+	coordErr, err := coordCmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordLog := watch(t, coordErr, "coord")
+	if err := coordCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coordCmd.Process.Kill()
+	coordLog.waitFor(t, "coordinating", 10*time.Second)
+
+	sleeper, _ := startWorker(t, bin, addr, "sleeper")
+	defer sleeper.Process.Kill()
+	// Let it demonstrably complete at least one single-run shard, then
+	// freeze it while it holds the next one-run lease.
+	coordLog.waitFor(t, "runs recorded", 30*time.Second)
+	if err := sleeper.Process.Signal(syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	// No other worker exists, so the only way this line can appear is
+	// the coordinator timing out the frozen worker's lone lease.
+	coordLog.waitFor(t, "lease expired", 30*time.Second)
+
+	survivor, _ := startWorker(t, bin, addr, "survivor")
+	if err := survivor.Wait(); err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	if err := coordCmd.Wait(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	sleeper.Process.Kill()
+	sleeper.Wait()
+
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("report after lone-lease expiry differs from unsharded run")
+	}
+}
+
 // TestProcessCoordinatorRestart kills the coordinator process
 // mid-sweep and restarts it on the same checkpoint dir and address;
 // the worker rides out the outage on reconnect backoff and the merged

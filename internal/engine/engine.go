@@ -78,6 +78,12 @@ type Config struct {
 	TurnAware bool
 	TieSeed   int64
 
+	// Landmarks controls the routing graph's ALT goal-directed search
+	// (see routegraph.Options.Landmarks): 0 auto-enables it on graphs
+	// past the size threshold, >0 forces it with that many landmarks,
+	// <0 forces plain Dijkstra.
+	Landmarks int
+
 	// DefectiveChannels and DefectiveJunctions mark unusable fabric
 	// elements (see routegraph.Options); qubits must not be placed on
 	// traps whose access channel is defective.
@@ -127,7 +133,7 @@ type Config struct {
 // Monte-Carlo) and want to reuse it via Config.RouteGraph.
 func (c *Config) BuildRouteGraph() *routegraph.Graph {
 	return routegraph.New(c.Fabric, c.Tech, routegraph.Options{
-		TurnAware: c.TurnAware, TieSeed: c.TieSeed,
+		TurnAware: c.TurnAware, TieSeed: c.TieSeed, Landmarks: c.Landmarks,
 		DefectiveChannels: c.DefectiveChannels, DefectiveJunctions: c.DefectiveJunctions,
 	})
 }
@@ -137,6 +143,7 @@ func (c *Config) BuildRouteGraph() *routegraph.Graph {
 func routeGraphCompatible(a, b *Config) bool {
 	return a.Fabric == b.Fabric && a.Tech == b.Tech &&
 		a.TurnAware == b.TurnAware && a.TieSeed == b.TieSeed &&
+		a.Landmarks == b.Landmarks &&
 		slices.Equal(a.DefectiveChannels, b.DefectiveChannels) &&
 		slices.Equal(a.DefectiveJunctions, b.DefectiveJunctions)
 }
@@ -146,6 +153,7 @@ func routeGraphCompatible(a, b *Config) bool {
 func (c *Config) checkRouteGraph(rg *routegraph.Graph) error {
 	ok := rg.Fabric == c.Fabric && rg.Tech == c.Tech &&
 		rg.Opts.TurnAware == c.TurnAware && rg.Opts.TieSeed == c.TieSeed &&
+		rg.Opts.Landmarks == c.Landmarks &&
 		slices.Equal(rg.Opts.DefectiveChannels, c.DefectiveChannels) &&
 		slices.Equal(rg.Opts.DefectiveJunctions, c.DefectiveJunctions)
 	if !ok {

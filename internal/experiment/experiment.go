@@ -333,16 +333,27 @@ func ParseSeedCounts(s string) ([]int, error) {
 
 // LoadFabric resolves a fabric for a sweep: the built-in names
 // "quale45x85" (the paper's 45×85 Fig. 4 fabric, also the default for
-// an empty path) and "small" (the compact 9×9 test fabric), or a
-// fabric description file named by its path. Built-in names win over
-// a file of the same name, so the two names the qsprd service accepts
-// mean the same fabric everywhere.
+// an empty path) and "small" (the compact 9×9 test fabric), a
+// generator family spec such as "grid(rows=89,cols=89,pitch=4)",
+// "htree(depth=5,arm=4)" or "multicore(cx=2,cy=2,rows=21,cols=21)"
+// (see fabric.Families), or a fabric description file named by its
+// path. Built-in names win over a file of the same name, so the two
+// names the qsprd service accepts mean the same fabric everywhere;
+// family specs are recognized by their parentheses, which are not
+// meaningful in the other forms.
 func LoadFabric(path string) (FabricChoice, error) {
 	switch strings.ToLower(path) {
 	case "", "quale45x85":
 		return FabricChoice{Name: "quale45x85", Fabric: fabric.Quale4585()}, nil
 	case "small":
 		return FabricChoice{Name: "small", Fabric: fabric.Small()}, nil
+	}
+	if strings.Contains(path, "(") {
+		fab, name, err := fabric.Resolve(path)
+		if err != nil {
+			return FabricChoice{}, err
+		}
+		return FabricChoice{Name: name, Fabric: fab}, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {

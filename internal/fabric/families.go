@@ -1,0 +1,399 @@
+package fabric
+
+// Parameterized fabric families beyond the paper's two fixtures. All
+// families emit a raw cell grid and hand it to FromCells, so the
+// §II.B structural invariants (junction-terminated channel runs,
+// single-attachment traps) hold by construction or the generator
+// fails loudly — there is no second, weaker validation path.
+//
+// Resolve gives the families a textual spec grammar in the style of
+// the circuit-source registry, e.g.
+//
+//	grid(rows=45,cols=85,pitch=4)
+//	htree(depth=5,arm=4)
+//	multicore(cx=3,cy=2,rows=21,cols=21,pitch=4,links=2,gap=3)
+//
+// which experiment.LoadFabric and cmd/fabricgen accept anywhere a
+// fabric name is expected.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HTreeSpec parameterizes the recursive H-tree family: a classic H
+// fractal of channels whose bar length halves at each level, with
+// traps packed greedily along every bar. H-trees have logarithmic
+// diameter in trap count, the opposite corner case from the flat
+// grid's sqrt diameter — useful for stressing routing scalability.
+type HTreeSpec struct {
+	// Depth is the recursion depth (>= 1): level 0 is the root H,
+	// each level spawns four half-size children at the arm tips.
+	Depth int
+	// Arm is the leaf arm length in cells between junctions (>= 2);
+	// level l arms are Arm << (Depth-1-l) cells.
+	Arm int
+}
+
+// HTree builds the H-tree fabric for the spec.
+func HTree(spec HTreeSpec) (*Fabric, error) {
+	if spec.Depth < 1 {
+		return nil, fmt.Errorf("fabric: htree depth %d < 1", spec.Depth)
+	}
+	if spec.Depth > 8 {
+		return nil, fmt.Errorf("fabric: htree depth %d > 8 (the level-0 arm would exceed %d cells)", spec.Depth, 2<<8)
+	}
+	if spec.Arm < 2 {
+		return nil, fmt.Errorf("fabric: htree arm %d < 2", spec.Arm)
+	}
+	// Half extent of the whole tree plus one margin cell for traps
+	// hanging off the outermost bars.
+	half := spec.Arm*(1<<spec.Depth-1) + 1
+	n := 2*half + 1
+	cells := make([]CellKind, n*n)
+	var junctions []Pos
+	var draw func(r, c, level int)
+	draw = func(r, c, level int) {
+		a := spec.Arm << (spec.Depth - 1 - level)
+		for cc := c - a; cc <= c+a; cc++ {
+			cells[r*n+cc] = Channel // horizontal bar
+		}
+		for rr := r - a; rr <= r+a; rr++ {
+			cells[rr*n+c-a] = Channel // left vertical bar
+			cells[rr*n+c+a] = Channel // right vertical bar
+		}
+		junctions = append(junctions,
+			Pos{r, c}, Pos{r, c - a}, Pos{r, c + a},
+			Pos{r - a, c - a}, Pos{r + a, c - a},
+			Pos{r - a, c + a}, Pos{r + a, c + a})
+		if level+1 < spec.Depth {
+			draw(r-a, c-a, level+1)
+			draw(r+a, c-a, level+1)
+			draw(r-a, c+a, level+1)
+			draw(r+a, c+a, level+1)
+		}
+	}
+	draw(half, half, 0)
+	for _, p := range junctions {
+		cells[p.Row*n+p.Col] = Junction
+	}
+	fillTraps(n, n, cells)
+	f, err := FromCells(n, n, cells)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MultiCoreSpec parameterizes the multi-core lattice family: a
+// CoresX x CoresY package of identical grid-pattern cores joined by
+// sparse interconnect channels across the inter-core gaps. The
+// interconnect is deliberately narrow (Links channels per adjacent
+// core pair), modeling the bandwidth cliff between dense local
+// shuttling and scarce long-haul lanes.
+type MultiCoreSpec struct {
+	// CoresX, CoresY are the package dimensions in cores (>= 1,
+	// at least 2 cores total).
+	CoresX, CoresY int
+	// CoreRows, CoreCols, Pitch describe each core (see GenSpec);
+	// Pitch must be >= 4 so cores carry traps.
+	CoreRows, CoreCols, Pitch int
+	// Links is the number of interconnect channels between each pair
+	// of adjacent cores (>= 1, evenly spread over the facing
+	// junction rows/columns).
+	Links int
+	// Gap is the number of empty cells between adjacent cores (>= 1).
+	Gap int
+}
+
+// MultiCore builds the multi-core lattice fabric for the spec.
+func MultiCore(spec MultiCoreSpec) (*Fabric, error) {
+	if spec.CoresX < 1 || spec.CoresY < 1 || spec.CoresX*spec.CoresY < 2 {
+		return nil, fmt.Errorf("fabric: multicore needs at least 2 cores, got %dx%d", spec.CoresX, spec.CoresY)
+	}
+	if spec.Pitch < 4 {
+		return nil, fmt.Errorf("fabric: multicore pitch %d < 4 (cores would have no traps)", spec.Pitch)
+	}
+	if spec.Links < 1 {
+		return nil, fmt.Errorf("fabric: multicore links %d < 1 (cores would be disconnected)", spec.Links)
+	}
+	if spec.Gap < 1 {
+		return nil, fmt.Errorf("fabric: multicore gap %d < 1", spec.Gap)
+	}
+	core, err := gridCells(GenSpec{Rows: spec.CoreRows, Cols: spec.CoreCols, Pitch: spec.Pitch})
+	if err != nil {
+		return nil, err
+	}
+	lastJR := ((spec.CoreRows - 1) / spec.Pitch) * spec.Pitch
+	lastJC := ((spec.CoreCols - 1) / spec.Pitch) * spec.Pitch
+	rows := spec.CoresY*spec.CoreRows + (spec.CoresY-1)*spec.Gap
+	cols := spec.CoresX*spec.CoreCols + (spec.CoresX-1)*spec.Gap
+	cells := make([]CellKind, rows*cols)
+	originY := func(cy int) int { return cy * (spec.CoreRows + spec.Gap) }
+	originX := func(cx int) int { return cx * (spec.CoreCols + spec.Gap) }
+	for cy := 0; cy < spec.CoresY; cy++ {
+		for cx := 0; cx < spec.CoresX; cx++ {
+			oy, ox := originY(cy), originX(cx)
+			for r := 0; r < spec.CoreRows; r++ {
+				copy(cells[(oy+r)*cols+ox:], core[r*spec.CoreCols:(r+1)*spec.CoreCols])
+			}
+		}
+	}
+	linkRows := spreadLinks(lastJR/spec.Pitch+1, spec.Links, spec.Pitch)
+	linkCols := spreadLinks(lastJC/spec.Pitch+1, spec.Links, spec.Pitch)
+	// Horizontal interconnect: left core's rightmost junction column
+	// to the right core's leftmost, at the selected junction rows.
+	for cy := 0; cy < spec.CoresY; cy++ {
+		for cx := 0; cx+1 < spec.CoresX; cx++ {
+			oy := originY(cy)
+			from := originX(cx) + lastJC + 1
+			to := originX(cx+1) - 1
+			for _, r := range linkRows {
+				for c := from; c <= to; c++ {
+					cells[(oy+r)*cols+c] = Channel
+				}
+			}
+		}
+	}
+	// Vertical interconnect.
+	for cy := 0; cy+1 < spec.CoresY; cy++ {
+		for cx := 0; cx < spec.CoresX; cx++ {
+			ox := originX(cx)
+			from := originY(cy) + lastJR + 1
+			to := originY(cy+1) - 1
+			for _, c := range linkCols {
+				for r := from; r <= to; r++ {
+					cells[r*cols+ox+c] = Channel
+				}
+			}
+		}
+	}
+	f, err := FromCells(rows, cols, cells)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// spreadLinks picks `links` of the `avail` junction lines (0-indexed
+// multiples of pitch), spread evenly, deterministically.
+func spreadLinks(avail, links, pitch int) []int {
+	if links >= avail {
+		out := make([]int, avail)
+		for i := range out {
+			out[i] = i * pitch
+		}
+		return out
+	}
+	seen := map[int]bool{}
+	var out []int
+	for i := 0; i < links; i++ {
+		var idx int
+		if links == 1 {
+			idx = avail / 2
+		} else {
+			idx = i * (avail - 1) / (links - 1)
+		}
+		if !seen[idx] {
+			seen[idx] = true
+			out = append(out, idx*pitch)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// fillTraps greedily converts every empty cell that is side-adjacent
+// to exactly one channel cell into a trap — the densest trap packing
+// FromCells permits. Turning a cell into a trap never changes any
+// other cell's channel adjacency, so the row-major sweep is both
+// deterministic and maximal.
+func fillTraps(rows, cols int, cells []CellKind) {
+	at := func(r, c int) CellKind {
+		if r < 0 || r >= rows || c < 0 || c >= cols {
+			return Empty
+		}
+		return cells[r*cols+c]
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if cells[r*cols+c] != Empty {
+				continue
+			}
+			adj := 0
+			if at(r-1, c) == Channel {
+				adj++
+			}
+			if at(r+1, c) == Channel {
+				adj++
+			}
+			if at(r, c-1) == Channel {
+				adj++
+			}
+			if at(r, c+1) == Channel {
+				adj++
+			}
+			if adj == 1 {
+				cells[r*cols+c] = Trap
+			}
+		}
+	}
+}
+
+// Families lists the family names Resolve understands, with their
+// parameter grammars, for CLI diagnostics.
+func Families() []string {
+	return []string{
+		"grid(rows=R,cols=C,pitch=P)            rectangular tile lattice (pitch default 4)",
+		"htree(depth=D,arm=A)                   recursive H fractal (arm default 4)",
+		"multicore(cx=X,cy=Y,rows=R,cols=C,pitch=P,links=L,gap=G)  core lattice with sparse interconnect",
+	}
+}
+
+// Resolve builds a fabric from a family spec string such as
+// "grid(rows=45,cols=85,pitch=4)" and returns it with its canonical
+// name (defaults filled in, argument order normalized), so the same
+// fabric is named identically however the spec was spelled.
+func Resolve(spec string) (*Fabric, string, error) {
+	family, args, err := parseFamilySpec(spec)
+	if err != nil {
+		return nil, "", err
+	}
+	switch family {
+	case "grid":
+		rows, err := args.require("rows")
+		if err != nil {
+			return nil, "", err
+		}
+		cols, err := args.require("cols")
+		if err != nil {
+			return nil, "", err
+		}
+		pitch := args.get("pitch", 4)
+		if err := args.unused(); err != nil {
+			return nil, "", err
+		}
+		f, err := Generate(GenSpec{Rows: rows, Cols: cols, Pitch: pitch})
+		if err != nil {
+			return nil, "", err
+		}
+		return f, fmt.Sprintf("grid(rows=%d,cols=%d,pitch=%d)", rows, cols, pitch), nil
+	case "htree":
+		depth, err := args.require("depth")
+		if err != nil {
+			return nil, "", err
+		}
+		arm := args.get("arm", 4)
+		if err := args.unused(); err != nil {
+			return nil, "", err
+		}
+		f, err := HTree(HTreeSpec{Depth: depth, Arm: arm})
+		if err != nil {
+			return nil, "", err
+		}
+		return f, fmt.Sprintf("htree(depth=%d,arm=%d)", depth, arm), nil
+	case "multicore":
+		var s MultiCoreSpec
+		for _, p := range []struct {
+			key string
+			dst *int
+		}{{"cx", &s.CoresX}, {"cy", &s.CoresY}, {"rows", &s.CoreRows}, {"cols", &s.CoreCols}} {
+			v, err := args.require(p.key)
+			if err != nil {
+				return nil, "", err
+			}
+			*p.dst = v
+		}
+		s.Pitch = args.get("pitch", 4)
+		s.Links = args.get("links", 2)
+		s.Gap = args.get("gap", 3)
+		if err := args.unused(); err != nil {
+			return nil, "", err
+		}
+		f, err := MultiCore(s)
+		if err != nil {
+			return nil, "", err
+		}
+		name := fmt.Sprintf("multicore(cx=%d,cy=%d,rows=%d,cols=%d,pitch=%d,links=%d,gap=%d)",
+			s.CoresX, s.CoresY, s.CoreRows, s.CoreCols, s.Pitch, s.Links, s.Gap)
+		return f, name, nil
+	default:
+		return nil, "", fmt.Errorf("fabric: unknown family %q (known: grid, htree, multicore)", family)
+	}
+}
+
+// familyArgs tracks the parsed k=v integers of a spec and which were
+// consumed, so stray keys are reported instead of ignored.
+type familyArgs struct {
+	spec string
+	vals map[string]int
+	used map[string]bool
+}
+
+func parseFamilySpec(spec string) (string, *familyArgs, error) {
+	s := strings.TrimSpace(spec)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("fabric: spec %q is not of the form family(key=value,...)", spec)
+	}
+	family := strings.ToLower(strings.TrimSpace(s[:open]))
+	body := s[open+1 : len(s)-1]
+	a := &familyArgs{spec: spec, vals: map[string]int{}, used: map[string]bool{}}
+	if strings.TrimSpace(body) != "" {
+		for _, part := range strings.Split(body, ",") {
+			k, v, ok := strings.Cut(part, "=")
+			k = strings.ToLower(strings.TrimSpace(k))
+			if !ok || k == "" {
+				return "", nil, fmt.Errorf("fabric: spec %q: argument %q is not key=value", spec, strings.TrimSpace(part))
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil {
+				return "", nil, fmt.Errorf("fabric: spec %q: %s=%q is not an integer", spec, k, strings.TrimSpace(v))
+			}
+			if _, dup := a.vals[k]; dup {
+				return "", nil, fmt.Errorf("fabric: spec %q: duplicate key %q", spec, k)
+			}
+			a.vals[k] = n
+		}
+	}
+	return family, a, nil
+}
+
+func (a *familyArgs) require(key string) (int, error) {
+	v, ok := a.vals[key]
+	if !ok {
+		return 0, fmt.Errorf("fabric: spec %q is missing required key %q", a.spec, key)
+	}
+	a.used[key] = true
+	return v, nil
+}
+
+func (a *familyArgs) get(key string, def int) int {
+	a.used[key] = true
+	if v, ok := a.vals[key]; ok {
+		return v
+	}
+	return def
+}
+
+func (a *familyArgs) unused() error {
+	var stray []string
+	for k := range a.vals {
+		if !a.used[k] {
+			stray = append(stray, k)
+		}
+	}
+	if len(stray) > 0 {
+		sort.Strings(stray)
+		return fmt.Errorf("fabric: spec %q has unknown key(s) %s", a.spec, strings.Join(stray, ", "))
+	}
+	return nil
+}

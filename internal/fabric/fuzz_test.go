@@ -1,0 +1,78 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzFromCells drives the fabric validator with arbitrary cell
+// grids. The contract: never panic; reject malformed grids with a
+// position-named "fabric:"-prefixed error; and any accepted grid
+// must satisfy the §II.B invariants re-checked by Validate.
+func FuzzFromCells(f *testing.F) {
+	// The Small 9x9 fabric as a byte grid.
+	small := strings.ReplaceAll(Render(Small()), "\n", "")
+	f.Add(9, []byte(small))
+	// A single tile.
+	f.Add(5, []byte("JCCCJC.T.CC...CC.T.CJCCCJ"))
+	// Degenerate and malformed shapes.
+	f.Add(1, []byte("JCJ"))
+	f.Add(2, []byte("JTCJ"))
+	f.Add(3, []byte("J.C.T.C.J"))
+	f.Add(0, []byte{})
+	f.Add(4, []byte("CCCCC")) // dangling channel run
+	f.Fuzz(func(t *testing.T, cols int, data []byte) {
+		if cols <= 0 || cols > 1<<12 || len(data) > 1<<16 {
+			return
+		}
+		rows := len(data) / cols
+		if rows == 0 || rows > 1<<12 {
+			return
+		}
+		data = data[:rows*cols]
+		cells := make([]CellKind, len(data))
+		for i, b := range data {
+			switch b {
+			case 'J':
+				cells[i] = Junction
+			case 'C':
+				cells[i] = Channel
+			case 'T':
+				cells[i] = Trap
+			case '.':
+				cells[i] = Empty
+			default:
+				// Let raw fuzz bytes reach the full kind range,
+				// including out-of-range values the validator must
+				// reject rather than crash on.
+				cells[i] = CellKind(b % 5)
+			}
+		}
+		fab, err := FromCells(rows, cols, cells)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "fabric:") {
+				t.Fatalf("error without fabric: prefix: %v", err)
+			}
+			return
+		}
+		if verr := fab.Validate(); verr != nil {
+			t.Fatalf("FromCells accepted a grid Validate rejects: %v", verr)
+		}
+		// Spot-check the central invariant independently: each trap
+		// touches exactly one channel cell.
+		for _, tr := range fab.Traps {
+			adj := 0
+			for _, n := range []Pos{
+				{tr.Pos.Row - 1, tr.Pos.Col}, {tr.Pos.Row + 1, tr.Pos.Col},
+				{tr.Pos.Row, tr.Pos.Col - 1}, {tr.Pos.Row, tr.Pos.Col + 1},
+			} {
+				if fab.At(n) == Channel {
+					adj++
+				}
+			}
+			if adj != 1 {
+				t.Fatalf("accepted trap %d touches %d channels", tr.ID, adj)
+			}
+		}
+	})
+}

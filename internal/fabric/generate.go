@@ -33,6 +33,24 @@ type GenSpec struct {
 // The trap at tile row 1 attaches to the channel above it; the trap
 // at tile row Pitch-1 attaches to the channel below it.
 func Generate(spec GenSpec) (*Fabric, error) {
+	cells, err := gridCells(spec)
+	if err != nil {
+		return nil, err
+	}
+	f, err := FromCells(spec.Rows, spec.Cols, cells)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// gridCells emits the raw cell grid of the tile pattern without
+// deriving the topology, so composite generators (MultiCore) can
+// stamp cores into a larger grid before a single FromCells pass.
+func gridCells(spec GenSpec) ([]CellKind, error) {
 	if spec.Pitch < 2 {
 		return nil, fmt.Errorf("fabric: pitch %d < 2", spec.Pitch)
 	}
@@ -110,14 +128,7 @@ func Generate(spec GenSpec) (*Fabric, error) {
 			*at(r, c) = Trap
 		}
 	}
-	f, err := FromCells(spec.Rows, spec.Cols, cells)
-	if err != nil {
-		return nil, err
-	}
-	if err := f.Validate(); err != nil {
-		return nil, err
-	}
-	return f, nil
+	return cells, nil
 }
 
 // Quale4585 builds the 45×85 fabric used for all experiments in the

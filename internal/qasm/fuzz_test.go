@@ -1,0 +1,61 @@
+package qasm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParseQASM throws arbitrary text at the dialect-sniffing parser.
+// The contract under fuzzing: never panic; reject with a
+// position-named *ParseError (or a "qasm:"-prefixed I/O/validation
+// error); and on acceptance produce a program that passes Validate
+// and survives a print/re-parse round trip.
+func FuzzParseQASM(f *testing.F) {
+	// Native QUALE dialect seeds.
+	f.Add("QUBIT q0,0\nQUBIT q1\nH q0\nC-X q0,q1\nMEASURE q0\n")
+	f.Add("# comment\nQUBIT a\nQUBIT b\nC-Z a,b\nT' b\n")
+	f.Add("QUBIT q0\nX q0\nY q0\nZ q0\nS q0\nT q0\nS' q0\n")
+	// OpenQASM 2.0 dialect seeds.
+	f.Add("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q -> c;\n")
+	f.Add("OPENQASM 2.0;\nqreg q[3];\n// line comment\ncz q[0], q[2];\nbarrier q;\ntdg q[1];\n")
+	f.Add("OPENQASM 2.0;\nqreg a[1];\nqreg b[1];\ncx a[0],b[0];\n")
+	// Malformed seeds steering the fuzzer toward error paths.
+	f.Add("QUBIT q0\nC-X q0,q0\n")
+	f.Add("OPENQASM 3.0;\nqreg q[1];\n")
+	f.Add("OPENQASM 2.0;\nqreg q[1]\n")
+	f.Add("H undeclared\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseString(src)
+		if err != nil {
+			var pe *ParseError
+			if errors.As(err, &pe) {
+				if pe.Line < 1 {
+					t.Fatalf("ParseError with non-positive line %d: %v", pe.Line, err)
+				}
+				if !strings.Contains(err.Error(), "line ") {
+					t.Fatalf("ParseError not position-named: %v", err)
+				}
+			} else if !strings.HasPrefix(err.Error(), "qasm:") {
+				t.Fatalf("error without qasm: prefix: %v", err)
+			}
+			return
+		}
+		if p == nil {
+			t.Fatal("nil program with nil error")
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted program fails Validate: %v", verr)
+		}
+		// Round trip: the canonical rendering must re-parse to an
+		// equivalent program.
+		q, err := ParseString(p.String())
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, p.String())
+		}
+		if q.NumQubits() != p.NumQubits() || len(q.Gates()) != len(p.Gates()) {
+			t.Fatalf("round trip changed shape: %d/%d qubits, %d/%d gates",
+				p.NumQubits(), q.NumQubits(), len(p.Gates()), len(q.Gates()))
+		}
+	})
+}

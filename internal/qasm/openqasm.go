@@ -115,6 +115,9 @@ func splitOpenQASMStatements(src string) ([]oqStmt, error) {
 			continue
 		case c == '"':
 			inString = true
+			if stmtLine == 0 {
+				stmtLine = line
+			}
 			b.WriteByte(c)
 			continue
 		case c == '/' && i+1 < len(src) && src[i+1] == '/':
@@ -149,7 +152,11 @@ func splitOpenQASMStatements(src string) ([]oqStmt, error) {
 		return nil, errf(line, "unterminated /* comment")
 	}
 	if rest := strings.TrimSpace(b.String()); rest != "" {
-		return nil, errf(stmtLine, "statement %q is missing its ';'", rest)
+		at := stmtLine
+		if at == 0 {
+			at = line
+		}
+		return nil, errf(at, "statement %q is missing its ';'", rest)
 	}
 	return stmts, nil
 }

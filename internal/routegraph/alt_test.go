@@ -1,0 +1,163 @@
+package routegraph
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/gates"
+)
+
+// TestALTAutoThreshold pins the mode selection contract: the paper
+// fabrics must stay on classic Dijkstra in auto mode (their golden
+// fingerprints depend on it), large generated fabrics must flip to
+// ALT, and explicit Landmarks values override both directions.
+func TestALTAutoThreshold(t *testing.T) {
+	big, _, err := fabric.Resolve("grid(rows=283,cols=283)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name      string
+		f         *fabric.Fabric
+		landmarks int
+		want      bool
+	}{
+		{"small/auto", fabric.Small(), 0, false},
+		{"quale/auto", fabric.Quale4585(), 0, false},
+		{"grid283/auto", big, 0, true},
+		{"grid283/forced-off", big, -1, false},
+		{"small/forced-on", fabric.Small(), 4, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := New(c.f, gates.Default(), Options{TurnAware: true, Landmarks: c.landmarks})
+			if got := g.ALTEnabled(); got != c.want {
+				t.Errorf("ALTEnabled() = %v, want %v", got, c.want)
+			}
+			if c.want && len(g.Landmarks()) == 0 {
+				t.Error("ALT enabled but no landmarks selected")
+			}
+		})
+	}
+}
+
+// TestALTLandmarksDeterministic pins that landmark selection is a
+// pure function of the graph (two builds agree), since routes — and
+// therefore engine results — depend on it.
+func TestALTLandmarksDeterministic(t *testing.T) {
+	f, _, err := fabric.Resolve("htree(depth=4,arm=4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(f, gates.Default(), Options{TurnAware: true})
+	b := New(f, gates.Default(), Options{TurnAware: true})
+	if !a.ALTEnabled() {
+		t.Fatal("htree(depth=4) should cross the auto threshold")
+	}
+	la, lb := a.Landmarks(), b.Landmarks()
+	if len(la) != len(lb) {
+		t.Fatalf("landmark counts differ: %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("landmark %d differs: node %d vs %d", i, la[i], lb[i])
+		}
+	}
+}
+
+// TestDirtyListReset pins the incremental occupancy reset: after
+// Commit traffic, Reset must restore every group to zero occupancy
+// (not just walk some subset), and routes after Reset must equal the
+// routes of a fresh graph.
+func TestDirtyListReset(t *testing.T) {
+	for _, landmarks := range []int{-1, 8} {
+		g := New(fabric.Small(), gates.Default(), Options{TurnAware: true, Landmarks: landmarks})
+		fresh := New(fabric.Small(), gates.Default(), Options{TurnAware: true, Landmarks: landmarks})
+		n := len(g.Fabric.Traps)
+		for a := 0; a < n; a++ {
+			r, ok := g.FindRoute(a, (a+3)%n)
+			if ok && commitable(g, r) {
+				g.Commit(r)
+			}
+		}
+		occupied := 0
+		for i := range g.Groups {
+			if g.Groups[i].Occupancy() > 0 {
+				occupied++
+			}
+		}
+		if occupied == 0 {
+			t.Fatal("test never occupied a group")
+		}
+		g.Reset()
+		for i := range g.Groups {
+			if g.Groups[i].Occupancy() != 0 {
+				t.Fatalf("landmarks=%d: group %d still occupied after Reset", landmarks, i)
+			}
+		}
+		// Second traffic epoch after Reset must match a fresh graph.
+		for a := 0; a < n; a++ {
+			got, okG := g.FindRoute(a, (a+5)%n)
+			want, okW := fresh.FindRoute(a, (a+5)%n)
+			if okG != okW {
+				t.Fatalf("landmarks=%d: found mismatch for %d->%d", landmarks, a, (a+5)%n)
+			}
+			if !okG {
+				continue
+			}
+			if got.Cost != want.Cost || got.Delay != want.Delay || len(got.Hops) != len(want.Hops) {
+				t.Fatalf("landmarks=%d: route %d->%d differs after Reset: cost %d vs %d",
+					landmarks, a, (a+5)%n, got.Cost, want.Cost)
+			}
+			for i := range got.Hops {
+				if got.Hops[i].Edge != want.Hops[i].Edge {
+					t.Fatalf("landmarks=%d: hop %d differs after Reset", landmarks, i)
+				}
+			}
+		}
+	}
+}
+
+// TestALTCacheHitMatchesCold pins that a cached ALT hit replays the
+// identical canonical route the cold search produced.
+func TestALTCacheHitMatchesCold(t *testing.T) {
+	g := New(fabric.Quale4585(), gates.Default(), Options{TurnAware: true, Landmarks: 8})
+	if !g.ALTEnabled() {
+		t.Fatal("forced landmarks should enable ALT")
+	}
+	n := len(g.Fabric.Traps)
+	type snap struct {
+		cost  gates.Time
+		edges []int
+	}
+	cold := map[[2]int]snap{}
+	for a := 0; a < n; a += 17 {
+		b := (a*31 + 7) % n
+		if a == b {
+			continue
+		}
+		r, ok := g.FindRoute(a, b)
+		if !ok {
+			t.Fatalf("no route %d->%d", a, b)
+		}
+		s := snap{cost: r.Cost}
+		for _, h := range r.Hops {
+			s.edges = append(s.edges, h.Edge)
+		}
+		cold[[2]int{a, b}] = s
+	}
+	for k, want := range cold {
+		r, ok := g.FindRoute(k[0], k[1])
+		if !ok {
+			t.Fatalf("cached route %v vanished", k)
+		}
+		if r.Cost != want.cost || len(r.Hops) != len(want.edges) {
+			t.Fatalf("cache hit for %v differs: cost %d vs %d", k, r.Cost, want.cost)
+		}
+		for i, h := range r.Hops {
+			if h.Edge != want.edges[i] {
+				t.Fatalf("cache hit for %v: hop %d edge %d != %d", k, i, h.Edge, want.edges[i])
+			}
+		}
+	}
+}

@@ -47,6 +47,19 @@ type routeEntry struct {
 	numTies  int32
 	src, dst int32
 	writes   []viaWrite
+	// hops is the ALT-mode payload: canonical routes carry no tie
+	// coins, so the hop sequence itself is cached and replayed
+	// verbatim (writes/numTies stay empty in that mode).
+	hops []Hop
+}
+
+// putCacheEntry inserts under the shared size bound (classic and ALT
+// entries live in one map; a graph only ever produces one kind).
+func (g *Graph) putCacheEntry(key uint64, e *routeEntry) {
+	if len(g.cache) >= maxCacheEntries {
+		clear(g.cache)
+	}
+	g.cache[key] = e
 }
 
 func routeKey(fromTrap, toTrap int) uint64 {
@@ -55,9 +68,6 @@ func routeKey(fromTrap, toTrap int) uint64 {
 
 // storeCacheEntry captures the just-finished recorded search.
 func (g *Graph) storeCacheEntry(key uint64, s *Searcher[gates.Time]) {
-	if len(g.cache) >= maxCacheEntries {
-		clear(g.cache)
-	}
 	e := &routeEntry{
 		found:   s.lastFound,
 		numTies: s.numTies,
@@ -68,7 +78,7 @@ func (g *Graph) storeCacheEntry(key uint64, s *Searcher[gates.Time]) {
 		e.cost = s.dist[s.lastDst]
 		e.writes = append([]viaWrite(nil), s.writes...)
 	}
-	g.cache[key] = e
+	g.putCacheEntry(key, e)
 }
 
 // replayCacheEntry serves a hit: consume exactly the coin flips the

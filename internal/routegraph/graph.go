@@ -78,6 +78,9 @@ type Group struct {
 	Index    int // fabric channel or junction ID
 	Capacity int
 	occ      int
+	// inDirty marks the group as already recorded on the graph's
+	// dirty list, so Reset touches only groups that saw traffic.
+	inDirty bool
 }
 
 // Occupancy returns the current number of committed users.
@@ -120,6 +123,16 @@ type Options struct {
 	// arrays (beyond the paper, which assumes a perfect fabric).
 	DefectiveChannels  []int
 	DefectiveJunctions []int
+	// Landmarks controls the ALT goal-directed search mode (alt.go):
+	// 0 enables it automatically once the graph crosses altAutoNodes
+	// nodes (both paper fabrics stay below the threshold, so their
+	// classic coin-flip Dijkstra behavior — and every pinned golden —
+	// is untouched); a positive value forces ALT with that many
+	// landmarks (capped at altDefaultLandmarks); a negative value
+	// forces plain Dijkstra at any size. In ALT mode ties are broken
+	// canonically (fewest hops, then smallest edge ID) instead of by
+	// the seeded coin stream, and TieSeed has no effect on routes.
+	Landmarks int
 }
 
 // Graph is the routing graph over one fabric.
@@ -161,6 +174,16 @@ type Graph struct {
 	// totalOcc == 0 is the canonical cacheable generation; any
 	// nonzero occupancy bypasses the cache entirely.
 	totalOcc int
+
+	// dirty lists the groups occupied since the last Reset, so Reset
+	// costs O(groups touched) instead of O(all groups) — on a
+	// 100k-trap fabric a typical engine run touches a few hundred of
+	// several hundred thousand groups.
+	dirty []int32
+
+	// alt holds the landmark tables and canonical searcher when the
+	// graph routes in ALT mode (see alt.go); nil for classic Dijkstra.
+	alt *altState
 
 	// Pools of reusable search states: the Eq. 2 (gates.Time)
 	// instantiation used by FindRoute, and the float64 instantiation
@@ -218,6 +241,9 @@ func New(f *fabric.Fabric, tech gates.Tech, opts Options) *Graph {
 	g.cache = make(map[uint64]*routeEntry)
 	g.weightFn = func(edge int32) gates.Time { return g.EdgeWeight(int(edge)) }
 	g.tieFn = func(next, edge int32) bool { return g.rng.Intn(2) == 0 }
+	if altEnabled(opts.Landmarks, len(g.Nodes)) {
+		g.buildALT(opts.Landmarks)
+	}
 	return g
 }
 
@@ -257,10 +283,16 @@ func (g *Graph) buildCSR() {
 // in every totally idle state — so repeated engine runs over one
 // graph (MVFB, Monte-Carlo) keep their warm cache. Used by
 // engine.Run when a pre-built graph is supplied.
+// Occupancy bookkeeping is dirty-listed (see Occupy), so only groups
+// that actually saw traffic are walked — Reset is O(touched), not
+// O(fabric).
 func (g *Graph) Reset() {
-	for i := range g.Groups {
-		g.Groups[i].occ = 0
+	for _, id := range g.dirty {
+		gr := &g.Groups[id]
+		gr.occ = 0
+		gr.inDirty = false
 	}
+	g.dirty = g.dirty[:0]
 	g.totalOcc = 0
 	g.rng.Seed(g.Opts.TieSeed + 1)
 }
@@ -434,6 +466,10 @@ func (g *Graph) Occupy(groupID int) {
 	if gr.occ >= gr.Capacity {
 		panic(fmt.Sprintf("routegraph: group %d over capacity", groupID))
 	}
+	if !gr.inDirty {
+		gr.inDirty = true
+		g.dirty = append(g.dirty, int32(groupID))
+	}
 	gr.occ++
 	g.totalOcc++
 }
@@ -525,6 +561,9 @@ func (g *Graph) buildRoute(fromTrap, toTrap int, cost gates.Time) Route {
 func (g *Graph) FindRoute(fromTrap, toTrap int) (Route, bool) {
 	if fromTrap == toTrap {
 		return Route{From: fromTrap, To: toTrap}, true
+	}
+	if g.alt != nil {
+		return g.findRouteALT(fromTrap, toTrap)
 	}
 	uncongested := g.totalOcc == 0
 	key := routeKey(fromTrap, toTrap)

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Regenerates the measurements tracked in BENCH_fabric.json: per-route
+# search cost on the generated giant-fabric ladder (~1k / ~10k / ~100k
+# traps), ALT goal-directed search vs the plain Dijkstra reference.
+# The route cache is defeated by a standing occupancy, so every
+# iteration is a full cold search. Run from the repository root.
+set -e
+OUT="${OUT:-/tmp/qspr_bench_fabric.txt}"
+BENCHTIME="${BENCHTIME:-100x}"
+{
+  echo "== giant-fabric route scaling ($BENCHTIME/op) =="
+  go test -run '^$' -bench 'BenchmarkRouteScale' -benchtime "$BENCHTIME" -benchmem .
+} | tee "$OUT"
+echo
+echo "raw output written to: $OUT (curate BENCH_fabric.json)"
