@@ -54,9 +54,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		circuitN  = fs.String("circuit", "", "circuit source: built-in name, generator family, or a comma-separated list (see -list)")
 		list      = fs.Bool("list", false, "list built-in benchmark circuits and generator families, then exit")
 		fabPath   = fs.String("fabric", "", "fabric description file (default: the 45x85 Fig. 4 fabric)")
-		heuristic = fs.String("heuristic", "qspr", "mapping heuristic: qspr, qspr-center, mc, quale, qpos, qpos-delay, portfolio")
+		heuristic = fs.String("heuristic", "qspr", "mapping heuristic: "+strings.Join(experiment.HeuristicNames(), ", "))
 		m         = fs.Int("m", 25, "random seeds for the MVFB placer / runs for the MC placer")
 		seed      = fs.Int64("seed", 1, "random seed")
+		annMoves  = fs.Int("anneal-moves", 0, "annealing placer: proposed moves per restart chain (0 = 400); >0 also enters the annealer in -heuristic portfolio")
+		annRest   = fs.Int("anneal-restarts", 0, "annealing placer: independent restart chains (0 = 4)")
+		annCool   = fs.Float64("anneal-cooling", 0, "annealing placer: per-move temperature multiplier in (0,1) (0 = 0.97)")
 		showTrace = fs.Bool("trace", false, "print the micro-command trace")
 		showStats = fs.Bool("stats", true, "print mapping statistics")
 		gantt     = fs.Bool("gantt", false, "print a per-qubit timeline of the trace")
@@ -115,7 +118,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := experiment.ValidateFormat(*format); err != nil {
 			return fail(err)
 		}
-		return runSweep(stdout, stderr, fail, benches, fc, h, *m, *seed, *parallel, *innerPar, *format, *out)
+		return runSweep(stdout, stderr, fail, benches, fc, h, *m, *seed, *parallel, *innerPar, *format, *out,
+			*annMoves, *annRest, *annCool)
 	}
 	// Conversely, the sweep report flags are never consulted on the
 	// single-run path.
@@ -135,7 +139,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if inner == 0 {
 		inner = *parallel
 	}
-	opts := core.Options{Heuristic: h, Seeds: *m, Seed: *seed, InnerParallel: inner}
+	opts := core.Options{
+		Heuristic: h, Seeds: *m, Seed: *seed, InnerParallel: inner,
+		AnnealMoves: *annMoves, AnnealRestarts: *annRest, AnnealCooling: *annCool,
+	}
 	res, err := core.Map(prog, fab, opts)
 	if err != nil {
 		return fail(err)
@@ -290,14 +297,17 @@ func sweepCircuits(qasmPath, name string) ([]circuits.Benchmark, bool, error) {
 // runSweep maps every named benchmark concurrently via
 // internal/experiment and writes the deterministic report. fail is
 // run's error reporter (one definition of the exit protocol).
-func runSweep(stdout, stderr io.Writer, fail func(error) int, benches []circuits.Benchmark, fc experiment.FabricChoice, h core.Heuristic, m int, seed int64, workers, inner int, format, out string) int {
+func runSweep(stdout, stderr io.Writer, fail func(error) int, benches []circuits.Benchmark, fc experiment.FabricChoice, h core.Heuristic, m int, seed int64, workers, inner int, format, out string, annMoves, annRestarts int, annCooling float64) int {
 	rep, err := experiment.Execute(context.Background(), experiment.Spec{
-		Circuits:      benches,
-		Fabrics:       []experiment.FabricChoice{fc},
-		Heuristics:    []core.Heuristic{h},
-		SeedCounts:    []int{m},
-		Seed:          seed,
-		InnerParallel: inner,
+		Circuits:       benches,
+		Fabrics:        []experiment.FabricChoice{fc},
+		Heuristics:     []core.Heuristic{h},
+		SeedCounts:     []int{m},
+		Seed:           seed,
+		InnerParallel:  inner,
+		AnnealMoves:    annMoves,
+		AnnealRestarts: annRestarts,
+		AnnealCooling:  annCooling,
 	}, experiment.Options{Workers: workers})
 	if err != nil {
 		return fail(err)

@@ -64,9 +64,12 @@ func main() { os.Exit(run()) }
 func run() (code int) {
 	var (
 		circuitsF  = flag.String("circuits", "all", "comma-separated circuit sources (built-in names, generator families like 'rand(q=20,g=400,seed=7)', 'qasm(path=f.qasm)'), or 'all'")
-		heuristics = flag.String("heuristics", "quale,qspr", "comma-separated heuristics (qspr, qspr-center, mc, quale, qpos, qpos-delay, portfolio) or 'all'")
+		heuristics = flag.String("heuristics", "quale,qspr", "comma-separated heuristics ("+strings.Join(experiment.HeuristicNames(), ", ")+") or 'all'")
 		mList      = flag.String("m", "25", "comma-separated MVFB seed counts to sweep")
 		seed       = flag.Int64("seed", 1, "random seed")
+		annMoves   = flag.Int("anneal-moves", 0, "annealing placer: proposed moves per restart chain (0 = 400); >0 also enters the annealer in portfolio runs")
+		annRest    = flag.Int("anneal-restarts", 0, "annealing placer: independent restart chains (0 = 4)")
+		annCool    = flag.Float64("anneal-cooling", 0, "annealing placer: per-move temperature multiplier in (0,1) (0 = 0.97)")
 		fabPath    = flag.String("fabric", "", "fabric description file (default: the 45x85 Fig. 4 fabric)")
 		parallel   = flag.Int("parallel", 0, "CPU budget for the sweep (0 = all CPU cores); shared between across-run workers and -inner-parallel; output is identical for any value")
 		innerPar   = flag.Int("inner-parallel", 0, "workers within each mapping (MVFB starts / MC trials / portfolio placers); output is identical for any value")
@@ -100,6 +103,7 @@ func run() (code int) {
 		desc := coord.SpecDesc{
 			Circuits: *circuitsF, Heuristics: *heuristics, M: *mList,
 			Seed: *seed, Fabric: *fabPath, InnerParallel: *innerPar,
+			AnnealMoves: *annMoves, AnnealRestarts: *annRest, AnnealCooling: *annCool,
 		}
 		return runCoordinator(*coordinate, desc, *chunkSize, *leaseTTL, *ckptDir, *format, *out, *compare, *progress)
 	}
@@ -107,6 +111,7 @@ func run() (code int) {
 		// A worker takes its spec from the coordinator; spec flags here
 		// would describe a sweep that is never consulted.
 		if conflict := visitedFlags("circuits", "heuristics", "m", "seed", "fabric", "inner-parallel",
+			"anneal-moves", "anneal-restarts", "anneal-cooling",
 			"shard", "checkpoint", "merge", "format", "out", "compare", "chunk", "lease-ttl", "checkpoint-dir"); len(conflict) > 0 {
 			return fail(fmt.Errorf("-worker receives the sweep spec from the coordinator and conflicts with %s", strings.Join(conflict, ", ")))
 		}
@@ -200,7 +205,10 @@ func run() (code int) {
 	if err := experiment.ValidateFormat(*format); err != nil {
 		return fail(err)
 	}
-	spec := experiment.Spec{Seed: *seed, InnerParallel: *innerPar}
+	spec := experiment.Spec{
+		Seed: *seed, InnerParallel: *innerPar,
+		AnnealMoves: *annMoves, AnnealRestarts: *annRest, AnnealCooling: *annCool,
+	}
 	var err error
 	if spec.Circuits, err = experiment.SelectCircuits(*circuitsF); err != nil {
 		return fail(err)

@@ -86,11 +86,21 @@ type SpecDesc struct {
 	// InnerParallel is the per-mapping worker count (never changes
 	// result bytes).
 	InnerParallel int `json:"inner_parallel,omitempty"`
+	// AnnealMoves, AnnealRestarts and AnnealCooling are the annealing
+	// placer knobs (experiment.Spec); omitted when zero so pre-anneal
+	// coordinator/worker pairs keep their wire format.
+	AnnealMoves    int     `json:"anneal_moves,omitempty"`
+	AnnealRestarts int     `json:"anneal_restarts,omitempty"`
+	AnnealCooling  float64 `json:"anneal_cooling,omitempty"`
 }
 
 // Spec resolves the description into an executable sweep spec.
 func (d SpecDesc) Spec() (experiment.Spec, error) {
-	spec := experiment.Spec{Seed: d.Seed, InnerParallel: d.InnerParallel}
+	spec := experiment.Spec{
+		Seed: d.Seed, InnerParallel: d.InnerParallel,
+		AnnealMoves: d.AnnealMoves, AnnealRestarts: d.AnnealRestarts,
+		AnnealCooling: d.AnnealCooling,
+	}
 	var err error
 	if spec.Circuits, err = experiment.SelectCircuits(d.Circuits); err != nil {
 		return experiment.Spec{}, err

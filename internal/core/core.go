@@ -53,6 +53,11 @@ const (
 	// mapping by (latency, placer rank). Inspired by portfolio-style
 	// parallel search (cf. DateSAT); not a row of the paper's tables.
 	Portfolio
+	// Anneal is QSPR's engine under a simulated-annealing placer built
+	// on incremental re-simulation: thousands of single-qubit moves,
+	// each evaluated by replaying only the event suffix past the moved
+	// qubit's dependency frontier. Not a row of the paper's tables.
+	Anneal
 )
 
 // String names the heuristic as used in the paper's tables.
@@ -72,6 +77,8 @@ func (h Heuristic) String() string {
 		return "QPOS-delay"
 	case Portfolio:
 		return "Portfolio"
+	case Anneal:
+		return "Anneal"
 	}
 	return "?"
 }
@@ -111,6 +118,19 @@ type Options struct {
 	//
 	// Deprecated: set InnerParallel.
 	Workers int
+	// AnnealMoves is the annealing placer's proposed moves per restart
+	// chain. For the Anneal heuristic 0 means the default of 400;
+	// negative values are rejected. For the Portfolio heuristic a
+	// non-zero value enters the annealer in the race (0 keeps the
+	// original three-entrant race and its exact results).
+	AnnealMoves int
+	// AnnealRestarts is the annealing placer's independent chain
+	// count. 0 means the default of 4; negative values are rejected.
+	AnnealRestarts int
+	// AnnealCooling is the annealer's per-move temperature multiplier,
+	// which must lie strictly between 0 and 1. 0 means the default of
+	// 0.97; values outside (0, 1) are rejected.
+	AnnealCooling float64
 }
 
 // Normalize validates o and resolves its documented defaults: Seeds 0
@@ -131,6 +151,12 @@ func (o Options) Normalize() (Options, error) {
 		return o, fmt.Errorf("core: InnerParallel %d < 0 (0 or 1 means sequential)", o.InnerParallel)
 	case o.Workers < 0:
 		return o, fmt.Errorf("core: Workers %d < 0 (0 or 1 means sequential)", o.Workers)
+	case o.AnnealMoves < 0:
+		return o, fmt.Errorf("core: AnnealMoves %d < 0 (0 means the default of 400)", o.AnnealMoves)
+	case o.AnnealRestarts < 0:
+		return o, fmt.Errorf("core: AnnealRestarts %d < 0 (0 means the default of 4)", o.AnnealRestarts)
+	case o.AnnealCooling != 0 && (o.AnnealCooling <= 0 || o.AnnealCooling >= 1):
+		return o, fmt.Errorf("core: AnnealCooling %g outside (0, 1) (0 means the default of 0.97)", o.AnnealCooling)
 	}
 	if o.Seeds == 0 {
 		o.Seeds = 25
@@ -146,6 +172,21 @@ func (o Options) Normalize() (Options, error) {
 	}
 	if o.InnerParallel < 1 {
 		o.InnerParallel = 1
+	}
+	// Anneal knobs resolve only where they matter — for the Anneal
+	// heuristic and for a Portfolio that opted the annealer in — so
+	// every other heuristic's normalized options (and ResultKey) stay
+	// byte-identical to the pre-anneal layout.
+	if o.Heuristic == Anneal || (o.Heuristic == Portfolio && o.AnnealMoves > 0) {
+		if o.AnnealMoves == 0 {
+			o.AnnealMoves = 400
+		}
+		if o.AnnealRestarts == 0 {
+			o.AnnealRestarts = 4
+		}
+		if o.AnnealCooling == 0 {
+			o.AnnealCooling = 0.97
+		}
 	}
 	return o, nil
 }
@@ -167,7 +208,8 @@ type Result struct {
 	// uncompute (backward) computation.
 	BackwardWinner bool
 	// PortfolioWinner names the placer that won a Portfolio race
-	// ("MVFB", "MC" or "Center"); empty for every other heuristic.
+	// ("MVFB", "MC", "Center" or "Anneal"); empty for every other
+	// heuristic.
 	PortfolioWinner string
 	// Runtime is the wall-clock CPU time of the mapping (the paper's
 	// Table 1 "CPU Runtime" column).
@@ -194,7 +236,15 @@ func (o Options) ResultKey() (string, error) {
 	if n.Tech != nil {
 		return "", fmt.Errorf("core: ResultKey does not cover Tech overrides")
 	}
-	return fmt.Sprintf("h=%s;m=%d;seed=%d;patience=%d", n.Heuristic, n.Seeds, n.Seed, n.Patience), nil
+	key := fmt.Sprintf("h=%s;m=%d;seed=%d;patience=%d", n.Heuristic, n.Seeds, n.Seed, n.Patience)
+	// Anneal knobs shape results only for the Anneal heuristic and an
+	// anneal-entered Portfolio; appending them only then keeps every
+	// pre-existing key byte-identical (the qsprd cache stays warm
+	// across the upgrade).
+	if n.AnnealMoves > 0 {
+		key += fmt.Sprintf(";amoves=%d;arestarts=%d;acooling=%g", n.AnnealMoves, n.AnnealRestarts, n.AnnealCooling)
+	}
+	return key, nil
 }
 
 // Mapper owns warm, reusable mapping state: one engine.Sim whose
@@ -299,13 +349,20 @@ func mapWith(prog *qasm.Program, fab *fabric.Fabric, opts Options, sim *engine.S
 		res.Runs = sol.Runs
 	case Portfolio:
 		cfg := qsprConfig(fab, tech)
-		sol, err := place.Portfolio(g, cfg, place.PortfolioOptions{
+		popts := place.PortfolioOptions{
 			MVFB: place.MVFBOptions{
 				Seeds: opts.Seeds, Patience: opts.Patience,
 				MaxRunsPerSeed: 50, Seed: opts.Seed,
 			},
 			Workers: opts.InnerParallel,
-		})
+		}
+		if opts.AnnealMoves > 0 {
+			popts.Anneal = &place.AnnealOptions{
+				Moves: opts.AnnealMoves, Restarts: opts.AnnealRestarts,
+				Seed: opts.Seed, Cooling: opts.AnnealCooling,
+			}
+		}
+		sol, err := place.Portfolio(g, cfg, popts)
 		if err != nil {
 			return nil, err
 		}
@@ -313,6 +370,18 @@ func mapWith(prog *qasm.Program, fab *fabric.Fabric, opts Options, sim *engine.S
 		res.Runs = sol.Runs
 		res.BackwardWinner = sol.Backward && sol.Rank == place.RankMVFB
 		res.PortfolioWinner = sol.Placer
+	case Anneal:
+		cfg := qsprConfig(fab, tech)
+		sol, err := place.Anneal(g, cfg, place.AnnealOptions{
+			Moves: opts.AnnealMoves, Restarts: opts.AnnealRestarts,
+			Seed: opts.Seed, Cooling: opts.AnnealCooling,
+			Workers: opts.InnerParallel, Sim: sim,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Mapping = sol.Result
+		res.Runs = sol.Runs
 	case QUALE:
 		r, err := quale.Map(g, fab)
 		if err != nil {

@@ -91,6 +91,7 @@ func TestHeuristicStrings(t *testing.T) {
 	want := map[Heuristic]string{
 		QSPR: "QSPR", QSPRCenter: "QSPR-center", MonteCarlo: "MC",
 		QUALE: "QUALE", QPOS: "QPOS", QPOSDelay: "QPOS-delay",
+		Portfolio: "Portfolio", Anneal: "Anneal",
 		Heuristic(99): "?",
 	}
 	for h, s := range want {
@@ -161,6 +162,11 @@ func TestNormalizeRejectsNegatives(t *testing.T) {
 		{Patience: -2},
 		{InnerParallel: -1},
 		{Workers: -3},
+		{AnnealMoves: -1},
+		{AnnealRestarts: -4},
+		{AnnealCooling: -0.5},
+		{AnnealCooling: 1},
+		{AnnealCooling: 1.5},
 	}
 	for _, o := range cases {
 		if _, err := o.Normalize(); err == nil {
@@ -169,5 +175,106 @@ func TestNormalizeRejectsNegatives(t *testing.T) {
 		if _, err := Map(circuits.Fig3(), fabric.Quale4585(), o); err == nil {
 			t.Errorf("Map with %+v: expected error", o)
 		}
+	}
+}
+
+// TestAnnealKnobDefaults: anneal knobs resolve only where they shape
+// results — other heuristics' normalized options (hence ResultKeys and
+// the qsprd cache) keep the pre-anneal layout.
+func TestAnnealKnobDefaults(t *testing.T) {
+	o, err := Options{Heuristic: Anneal}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.AnnealMoves != 400 || o.AnnealRestarts != 4 || o.AnnealCooling != 0.97 {
+		t.Errorf("anneal defaults = moves %d restarts %d cooling %g", o.AnnealMoves, o.AnnealRestarts, o.AnnealCooling)
+	}
+	o, err = Options{Heuristic: QSPR, AnnealMoves: 100}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.AnnealRestarts != 0 || o.AnnealCooling != 0 {
+		t.Errorf("QSPR run resolved anneal knobs it never uses: %+v", o)
+	}
+
+	key, err := Options{Heuristic: QSPR}.ResultKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "h=QSPR;m=25;seed=1;patience=3"; key != want {
+		t.Errorf("pre-anneal ResultKey changed: %q, want %q", key, want)
+	}
+	key, err = Options{Heuristic: Anneal}.ResultKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "h=Anneal;m=25;seed=1;patience=3;amoves=400;arestarts=4;acooling=0.97"; key != want {
+		t.Errorf("anneal ResultKey = %q, want %q", key, want)
+	}
+	k1, err := Options{Heuristic: Anneal, AnnealMoves: 100}.ResultKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Options{Heuristic: Anneal, AnnealMoves: 200}.ResultKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Error("ResultKey ignores AnnealMoves")
+	}
+}
+
+// TestMapAnneal: the Anneal heuristic maps end to end, is
+// deterministic across repeated and parallel calls, and reports the
+// Anneal label.
+func TestMapAnneal(t *testing.T) {
+	fab := fabric.Quale4585()
+	prog := circuits.Fig3()
+	opts := Options{Heuristic: Anneal, AnnealMoves: 60, AnnealRestarts: 2}
+	a, err := Map(prog, fab, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Heuristic != Anneal || a.Mapping == nil || a.Runs == 0 {
+		t.Fatalf("anneal result malformed: %+v", a)
+	}
+	popts := opts
+	popts.InnerParallel = 4
+	b, err := Map(prog, fab, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency != b.Latency || a.Runs != b.Runs {
+		t.Errorf("anneal not parallel-deterministic: latency %v/%v runs %d/%d",
+			a.Latency, b.Latency, a.Runs, b.Runs)
+	}
+	// Warm-Mapper path is bit-identical too.
+	c, err := NewMapper().Map(prog, fab, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency != c.Latency || a.Runs != c.Runs {
+		t.Errorf("warm Mapper anneal diverges: latency %v/%v", a.Latency, c.Latency)
+	}
+}
+
+// TestMapPortfolioWithAnneal: opting the annealer into the portfolio
+// never worsens the race and labels an anneal win.
+func TestMapPortfolioWithAnneal(t *testing.T) {
+	fab := fabric.Quale4585()
+	prog := circuits.Fig3()
+	base, err := Map(prog, fab, Options{Heuristic: Portfolio, Seeds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Map(prog, fab, Options{Heuristic: Portfolio, Seeds: 3, AnnealMoves: 60, AnnealRestarts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Latency > base.Latency {
+		t.Errorf("anneal entrant worsened the portfolio: %v > %v", with.Latency, base.Latency)
+	}
+	if with.PortfolioWinner == "" {
+		t.Error("portfolio winner label missing")
 	}
 }

@@ -109,6 +109,20 @@ type Sim struct {
 	// discarded afterwards (the one-shot Run wrapper), since the next
 	// Reset would corrupt the donated trace.
 	donateTrace bool
+
+	// Checkpoint/fork state (checkpoint.go). runGen stamps every Reset
+	// so outstanding checkpoints of earlier runs are detected (and
+	// rejected with a state-intact error) instead of silently restored
+	// over mismatched pooled state. fired counts events dispatched in
+	// the current run; rec, non-nil only while a RunRecorded is in
+	// flight, receives snapshots and dependency-frontier touches.
+	runGen uint64
+	fired  int
+	rec    *CheckpointLog
+
+	// forkInitial is pooled storage for RunFrom's perturbed initial
+	// placement (cloned into the Result by finishRun).
+	forkInitial []int
 }
 
 // NewSim returns an empty simulator; equivalent to new(Sim).
@@ -122,16 +136,51 @@ func (s *Sim) Run(g *qidg.Graph, cfg Config, initial Placement) (*Result, error)
 	if err := s.Reset(g, cfg, initial); err != nil {
 		return nil, err
 	}
-	maxEvents := cfg.MaxEvents
-	if maxEvents == 0 {
-		maxEvents = 200*g.Len() + 100000
-	}
-	if _, err := s.q.Run(maxEvents, s.fire); err != nil {
+	if err := s.runLoop(); err != nil {
 		return nil, err
 	}
-	if s.done != g.Len() {
+	return s.finishRun(initial)
+}
+
+// runLoop drives the event queue until it drains, counting dispatched
+// events in s.fired and — when a RunRecorded is in flight — capturing
+// checkpoints at boundary strides and recording dependency-frontier
+// touches. It reproduces events.Queue.Run bit for bit, including the
+// event-limit guard's error bytes.
+func (s *Sim) runLoop() error {
+	maxEvents := s.cfg.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 200*s.g.Len() + 100000
+	}
+	rec := s.rec
+	for {
+		if rec != nil {
+			// Boundary s.fired: the state before event number s.fired
+			// dispatches. Touches recorded during that dispatch stamp
+			// this index.
+			rec.maybeSnapshot(s, false)
+			rec.idx = s.fired
+		}
+		if !s.q.Step(s.fire) {
+			if rec != nil {
+				rec.maybeSnapshot(s, true) // always capture the end state
+			}
+			return nil
+		}
+		s.fired++
+		if maxEvents > 0 && s.fired >= maxEvents && s.q.Len() > 0 {
+			return events.LimitError(s.fired, s.q.Len())
+		}
+	}
+}
+
+// finishRun audits the completed simulation and assembles the Result.
+// It is shared by Run, RunRecorded and RunFrom so the three paths
+// produce byte-identical results for byte-identical simulations.
+func (s *Sim) finishRun(initial Placement) (*Result, error) {
+	if s.done != s.g.Len() {
 		return nil, fmt.Errorf("engine: deadlock: %d of %d instructions completed, %d blocked",
-			s.done, g.Len(), len(s.blocked))
+			s.done, s.g.Len(), len(s.blocked))
 	}
 	if err := s.checkInvariants(); err != nil {
 		return nil, err
@@ -161,6 +210,13 @@ func (s *Sim) Run(g *qidg.Graph, cfg Config, initial Placement) (*Result, error)
 // tick scheduled. Run calls it internally; it is exported for tests
 // and callers that drive the event loop manually.
 func (s *Sim) Reset(g *qidg.Graph, cfg Config, initial Placement) error {
+	// Any Reset attempt — even one that fails validation partway —
+	// invalidates outstanding checkpoints: the run generation bumps
+	// first, so a later RunFrom on a checkpoint of an earlier run is
+	// rejected instead of restoring over mismatched bindings.
+	s.runGen++
+	s.rec = nil
+	s.fired = 0
 	if err := cfg.validate(); err != nil {
 		return err
 	}
@@ -298,6 +354,12 @@ func (s *Sim) bindFuncs() {
 	if s.fire == nil {
 		s.fire = s.dispatch
 		s.fitsFn = func(t int) bool {
+			// Unreachable traps fail before the load is consulted: the
+			// outcome is load-independent there, so recorded runs need
+			// no frontier touch for them.
+			if !s.rg.TrapReachable(t) {
+				return false
+			}
 			need := 0
 			if s.trapOf[s.fitsC] != t {
 				need++
@@ -305,7 +367,11 @@ func (s *Sim) bindFuncs() {
 			if s.trapOf[s.fitsD] != t {
 				need++
 			}
-			return s.rg.TrapReachable(t) && s.trapLoad[t]+need <= s.cfg.Tech.TrapCapacity
+			sum := s.trapLoad[t] + need
+			if s.rec != nil {
+				s.rec.noteLoadRead(t, sum, s.cfg.Tech.TrapCapacity)
+			}
+			return sum <= s.cfg.Tech.TrapCapacity
 		}
 		s.evictFn = func(t int) bool {
 			return t != s.evictHost && s.rg.TrapReachable(t) && s.trapLoad[t] < s.cfg.Tech.TrapCapacity
@@ -448,6 +514,18 @@ func (s *Sim) tryIssue(n int, now gates.Time) bool {
 	// One-qubit gate: the operand rests in a trap; execute in place.
 	// (If the qubit is mid-flight as an eviction victim, wait.)
 	q := node.Qubits[0]
+	if s.rec != nil && s.collect {
+		// The resting trap of a one-qubit operand feeds only the trace
+		// op below: issue, pinning, gate delay and completion are all
+		// position-independent, and the mid-flight test cannot diverge
+		// within the frontier (a qubit goes mid-flight only downstream
+		// of its own two-qubit issue — a qubit touch — or an eviction —
+		// a global touch). Traceless recordings — the placers' search
+		// configuration — therefore keep the frontier open across the
+		// leading one-qubit layers; trace-capturing recordings must cut
+		// it, because the op records the trap.
+		s.rec.touchQubit(q)
+	}
 	if s.trapOf[q] < 0 {
 		return false
 	}
@@ -464,6 +542,12 @@ func (s *Sim) tryIssue(n int, now gates.Time) bool {
 func (s *Sim) tryEvict(n int, now gates.Time) {
 	if s.evicting {
 		return
+	}
+	if s.rec != nil {
+		// Eviction scans every qubit's resting trap and pin count and
+		// probes seats globally: any placement change can alter its
+		// choice, so it conservatively cuts the whole frontier.
+		s.rec.touchGlobal()
 	}
 	node := &s.g.Nodes[n]
 	c, d := node.Qubits[0], node.Qubits[1]
@@ -494,6 +578,9 @@ func (s *Sim) tryEvict(n int, now gates.Time) {
 		s.evicting = true
 		s.stats.Evictions++
 		s.trapLoad[dest]++ // reserve the landing seat
+		if s.rec != nil {
+			s.rec.noteLoaded(dest)
+		}
 		s.sendQubit(victim, r, now, -1, dest)
 		return
 	}
@@ -529,6 +616,13 @@ func (s *Sim) chooseTarget(n int) int {
 func (s *Sim) tryIssueTwoQubit(n int, now gates.Time) bool {
 	node := &s.g.Nodes[n]
 	c, d := node.Qubits[0], node.Qubits[1]
+	if s.rec != nil {
+		// Every read of the operands' resting traps — target choice,
+		// mover selection, route sources — happens downstream of here,
+		// on every (re-)attempt.
+		s.rec.touchQubit(c)
+		s.rec.touchQubit(d)
+	}
 	pl := &s.plans[n]
 	if pl.target < 0 {
 		// An operand may be mid-flight as an eviction victim; the
@@ -565,6 +659,9 @@ func (s *Sim) tryIssueTwoQubit(n int, now gates.Time) bool {
 		// Reserve all incoming seats now so no later instruction
 		// claims them while the movers are en route or waiting.
 		s.trapLoad[target] += int(pl.nMovers)
+		if s.rec != nil {
+			s.rec.noteLoaded(target)
+		}
 		s.pendingArrivals[n] = int(pl.nMovers)
 		s.state[n] = instRouting
 		s.order = append(s.order, n)

@@ -166,8 +166,47 @@ func (q *Queue) Run(maxEvents int, fire func(Event)) (gates.Time, error) {
 	for q.Step(fire) {
 		fired++
 		if maxEvents > 0 && fired >= maxEvents && len(q.h) > 0 {
-			return q.now, fmt.Errorf("%w: %d events fired, %d still pending", ErrEventLimit, fired, len(q.h))
+			return q.now, LimitError(fired, len(q.h))
 		}
 	}
 	return q.now, nil
+}
+
+// LimitError builds the canonical event-limit error, wrapping
+// ErrEventLimit. It is shared by Run and by external steppers (the
+// engine's checkpoint/fork loop drives Step itself but must report
+// the guard identically).
+func LimitError(fired, pending int) error {
+	return fmt.Errorf("%w: %d events fired, %d still pending", ErrEventLimit, fired, pending)
+}
+
+// State is a saved snapshot of a queue's full pending state, for
+// checkpoint/fork re-simulation (see engine.Sim.Checkpoint). The
+// storage is caller-owned and pooled: Save copies into it reusing the
+// backing array, so steady-state snapshots allocate nothing.
+type State struct {
+	h   []event
+	now gates.Time
+	seq uint64
+}
+
+// Len returns the number of pending events in the snapshot.
+func (st *State) Len() int { return len(st.h) }
+
+// Save copies the queue's pending events, clock and sequence counter
+// into st, reusing st's storage.
+func (q *Queue) Save(st *State) {
+	st.h = append(st.h[:0], q.h...)
+	st.now = q.now
+	st.seq = q.seq
+}
+
+// Restore rewinds the queue to a previously saved state, reusing the
+// queue's own storage. The heap slice is copied verbatim, so the pop
+// order — and therefore every simulation bit — matches the original
+// run exactly.
+func (q *Queue) Restore(st *State) {
+	q.h = append(q.h[:0], st.h...)
+	q.now = st.now
+	q.seq = st.seq
 }

@@ -77,6 +77,13 @@ type Spec struct {
 	// the across-run worker pool so that outer × inner stays within
 	// the sweep's CPU budget. 0 or 1 keeps each run single-threaded.
 	InnerParallel int
+	// AnnealMoves, AnnealRestarts and AnnealCooling configure the
+	// annealing placer for Anneal runs (and opt the annealer into
+	// Portfolio runs when AnnealMoves > 0); zero values resolve to the
+	// core defaults. See core.Options.
+	AnnealMoves    int
+	AnnealRestarts int
+	AnnealCooling  float64
 }
 
 // Run is one unit of work: a single (circuit, fabric, heuristic, m)
@@ -97,6 +104,12 @@ type Run struct {
 	// InnerParallel is the mapping-internal worker count (does not
 	// change the result).
 	InnerParallel int
+	// AnnealMoves, AnnealRestarts and AnnealCooling are the annealer
+	// knobs for this run (see core.Options); all-zero for specs that
+	// never touch the annealer.
+	AnnealMoves    int
+	AnnealRestarts int
+	AnnealCooling  float64
 }
 
 // Runs expands the spec into its stable, indexed run list. Expansion
@@ -134,14 +147,17 @@ func (s Spec) Runs() ([]Run, error) {
 						return nil, fmt.Errorf("experiment: seed count %d <= 0", m)
 					}
 					runs = append(runs, Run{
-						Index:         len(runs),
-						Circuit:       c,
-						Fabric:        f,
-						Heuristic:     h,
-						Seeds:         m,
-						Seed:          seed,
-						Tech:          s.Tech,
-						InnerParallel: s.InnerParallel,
+						Index:          len(runs),
+						Circuit:        c,
+						Fabric:         f,
+						Heuristic:      h,
+						Seeds:          m,
+						Seed:           seed,
+						Tech:           s.Tech,
+						InnerParallel:  s.InnerParallel,
+						AnnealMoves:    s.AnnealMoves,
+						AnnealRestarts: s.AnnealRestarts,
+						AnnealCooling:  s.AnnealCooling,
 					})
 				}
 			}
@@ -167,8 +183,15 @@ func (s Spec) Fingerprint() (string, error) {
 	}
 	h := sha256.New()
 	for _, r := range runs {
-		fmt.Fprintf(h, "%d\x00%s\x00%s\x00%s\x00%d\x00%d\n",
+		fmt.Fprintf(h, "%d\x00%s\x00%s\x00%s\x00%d\x00%d",
 			r.Index, r.Circuit.Name, r.Fabric.Name, r.Heuristic, r.Seeds, r.Seed)
+		// Anneal knobs join the identity only when set, so every
+		// pre-anneal spec keeps its published fingerprint.
+		if r.AnnealMoves > 0 || r.AnnealRestarts > 0 || r.AnnealCooling > 0 {
+			fmt.Fprintf(h, "\x00anneal=%d/%d/%g",
+				r.AnnealMoves, r.AnnealRestarts, r.AnnealCooling)
+		}
+		fmt.Fprintf(h, "\n")
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
@@ -232,11 +255,14 @@ type Report struct {
 // runMapper executes one run through the real mapping stack.
 func runMapper(r Run) (*Metrics, error) {
 	res, err := core.Map(r.Circuit.Program, r.Fabric.Fabric, core.Options{
-		Heuristic:     r.Heuristic,
-		Seeds:         r.Seeds,
-		Seed:          r.Seed,
-		Tech:          r.Tech,
-		InnerParallel: r.InnerParallel,
+		Heuristic:      r.Heuristic,
+		Seeds:          r.Seeds,
+		Seed:           r.Seed,
+		Tech:           r.Tech,
+		InnerParallel:  r.InnerParallel,
+		AnnealMoves:    r.AnnealMoves,
+		AnnealRestarts: r.AnnealRestarts,
+		AnnealCooling:  r.AnnealCooling,
 	})
 	if err != nil {
 		return nil, err
@@ -407,9 +433,11 @@ func SplitCircuitList(s string) ([]string, error) {
 
 // ParseHeuristics parses a comma-separated heuristic list such as
 // "qspr,quale" (see ParseHeuristic for the accepted names); "all"
-// expands to every table heuristic. The portfolio meta-heuristic is
-// excluded from "all" — it re-runs three of the placers already in
-// the list — but can be named explicitly.
+// expands to every table heuristic. The portfolio and anneal
+// meta/extra heuristics are excluded from "all" — the portfolio
+// re-runs three of the placers already in the list, and the annealer
+// is not a row of the paper's tables — but both can be named
+// explicitly.
 func ParseHeuristics(s string) ([]core.Heuristic, error) {
 	if strings.EqualFold(strings.TrimSpace(s), "all") {
 		return []core.Heuristic{core.QSPR, core.QSPRCenter, core.MonteCarlo,
@@ -426,15 +454,25 @@ func ParseHeuristics(s string) ([]core.Heuristic, error) {
 	return out, nil
 }
 
+// HeuristicNames lists the canonical CLI names ParseHeuristic
+// accepts, in table order, for help text and error diagnostics.
+func HeuristicNames() []string {
+	return []string{"qspr", "qspr-center", "mc", "quale", "qpos",
+		"qpos-delay", "portfolio", "anneal"}
+}
+
 // ParseHeuristic maps a CLI name to a core.Heuristic: qspr,
 // qspr-center (center), mc (montecarlo, monte-carlo), quale, qpos,
-// qpos-delay (qposdelay), portfolio.
+// qpos-delay (qposdelay), portfolio, anneal. An unknown name's error
+// lists the valid names, so a typo'd flag is a one-read fix.
 func ParseHeuristic(s string) (core.Heuristic, error) {
 	switch strings.ToLower(s) {
 	case "qspr":
 		return core.QSPR, nil
 	case "portfolio":
 		return core.Portfolio, nil
+	case "anneal":
+		return core.Anneal, nil
 	case "qspr-center", "center":
 		return core.QSPRCenter, nil
 	case "mc", "montecarlo", "monte-carlo":
@@ -446,5 +484,6 @@ func ParseHeuristic(s string) (core.Heuristic, error) {
 	case "qpos-delay", "qposdelay":
 		return core.QPOSDelay, nil
 	}
-	return 0, fmt.Errorf("unknown heuristic %q", s)
+	return 0, fmt.Errorf("unknown heuristic %q (valid: %s)",
+		s, strings.Join(HeuristicNames(), ", "))
 }

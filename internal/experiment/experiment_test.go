@@ -415,3 +415,59 @@ func TestParseHeuristicPortfolio(t *testing.T) {
 		}
 	}
 }
+
+// TestParseHeuristicAnneal: the annealer is nameable, excluded from
+// "all" (not a paper-table row), and a typo'd name's error lists every
+// valid name.
+func TestParseHeuristicAnneal(t *testing.T) {
+	h, err := ParseHeuristic("anneal")
+	if err != nil || h != core.Anneal {
+		t.Fatalf("ParseHeuristic(anneal) = %v, %v", h, err)
+	}
+	all, err := ParseHeuristics("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range all {
+		if h == core.Anneal {
+			t.Error("'all' should not include the anneal extra heuristic")
+		}
+	}
+	_, err = ParseHeuristic("aneal")
+	if err == nil {
+		t.Fatal("typo accepted")
+	}
+	for _, name := range HeuristicNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-heuristic error %q does not list %q", err, name)
+		}
+	}
+	for _, name := range HeuristicNames() {
+		if _, err := ParseHeuristic(name); err != nil {
+			t.Errorf("listed name %q does not parse: %v", name, err)
+		}
+	}
+}
+
+// TestFingerprintAnnealKnobs: anneal knobs join the sweep identity
+// only when set, so published pre-anneal fingerprints are stable.
+func TestFingerprintAnnealKnobs(t *testing.T) {
+	base := Spec{
+		Circuits:   BuiltinCircuits()[:1],
+		Fabrics:    []FabricChoice{{Name: "small", Fabric: fabric.Small()}},
+		Heuristics: []core.Heuristic{core.Anneal},
+	}
+	f1, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned := base
+	tuned.AnnealMoves = 100
+	f2, err := tuned.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 == f2 {
+		t.Error("AnnealMoves does not change the sweep fingerprint")
+	}
+}

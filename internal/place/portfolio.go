@@ -15,6 +15,12 @@ const (
 	RankMVFB = iota
 	RankMonteCarlo
 	RankCenter
+	// RankAnneal is the opt-in annealing entrant; appended after the
+	// original ranks so enabling it can never change an existing
+	// portfolio tie-break.
+	RankAnneal
+
+	numPortfolioRanks
 )
 
 // PlacerName names a portfolio rank as reported in results.
@@ -26,6 +32,8 @@ func PlacerName(rank int) string {
 		return "MC"
 	case RankCenter:
 		return "Center"
+	case RankAnneal:
+		return "Anneal"
 	}
 	return "?"
 }
@@ -46,6 +54,11 @@ type PortfolioOptions struct {
 	// <= 1 runs the placers sequentially. The result is identical for
 	// any value.
 	Workers int
+	// Anneal, when non-nil, enters the incremental annealing placer in
+	// the race (its Workers field is overridden by the portfolio's
+	// budget split). Nil keeps the original three-entrant race and its
+	// exact outputs.
+	Anneal *AnnealOptions
 }
 
 // PortfolioSolution is the outcome of a portfolio race.
@@ -88,9 +101,9 @@ func Portfolio(g *qidg.Graph, cfg engine.Config, opts PortfolioOptions) (*Portfo
 	// deferred capture); Center's single run captures directly. Only
 	// the race winner is replayed with capture on, so a portfolio
 	// mapping pays for exactly one captured trace.
-	sols := make([]*Solution, 3)
-	outs := make([]searchOutcome, 3)
-	errs := make([]error, 3)
+	sols := make([]*Solution, numPortfolioRanks)
+	outs := make([]searchOutcome, numPortfolioRanks)
+	errs := make([]error, numPortfolioRanks)
 	if workers == 1 {
 		// Sequential race: one shared routing graph stays warm across
 		// all entrants (every Sim resets it per run).
@@ -102,6 +115,11 @@ func Portfolio(g *qidg.Graph, cfg engine.Config, opts PortfolioOptions) (*Portfo
 		outs[RankMVFB], errs[RankMVFB] = mvfbSearch(g, cfg, mvfbOpts)
 		outs[RankMonteCarlo], errs[RankMonteCarlo] = monteCarloSearch(g, cfg, mcRuns, mcSeed, 1, nil)
 		sols[RankCenter], errs[RankCenter] = centerSolution(g, cfg)
+		if opts.Anneal != nil {
+			annealOpts := *opts.Anneal
+			annealOpts.Workers = 1
+			outs[RankAnneal], errs[RankAnneal] = annealSearch(g, cfg, annealOpts)
+		}
 	} else {
 		// Concurrent race on exactly `workers` engine goroutines: the
 		// budget is split between the two search placers, and Center's
@@ -128,6 +146,14 @@ func Portfolio(g *qidg.Graph, cfg engine.Config, opts PortfolioOptions) (*Portfo
 			defer wg.Done()
 			outs[RankMonteCarlo], errs[RankMonteCarlo] = monteCarloSearch(g, ccfg, mcRuns, mcSeed, mcW, nil)
 			sols[RankCenter], errs[RankCenter] = centerSolution(g, ccfg)
+			// The annealer rides the Monte-Carlo lane after it drains:
+			// it is bit-identical for any worker count, so reusing that
+			// lane's budget cannot change its output.
+			if opts.Anneal != nil {
+				annealOpts := *opts.Anneal
+				annealOpts.Workers = mcW
+				outs[RankAnneal], errs[RankAnneal] = annealSearch(g, ccfg, annealOpts)
+			}
 		}()
 		wg.Wait()
 	}
@@ -138,6 +164,9 @@ func Portfolio(g *qidg.Graph, cfg engine.Config, opts PortfolioOptions) (*Portfo
 	}
 	sols[RankMVFB] = outs[RankMVFB].sol
 	sols[RankMonteCarlo] = outs[RankMonteCarlo].sol
+	if opts.Anneal != nil {
+		sols[RankAnneal] = outs[RankAnneal].sol
+	}
 	win := pickPortfolioWinner(sols)
 	if win < 0 {
 		return nil, fmt.Errorf("place: portfolio produced no solution")
@@ -154,7 +183,9 @@ func Portfolio(g *qidg.Graph, cfg engine.Config, opts PortfolioOptions) (*Portfo
 	out := &PortfolioSolution{Solution: *sols[win], Rank: win, Placer: PlacerName(win)}
 	out.Runs = 0
 	for _, s := range sols {
-		out.Runs += s.Runs
+		if s != nil {
+			out.Runs += s.Runs
+		}
 	}
 	return out, nil
 }

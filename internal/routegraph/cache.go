@@ -87,6 +87,7 @@ func (g *Graph) storeCacheEntry(key uint64, s *Searcher[gates.Time]) {
 func (g *Graph) replayCacheEntry(e *routeEntry, fromTrap, toTrap int) (Route, bool) {
 	draws := g.drawBuf[:0]
 	for i := int32(0); i < e.numTies; i++ {
+		g.coins++
 		draws = append(draws, int8(g.rng.Intn(2)))
 	}
 	g.drawBuf = draws

@@ -197,6 +197,14 @@ type Graph struct {
 	hopsBuf []Hop  // backs Route.Hops; valid until the next query
 	drawBuf []int8 // replayed tie-break coins
 
+	// coins counts tie-break draws consumed since the last Reset. The
+	// rand.Rand state is opaque, but the seeded stream is pure, so
+	// (seed, coins) pins the rng position exactly: RestoreState rewinds
+	// by re-seeding and burning that many draws. Cache hits draw
+	// exactly the coins the uncached search would have (see cache.go),
+	// so the count is query-history-deterministic.
+	coins uint64
+
 	weightFn func(edge int32) gates.Time
 	tieFn    func(next, edge int32) bool
 }
@@ -240,7 +248,7 @@ func New(f *fabric.Fabric, tech gates.Tech, opts Options) *Graph {
 	g.buildCSR()
 	g.cache = make(map[uint64]*routeEntry)
 	g.weightFn = func(edge int32) gates.Time { return g.EdgeWeight(int(edge)) }
-	g.tieFn = func(next, edge int32) bool { return g.rng.Intn(2) == 0 }
+	g.tieFn = func(next, edge int32) bool { g.coins++; return g.rng.Intn(2) == 0 }
 	if altEnabled(opts.Landmarks, len(g.Nodes)) {
 		g.buildALT(opts.Landmarks)
 	}
@@ -295,6 +303,59 @@ func (g *Graph) Reset() {
 	g.dirty = g.dirty[:0]
 	g.totalOcc = 0
 	g.rng.Seed(g.Opts.TieSeed + 1)
+	g.coins = 0
+}
+
+// State is a saved mid-run snapshot of the graph's mutable routing
+// state — the sparse set of nonzero group occupancies, the occupancy
+// total, and the tie-coin count — for checkpoint/fork re-simulation
+// (see engine.Sim.Checkpoint). The route cache is deliberately not
+// part of the state: cache hits are bit-identical to uncached
+// searches and consume the same coin stream (cache.go), so a fork may
+// keep warming the cache without affecting results. The storage is
+// caller-owned and pooled.
+type State struct {
+	groups   []int32
+	occs     []int32
+	totalOcc int
+	coins    uint64
+}
+
+// SaveState records the current occupancies and rng position into st,
+// reusing st's storage. Cost is O(groups touched since Reset), not
+// O(all groups), via the dirty list.
+func (g *Graph) SaveState(st *State) {
+	st.groups = st.groups[:0]
+	st.occs = st.occs[:0]
+	for _, id := range g.dirty {
+		if occ := g.Groups[id].occ; occ != 0 {
+			st.groups = append(st.groups, id)
+			st.occs = append(st.occs, int32(occ))
+		}
+	}
+	st.totalOcc = g.totalOcc
+	st.coins = g.coins
+}
+
+// / RestoreState rewinds the graph to a previously saved mid-run state:
+// occupancies are cleared and re-applied sparsely, and the tie rng is
+// re-seeded and advanced by the saved coin count, so every later
+// FindRoute draws exactly the coins the original run would have drawn
+// from this point. Results after a restore are bit-identical to a run
+// that reached the saved state naturally.
+func (g *Graph) RestoreState(st *State) {
+	g.Reset()
+	for i, id := range st.groups {
+		gr := &g.Groups[id]
+		gr.occ = int(st.occs[i])
+		gr.inDirty = true
+		g.dirty = append(g.dirty, id)
+	}
+	g.totalOcc = st.totalOcc
+	for n := uint64(0); n < st.coins; n++ {
+		g.rng.Intn(2)
+	}
+	g.coins = st.coins
 }
 
 // acquireSearcher takes a pooled search state (or grows the pool).

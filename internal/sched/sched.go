@@ -234,6 +234,32 @@ func (q *ReadyQueue) Pop() (node int, ok bool) {
 // Len returns the number of ready nodes.
 func (q *ReadyQueue) Len() int { return len(q.h) }
 
+// ReadyState is a saved snapshot of a ReadyQueue's heap and
+// membership, for checkpoint/fork re-simulation (see
+// engine.Sim.Checkpoint). The storage is caller-owned and pooled:
+// Save copies into it reusing the backing arrays.
+type ReadyState struct {
+	h  []prioItem
+	in []bool
+}
+
+// Save copies the queue's heap and membership set into st.
+func (q *ReadyQueue) Save(st *ReadyState) {
+	st.h = append(st.h[:0], q.h...)
+	st.in = append(st.in[:0], q.in...)
+}
+
+// Restore rewinds the queue to a previously saved state. The priority
+// -vector binding is untouched: a restore is only valid while the
+// queue has not been Reset onto different priorities since the save
+// (the engine's checkpoint generation stamps enforce this). The heap
+// slice is copied verbatim, so the pop order matches the original run
+// exactly.
+func (q *ReadyQueue) Restore(st *ReadyState) {
+	q.h = append(q.h[:0], st.h...)
+	q.in = append(q.in[:0], st.in...)
+}
+
 // Drain pops everything, returning nodes in priority order.
 func (q *ReadyQueue) Drain() []int {
 	out := make([]int, 0, q.Len())

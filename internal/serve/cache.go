@@ -93,6 +93,12 @@ func rawKey(rq *Request) cacheKey {
 	buf = append(buf, 0)
 	buf = strconv.AppendInt(buf, int64(rq.Patience), 10)
 	buf = append(buf, 0)
+	buf = strconv.AppendInt(buf, int64(rq.AnnealMoves), 10)
+	buf = append(buf, 0)
+	buf = strconv.AppendInt(buf, int64(rq.AnnealRestarts), 10)
+	buf = append(buf, 0)
+	buf = strconv.AppendFloat(buf, rq.AnnealCooling, 'g', -1, 64)
+	buf = append(buf, 0)
 	if rq.Trace {
 		buf = append(buf, 1)
 	}

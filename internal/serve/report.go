@@ -42,6 +42,13 @@ type Request struct {
 	// changes response bytes (docs/CONCURRENCY.md) and is clamped so
 	// workers × inner stays within the server's CPU budget.
 	InnerParallel int `json:"inner_parallel,omitempty"`
+	// AnnealMoves, AnnealRestarts and AnnealCooling configure the
+	// annealing placer for the "anneal" heuristic and opt it into
+	// "portfolio" when anneal_moves > 0 (see core.Options); zeros
+	// resolve to the documented defaults.
+	AnnealMoves    int     `json:"anneal_moves,omitempty"`
+	AnnealRestarts int     `json:"anneal_restarts,omitempty"`
+	AnnealCooling  float64 `json:"anneal_cooling,omitempty"`
 	// Trace includes the full micro-command trace in the report.
 	Trace bool `json:"trace,omitempty"`
 }

@@ -203,7 +203,11 @@ func (s *Server) resolve(rq *Request) (*resolved, error) {
 			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
 		}
 	}
-	r.opts = core.Options{Heuristic: h, Seeds: rq.M, Seed: rq.Seed, Patience: rq.Patience}
+	r.opts = core.Options{
+		Heuristic: h, Seeds: rq.M, Seed: rq.Seed, Patience: rq.Patience,
+		AnnealMoves: rq.AnnealMoves, AnnealRestarts: rq.AnnealRestarts,
+		AnnealCooling: rq.AnnealCooling,
+	}
 	resultKey, err := r.opts.ResultKey()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
