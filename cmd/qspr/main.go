@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/gates"
+	"repro/internal/noise"
 	"repro/internal/qasm"
 	"repro/internal/routegraph"
 	"repro/internal/serve"
@@ -55,6 +56,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list      = fs.Bool("list", false, "list built-in benchmark circuits and generator families, then exit")
 		fabPath   = fs.String("fabric", "", "fabric description file (default: the 45x85 Fig. 4 fabric)")
 		heuristic = fs.String("heuristic", "qspr", "mapping heuristic: "+strings.Join(experiment.HeuristicNames(), ", "))
+		backend   = fs.String("backend", "ion", "mapping backend: "+strings.Join(core.BackendNames(), ", ")+"; a sweep also accepts a comma-separated list or 'all'")
+		noiseSpec = fs.String("noise", "", "score mappings with the noise model and report p_fail: 'default' or comma-separated overrides (1q=, 2q=, move=, turn=, decay=)")
+		pareto    = fs.Bool("pareto", false, "report only the per-circuit×fabric Pareto front over (latency, p_fail); needs a sweep with -noise")
 		m         = fs.Int("m", 25, "random seeds for the MVFB placer / runs for the MC placer")
 		seed      = fs.Int64("seed", 1, "random seed")
 		annMoves  = fs.Int("anneal-moves", 0, "annealing placer: proposed moves per restart chain (0 = 400); >0 also enters the annealer in -heuristic portfolio")
@@ -103,6 +107,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	fab := fc.Fabric
+	var np *noise.Params
+	if *noiseSpec != "" {
+		p, err := noise.Parse(*noiseSpec)
+		if err != nil {
+			return fail(err)
+		}
+		np = &p
+	}
 	benches, isSweep, err := sweepCircuits(*qasmPath, *circuitN)
 	if err != nil {
 		return fail(err)
@@ -118,15 +130,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := experiment.ValidateFormat(*format); err != nil {
 			return fail(err)
 		}
-		return runSweep(stdout, stderr, fail, benches, fc, h, *m, *seed, *parallel, *innerPar, *format, *out,
+		backends, err := experiment.ParseBackends(*backend)
+		if err != nil {
+			return fail(err)
+		}
+		if *pareto && np == nil {
+			return fail(fmt.Errorf("-pareto needs a noise-scored sweep: add -noise (e.g. -noise default)"))
+		}
+		return runSweep(stdout, stderr, fail, benches, fc, h, backends, np, *pareto, *m, *seed, *parallel, *innerPar, *format, *out,
 			*annMoves, *annRest, *annCool)
 	}
 	// Conversely, the sweep report flags are never consulted on the
 	// single-run path.
-	for _, name := range []string{"format", "out"} {
+	for _, name := range []string{"format", "out", "pareto"} {
 		if setFlags[name] {
 			return fail(fmt.Errorf("-%s applies to a multi-circuit sweep (-circuit all or a comma-separated list)", name))
 		}
+	}
+	be, err := core.CanonicalBackend(*backend)
+	if err != nil {
+		return fail(err)
 	}
 	prog, circuit, err := loadProgram(*qasmPath, *circuitN)
 	if err != nil {
@@ -142,6 +165,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := core.Options{
 		Heuristic: h, Seeds: *m, Seed: *seed, InnerParallel: inner,
 		AnnealMoves: *annMoves, AnnealRestarts: *annRest, AnnealCooling: *annCool,
+		Backend: be,
 	}
 	res, err := core.Map(prog, fab, opts)
 	if err != nil {
@@ -153,7 +177,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// '-report -' it IS the output — the human-readable lines
 		// below (which include wall-clock runtime) are suppressed so
 		// stdout can be diffed against the service.
-		if err := writeReport(res, circuit, fc.Name, opts, *showTrace, *report, stdout); err != nil {
+		if err := writeReport(res, circuit, fc.Name, opts, *showTrace, *report, stdout, np); err != nil {
 			return fail(err)
 		}
 		if *report == "-" {
@@ -161,12 +185,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	fmt.Fprintf(stdout, "heuristic:        %s\n", res.Heuristic)
+	fmt.Fprintf(stdout, "backend:          %s\n", core.BackendDisplayName(be))
 	fmt.Fprintf(stdout, "fabric:           %s\n", fab.Stats())
 	fmt.Fprintf(stdout, "circuit:          %d qubits, %d gates\n", prog.NumQubits(), len(prog.Gates()))
 	fmt.Fprintf(stdout, "ideal baseline:   %v\n", res.Ideal)
 	fmt.Fprintf(stdout, "execution latency:%v\n", res.Latency)
 	fmt.Fprintf(stdout, "overhead:         %v (T_routing + T_congestion)\n", res.Overhead())
 	fmt.Fprintf(stdout, "placement runs:   %d\n", res.Runs)
+	if np != nil {
+		pf, err := noise.PFail(res.Mapping.Trace, prog.NumQubits(), *np)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "p_fail:           %g\n", pf)
+	}
 	if res.PortfolioWinner != "" {
 		fmt.Fprintf(stdout, "portfolio winner: %s\n", res.PortfolioWinner)
 	}
@@ -253,8 +285,8 @@ func loadProgram(path, name string) (*qasm.Program, string, error) {
 
 // writeReport renders the deterministic serve.Report to path ('-' =
 // stdout), mirroring writeTraceJSON's no-silent-truncation rules.
-func writeReport(res *core.Result, circuit, fabricName string, opts core.Options, withTrace bool, path string, stdout io.Writer) error {
-	rep, err := serve.NewReport(circuit, fabricName, opts, res, withTrace)
+func writeReport(res *core.Result, circuit, fabricName string, opts core.Options, withTrace bool, path string, stdout io.Writer, np *noise.Params) error {
+	rep, err := serve.NewReport(circuit, fabricName, opts, res, withTrace, np)
 	if err != nil {
 		return err
 	}
@@ -297,11 +329,13 @@ func sweepCircuits(qasmPath, name string) ([]circuits.Benchmark, bool, error) {
 // runSweep maps every named benchmark concurrently via
 // internal/experiment and writes the deterministic report. fail is
 // run's error reporter (one definition of the exit protocol).
-func runSweep(stdout, stderr io.Writer, fail func(error) int, benches []circuits.Benchmark, fc experiment.FabricChoice, h core.Heuristic, m int, seed int64, workers, inner int, format, out string, annMoves, annRestarts int, annCooling float64) int {
+func runSweep(stdout, stderr io.Writer, fail func(error) int, benches []circuits.Benchmark, fc experiment.FabricChoice, h core.Heuristic, backends []string, np *noise.Params, pareto bool, m int, seed int64, workers, inner int, format, out string, annMoves, annRestarts int, annCooling float64) int {
 	rep, err := experiment.Execute(context.Background(), experiment.Spec{
 		Circuits:       benches,
 		Fabrics:        []experiment.FabricChoice{fc},
 		Heuristics:     []core.Heuristic{h},
+		Backends:       backends,
+		Noise:          np,
 		SeedCounts:     []int{m},
 		Seed:           seed,
 		InnerParallel:  inner,
@@ -312,7 +346,13 @@ func runSweep(stdout, stderr io.Writer, fail func(error) int, benches []circuits
 	if err != nil {
 		return fail(err)
 	}
-	if out == "" {
+	if pareto {
+		if out == "" {
+			err = rep.WritePareto(stdout, format)
+		} else {
+			err = rep.WriteParetoFile(format, out)
+		}
+	} else if out == "" {
 		err = rep.Write(stdout, format)
 	} else {
 		err = rep.WriteFile(format, out)

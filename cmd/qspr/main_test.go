@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/circuits"
+	"repro/internal/core"
 	"repro/internal/serve"
 )
 
@@ -263,5 +264,70 @@ func TestListIncludesFamilies(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "rand(q=") {
 		t.Error("-list missing generator families")
+	}
+}
+
+// TestBackendFlag: the swap backend maps from the CLI, unknown
+// backends get the shared diagnostic listing the valid names (the
+// same list qsprbench and qsprd print), and -noise scores the run.
+func TestBackendFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-circuit", "ghz(q=4)", "-heuristic", "qspr-center", "-backend", "swap"}, &out, &errb); code != 0 {
+		t.Fatalf("swap backend run failed: %s", errb.String())
+	}
+	if !strings.Contains(out.String(), "backend:          swap") {
+		t.Errorf("output does not echo the backend:\n%s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-circuit", "ghz(q=4)", "-backend", "warp"}, &out, &errb); code != 1 {
+		t.Error("unknown backend accepted")
+	}
+	for _, name := range core.BackendNames() {
+		if !strings.Contains(errb.String(), name) {
+			t.Errorf("diagnostic %q does not list %q", errb.String(), name)
+		}
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-circuit", "ghz(q=4)", "-heuristic", "qspr-center", "-noise", "default"}, &out, &errb); code != 0 {
+		t.Fatalf("noise-scored run failed: %s", errb.String())
+	}
+	if !strings.Contains(out.String(), "p_fail:") {
+		t.Errorf("noise-scored run prints no p_fail:\n%s", out.String())
+	}
+	// -pareto is a sweep flag; a noiseless -pareto sweep is rejected
+	// with a hint before any mapping runs.
+	errb.Reset()
+	if code := run([]string{"-circuit", "ghz(q=4),ghz(q=5)", "-heuristic", "qspr-center", "-pareto"}, &out, &errb); code != 1 {
+		t.Error("-pareto without -noise accepted")
+	}
+	if !strings.Contains(errb.String(), "-noise") {
+		t.Errorf("pareto hint missing: %q", errb.String())
+	}
+}
+
+// TestParetoSweep: a noise-scored two-backend sweep emits a Pareto
+// report whose bytes are identical across -parallel values.
+func TestParetoSweep(t *testing.T) {
+	args := func(parallel string) []string {
+		return []string{
+			"-circuit", "ghz(q=4),ghz(q=6)", "-heuristic", "qspr-center",
+			"-backend", "all", "-noise", "default", "-pareto",
+			"-format", "json", "-parallel", parallel,
+		}
+	}
+	var out1, out4, errb bytes.Buffer
+	if code := run(args("1"), &out1, &errb); code != 0 {
+		t.Fatalf("parallel=1: %s", errb.String())
+	}
+	if code := run(args("4"), &out4, &errb); code != 0 {
+		t.Fatalf("parallel=4: %s", errb.String())
+	}
+	if !bytes.Equal(out1.Bytes(), out4.Bytes()) {
+		t.Errorf("Pareto bytes differ across -parallel:\n%s\n%s", out1.String(), out4.String())
+	}
+	if !strings.Contains(out1.String(), `"pareto"`) || !strings.Contains(out1.String(), `"p_fail"`) {
+		t.Errorf("not a Pareto report:\n%s", out1.String())
 	}
 }

@@ -52,7 +52,9 @@ import (
 	"time"
 
 	"repro/internal/coord"
+	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/noise"
 )
 
 func main() { os.Exit(run()) }
@@ -65,6 +67,9 @@ func run() (code int) {
 	var (
 		circuitsF  = flag.String("circuits", "all", "comma-separated circuit sources (built-in names, generator families like 'rand(q=20,g=400,seed=7)', 'qasm(path=f.qasm)'), or 'all'")
 		heuristics = flag.String("heuristics", "quale,qspr", "comma-separated heuristics ("+strings.Join(experiment.HeuristicNames(), ", ")+") or 'all'")
+		backendsF  = flag.String("backend", "ion", "comma-separated mapping backends ("+strings.Join(core.BackendNames(), ", ")+") or 'all'")
+		noiseSpec  = flag.String("noise", "", "score every run with the noise model and report p_fail: 'default' or comma-separated overrides (1q=, 2q=, move=, turn=, decay=)")
+		paretoF    = flag.Bool("pareto", false, "report only the per-circuit×fabric Pareto front over (latency, p_fail); needs -noise, or noise-scored checkpoints with -merge")
 		mList      = flag.String("m", "25", "comma-separated MVFB seed counts to sweep")
 		seed       = flag.Int64("seed", 1, "random seed")
 		annMoves   = flag.Int("anneal-moves", 0, "annealing placer: proposed moves per restart chain (0 = 400); >0 also enters the annealer in portfolio runs")
@@ -104,13 +109,17 @@ func run() (code int) {
 			Circuits: *circuitsF, Heuristics: *heuristics, M: *mList,
 			Seed: *seed, Fabric: *fabPath, InnerParallel: *innerPar,
 			AnnealMoves: *annMoves, AnnealRestarts: *annRest, AnnealCooling: *annCool,
+			Backends: *backendsF, Noise: *noiseSpec,
 		}
-		return runCoordinator(*coordinate, desc, *chunkSize, *leaseTTL, *ckptDir, *format, *out, *compare, *progress)
+		if *paretoF && *noiseSpec == "" {
+			return fail(fmt.Errorf("-pareto needs a noise-scored sweep: add -noise (e.g. -noise default)"))
+		}
+		return runCoordinator(*coordinate, desc, *chunkSize, *leaseTTL, *ckptDir, *format, *out, *compare, *progress, *paretoF)
 	}
 	if *workerAddr != "" {
 		// A worker takes its spec from the coordinator; spec flags here
 		// would describe a sweep that is never consulted.
-		if conflict := visitedFlags("circuits", "heuristics", "m", "seed", "fabric", "inner-parallel",
+		if conflict := visitedFlags("circuits", "heuristics", "backend", "noise", "pareto", "m", "seed", "fabric", "inner-parallel",
 			"anneal-moves", "anneal-restarts", "anneal-cooling",
 			"shard", "checkpoint", "merge", "format", "out", "compare", "chunk", "lease-ttl", "checkpoint-dir"); len(conflict) > 0 {
 			return fail(fmt.Errorf("-worker receives the sweep spec from the coordinator and conflicts with %s", strings.Join(conflict, ", ")))
@@ -137,7 +146,7 @@ func run() (code int) {
 		var conflict []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "merge", "format", "out", "compare":
+			case "merge", "format", "out", "compare", "pareto":
 			default:
 				conflict = append(conflict, "-"+f.Name)
 			}
@@ -152,7 +161,7 @@ func run() (code int) {
 		if err != nil {
 			return fail(err)
 		}
-		if err := rep.WriteFile(*format, *out); err != nil {
+		if err := writeSweepReport(rep, *format, *out, *paretoF); err != nil {
 			return fail(err)
 		}
 		if *compare {
@@ -215,6 +224,19 @@ func run() (code int) {
 	}
 	if spec.Heuristics, err = experiment.ParseHeuristics(*heuristics); err != nil {
 		return fail(err)
+	}
+	if spec.Backends, err = experiment.ParseBackends(*backendsF); err != nil {
+		return fail(err)
+	}
+	if *noiseSpec != "" {
+		p, err := noise.Parse(*noiseSpec)
+		if err != nil {
+			return fail(err)
+		}
+		spec.Noise = &p
+	}
+	if *paretoF && spec.Noise == nil {
+		return fail(fmt.Errorf("-pareto needs a noise-scored sweep: add -noise (e.g. -noise default)"))
 	}
 	if spec.SeedCounts, err = experiment.ParseSeedCounts(*mList); err != nil {
 		return fail(err)
@@ -284,7 +306,7 @@ func run() (code int) {
 			kind, err, len(rep.Results), owned)
 	}
 
-	if err := rep.WriteFile(*format, *out); err != nil {
+	if err := writeSweepReport(rep, *format, *out, *paretoF); err != nil {
 		return fail(err)
 	}
 	if *compare {
@@ -298,6 +320,17 @@ func run() (code int) {
 		return 1
 	}
 	return 0
+}
+
+// writeSweepReport emits the full report, or its Pareto-front pivot
+// when -pareto asks for the multi-objective view — one definition of
+// the output protocol shared by the sweep, -merge and -coordinate
+// paths.
+func writeSweepReport(rep *experiment.Report, format, out string, pareto bool) error {
+	if pareto {
+		return rep.WriteParetoFile(format, out)
+	}
+	return rep.WriteFile(format, out)
 }
 
 // reportFailures announces every failed run on stderr and returns 1
@@ -334,7 +367,7 @@ func visitedFlags(names ...string) []string {
 // runCoordinator serves a distributed sweep: it owns the spec, leases
 // dynamic shards to workers, ingests their records, and writes the
 // final report exactly like a single-process sweep would.
-func runCoordinator(addr string, desc coord.SpecDesc, chunk int, ttl time.Duration, dir, format, out string, compare, progress bool) int {
+func runCoordinator(addr string, desc coord.SpecDesc, chunk int, ttl time.Duration, dir, format, out string, compare, progress, pareto bool) int {
 	if err := experiment.ValidateFormat(format); err != nil {
 		return fail(err)
 	}
@@ -362,7 +395,7 @@ func runCoordinator(addr string, desc coord.SpecDesc, chunk int, ttl time.Durati
 		fmt.Fprintf(os.Stderr, "qsprbench: coordinated sweep stopped (%v); reporting %d/%d recorded runs\n",
 			err, len(rep.Results), c.Runs())
 	}
-	if err := rep.WriteFile(format, out); err != nil {
+	if err := writeSweepReport(rep, format, out, pareto); err != nil {
 		return fail(err)
 	}
 	if compare {

@@ -11,9 +11,11 @@
 // POST /map takes a JSON request naming a circuit (a registry spec in
 // "circuit", or an inline QUALE/OpenQASM 2.0 program in "qasm"), an
 // optional "fabric" (quale45x85, small) and the qspr knobs
-// (heuristic, m, seed, patience, inner_parallel, trace). The response
-// is the deterministic mapping report — byte-identical to
-// `qspr -report -` for the same inputs. Repeated requests are served
+// (heuristic, backend, m, seed, patience, inner_parallel, noise,
+// trace). "backend" selects the target architecture (ion, swap);
+// "noise", a params object, scores the mapping so the report's
+// metrics carry p_fail. The response is the deterministic mapping
+// report — byte-identical to `qspr -report -` for the same inputs. Repeated requests are served
 // from the cache (X-Cache: hit); a full queue answers 429 with
 // Retry-After. GET /metrics exposes counters, cache hit rate, queue
 // depth and latency quantiles; GET /healthz is the liveness probe.

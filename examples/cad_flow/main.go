@@ -3,12 +3,17 @@
 //
 // The synthesizer cannot know the circuit error before mapping
 // because mapping determines the latency; so the flow maps the
-// encoder for a candidate QECC, analyzes the error of the mapped
-// result, and — if the failure estimate violates the target
+// encoder for a candidate QECC, scores the mapped result with the
+// noise model, and — if the failure estimate violates the target
 // threshold — goes back and re-synthesizes with a different code.
 // It also shows how the mapper's latency reduction translates
 // directly into error reduction: the same circuit mapped with QUALE
 // fails the same threshold QSPR meets.
+//
+// Error analysis rides the sweep pipeline's fidelity path
+// (experiment.Metrics.ScoreNoise): the p_fail printed here is the
+// same number a noise-scored sweep report or a qsprd "noise" request
+// carries for the identical mapping.
 //
 //	go run ./examples/cad_flow
 package main
@@ -19,9 +24,25 @@ import (
 
 	"repro/internal/circuits"
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/fabric"
 	"repro/internal/noise"
 )
+
+// score maps a benchmark and returns its mapping result plus the
+// noise-scored metrics: one definition of the map → analyze stage of
+// the flow.
+func score(b circuits.Benchmark, fab *fabric.Fabric, opts core.Options, params noise.Params) (*core.Result, *experiment.Metrics, error) {
+	res, err := core.Map(b.Program, fab, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := experiment.MetricsFrom(res)
+	if err := m.ScoreNoise(res, b.Program.NumQubits(), params); err != nil {
+		return nil, nil, err
+	}
+	return res, m, nil
+}
 
 func main() {
 	fab := fabric.Quale4585()
@@ -37,22 +58,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Mapper stage (QSPR).
-		res, err := core.Map(b.Program, fab, core.Options{Heuristic: core.QSPR, Seeds: 10})
-		if err != nil {
-			log.Fatal(err)
-		}
-		// Error-analysis stage.
-		rep, err := noise.Analyze(res.Mapping.Trace, b.Program.NumQubits(), params)
+		// Mapper stage (QSPR) + error-analysis stage.
+		res, m, err := score(b, fab, core.Options{Heuristic: core.QSPR, Seeds: 10}, params)
 		if err != nil {
 			log.Fatal(err)
 		}
 		verdict := "REJECT (re-synthesize)"
-		if rep.MeetsThreshold(threshold) {
+		if *m.PFail <= threshold {
 			verdict = "ACCEPT"
 		}
-		fmt.Printf("  %-12s latency %6v  error %.5f  -> %s\n", name, res.Latency, rep.Total, verdict)
-		if rep.MeetsThreshold(threshold) && chosen == "" {
+		fmt.Printf("  %-12s latency %6v  error %.5f  -> %s\n", name, res.Latency, *m.PFail, verdict)
+		if *m.PFail <= threshold && chosen == "" {
 			chosen = name
 		}
 	}
@@ -69,18 +85,14 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, h := range []core.Heuristic{core.QSPR, core.QUALE} {
-		res, err := core.Map(b.Program, fab, core.Options{Heuristic: h, Seeds: 10})
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep, err := noise.Analyze(res.Mapping.Trace, b.Program.NumQubits(), params)
+		res, m, err := score(b, fab, core.Options{Heuristic: h, Seeds: 10}, params)
 		if err != nil {
 			log.Fatal(err)
 		}
 		meets := "meets threshold"
-		if !rep.MeetsThreshold(threshold) {
+		if *m.PFail > threshold {
 			meets = "VIOLATES threshold"
 		}
-		fmt.Printf("  %-6s latency %6v  error %.5f  (%s)\n", h, res.Latency, rep.Total, meets)
+		fmt.Printf("  %-6s latency %6v  error %.5f  (%s)\n", h, res.Latency, *m.PFail, meets)
 	}
 }

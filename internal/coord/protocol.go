@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/noise"
 )
 
 // ProtoVersion is bumped on incompatible wire changes; a mismatched
@@ -92,6 +93,13 @@ type SpecDesc struct {
 	AnnealMoves    int     `json:"anneal_moves,omitempty"`
 	AnnealRestarts int     `json:"anneal_restarts,omitempty"`
 	AnnealCooling  float64 `json:"anneal_cooling,omitempty"`
+	// Backends is the -backend list (experiment.ParseBackends); empty
+	// means the ion default. Both sides resolve it independently and
+	// the fingerprint handshake proves they agree, exactly like the
+	// other source strings.
+	Backends string `json:"backends,omitempty"`
+	// Noise is the -noise spec (noise.Parse); empty means unscored.
+	Noise string `json:"noise,omitempty"`
 }
 
 // Spec resolves the description into an executable sweep spec.
@@ -110,6 +118,18 @@ func (d SpecDesc) Spec() (experiment.Spec, error) {
 	}
 	if spec.SeedCounts, err = experiment.ParseSeedCounts(d.M); err != nil {
 		return experiment.Spec{}, err
+	}
+	if d.Backends != "" {
+		if spec.Backends, err = experiment.ParseBackends(d.Backends); err != nil {
+			return experiment.Spec{}, err
+		}
+	}
+	if d.Noise != "" {
+		p, err := noise.Parse(d.Noise)
+		if err != nil {
+			return experiment.Spec{}, err
+		}
+		spec.Noise = &p
 	}
 	fc, err := experiment.LoadFabric(d.Fabric)
 	if err != nil {

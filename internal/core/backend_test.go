@@ -1,0 +1,172 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/fabric"
+)
+
+func TestCanonicalBackend(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"", ""},
+		{"ion", ""},
+		{" Ion ", ""},
+		{"swap", "swap"},
+		{"SWAP", "swap"},
+	} {
+		got, err := CanonicalBackend(tc.in)
+		if err != nil {
+			t.Errorf("CanonicalBackend(%q): %v", tc.in, err)
+		} else if got != tc.want {
+			t.Errorf("CanonicalBackend(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	_, err := CanonicalBackend("warp")
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	// The diagnostic lists the valid names, like the -heuristic one.
+	for _, name := range BackendNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("diagnostic %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestBackendNames(t *testing.T) {
+	names := BackendNames()
+	if len(names) != 2 || names[0] != "ion" || names[1] != "swap" {
+		t.Errorf("BackendNames() = %v", names)
+	}
+	if got := BackendDisplayName(""); got != "ion" {
+		t.Errorf("display name of canonical ion = %q", got)
+	}
+	if got := BackendDisplayName("swap"); got != "swap" {
+		t.Errorf("display name of swap = %q", got)
+	}
+}
+
+// TestResultKeyBackend: the ion default keeps the exact pre-backend
+// key (cache compatibility), and the swap backend joins the key so
+// the two architectures never share a cached result.
+func TestResultKeyBackend(t *testing.T) {
+	key, err := Options{Heuristic: QSPR, Backend: "ion"}.ResultKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "h=QSPR;m=25;seed=1;patience=3"; key != want {
+		t.Errorf("ion ResultKey = %q, want the pre-backend %q", key, want)
+	}
+	key, err = Options{Heuristic: QSPR, Backend: "swap"}.ResultKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "h=QSPR;m=25;seed=1;patience=3;backend=swap"; key != want {
+		t.Errorf("swap ResultKey = %q, want %q", key, want)
+	}
+	if _, err := (Options{Heuristic: QSPR, Backend: "warp"}).ResultKey(); err == nil {
+		t.Error("unknown backend survived ResultKey")
+	}
+}
+
+// TestSwapBackendAllCircuits: every registry circuit maps on the swap
+// backend and the produced trace is internally consistent.
+func TestSwapBackendAllCircuits(t *testing.T) {
+	fab := fabric.Quale4585()
+	for _, b := range circuits.All() {
+		res, err := Map(b.Program, fab, Options{Heuristic: QSPRCenter, Backend: "swap"})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if res.Latency <= 0 {
+			t.Errorf("%s: latency %v", b.Name, res.Latency)
+		}
+		if err := res.Mapping.Trace.Validate(); err != nil {
+			t.Errorf("%s: trace invalid: %v", b.Name, err)
+		}
+		if res.Mapping.Trace.Latency != res.Latency {
+			t.Errorf("%s: trace latency %v != result latency %v", b.Name, res.Mapping.Trace.Latency, res.Latency)
+		}
+	}
+}
+
+// TestSwapBackendWorkerIndependence: the trial-portfolio search is
+// bit-identical at any InnerParallel, byte for byte in the trace.
+func TestSwapBackendWorkerIndependence(t *testing.T) {
+	fab := fabric.Quale4585()
+	prog := circuits.Fig3()
+	base := Options{Heuristic: QSPR, Backend: "swap", Seeds: 8, InnerParallel: 1}
+	r1, err := Map(prog, fab, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		o := base
+		o.InnerParallel = workers
+		rn, err := Map(prog, fab, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rn.Latency != r1.Latency {
+			t.Errorf("workers=%d latency %v != sequential %v", workers, rn.Latency, r1.Latency)
+		}
+		if rn.Mapping.Trace.String() != r1.Mapping.Trace.String() {
+			t.Errorf("workers=%d trace differs from sequential", workers)
+		}
+		if rn.Mapping.Stats != r1.Mapping.Stats {
+			t.Errorf("workers=%d stats %+v != %+v", workers, rn.Mapping.Stats, r1.Mapping.Stats)
+		}
+	}
+}
+
+// TestSwapBackendSearchHelps: the seeded trial portfolio can only
+// improve on the single center placement (trial 0 is that placement).
+func TestSwapBackendSearchHelps(t *testing.T) {
+	fab := fabric.Quale4585()
+	prog := circuits.Fig3()
+	one, err := Map(prog, fab, Options{Heuristic: QSPRCenter, Backend: "swap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Map(prog, fab, Options{Heuristic: QSPR, Backend: "swap", Seeds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Latency > one.Latency {
+		t.Errorf("m=10 search latency %v worse than its own trial 0 (%v)", many.Latency, one.Latency)
+	}
+	if many.Runs != 10 {
+		t.Errorf("Runs = %d, want 10", many.Runs)
+	}
+}
+
+func TestSwapBackendUnsupportedHeuristic(t *testing.T) {
+	_, err := Map(circuits.Fig3(), fabric.Quale4585(), Options{Heuristic: QUALE, Backend: "swap"})
+	if err == nil {
+		t.Fatal("QUALE accepted on the swap backend")
+	}
+	if !strings.Contains(err.Error(), "swap backend") || !strings.Contains(err.Error(), "QSPR") {
+		t.Errorf("unhelpful diagnostic: %v", err)
+	}
+}
+
+// benchBackend maps the paper's Fig. 3 encoder through core.Map on
+// the named backend — the numbers tracked in BENCH_backend.json.
+func benchBackend(b *testing.B, backend string) {
+	fab := fabric.Quale4585()
+	prog := circuits.Fig3()
+	opts := Options{Heuristic: QSPRCenter, Backend: backend}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Map(prog, fab, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Latency), "latency_µs")
+	}
+}
+
+func BenchmarkBackendIonCenter(b *testing.B)  { benchBackend(b, "ion") }
+func BenchmarkBackendSwapCenter(b *testing.B) { benchBackend(b, "swap") }

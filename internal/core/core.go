@@ -23,8 +23,6 @@ import (
 	"repro/internal/place"
 	"repro/internal/qasm"
 	"repro/internal/qidg"
-	"repro/internal/qpos"
-	"repro/internal/quale"
 	"repro/internal/sched"
 )
 
@@ -131,6 +129,14 @@ type Options struct {
 	// which must lie strictly between 0 and 1. 0 means the default of
 	// 0.97; values outside (0, 1) are rejected.
 	AnnealCooling float64
+	// Backend selects the target architecture: "ion" (the paper's
+	// shuttling architecture; the default) or "swap" (nearest-neighbor
+	// coupling with SWAP insertion, internal/swapmap). Normalize
+	// canonicalizes "ion" to the empty string so the zero Options —
+	// and every pre-backend ResultKey, fingerprint and cache entry —
+	// keeps its exact identity; unknown names are rejected with the
+	// valid list.
+	Backend string
 }
 
 // Normalize validates o and resolves its documented defaults: Seeds 0
@@ -158,6 +164,11 @@ func (o Options) Normalize() (Options, error) {
 	case o.AnnealCooling != 0 && (o.AnnealCooling <= 0 || o.AnnealCooling >= 1):
 		return o, fmt.Errorf("core: AnnealCooling %g outside (0, 1) (0 means the default of 0.97)", o.AnnealCooling)
 	}
+	backend, err := CanonicalBackend(o.Backend)
+	if err != nil {
+		return o, fmt.Errorf("core: %w", err)
+	}
+	o.Backend = backend
 	if o.Seeds == 0 {
 		o.Seeds = 25
 	}
@@ -244,6 +255,11 @@ func (o Options) ResultKey() (string, error) {
 	if n.AnnealMoves > 0 {
 		key += fmt.Sprintf(";amoves=%d;arestarts=%d;acooling=%g", n.AnnealMoves, n.AnnealRestarts, n.AnnealCooling)
 	}
+	// The backend joins the key only when it is not the ion default,
+	// for the same reason: pre-backend keys stay byte-identical.
+	if n.Backend != "" {
+		key += ";backend=" + n.Backend
+	}
 	return key, nil
 }
 
@@ -280,135 +296,15 @@ func Map(prog *qasm.Program, fab *fabric.Fabric, opts Options) (*Result, error) 
 	return mapWith(prog, fab, opts, nil)
 }
 
-// mapWith is the shared mapping flow; sim, when non-nil, is a warm
-// caller-owned simulator threaded into the sequential paths.
+// mapWith is the shared mapping flow: normalize once, then dispatch
+// to the selected Backend with the warm caller-owned simulator (used
+// by the ion backend's sequential paths, ignored by others).
 func mapWith(prog *qasm.Program, fab *fabric.Fabric, opts Options, sim *engine.Sim) (*Result, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return nil, err
 	}
-	g, err := qidg.Build(prog)
-	if err != nil {
-		return nil, err
-	}
-	tech := gates.Default()
-	if opts.Tech != nil {
-		tech = *opts.Tech
-	}
-	start := time.Now()
-	res := &Result{
-		Heuristic: opts.Heuristic,
-		Ideal:     g.CriticalPathLatency(tech),
-	}
-	switch opts.Heuristic {
-	case QSPR:
-		cfg := qsprConfig(fab, tech)
-		// The paper's global-patience protocol at any worker count:
-		// parallel MVFB is bit-identical to the sequential search.
-		sol, err := place.MVFB(g, cfg, place.MVFBOptions{
-			Seeds: opts.Seeds, Patience: opts.Patience,
-			MaxRunsPerSeed: 50, Seed: opts.Seed, Workers: opts.InnerParallel,
-			Sim: sim,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Mapping = sol.Result
-		res.Runs = sol.Runs
-		res.BackwardWinner = sol.Backward
-	case QSPRCenter:
-		// A single deterministic run whose trace is the deliverable:
-		// engine.Run captures unconditionally, no deferred replay.
-		cfg := qsprConfig(fab, tech)
-		p, err := place.Center(fab, g.NumQubits)
-		if err != nil {
-			return nil, err
-		}
-		var r *engine.Result
-		if sim != nil {
-			// Same run on the warm Sim; capture on makes it
-			// byte-identical to the one-shot engine.Run.
-			ccfg := cfg
-			ccfg.CollectTrace = true
-			r, err = sim.Run(g, ccfg, p)
-		} else {
-			r, err = engine.Run(g, cfg, p)
-		}
-		if err != nil {
-			return nil, err
-		}
-		res.Mapping = r
-		res.Runs = 1
-	case MonteCarlo:
-		cfg := qsprConfig(fab, tech)
-		sol, err := place.MonteCarloWarm(g, cfg, opts.Seeds, opts.Seed, opts.InnerParallel, sim)
-		if err != nil {
-			return nil, err
-		}
-		res.Mapping = sol.Result
-		res.Runs = sol.Runs
-	case Portfolio:
-		cfg := qsprConfig(fab, tech)
-		popts := place.PortfolioOptions{
-			MVFB: place.MVFBOptions{
-				Seeds: opts.Seeds, Patience: opts.Patience,
-				MaxRunsPerSeed: 50, Seed: opts.Seed,
-			},
-			Workers: opts.InnerParallel,
-		}
-		if opts.AnnealMoves > 0 {
-			popts.Anneal = &place.AnnealOptions{
-				Moves: opts.AnnealMoves, Restarts: opts.AnnealRestarts,
-				Seed: opts.Seed, Cooling: opts.AnnealCooling,
-			}
-		}
-		sol, err := place.Portfolio(g, cfg, popts)
-		if err != nil {
-			return nil, err
-		}
-		res.Mapping = sol.Result
-		res.Runs = sol.Runs
-		res.BackwardWinner = sol.Backward && sol.Rank == place.RankMVFB
-		res.PortfolioWinner = sol.Placer
-	case Anneal:
-		cfg := qsprConfig(fab, tech)
-		sol, err := place.Anneal(g, cfg, place.AnnealOptions{
-			Moves: opts.AnnealMoves, Restarts: opts.AnnealRestarts,
-			Seed: opts.Seed, Cooling: opts.AnnealCooling,
-			Workers: opts.InnerParallel, Sim: sim,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.Mapping = sol.Result
-		res.Runs = sol.Runs
-	case QUALE:
-		r, err := quale.Map(g, fab)
-		if err != nil {
-			return nil, err
-		}
-		res.Mapping = r
-		res.Runs = 1
-	case QPOS:
-		r, err := qpos.Map(g, fab, qpos.VariantDependents)
-		if err != nil {
-			return nil, err
-		}
-		res.Mapping = r
-		res.Runs = 1
-	case QPOSDelay:
-		r, err := qpos.Map(g, fab, qpos.VariantDelay)
-		if err != nil {
-			return nil, err
-		}
-		res.Mapping = r
-		res.Runs = 1
-	default:
-		return nil, fmt.Errorf("core: unknown heuristic %v", opts.Heuristic)
-	}
-	res.Latency = res.Mapping.Latency
-	res.Runtime = time.Since(start)
-	return res, nil
+	return backends[opts.Backend].Map(prog, fab, opts, sim)
 }
 
 // MonteCarloRuns maps with the MC placer using an explicit run count

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/circuits"
+	"repro/internal/core"
 )
 
 // circuitStub is a name-only benchmark for merged reports: rendering
@@ -270,10 +271,11 @@ func matchRun(rec RunRecord, runs []Run) (Run, error) {
 	}
 	r := runs[rec.Index]
 	if rec.Circuit != r.Circuit.Name || rec.Fabric != r.Fabric.Name ||
-		rec.Heuristic != r.Heuristic.String() || rec.M != r.Seeds || rec.Seed != r.Seed {
-		return Run{}, fmt.Errorf("experiment: checkpoint run %d is %s×%s×%s m=%d seed=%d but the spec expands to %s×%s×%s m=%d seed=%d (different spec?)",
-			rec.Index, rec.Circuit, rec.Fabric, rec.Heuristic, rec.M, rec.Seed,
-			r.Circuit.Name, r.Fabric.Name, r.Heuristic.String(), r.Seeds, r.Seed)
+		rec.Heuristic != r.Heuristic.String() || rec.Backend != r.Backend ||
+		rec.M != r.Seeds || rec.Seed != r.Seed {
+		return Run{}, fmt.Errorf("experiment: checkpoint run %d is %s×%s×%s/%s m=%d seed=%d but the spec expands to %s×%s×%s/%s m=%d seed=%d (different spec?)",
+			rec.Index, rec.Circuit, rec.Fabric, rec.Heuristic, core.BackendDisplayName(rec.Backend), rec.M, rec.Seed,
+			r.Circuit.Name, r.Fabric.Name, r.Heuristic.String(), core.BackendDisplayName(r.Backend), r.Seeds, r.Seed)
 	}
 	return r, nil
 }
@@ -318,9 +320,13 @@ func (rep *Report) MissingRuns() []int {
 
 // sameRunIdentity reports whether two records describe the same run
 // (metrics aside — those are deterministic given identical identity).
+// Backend joins the comparison: an ion and a swap mapping of the same
+// cell are different runs. Pre-backend records carry the empty
+// (canonical ion) value, so old checkpoints still match.
 func sameRunIdentity(a, b RunRecord) bool {
 	return a.Circuit == b.Circuit && a.Fabric == b.Fabric &&
-		a.Heuristic == b.Heuristic && a.M == b.M && a.Seed == b.Seed
+		a.Heuristic == b.Heuristic && a.Backend == b.Backend &&
+		a.M == b.M && a.Seed == b.Seed
 }
 
 // SameOutcome reports whether two records for the same run carry the
@@ -420,6 +426,7 @@ func LoadCheckpoints(paths ...string) (*Report, error) {
 				Circuit:   circuitStub(rec.Circuit),
 				Fabric:    FabricChoice{Name: rec.Fabric},
 				Heuristic: h,
+				Backend:   rec.Backend,
 				Seeds:     rec.M,
 				Seed:      rec.Seed,
 			},

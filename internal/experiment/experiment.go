@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/gates"
+	"repro/internal/noise"
 )
 
 // FabricChoice is one named fabric in a sweep.
@@ -84,6 +85,15 @@ type Spec struct {
 	AnnealMoves    int
 	AnnealRestarts int
 	AnnealCooling  float64
+	// Backends selects the target architectures to sweep ("ion",
+	// "swap"; see core.BackendNames). Empty means the ion default
+	// alone, which keeps every pre-backend spec's run indices and
+	// fingerprint byte-identical.
+	Backends []string
+	// Noise, when non-nil, scores every run's winning trace with the
+	// noise model and attaches the failure probability to
+	// Metrics.PFail — the fidelity axis of the Pareto report mode.
+	Noise *noise.Params
 }
 
 // Run is one unit of work: a single (circuit, fabric, heuristic, m)
@@ -110,11 +120,18 @@ type Run struct {
 	AnnealMoves    int
 	AnnealRestarts int
 	AnnealCooling  float64
+	// Backend is the canonical core.Options.Backend value for this
+	// run ("" for the ion default, "swap" for SWAP insertion).
+	Backend string
+	// Noise, when non-nil, attaches Metrics.PFail (see Spec.Noise).
+	Noise *noise.Params
 }
 
 // Runs expands the spec into its stable, indexed run list. Expansion
-// order is circuits (outer) → fabrics → heuristics → seed counts
-// (inner); reports list runs in this order.
+// order is circuits (outer) → fabrics → heuristics → seed counts →
+// backends (inner); reports list runs in this order, so a
+// multi-backend sweep lists both architectures of one cell on
+// adjacent rows.
 func (s Spec) Runs() ([]Run, error) {
 	if len(s.Circuits) == 0 {
 		return nil, fmt.Errorf("experiment: spec has no circuits")
@@ -138,6 +155,27 @@ func (s Spec) Runs() ([]Run, error) {
 			return nil, fmt.Errorf("experiment: fabric %q is nil", f.Name)
 		}
 	}
+	backends := []string{""}
+	if len(s.Backends) > 0 {
+		backends = backends[:0]
+		seen := map[string]bool{}
+		for _, b := range s.Backends {
+			canon, err := core.CanonicalBackend(b)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %w", err)
+			}
+			if seen[canon] {
+				return nil, fmt.Errorf("experiment: duplicate backend %q (it would run — and be reported — twice)", core.BackendDisplayName(canon))
+			}
+			seen[canon] = true
+			backends = append(backends, canon)
+		}
+	}
+	if s.Noise != nil {
+		if err := s.Noise.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	var runs []Run
 	for _, c := range s.Circuits {
 		for _, f := range s.Fabrics {
@@ -146,19 +184,23 @@ func (s Spec) Runs() ([]Run, error) {
 					if m <= 0 {
 						return nil, fmt.Errorf("experiment: seed count %d <= 0", m)
 					}
-					runs = append(runs, Run{
-						Index:          len(runs),
-						Circuit:        c,
-						Fabric:         f,
-						Heuristic:      h,
-						Seeds:          m,
-						Seed:           seed,
-						Tech:           s.Tech,
-						InnerParallel:  s.InnerParallel,
-						AnnealMoves:    s.AnnealMoves,
-						AnnealRestarts: s.AnnealRestarts,
-						AnnealCooling:  s.AnnealCooling,
-					})
+					for _, b := range backends {
+						runs = append(runs, Run{
+							Index:          len(runs),
+							Circuit:        c,
+							Fabric:         f,
+							Heuristic:      h,
+							Seeds:          m,
+							Seed:           seed,
+							Tech:           s.Tech,
+							InnerParallel:  s.InnerParallel,
+							AnnealMoves:    s.AnnealMoves,
+							AnnealRestarts: s.AnnealRestarts,
+							AnnealCooling:  s.AnnealCooling,
+							Backend:        b,
+							Noise:          s.Noise,
+						})
+					}
 				}
 			}
 		}
@@ -190,6 +232,14 @@ func (s Spec) Fingerprint() (string, error) {
 		if r.AnnealMoves > 0 || r.AnnealRestarts > 0 || r.AnnealCooling > 0 {
 			fmt.Fprintf(h, "\x00anneal=%d/%d/%g",
 				r.AnnealMoves, r.AnnealRestarts, r.AnnealCooling)
+		}
+		// Backend and noise params likewise join only when non-default,
+		// so pre-backend specs keep their published fingerprints.
+		if r.Backend != "" {
+			fmt.Fprintf(h, "\x00backend=%s", r.Backend)
+		}
+		if r.Noise != nil {
+			fmt.Fprintf(h, "\x00noise=%s", r.Noise.Key())
 		}
 		fmt.Fprintf(h, "\n")
 	}
@@ -229,6 +279,11 @@ type Metrics struct {
 	// Placement is the winning initial placement: Placement[q] is the
 	// trap holding qubit q at t=0.
 	Placement []int `json:"placement"`
+	// PFail is the noise-model failure probability of the winning
+	// trace (fidelity = 1 - PFail); nil unless the run was scored
+	// (Spec.Noise / the -noise flag / a request's noise params), so
+	// unscored reports keep their exact pre-noise bytes.
+	PFail *float64 `json:"p_fail,omitempty"`
 }
 
 // RunResult is the outcome of one run: its metrics on success or an
@@ -263,11 +318,18 @@ func runMapper(r Run) (*Metrics, error) {
 		AnnealMoves:    r.AnnealMoves,
 		AnnealRestarts: r.AnnealRestarts,
 		AnnealCooling:  r.AnnealCooling,
+		Backend:        r.Backend,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return MetricsFrom(res), nil
+	m := MetricsFrom(res)
+	if r.Noise != nil {
+		if err := m.ScoreNoise(res, r.Circuit.Program.NumQubits(), *r.Noise); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 // MetricsFrom extracts the deterministic per-run metrics from a
@@ -292,6 +354,47 @@ func MetricsFrom(res *core.Result) *Metrics {
 		PortfolioWinner:   res.PortfolioWinner,
 		Placement:         append([]int(nil), res.Mapping.Initial...),
 	}
+}
+
+// ScoreNoise attaches the noise-model failure probability of the
+// result's captured trace to the metrics. The sweep runner, the qsprd
+// service and examples all score fidelity through this one path, so
+// their p_fail values agree byte-for-byte for the same run.
+func (m *Metrics) ScoreNoise(res *core.Result, numQubits int, p noise.Params) error {
+	if res.Mapping == nil || res.Mapping.Trace == nil {
+		return fmt.Errorf("experiment: result has no captured trace to score")
+	}
+	pf, err := noise.PFail(res.Mapping.Trace, numQubits, p)
+	if err != nil {
+		return err
+	}
+	m.PFail = &pf
+	return nil
+}
+
+// ParseBackends parses a comma-separated backend list such as
+// "ion,swap"; "all" expands to every backend. Names resolve through
+// core.CanonicalBackend, so unknown names are rejected with the valid
+// list; duplicates are errors for the same reason duplicate circuits
+// are.
+func ParseBackends(s string) ([]string, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return core.BackendNames(), nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, f := range strings.Split(s, ",") {
+		canon, err := core.CanonicalBackend(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if seen[canon] {
+			return nil, fmt.Errorf("experiment: duplicate backend %q in %q", core.BackendDisplayName(canon), s)
+		}
+		seen[canon] = true
+		out = append(out, canon)
+	}
+	return out, nil
 }
 
 // BuiltinCircuits returns the paper's six QECC encoder benchmarks

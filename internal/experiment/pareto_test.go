@@ -1,0 +1,192 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/noise"
+)
+
+// syntheticRun builds one successful RunResult with a scored metric.
+func syntheticRun(idx int, circuit string, h core.Heuristic, backend string, latency int64, pfail float64) RunResult {
+	pf := pfail
+	return RunResult{
+		Run: Run{
+			Index:     idx,
+			Circuit:   circuits.Benchmark{Name: circuit},
+			Fabric:    FabricChoice{Name: "f"},
+			Heuristic: h,
+			Backend:   backend,
+			Seeds:     25,
+		},
+		Metrics: &Metrics{LatencyUS: latency, PFail: &pf},
+	}
+}
+
+// TestParetoFront: dominated points are dropped, incomparable points
+// are kept, ties on both axes are all kept, and the order is
+// (latency, p_fail, index).
+func TestParetoFront(t *testing.T) {
+	rep := &Report{Results: []RunResult{
+		syntheticRun(0, "c", core.QSPR, "", 100, 0.02),           // kept: fastest
+		syntheticRun(1, "c", core.QUALE, "", 120, 0.03),          // dominated by 0
+		syntheticRun(2, "c", core.MonteCarlo, "swap", 150, 0.01), // kept: best fidelity
+		syntheticRun(3, "c", core.QSPRCenter, "", 100, 0.02),     // tie with 0: kept
+	}}
+	groups, err := rep.Pareto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("%d groups, want 1", len(groups))
+	}
+	pts := groups[0].Points
+	if len(pts) != 3 {
+		t.Fatalf("front has %d points, want 3: %+v", len(pts), pts)
+	}
+	if pts[0].Index != 0 || pts[1].Index != 3 || pts[2].Index != 2 {
+		t.Errorf("front order %d,%d,%d, want 0,3,2", pts[0].Index, pts[1].Index, pts[2].Index)
+	}
+	if pts[2].Backend != "swap" || pts[0].Backend != "ion" {
+		t.Errorf("backend display names: %q, %q", pts[0].Backend, pts[2].Backend)
+	}
+}
+
+func TestParetoGroupsPerCell(t *testing.T) {
+	a := syntheticRun(0, "a", core.QSPR, "", 100, 0.02)
+	b := syntheticRun(1, "b", core.QSPR, "", 500, 0.09)
+	failed := RunResult{Run: Run{Index: 2, Circuit: circuits.Benchmark{Name: "c"}, Fabric: FabricChoice{Name: "f"}}, Err: "boom"}
+	rep := &Report{Results: []RunResult{a, b, failed}}
+	groups, err := rep.Pareto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One group per (circuit, fabric) cell in first-appearance order;
+	// the failed run contributes nothing.
+	if len(groups) != 2 || groups[0].Circuit != "a" || groups[1].Circuit != "b" {
+		t.Fatalf("groups = %+v", groups)
+	}
+	// A slow high-error point still wins its own cell.
+	if len(groups[1].Points) != 1 || groups[1].Points[0].Index != 1 {
+		t.Errorf("cell b front = %+v", groups[1].Points)
+	}
+}
+
+func TestParetoNeedsNoise(t *testing.T) {
+	rr := syntheticRun(0, "c", core.QSPR, "", 100, 0.02)
+	rr.Metrics.PFail = nil
+	rep := &Report{Results: []RunResult{rr}}
+	if _, err := rep.Pareto(); err == nil || !strings.Contains(err.Error(), "-noise") {
+		t.Errorf("unscored report accepted: %v", err)
+	}
+}
+
+func TestParseBackends(t *testing.T) {
+	got, err := ParseBackends("all")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("ParseBackends(all) = %v, %v", got, err)
+	}
+	got, err = ParseBackends("swap, Ion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "swap" || got[1] != "" {
+		t.Errorf("ParseBackends(swap, Ion) = %q", got)
+	}
+	if _, err := ParseBackends("ion,ion"); err == nil {
+		t.Error("duplicate backend accepted")
+	}
+	_, err = ParseBackends("warp")
+	if err == nil || !strings.Contains(err.Error(), "swap") {
+		t.Errorf("unknown backend diagnostic: %v", err)
+	}
+}
+
+// TestBackendNoiseSweep: a two-backend noise-scored sweep scores
+// every run, and both the full report and its Pareto pivot are
+// byte-identical across worker counts.
+func TestBackendNoiseSweep(t *testing.T) {
+	np := noise.DefaultParams()
+	spec := Spec{
+		Circuits:   fig3Benchmarks(t, 2),
+		Fabrics:    []FabricChoice{{Name: "small9x9", Fabric: fabric.Small()}},
+		Heuristics: []core.Heuristic{core.QSPR},
+		SeedCounts: []int{3},
+		Backends:   []string{"", "swap"},
+		Noise:      &np,
+	}
+	type output struct{ full, pareto []byte }
+	var outputs []output
+	for _, workers := range []int{1, 4} {
+		rep, err := Execute(context.Background(), spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, rr := range rep.Results {
+			if rr.Err != "" {
+				t.Fatalf("run %d failed: %s", rr.Index, rr.Err)
+			}
+			if rr.Metrics.PFail == nil {
+				t.Fatalf("run %d not noise-scored", rr.Index)
+			}
+			if *rr.Metrics.PFail <= 0 || *rr.Metrics.PFail >= 1 {
+				t.Fatalf("run %d p_fail = %v", rr.Index, *rr.Metrics.PFail)
+			}
+		}
+		var full, pareto bytes.Buffer
+		if err := rep.Write(&full, FormatCSV); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WritePareto(&pareto, FormatJSON); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, output{full.Bytes(), pareto.Bytes()})
+	}
+	if !bytes.Equal(outputs[0].full, outputs[1].full) {
+		t.Error("full report differs across worker counts")
+	}
+	if !bytes.Equal(outputs[0].pareto, outputs[1].pareto) {
+		t.Error("Pareto report differs across worker counts")
+	}
+	// Both backends actually ran: the CSV mentions each display name.
+	for _, b := range []string{"ion", "swap"} {
+		if !bytes.Contains(outputs[0].full, []byte(b)) {
+			t.Errorf("report missing backend %q", b)
+		}
+	}
+}
+
+// TestFingerprintBackendNoise: the ion-only unscored spec keeps its
+// pre-backend fingerprint; adding a backend or noise changes it.
+func TestFingerprintBackendNoise(t *testing.T) {
+	base := smallSpec(t, 1)
+	fp := func(s Spec) string {
+		f, err := s.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	plain := fp(base)
+	ionOnly := base
+	ionOnly.Backends = []string{""}
+	if fp(ionOnly) != plain {
+		t.Error("explicit ion backend changed the fingerprint")
+	}
+	swapped := base
+	swapped.Backends = []string{"", "swap"}
+	if fp(swapped) == plain {
+		t.Error("swap backend did not change the fingerprint")
+	}
+	scored := base
+	np := noise.DefaultParams()
+	scored.Noise = &np
+	if fp(scored) == plain {
+		t.Error("noise params did not change the fingerprint")
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"text/tabwriter"
+
+	"repro/internal/core"
 )
 
 // Formats accepted by Report.Write.
@@ -67,14 +69,18 @@ func (rep *Report) WriteFile(format, path string) error {
 // is a function of the run's inputs, so report bytes are reproducible
 // across machines and worker counts.
 type RunRecord struct {
-	Index     int      `json:"index"`
-	Circuit   string   `json:"circuit"`
-	Fabric    string   `json:"fabric"`
-	Heuristic string   `json:"heuristic"`
-	M         int      `json:"m"`
-	Seed      int64    `json:"seed"`
-	Error     string   `json:"error,omitempty"`
-	Metrics   *Metrics `json:"metrics,omitempty"`
+	Index     int    `json:"index"`
+	Circuit   string `json:"circuit"`
+	Fabric    string `json:"fabric"`
+	Heuristic string `json:"heuristic"`
+	// Backend is the canonical backend value: empty for the ion
+	// default (and absent from JSON, so pre-backend records and
+	// checkpoints stay byte-compatible), "swap" for SWAP insertion.
+	Backend string   `json:"backend,omitempty"`
+	M       int      `json:"m"`
+	Seed    int64    `json:"seed"`
+	Error   string   `json:"error,omitempty"`
+	Metrics *Metrics `json:"metrics,omitempty"`
 }
 
 // Record serializes one result; the same shape is a report row and a
@@ -86,6 +92,7 @@ func (rr RunResult) Record() RunRecord {
 		Circuit:   rr.Circuit.Name,
 		Fabric:    rr.Fabric.Name,
 		Heuristic: rr.Heuristic.String(),
+		Backend:   rr.Backend,
 		M:         rr.Seeds,
 		Seed:      rr.Seed,
 		Error:     rr.Err,
@@ -113,10 +120,10 @@ func (rep *Report) WriteJSON(w io.Writer) error {
 
 // csvHeader is the fixed column set of WriteCSV.
 var csvHeader = []string{
-	"index", "circuit", "fabric", "heuristic", "m", "seed",
+	"index", "circuit", "fabric", "heuristic", "backend", "m", "seed",
 	"latency_us", "ideal_us", "overhead_us", "moves", "turns", "trips",
 	"blocked", "gate_delay_us", "routing_delay_us", "congestion_delay_us",
-	"placement_runs", "backward_winner", "placement", "error",
+	"placement_runs", "backward_winner", "p_fail", "placement", "error",
 }
 
 // WriteCSV emits one row per run in index order. The placement column
@@ -130,12 +137,17 @@ func (rep *Report) WriteCSV(w io.Writer) error {
 	for _, rec := range rep.records() {
 		row := []string{
 			strconv.Itoa(rec.Index), rec.Circuit, rec.Fabric, rec.Heuristic,
+			core.BackendDisplayName(rec.Backend),
 			strconv.Itoa(rec.M), strconv.FormatInt(rec.Seed, 10),
 		}
 		if m := rec.Metrics; m != nil {
 			traps := make([]string, len(m.Placement))
 			for i, t := range m.Placement {
 				traps[i] = strconv.Itoa(t)
+			}
+			pfail := ""
+			if m.PFail != nil {
+				pfail = strconv.FormatFloat(*m.PFail, 'g', -1, 64)
 			}
 			row = append(row,
 				strconv.FormatInt(m.LatencyUS, 10),
@@ -148,10 +160,11 @@ func (rep *Report) WriteCSV(w io.Writer) error {
 				strconv.FormatInt(m.CongestionDelayUS, 10),
 				strconv.Itoa(m.PlacementRuns),
 				strconv.FormatBool(m.BackwardWinner),
+				pfail,
 				strings.Join(traps, ";"),
 			)
 		} else {
-			row = append(row, "", "", "", "", "", "", "", "", "", "", "", "", "")
+			row = append(row, "", "", "", "", "", "", "", "", "", "", "", "", "", "")
 		}
 		row = append(row, rec.Error)
 		if err := cw.Write(row); err != nil {
@@ -174,16 +187,22 @@ func mdCell(s string) string {
 // metrics, one row per run in index order.
 func (rep *Report) WriteMarkdown(w io.Writer) error {
 	var b strings.Builder
-	b.WriteString("| circuit | fabric | heuristic | m | latency (µs) | ideal (µs) | overhead (µs) | moves | turns | runs | error |\n")
-	b.WriteString("|---|---|---|---:|---:|---:|---:|---:|---:|---:|---|\n")
+	b.WriteString("| circuit | fabric | heuristic | backend | m | latency (µs) | ideal (µs) | overhead (µs) | moves | turns | runs | p_fail | error |\n")
+	b.WriteString("|---|---|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---|\n")
 	for _, rec := range rep.records() {
 		if m := rec.Metrics; m != nil {
-			fmt.Fprintf(&b, "| %s | %s | %s | %d | %d | %d | %d | %d | %d | %d |  |\n",
-				mdCell(rec.Circuit), mdCell(rec.Fabric), mdCell(rec.Heuristic), rec.M,
-				m.LatencyUS, m.IdealUS, m.OverheadUS, m.Moves, m.Turns, m.PlacementRuns)
+			pfail := ""
+			if m.PFail != nil {
+				pfail = strconv.FormatFloat(*m.PFail, 'g', -1, 64)
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %d | %d | %d | %d | %d | %d | %d | %s |  |\n",
+				mdCell(rec.Circuit), mdCell(rec.Fabric), mdCell(rec.Heuristic),
+				core.BackendDisplayName(rec.Backend), rec.M,
+				m.LatencyUS, m.IdealUS, m.OverheadUS, m.Moves, m.Turns, m.PlacementRuns, pfail)
 		} else {
-			fmt.Fprintf(&b, "| %s | %s | %s | %d |  |  |  |  |  |  | %s |\n",
-				mdCell(rec.Circuit), mdCell(rec.Fabric), mdCell(rec.Heuristic), rec.M, mdCell(rec.Error))
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %d |  |  |  |  |  |  |  | %s |\n",
+				mdCell(rec.Circuit), mdCell(rec.Fabric), mdCell(rec.Heuristic),
+				core.BackendDisplayName(rec.Backend), rec.M, mdCell(rec.Error))
 		}
 	}
 	_, err := io.WriteString(w, b.String())

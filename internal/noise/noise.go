@@ -23,19 +23,22 @@ package noise
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"repro/internal/trace"
 )
 
 // Params holds the per-primitive error probabilities and the
 // decoherence rate. All values are probabilities in [0,1); Decay is
-// per microsecond per qubit.
+// per microsecond per qubit. The JSON field names are the qsprd
+// request/report schema.
 type Params struct {
-	OneQubitGate float64
-	TwoQubitGate float64
-	Move         float64
-	Turn         float64
-	Decay        float64
+	OneQubitGate float64 `json:"one_qubit_gate"`
+	TwoQubitGate float64 `json:"two_qubit_gate"`
+	Move         float64 `json:"move"`
+	Turn         float64 `json:"turn"`
+	Decay        float64 `json:"decay"`
 }
 
 // DefaultParams returns error rates representative of the ion-trap
@@ -50,6 +53,56 @@ func DefaultParams() Params {
 		Turn:         5e-5,
 		Decay:        1e-6,
 	}
+}
+
+// Key renders the params canonically: two Params with equal keys
+// score identically, the property cache keys and sweep fingerprints
+// rely on.
+func (p Params) Key() string {
+	return fmt.Sprintf("1q=%g,2q=%g,move=%g,turn=%g,decay=%g",
+		p.OneQubitGate, p.TwoQubitGate, p.Move, p.Turn, p.Decay)
+}
+
+// Parse resolves a CLI -noise value: "default" is DefaultParams, and
+// a comma-separated list of key=value overrides (keys 1q, 2q, move,
+// turn, decay — the same names Key renders) is applied on top of the
+// defaults, e.g. "2q=5e-3,decay=1e-7". The result is validated.
+func Parse(s string) (Params, error) {
+	p := DefaultParams()
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, fmt.Errorf("noise: empty params (use \"default\" or key=value overrides like \"2q=5e-3\")")
+	}
+	if !strings.EqualFold(s, "default") {
+		for _, item := range strings.Split(s, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(item), "=")
+			if !ok {
+				return p, fmt.Errorf("noise: bad override %q (want key=value)", item)
+			}
+			val, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return p, fmt.Errorf("noise: bad value in %q: %v", item, err)
+			}
+			switch strings.ToLower(strings.TrimSpace(k)) {
+			case "1q":
+				p.OneQubitGate = val
+			case "2q":
+				p.TwoQubitGate = val
+			case "move":
+				p.Move = val
+			case "turn":
+				p.Turn = val
+			case "decay":
+				p.Decay = val
+			default:
+				return p, fmt.Errorf("noise: unknown param %q (valid: 1q, 2q, move, turn, decay)", k)
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return p, err
+	}
+	return p, nil
 }
 
 // Validate rejects probabilities outside [0,1).
@@ -129,6 +182,17 @@ func Analyze(tr *trace.Trace, numQubits int, p Params) (*Report, error) {
 	r.DecoherenceError = 1 - math.Exp(decayLog)
 	r.Total = 1 - math.Exp(logOK)
 	return r, nil
+}
+
+// PFail returns the combined failure probability of a mapped trace —
+// the fidelity score attached to experiment.Metrics and serve
+// reports (fidelity = 1 - PFail).
+func PFail(tr *trace.Trace, numQubits int, p Params) (float64, error) {
+	r, err := Analyze(tr, numQubits, p)
+	if err != nil {
+		return 0, err
+	}
+	return r.Total, nil
 }
 
 // String renders the report compactly.

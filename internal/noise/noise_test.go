@@ -143,3 +143,154 @@ func TestReportString(t *testing.T) {
 		t.Error("empty report string")
 	}
 }
+
+func TestEmptyTrace(t *testing.T) {
+	// An empty trace is a legal zero-gate program: nothing to charge,
+	// zero latency, so every component and the total are exactly 0.
+	r, err := Analyze(&trace.Trace{}, 3, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total != 0 || r.GateError != 0 || r.MotionError != 0 || r.DecoherenceError != 0 {
+		t.Errorf("empty trace scored nonzero: %+v", r)
+	}
+	if r.QubitMicroseconds != 0 {
+		t.Errorf("empty trace qubit-time = %v", r.QubitMicroseconds)
+	}
+}
+
+func TestZeroDurationOps(t *testing.T) {
+	// A zero-duration move still crosses at least one cell and a
+	// zero-duration gate is still a gate: both are charged once, so a
+	// degenerate trace cannot be scored error-free by accident.
+	tr := &trace.Trace{}
+	tr.Add(trace.Op{Kind: trace.OpMove, Start: 5, End: 5, Node: -1, Trap: -1, Edge: 0}.WithQubits(0))
+	tr.Add(trace.Op{Kind: trace.OpGate, Start: 5, End: 5, Gate: gates.H, Node: 0, Trap: 0, Edge: -1}.WithQubits(0))
+	r, err := Analyze(tr, 1, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Moves != 1 {
+		t.Errorf("zero-duration move charged %d cells, want 1", r.Moves)
+	}
+	if r.OneQubitGates != 1 {
+		t.Errorf("zero-duration gate count = %d", r.OneQubitGates)
+	}
+	if r.GateError == 0 || r.MotionError == 0 {
+		t.Errorf("zero-duration ops scored free: gate %v, motion %v", r.GateError, r.MotionError)
+	}
+}
+
+func TestValidateBoundaries(t *testing.T) {
+	// The [0,1) interval edges: 0 is a legal probability, 1 and NaN
+	// are not — for every field.
+	if err := (Params{}).Validate(); err != nil {
+		t.Errorf("all-zero params rejected: %v", err)
+	}
+	set := func(i int, v float64) Params {
+		var p Params
+		switch i {
+		case 0:
+			p.OneQubitGate = v
+		case 1:
+			p.TwoQubitGate = v
+		case 2:
+			p.Move = v
+		case 3:
+			p.Turn = v
+		case 4:
+			p.Decay = v
+		}
+		return p
+	}
+	for i := 0; i < 5; i++ {
+		if err := set(i, 0).Validate(); err != nil {
+			t.Errorf("field %d: 0 rejected: %v", i, err)
+		}
+		if err := set(i, 1).Validate(); err == nil {
+			t.Errorf("field %d: 1 accepted", i)
+		}
+		if err := set(i, math.NaN()).Validate(); err == nil {
+			t.Errorf("field %d: NaN accepted", i)
+		}
+		if err := set(i, math.Nextafter(1, 0)).Validate(); err != nil {
+			t.Errorf("field %d: largest sub-1 value rejected: %v", i, err)
+		}
+	}
+}
+
+func TestMultiQubitDecoherence(t *testing.T) {
+	// Decoherence charges every qubit for the full latency: the same
+	// trace on k qubits must decay exactly as the 1-qubit trace
+	// compounded k times.
+	p := Params{Decay: 1e-4}
+	tr := sampleTrace()
+	r1, err := Analyze(tr, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Analyze(tr, 4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.QubitMicroseconds != 4*r1.QubitMicroseconds {
+		t.Errorf("qubit-time %v, want 4×%v", r4.QubitMicroseconds, r1.QubitMicroseconds)
+	}
+	want := 1 - math.Pow(1-r1.DecoherenceError, 4)
+	if math.Abs(r4.DecoherenceError-want) > 1e-12 {
+		t.Errorf("4-qubit decay %v, want compounded %v", r4.DecoherenceError, want)
+	}
+	if r4.DecoherenceError <= r1.DecoherenceError {
+		t.Error("more qubits did not decay more")
+	}
+}
+
+func TestParse(t *testing.T) {
+	p, err := Parse("default")
+	if err != nil || p != DefaultParams() {
+		t.Fatalf("Parse(default) = %+v, %v", p, err)
+	}
+	p, err = Parse("2q=5e-3, decay=1e-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultParams()
+	want.TwoQubitGate = 5e-3
+	want.Decay = 1e-7
+	if p != want {
+		t.Errorf("override parse = %+v, want %+v", p, want)
+	}
+	for _, bad := range []string{"", "2q", "2q=x", "zap=1", "2q=1.5"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	// Key renders in exactly the vocabulary Parse accepts, so a
+	// params value survives a render → parse round trip: the property
+	// that lets cache keys and CLI flags share one canonical form.
+	p := Params{OneQubitGate: 2e-4, TwoQubitGate: 5e-3, Move: 1e-5, Turn: 0, Decay: 1e-7}
+	q, err := Parse(p.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Errorf("round trip %+v -> %q -> %+v", p, p.Key(), q)
+	}
+}
+
+func TestPFail(t *testing.T) {
+	r, err := Analyze(sampleTrace(), 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := PFail(sampleTrace(), 2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf != r.Total {
+		t.Errorf("PFail %v != Analyze total %v", pf, r.Total)
+	}
+}

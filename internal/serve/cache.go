@@ -99,6 +99,12 @@ func rawKey(rq *Request) cacheKey {
 	buf = append(buf, 0)
 	buf = strconv.AppendFloat(buf, rq.AnnealCooling, 'g', -1, 64)
 	buf = append(buf, 0)
+	buf = append(buf, rq.Backend...)
+	buf = append(buf, 0)
+	if rq.Noise != nil {
+		buf = append(buf, rq.Noise.Key()...)
+	}
+	buf = append(buf, 0)
 	if rq.Trace {
 		buf = append(buf, 1)
 	}
@@ -107,12 +113,13 @@ func rawKey(rq *Request) cacheKey {
 
 // canonicalKey digests the resolved identity of a mapping: canonical
 // content-addressed circuit name × fabric name × the result-relevant
-// normalized options (core.Options.ResultKey) × the trace flag. Two
-// requests with one canonical key get byte-identical responses, so
-// this tier deduplicates across spellings — a registry spec and an
-// alias, defaults spelled out or omitted — that the raw tier keeps
-// apart.
-func canonicalKey(circuit, fabricName, resultKey string, withTrace bool) cacheKey {
+// normalized options (core.Options.ResultKey, which covers the
+// backend) × the canonical noise params (noise.Params.Key, empty when
+// unscored) × the trace flag. Two requests with one canonical key get
+// byte-identical responses, so this tier deduplicates across
+// spellings — a registry spec and an alias, defaults spelled out or
+// omitted — that the raw tier keeps apart.
+func canonicalKey(circuit, fabricName, resultKey, noiseKey string, withTrace bool) cacheKey {
 	var scratch [256]byte
 	buf := append(scratch[:0], "qsprd.canon\x00"...)
 	buf = append(buf, circuit...)
@@ -120,6 +127,8 @@ func canonicalKey(circuit, fabricName, resultKey string, withTrace bool) cacheKe
 	buf = append(buf, fabricName...)
 	buf = append(buf, 0)
 	buf = append(buf, resultKey...)
+	buf = append(buf, 0)
+	buf = append(buf, noiseKey...)
 	buf = append(buf, 0)
 	if withTrace {
 		buf = append(buf, 1)

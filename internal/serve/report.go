@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/noise"
 	"repro/internal/trace"
 )
 
@@ -49,6 +50,15 @@ type Request struct {
 	AnnealMoves    int     `json:"anneal_moves,omitempty"`
 	AnnealRestarts int     `json:"anneal_restarts,omitempty"`
 	AnnealCooling  float64 `json:"anneal_cooling,omitempty"`
+	// Backend selects the target architecture: "ion" (default) or
+	// "swap" (core.BackendNames). Part of the request identity —
+	// the same circuit on different backends caches separately.
+	Backend string `json:"backend,omitempty"`
+	// Noise, when present, scores the mapping with the noise model:
+	// the report's metrics gain p_fail and echo the params. Absent
+	// means unscored, whose response bytes are identical to the
+	// pre-noise schema.
+	Noise *noise.Params `json:"noise,omitempty"`
 	// Trace includes the full micro-command trace in the report.
 	Trace bool `json:"trace,omitempty"`
 }
@@ -69,9 +79,15 @@ type Report struct {
 	// Heuristic, M, Seed and Patience echo the normalized options the
 	// mapping ran under (defaults filled in).
 	Heuristic string `json:"heuristic"`
-	M         int    `json:"m"`
-	Seed      int64  `json:"seed"`
-	Patience  int    `json:"patience"`
+	// Backend echoes the target architecture only when it is not the
+	// ion default, so every pre-backend report's bytes are unchanged.
+	Backend  string `json:"backend,omitempty"`
+	M        int    `json:"m"`
+	Seed     int64  `json:"seed"`
+	Patience int    `json:"patience"`
+	// Noise echoes the scoring params when the mapping was scored
+	// (the metrics then carry p_fail); absent otherwise.
+	Noise *noise.Params `json:"noise,omitempty"`
 	// Metrics are the deterministic per-run measurements, in exactly
 	// the shape of the sweep reports (experiment.Metrics).
 	Metrics *experiment.Metrics `json:"metrics"`
@@ -82,8 +98,11 @@ type Report struct {
 // NewReport assembles the deterministic report for one mapping
 // result. circuit must already be the canonical content-addressed
 // name (see InlineName and circuits.Resolve); opts are normalized
-// here so the echoed knobs always show the resolved defaults.
-func NewReport(circuit, fabricName string, opts core.Options, res *core.Result, withTrace bool) (*Report, error) {
+// here so the echoed knobs always show the resolved defaults. np,
+// when non-nil, scores the result's trace with the noise model:
+// metrics gain p_fail and the report echoes the params — a nil np
+// leaves the bytes exactly as the pre-noise schema rendered them.
+func NewReport(circuit, fabricName string, opts core.Options, res *core.Result, withTrace bool, np *noise.Params) (*Report, error) {
 	n, err := opts.Normalize()
 	if err != nil {
 		return nil, err
@@ -92,10 +111,19 @@ func NewReport(circuit, fabricName string, opts core.Options, res *core.Result, 
 		Circuit:   circuit,
 		Fabric:    fabricName,
 		Heuristic: res.Heuristic.String(),
+		Backend:   n.Backend,
 		M:         n.Seeds,
 		Seed:      n.Seed,
 		Patience:  n.Patience,
 		Metrics:   experiment.MetricsFrom(res),
+	}
+	if np != nil {
+		// Placement is indexed by qubit, so its length is the qubit
+		// count of the mapped program.
+		if err := rep.Metrics.ScoreNoise(res, len(res.Mapping.Initial), *np); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		rep.Noise = np
 	}
 	if withTrace {
 		if res.Mapping.Trace == nil {

@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/fabric"
+	"repro/internal/noise"
 	"repro/internal/qasm"
 )
 
@@ -155,7 +156,8 @@ type resolved struct {
 	prog    *qasm.Program
 	fab     experiment.FabricChoice
 	opts    core.Options
-	key     cacheKey // canonical-tier cache key
+	noise   *noise.Params // nil when the mapping is not noise-scored
+	key     cacheKey      // canonical-tier cache key
 }
 
 // errBadRequest marks resolution failures that are the client's
@@ -203,16 +205,30 @@ func (s *Server) resolve(rq *Request) (*resolved, error) {
 			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
 		}
 	}
+	backend, err := core.CanonicalBackend(rq.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	if rq.Noise != nil {
+		if err := rq.Noise.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		r.noise = rq.Noise
+	}
 	r.opts = core.Options{
 		Heuristic: h, Seeds: rq.M, Seed: rq.Seed, Patience: rq.Patience,
 		AnnealMoves: rq.AnnealMoves, AnnealRestarts: rq.AnnealRestarts,
-		AnnealCooling: rq.AnnealCooling,
+		AnnealCooling: rq.AnnealCooling, Backend: backend,
 	}
 	resultKey, err := r.opts.ResultKey()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
 	}
-	r.key = canonicalKey(r.circuit, r.fab.Name, resultKey, rq.Trace)
+	noiseKey := ""
+	if r.noise != nil {
+		noiseKey = r.noise.Key()
+	}
+	r.key = canonicalKey(r.circuit, r.fab.Name, resultKey, noiseKey, rq.Trace)
 	return &r, nil
 }
 
@@ -296,7 +312,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	rep, err := NewReport(rs.circuit, rs.fab.Name, rs.opts, res, rq.Trace)
+	rep, err := NewReport(rs.circuit, rs.fab.Name, rs.opts, res, rq.Trace, rs.noise)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, fmt.Sprintf("report: %v", err))
 		return

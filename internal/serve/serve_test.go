@@ -433,7 +433,7 @@ func TestWarmMapperMatchesColdMap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := NewReport(b.Name, "small", opts, res, false)
+	rep, err := NewReport(b.Name, "small", opts, res, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -443,5 +443,93 @@ func TestWarmMapperMatchesColdMap(t *testing.T) {
 	}
 	if !bytes.Equal(w.Body.Bytes(), want) {
 		t.Errorf("served bytes != cold core.Map render:\n got %s\nwant %s", w.Body.Bytes(), want)
+	}
+}
+
+// TestBackendNoiseRoundTrip: a swap-backend noise-scored request maps,
+// echoes its backend and noise params, carries p_fail, and the cached
+// hit is byte-identical to the cold miss.
+func TestBackendNoiseRoundTrip(t *testing.T) {
+	s := testServer()
+	h := s.Handler()
+	body := `{"circuit":"ghz(q=4)","fabric":"small","heuristic":"qspr-center","backend":"swap","noise":{"two_qubit_gate":1e-3,"decay":1e-6}}`
+	w1 := postMap(t, h, body)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("miss: status %d: %s", w1.Code, w1.Body.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(w1.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend != "swap" {
+		t.Errorf("report backend %q, want swap", rep.Backend)
+	}
+	if rep.Noise == nil || rep.Noise.TwoQubitGate != 1e-3 {
+		t.Errorf("report noise echo = %+v", rep.Noise)
+	}
+	if rep.Metrics == nil || rep.Metrics.PFail == nil || *rep.Metrics.PFail <= 0 {
+		t.Errorf("p_fail missing on a noise-scored report: %+v", rep.Metrics)
+	}
+	w2 := postMap(t, h, body)
+	if got := w2.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("repeat X-Cache %q, want hit", got)
+	}
+	if !bytes.Equal(w1.Body.Bytes(), w2.Body.Bytes()) {
+		t.Error("cached hit differs from cold miss")
+	}
+}
+
+// TestBackendPartOfIdentity: the same circuit on ion and swap must not
+// share a cache entry, and the unscored ion response keeps the exact
+// pre-backend schema (no backend/noise/p_fail fields).
+func TestBackendPartOfIdentity(t *testing.T) {
+	s := testServer()
+	h := s.Handler()
+	ion := postMap(t, h, cheap)
+	swap := postMap(t, h, `{"circuit":"ghz(q=4)","fabric":"small","heuristic":"qspr-center","backend":"swap"}`)
+	if ion.Code != http.StatusOK || swap.Code != http.StatusOK {
+		t.Fatalf("status %d / %d", ion.Code, swap.Code)
+	}
+	if bytes.Equal(ion.Body.Bytes(), swap.Body.Bytes()) {
+		t.Error("ion and swap served identical bytes")
+	}
+	if got := swap.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("swap request X-Cache %q, want miss (distinct identity)", got)
+	}
+	for _, field := range []string{`"backend"`, `"noise"`, `"p_fail"`} {
+		if bytes.Contains(ion.Body.Bytes(), []byte(field)) {
+			t.Errorf("default ion response carries %s — pre-backend schema broken", field)
+		}
+	}
+	// "ion" spelled out is the same identity as the default: a hit.
+	spelled := postMap(t, h, `{"circuit":"ghz(q=4)","fabric":"small","heuristic":"qspr-center","backend":"ion"}`)
+	if got := spelled.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("explicit ion X-Cache %q, want hit", got)
+	}
+	if !bytes.Equal(ion.Body.Bytes(), spelled.Body.Bytes()) {
+		t.Error("explicit ion bytes differ from default")
+	}
+}
+
+// TestBadBackendAndNoise: unknown backends and invalid noise params
+// are 400s with diagnostics that name the valid choices.
+func TestBadBackendAndNoise(t *testing.T) {
+	s := testServer()
+	h := s.Handler()
+	w := postMap(t, h, `{"circuit":"ghz(q=4)","fabric":"small","backend":"warp"}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown backend: status %d", w.Code)
+	}
+	for _, name := range core.BackendNames() {
+		if !strings.Contains(w.Body.String(), name) {
+			t.Errorf("diagnostic %q does not list %q", w.Body.String(), name)
+		}
+	}
+	w = postMap(t, h, `{"circuit":"ghz(q=4)","fabric":"small","noise":{"two_qubit_gate":1.5}}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad noise params: status %d: %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "TwoQubitGate") {
+		t.Errorf("noise diagnostic does not name the bad field: %s", w.Body.String())
 	}
 }

@@ -1,0 +1,464 @@
+// Package swapmap is the SWAP-insertion mapping backend: the
+// superconducting-style architecture where qubits sit on a fixed
+// nearest-neighbor coupling graph and a two-qubit gate between
+// distant operands is preceded by a chain of SWAP gates that walks
+// one operand next to the other. It contrasts with the paper's ion
+// backend (engine/sched/route), where qubits physically shuttle
+// through channels.
+//
+// The coupling graph is derived from any fabric the repo can resolve
+// (the paper fabrics and every fabric.Resolve family): trap sites
+// become coupling-graph vertices, each connected to its nearest trap
+// along both axes, with any leftover components stitched along the
+// raster scan order so the graph is always connected.
+//
+// Routing is deterministic by construction — a pure sequential
+// function of (graph, placement): gates issue in program order (the
+// QIDG's node order is a topological order and its dependencies are
+// per-qubit, so per-qubit availability times realize an ASAP
+// schedule), SWAP chains follow the lexicographically-smallest
+// shortest path, and the placement-trial winner is selected by
+// (latency, trial index) after all trials complete. Results are
+// therefore bit-identical at any Options.Workers, matching
+// docs/CONCURRENCY.md.
+//
+// The emitted trace speaks the same micro-command vocabulary as the
+// ion engine — inserted SWAPs are OpGate commands with gates.Swap and
+// Node -1 — so the noise model, viz and every report renderer work
+// unchanged.
+package swapmap
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/fabric"
+	"repro/internal/gates"
+	"repro/internal/place"
+	"repro/internal/qidg"
+	"repro/internal/trace"
+)
+
+// Options configures Map.
+type Options struct {
+	// Tech supplies the gate durations (SWAPs cost TwoQubitGate).
+	Tech gates.Tech
+	// Trials is the number of placement candidates: trial 0 is the
+	// deterministic center placement, trials 1..Trials-1 are seeded
+	// center permutations. Must be >= 1.
+	Trials int
+	// Seed feeds the permutation stream; the whole stream is drawn
+	// up front on one generator so results do not depend on Workers.
+	Seed int64
+	// Workers fans placement trials across goroutines; 0 or 1 is
+	// sequential. Bit-identical results at any value.
+	Workers int
+}
+
+// Solution is a routed mapping plus provenance.
+type Solution struct {
+	// Result reuses the engine's result shape so backends are
+	// interchangeable downstream. Stats are reinterpreted for this
+	// architecture: Moves counts inserted SWAP gates (the relocation
+	// micro-command here), Turns is always 0, RoutedQubitTrips counts
+	// two-qubit gates that needed at least one SWAP, RoutingDelay
+	// sums SWAP durations, and CongestionDelay is 0.
+	Result *engine.Result
+	// Runs is the number of placement trials evaluated.
+	Runs int
+}
+
+// Graph is a coupling graph over a fabric's trap sites.
+type Graph struct {
+	// adj[s] lists the sites coupled to s, sorted ascending — the
+	// router's "smallest neighbor" tie-break depends on this order.
+	adj [][]int
+	// edges is the undirected edge count.
+	edges int
+}
+
+// NumSites returns the number of coupling-graph vertices.
+func (g *Graph) NumSites() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected couplings.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Neighbors returns the sites coupled to s, sorted ascending. The
+// slice aliases graph storage; callers must not mutate it.
+func (g *Graph) Neighbors(s int) []int { return g.adj[s] }
+
+// Couple derives the nearest-neighbor coupling graph of a fabric:
+// each trap site couples to the nearest trap on either side along its
+// row and along its column. Fabrics whose axial adjacency leaves
+// disconnected islands (some htree/multicore layouts) are stitched
+// into one component by linking consecutive islands along the
+// deterministic raster scan order of the sites, so routing between
+// any two sites always succeeds.
+func Couple(fab *fabric.Fabric) (*Graph, error) {
+	n := len(fab.Traps)
+	if n == 0 {
+		return nil, fmt.Errorf("swapmap: fabric has no trap sites")
+	}
+	g := &Graph{adj: make([][]int, n)}
+	type pair struct{ a, b int }
+	seen := make(map[pair]bool)
+	add := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		if a == b || seen[pair{a, b}] {
+			return
+		}
+		seen[pair{a, b}] = true
+		g.adj[a] = append(g.adj[a], b)
+		g.adj[b] = append(g.adj[b], a)
+		g.edges++
+	}
+	byRow := make(map[int][]int)
+	byCol := make(map[int][]int)
+	for i := range fab.Traps {
+		p := fab.Traps[i].Pos
+		byRow[p.Row] = append(byRow[p.Row], i)
+		byCol[p.Col] = append(byCol[p.Col], i)
+	}
+	for _, sites := range byRow {
+		sort.Slice(sites, func(i, j int) bool { return fab.Traps[sites[i]].Pos.Col < fab.Traps[sites[j]].Pos.Col })
+		for k := 1; k < len(sites); k++ {
+			add(sites[k-1], sites[k])
+		}
+	}
+	for _, sites := range byCol {
+		sort.Slice(sites, func(i, j int) bool { return fab.Traps[sites[i]].Pos.Row < fab.Traps[sites[j]].Pos.Row })
+		for k := 1; k < len(sites); k++ {
+			add(sites[k-1], sites[k])
+		}
+	}
+	// Connectivity stitch: walk the sites in raster order (row, col,
+	// ID) and union consecutive ones, adding an edge whenever they
+	// lie in different components. One linear pass leaves exactly one
+	// component, deterministically.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for p := range seen {
+		ra, rb := find(p.a), find(p.b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := fab.Traps[order[i]].Pos, fab.Traps[order[j]].Pos
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return order[i] < order[j]
+	})
+	for k := 1; k < n; k++ {
+		ra, rb := find(order[k-1]), find(order[k])
+		if ra != rb {
+			add(order[k-1], order[k])
+			parent[ra] = rb
+		}
+	}
+	for s := range g.adj {
+		sort.Ints(g.adj[s])
+	}
+	return g, nil
+}
+
+// Map places and routes g onto fab's coupling graph and returns the
+// best of Options.Trials placement candidates by (latency, trial
+// index).
+func Map(g *qidg.Graph, fab *fabric.Fabric, opts Options) (*Solution, error) {
+	if opts.Trials < 1 {
+		return nil, fmt.Errorf("swapmap: Trials %d < 1", opts.Trials)
+	}
+	if err := opts.Tech.Validate(); err != nil {
+		return nil, fmt.Errorf("swapmap: %w", err)
+	}
+	cg, err := Couple(fab)
+	if err != nil {
+		return nil, err
+	}
+	placements := make([]engine.Placement, opts.Trials)
+	if placements[0], err = place.Center(fab, g.NumQubits); err != nil {
+		return nil, fmt.Errorf("swapmap: %w", err)
+	}
+	// The full permutation stream is drawn sequentially up front so
+	// trial i's placement never depends on worker scheduling.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i := 1; i < opts.Trials; i++ {
+		if placements[i], err = place.CenterPermutation(fab, g.NumQubits, rng); err != nil {
+			return nil, fmt.Errorf("swapmap: %w", err)
+		}
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > opts.Trials {
+		workers = opts.Trials
+	}
+	latencies := make([]gates.Time, opts.Trials)
+	errs := make([]error, opts.Trials)
+	if workers == 1 {
+		rt := newRouter(cg, opts.Tech, g.NumQubits)
+		for i, p := range placements {
+			if errs[i] = rt.run(g, p); errs[i] == nil {
+				latencies[i] = rt.tr.Latency
+			}
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rt := newRouter(cg, opts.Tech, g.NumQubits)
+				for {
+					i := int(next.Add(1))
+					if i >= opts.Trials {
+						return
+					}
+					if errs[i] = rt.run(g, placements[i]); errs[i] == nil {
+						latencies[i] = rt.tr.Latency
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	best := 0
+	for i := 1; i < opts.Trials; i++ {
+		if latencies[i] < latencies[best] {
+			best = i
+		}
+	}
+	// Replay the winner to materialize its trace; routing is a pure
+	// function of the placement, so the replay is bit-identical to
+	// the trial and the parallel search never retains losing traces.
+	rt := newRouter(cg, opts.Tech, g.NumQubits)
+	if err := rt.run(g, placements[best]); err != nil {
+		return nil, err
+	}
+	issue := make([]int, len(g.Nodes))
+	for i := range issue {
+		issue[i] = i
+	}
+	res := &engine.Result{
+		Latency: rt.tr.Latency,
+		Trace:   rt.tr.Clone(),
+		Initial: placements[best].Clone(),
+		Final:   engine.Placement(rt.pos).Clone(),
+		// The ASAP schedule issues in program order by construction.
+		IssueOrder: issue,
+		Stats: engine.Stats{
+			Moves:            rt.swaps,
+			RoutedQubitTrips: rt.trips,
+			RoutingDelay:     rt.swapTime,
+			GateDelay:        rt.gateTime,
+		},
+	}
+	return &Solution{Result: res, Runs: opts.Trials}, nil
+}
+
+// router is per-worker routing state, reused across trials.
+type router struct {
+	cg   *Graph
+	tech gates.Tech
+	pos  []int        // qubit -> site
+	occ  []int        // site -> qubit, -1 when vacant
+	aval []gates.Time // per-qubit availability (ASAP frontier)
+	dist []int32      // BFS scratch, distance to the current target
+	fifo []int        // BFS scratch queue
+	tr   trace.Trace
+
+	swaps    int
+	trips    int
+	swapTime gates.Time
+	gateTime gates.Time
+}
+
+func newRouter(cg *Graph, tech gates.Tech, numQubits int) *router {
+	n := cg.NumSites()
+	return &router{
+		cg:   cg,
+		tech: tech,
+		pos:  make([]int, numQubits),
+		occ:  make([]int, n),
+		aval: make([]gates.Time, numQubits),
+		dist: make([]int32, n),
+		fifo: make([]int, 0, n),
+	}
+}
+
+// run routes the whole program from the given initial placement,
+// leaving the trace, final positions and stats on the receiver.
+func (r *router) run(g *qidg.Graph, initial engine.Placement) error {
+	if len(initial) != g.NumQubits {
+		return fmt.Errorf("swapmap: placement covers %d of %d qubits", len(initial), g.NumQubits)
+	}
+	for s := range r.occ {
+		r.occ[s] = -1
+	}
+	for q, s := range initial {
+		if s < 0 || s >= len(r.occ) {
+			return fmt.Errorf("swapmap: qubit %d placed at invalid site %d", q, s)
+		}
+		if r.occ[s] >= 0 {
+			return fmt.Errorf("swapmap: qubits %d and %d both placed at site %d", r.occ[s], q, s)
+		}
+		r.occ[s] = q
+		r.pos[q] = s
+	}
+	for q := range r.aval {
+		r.aval[q] = 0
+	}
+	r.tr.Reset()
+	r.swaps, r.trips, r.swapTime, r.gateTime = 0, 0, 0, 0
+	for ni := range g.Nodes {
+		node := &g.Nodes[ni]
+		switch len(node.Qubits) {
+		case 1:
+			q := node.Qubits[0]
+			d := r.tech.GateDelay(node.Kind)
+			start := r.aval[q]
+			r.tr.Add(trace.Op{
+				Kind: trace.OpGate, Start: start, End: start + d,
+				Gate: node.Kind, Node: node.ID, Trap: r.pos[q], Edge: -1,
+			}.WithQubits(q))
+			r.aval[q] = start + d
+			r.gateTime += d
+		case 2:
+			a, b := node.Qubits[0], node.Qubits[1]
+			if err := r.routePair(a, b); err != nil {
+				return fmt.Errorf("swapmap: node %d (%s): %w", node.ID, node.Kind, err)
+			}
+			d := r.tech.GateDelay(node.Kind)
+			start := r.aval[a]
+			if r.aval[b] > start {
+				start = r.aval[b]
+			}
+			r.tr.Add(trace.Op{
+				Kind: trace.OpGate, Start: start, End: start + d,
+				Gate: node.Kind, Node: node.ID, Trap: r.pos[b], Edge: -1,
+			}.WithQubits(a, b))
+			r.aval[a], r.aval[b] = start+d, start+d
+			r.gateTime += d
+		default:
+			return fmt.Errorf("swapmap: node %d (%s) has %d operands", node.ID, node.Kind, len(node.Qubits))
+		}
+	}
+	r.tr.Sort()
+	return nil
+}
+
+// routePair swap-walks qubit a until it is coupled to qubit b,
+// following the lexicographically-smallest shortest path (BFS
+// distances from b's site; among equally-close neighbors the lowest
+// site ID wins, which is the first hit in the sorted adjacency).
+func (r *router) routePair(a, b int) error {
+	target := r.pos[b]
+	if r.bfs(target); r.dist[r.pos[a]] < 0 {
+		return fmt.Errorf("no coupling path from site %d to site %d", r.pos[a], target)
+	}
+	moved := false
+	for cur := r.pos[a]; r.dist[cur] > 1; {
+		next := -1
+		for _, nb := range r.cg.adj[cur] {
+			if r.dist[nb] == r.dist[cur]-1 {
+				next = nb
+				break
+			}
+		}
+		if next < 0 {
+			return fmt.Errorf("broken BFS frontier at site %d", cur)
+		}
+		r.swapInto(a, cur, next)
+		cur = next
+		moved = true
+	}
+	if moved {
+		r.trips++
+	}
+	return nil
+}
+
+// swapInto swaps qubit a from site cur into the adjacent site next.
+// When next is occupied the SWAP involves its resident (both qubits
+// synchronize and relocate); when next is vacant the unused physical
+// qubit there is not a tracked logical qubit, so the op records only
+// a — but it is still a full two-qubit SWAP gate on the hardware and
+// is charged as one by duration and by the noise model.
+func (r *router) swapInto(a, cur, next int) {
+	o := r.occ[next]
+	start := r.aval[a]
+	if o >= 0 && r.aval[o] > start {
+		start = r.aval[o]
+	}
+	end := start + r.tech.TwoQubitGate
+	op := trace.Op{
+		Kind: trace.OpGate, Start: start, End: end,
+		Gate: gates.Swap, Node: -1, Trap: next, Edge: -1,
+	}
+	if o >= 0 {
+		op.SetQubits(a, o)
+		r.pos[o] = cur
+		r.aval[o] = end
+	} else {
+		op.SetQubits(a)
+	}
+	r.tr.Add(op)
+	r.occ[cur] = o
+	r.occ[next] = a
+	r.pos[a] = next
+	r.aval[a] = end
+	r.swaps++
+	r.swapTime += end - start
+}
+
+// bfs fills r.dist with hop counts to the target site (-1 where
+// unreachable).
+func (r *router) bfs(target int) {
+	for i := range r.dist {
+		r.dist[i] = -1
+	}
+	r.dist[target] = 0
+	r.fifo = append(r.fifo[:0], target)
+	for head := 0; head < len(r.fifo); head++ {
+		cur := r.fifo[head]
+		for _, nb := range r.cg.adj[cur] {
+			if r.dist[nb] < 0 {
+				r.dist[nb] = r.dist[cur] + 1
+				r.fifo = append(r.fifo, nb)
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package swapmap
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/fabric"
+	"repro/internal/gates"
+	"repro/internal/qidg"
+	"repro/internal/trace"
+)
+
+func buildGraph(t *testing.T, fab *fabric.Fabric) *Graph {
+	t.Helper()
+	g, err := Couple(fab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestCoupleConnected: every fabric family yields one connected
+// coupling graph with a symmetric, sorted adjacency.
+func TestCoupleConnected(t *testing.T) {
+	for _, spec := range []string{"", "small", "grid(rows=9,cols=17)", "htree(depth=2)", "multicore(cx=2,cy=2,rows=9,cols=9)"} {
+		var fab *fabric.Fabric
+		var err error
+		if spec == "" {
+			fab = fabric.Quale4585()
+			spec = "quale45x85"
+		} else if spec == "small" {
+			fab = fabric.Small()
+		} else {
+			fab, _, err = fabric.Resolve(spec)
+			if err != nil {
+				t.Fatalf("%s: %v", spec, err)
+			}
+		}
+		g := buildGraph(t, fab)
+		if g.NumSites() != len(fab.Traps) {
+			t.Errorf("%s: %d sites for %d traps", spec, g.NumSites(), len(fab.Traps))
+		}
+		// Symmetric + sorted adjacency.
+		for s := 0; s < g.NumSites(); s++ {
+			prev := -1
+			for _, nb := range g.Neighbors(s) {
+				if nb <= prev {
+					t.Fatalf("%s: adj[%d] not strictly sorted", spec, s)
+				}
+				prev = nb
+				back := false
+				for _, r := range g.Neighbors(nb) {
+					if r == s {
+						back = true
+						break
+					}
+				}
+				if !back {
+					t.Fatalf("%s: edge %d-%d not symmetric", spec, s, nb)
+				}
+			}
+		}
+		// Connected: BFS from 0 reaches every site.
+		seen := make([]bool, g.NumSites())
+		queue := []int{0}
+		seen[0] = true
+		count := 1
+		for len(queue) > 0 {
+			s := queue[0]
+			queue = queue[1:]
+			for _, nb := range g.Neighbors(s) {
+				if !seen[nb] {
+					seen[nb] = true
+					count++
+					queue = append(queue, nb)
+				}
+			}
+		}
+		if count != g.NumSites() {
+			t.Errorf("%s: coupling graph disconnected: reached %d of %d sites", spec, count, g.NumSites())
+		}
+	}
+}
+
+func TestCoupleEmptyFabric(t *testing.T) {
+	if _, err := Couple(&fabric.Fabric{}); err == nil {
+		t.Error("trap-free fabric accepted")
+	}
+}
+
+func mapFig3(t *testing.T, opts Options) *Solution {
+	t.Helper()
+	g, err := qidg.Build(circuits.Fig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Map(g, fabric.Quale4585(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+// TestMapDeterministicAcrossWorkers: identical traces at any worker
+// count — the backend's core determinism contract.
+func TestMapDeterministicAcrossWorkers(t *testing.T) {
+	base := Options{Tech: gates.Default(), Trials: 6, Seed: 1, Workers: 1}
+	want := mapFig3(t, base)
+	for _, w := range []int{2, 3, 8} {
+		o := base
+		o.Workers = w
+		got := mapFig3(t, o)
+		if got.Result.Latency != want.Result.Latency {
+			t.Errorf("workers=%d latency %v != %v", w, got.Result.Latency, want.Result.Latency)
+		}
+		if got.Result.Trace.String() != want.Result.Trace.String() {
+			t.Errorf("workers=%d trace differs", w)
+		}
+	}
+}
+
+// TestMapTraceAccounting: the trace validates, every program gate
+// appears, and Stats.Moves equals the SWAP count in the trace.
+func TestMapTraceAccounting(t *testing.T) {
+	sol := mapFig3(t, Options{Tech: gates.Default(), Trials: 1, Seed: 1})
+	tr := sol.Result.Trace
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prog := circuits.Fig3()
+	swaps, gatesSeen := 0, 0
+	for _, op := range tr.Ops {
+		if op.Kind != trace.OpGate {
+			t.Fatalf("non-gate op %v in a SWAP-backend trace", op.Kind)
+		}
+		if op.Gate == gates.Swap {
+			swaps++
+		} else {
+			gatesSeen++
+		}
+	}
+	if gatesSeen != len(prog.Gates()) {
+		t.Errorf("%d program gates in trace, want %d", gatesSeen, len(prog.Gates()))
+	}
+	if int(sol.Result.Stats.Moves) != swaps {
+		t.Errorf("Stats.Moves = %d, trace has %d SWAPs", sol.Result.Stats.Moves, swaps)
+	}
+	if sol.Result.Stats.Turns != 0 || sol.Result.Stats.CongestionDelay != 0 {
+		t.Errorf("ion-only stats nonzero: %+v", sol.Result.Stats)
+	}
+	if sol.Result.Latency != tr.Latency {
+		t.Errorf("latency %v != trace latency %v", sol.Result.Latency, tr.Latency)
+	}
+}
+
+// TestMapTrialsMonotone: the best of n trials can only improve on
+// trial 0 (the deterministic center placement).
+func TestMapTrialsMonotone(t *testing.T) {
+	one := mapFig3(t, Options{Tech: gates.Default(), Trials: 1, Seed: 1})
+	many := mapFig3(t, Options{Tech: gates.Default(), Trials: 12, Seed: 1})
+	if many.Result.Latency > one.Result.Latency {
+		t.Errorf("12 trials (%v) worse than trial 0 alone (%v)", many.Result.Latency, one.Result.Latency)
+	}
+	if many.Runs != 12 || one.Runs != 1 {
+		t.Errorf("Runs = %d/%d, want 12/1", many.Runs, one.Runs)
+	}
+}
+
+func TestMapRejectsBadOptions(t *testing.T) {
+	g, err := qidg.Build(circuits.Fig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Map(g, fabric.Quale4585(), Options{Tech: gates.Default(), Trials: 0}); err == nil {
+		t.Error("Trials=0 accepted")
+	}
+}
+
+func BenchmarkCouple45x85(b *testing.B) {
+	fab := fabric.Quale4585()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Couple(fab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMap(b *testing.B, trials int) {
+	g, err := qidg.Build(circuits.Fig3())
+	if err != nil {
+		b.Fatal(err)
+	}
+	fab := fabric.Quale4585()
+	opts := Options{Tech: gates.Default(), Trials: trials, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := Map(g, fab, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sol.Result.Latency), "latency_µs")
+	}
+}
+
+// BenchmarkSwapMapSingle is one placement + route pass: the whole
+// SWAP-insertion pipeline including graph coupling.
+func BenchmarkSwapMapSingle(b *testing.B) { benchMap(b, 1) }
+
+// BenchmarkSwapMapTrials25 is the m=25 trial portfolio (sequential).
+func BenchmarkSwapMapTrials25(b *testing.B) { benchMap(b, 25) }

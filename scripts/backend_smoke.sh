@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Backend smoke: map the same circuits on both backends, check the
+# deterministic reports actually differ between architectures but are
+# each reproducible, and pin the Pareto pivot byte-identical at
+# -parallel 1 vs 4. Run from anywhere; CI runs it on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/qspr" ./cmd/qspr
+go build -o "$tmp/qsprbench" ./cmd/qsprbench
+
+echo "== both backends map the same circuit =="
+"$tmp/qspr" -circuit '[[5,1,3]]' -heuristic qspr-center -backend ion -report - >"$tmp/ion.json"
+"$tmp/qspr" -circuit '[[5,1,3]]' -heuristic qspr-center -backend swap -report - >"$tmp/swap.json"
+if cmp -s "$tmp/ion.json" "$tmp/swap.json"; then
+  echo "FAIL: ion and swap backends produced identical reports" >&2
+  exit 1
+fi
+grep -q '"backend":"swap"' "$tmp/swap.json" || { echo "FAIL: swap report does not echo its backend" >&2; exit 1; }
+if grep -q '"backend"' "$tmp/ion.json"; then
+  echo "FAIL: default ion report carries a backend field (pre-backend schema broken)" >&2
+  exit 1
+fi
+echo "  reports differ per backend, ion schema unchanged"
+
+echo "== swap backend reports are reproducible and worker-independent =="
+"$tmp/qspr" -circuit '[[5,1,3]]' -backend swap -m 8 -inner-parallel 4 -report - >"$tmp/swap_par.json"
+"$tmp/qspr" -circuit '[[5,1,3]]' -backend swap -m 8 -report - >"$tmp/swap_seq.json"
+cmp -s "$tmp/swap_par.json" "$tmp/swap_seq.json" || { echo "FAIL: swap report depends on -inner-parallel" >&2; exit 1; }
+echo "  byte-identical at inner-parallel 1 vs 4"
+
+echo "== Pareto report is byte-identical at -parallel 1 vs 4 =="
+args=(-circuits 'ghz(q=4),ghz(q=6),[[5,1,3]]' -heuristics qspr-center
+      -backend all -noise default -pareto -format json -compare=false)
+"$tmp/qsprbench" "${args[@]}" -parallel 1 -out "$tmp/pareto1.json"
+"$tmp/qsprbench" "${args[@]}" -parallel 4 -out "$tmp/pareto4.json"
+if ! cmp -s "$tmp/pareto1.json" "$tmp/pareto4.json"; then
+  echo "FAIL: Pareto bytes differ across -parallel" >&2
+  diff "$tmp/pareto1.json" "$tmp/pareto4.json" >&2 || true
+  exit 1
+fi
+grep -q '"p_fail"' "$tmp/pareto1.json" || { echo "FAIL: Pareto report carries no p_fail" >&2; exit 1; }
+grep -q '"backend": "swap"' "$tmp/pareto1.json" || grep -q '"backend": "ion"' "$tmp/pareto1.json" \
+  || { echo "FAIL: Pareto report names no backend" >&2; exit 1; }
+echo "  byte-identical, noise-scored"
+
+echo "== unknown backend diagnostics agree across tools =="
+qspr_err=$("$tmp/qspr" -circuit 'ghz(q=4)' -backend warp 2>&1 >/dev/null || true)
+bench_err=$("$tmp/qsprbench" -backend warp -circuits 'ghz(q=4)' 2>&1 >/dev/null || true)
+for err in "$qspr_err" "$bench_err"; do
+  echo "$err" | grep -q 'unknown backend "warp" (valid: ion, swap)' \
+    || { echo "FAIL: diagnostic missing the valid-name list: $err" >&2; exit 1; }
+done
+echo "  both tools list the valid names"
+
+echo "backend smoke OK"

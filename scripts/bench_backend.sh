@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Regenerates the measurements tracked in BENCH_backend.json: the
+# backend-abstraction microbenchmarks (PR 10) — the nearest-neighbor
+# coupling-graph build, the SWAP-insertion pipeline at 1 and 25
+# trials, and the head-to-head ion vs swap single-placement mapping
+# of the paper's Fig. 3 encoder through core.Map. Run from the
+# repository root.
+set -e
+OUT="${OUT:-/tmp/qspr_bench_backend.txt}"
+{
+  echo "== swapmap backend (Fig. 3 encoder x quale45x85, 500 iterations/op) =="
+  go test -run '^$' -bench 'BenchmarkCouple|BenchmarkSwapMap' -benchtime 500x -benchmem ./internal/swapmap
+  echo
+  echo "== core.Map backend dispatch, ion vs swap (qspr-center, 500 iterations/op) =="
+  go test -run '^$' -bench 'BenchmarkBackend' -benchtime 500x -benchmem ./internal/core
+} | tee "$OUT"
+echo
+echo "raw output written to: $OUT (curate BENCH_backend.json from it)"
